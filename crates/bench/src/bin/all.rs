@@ -1,0 +1,23 @@
+//! Run every table/figure harness in sequence — the one-command
+//! reproduction of the paper's evaluation section.
+//!
+//! `cargo run --release -p jigsaw-bench --bin all [--quick]`
+
+use std::process::Command;
+
+fn main() {
+    let quick: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("locate harness directory");
+    for bin in ["table1", "table2", "fig6", "fig7", "fig8", "fig9", "gpustats", "sweep"] {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&quick)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nAll harnesses completed.");
+}

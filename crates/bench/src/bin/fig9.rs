@@ -1,0 +1,145 @@
+//! Figure 9 — image quality: table oversampling and numeric precision.
+//!
+//! The paper reconstructs 2-D slices with a direct adjoint NuFFT and
+//! compares (a) `L = 1024`, double precision against (b) `L = 32`,
+//! 16-bit fixed-point JIGSAW hardware — visually indistinguishable, with
+//! NRMSD 0.047 % for 32-bit *floating*-point and 0.012 % for the 32-bit
+//! *fixed*-point pipeline ("1/4 the error while halving the ALU width").
+//!
+//! This harness reconstructs the Shepp-Logan phantom from golden-angle
+//! radial k-space three ways — f64/L=1024 reference, f32/L=32 software,
+//! and the JIGSAW fixed-point simulator (L=32, 16-bit weights) — prints
+//! the NRMSDs, and writes PGM images for visual comparison.
+//!
+//! Run with `cargo run --release -p jigsaw-bench --bin fig9`.
+
+use jigsaw_bench::*;
+use jigsaw_core::gridding::{LerpGridder, SerialGridder};
+use jigsaw_core::metrics::nrmsd_percent;
+use jigsaw_core::phantom::Phantom2d;
+use jigsaw_core::traj;
+use jigsaw_core::{NufftConfig, NufftPlan};
+use jigsaw_num::{C32, C64};
+use jigsaw_sim::{Jigsaw2d, JigsawConfig};
+
+fn main() {
+    let n = 256usize;
+    let phantom = Phantom2d::shepp_logan();
+    // Fully-sampled golden-angle radial acquisition.
+    let mut coords = traj::radial_2d(2 * n, 2 * n, true);
+    traj::shuffle(&mut coords, 99);
+    let values = phantom.kspace(n, &coords);
+    // Radial density compensation (ramp |k|) so the direct adjoint
+    // reconstruction is interpretable, as in the paper's Fig. 9 images.
+    let weighted: Vec<C64> = coords
+        .iter()
+        .zip(&values)
+        .map(|(c, v)| {
+            let r = (c[0] * c[0] + c[1] * c[1]).sqrt();
+            v.scale(r.max(0.25 / (2.0 * n as f64)))
+        })
+        .collect();
+
+    println!("=== Figure 9: direct NuFFT reconstructions ===");
+    println!("N = {n}, radial spokes = {}, M = {}\n", 2 * n, coords.len());
+
+    // (a) Reference: L = 1024, f64.
+    let mut cfg_ref = NufftConfig::with_n(n);
+    cfg_ref.table_oversampling = 1024;
+    let plan_ref = NufftPlan::<f64, 2>::new(cfg_ref).unwrap();
+    let reference = plan_ref
+        .adjoint(&coords, &weighted, &SerialGridder)
+        .unwrap()
+        .image;
+
+    // (b) L = 32, f32 software (the paper's "32-bit floating-point").
+    let cfg32 = NufftConfig::with_n(n); // L = 32 default
+    let plan32 = NufftPlan::<f32, 2>::new(cfg32.clone()).unwrap();
+    let w32: Vec<C32> = weighted.iter().map(|v| C32::from_c64(*v)).collect();
+    let img_f32 = plan32.adjoint(&coords, &w32, &SerialGridder).unwrap().image;
+    let img_f32_64: Vec<C64> = img_f32.iter().map(|z| z.to_c64()).collect();
+
+    // (c) L = 32, JIGSAW 16-bit fixed-point weights / 32-bit pipelines.
+    let plan_host = NufftPlan::<f64, 2>::new(cfg32).unwrap();
+    // (plan_host also serves the lerp-LUT reconstruction below.)
+    let g = plan_host.grid_params().grid;
+    let mapped = plan_host.map_coords(&coords);
+    let mut hw = Jigsaw2d::new(JigsawConfig {
+        grid: g,
+        ..JigsawConfig::paper_default()
+    })
+    .unwrap();
+    let (stream, scale) = hw.quantize_inputs(&mapped, &weighted).unwrap();
+    let run = hw.run(&stream);
+    let mut hwgrid = run.grid_c64(scale);
+    let (img_fixed, _) = plan_host.finish_adjoint(&mut hwgrid).unwrap();
+
+    // Same-L f64 reconstruction: isolates numeric-format error from the
+    // (shared) L = 32 coordinate quantization.
+    let plan64_l32 = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+    let img_f64_l32 = plan64_l32
+        .adjoint(&coords, &weighted, &SerialGridder)
+        .unwrap()
+        .image;
+
+    // (d) L = 32 with linearly-interpolated LUT weights (software mode).
+    let img_lerp = plan_host
+        .adjoint(&coords, &weighted, &LerpGridder)
+        .unwrap()
+        .image;
+
+    let nrmsd_f32 = nrmsd_percent(&img_f32_64, &reference);
+    let nrmsd_fixed = nrmsd_percent(&img_fixed, &reference);
+    let nrmsd_f32_samel = nrmsd_percent(&img_f32_64, &img_f64_l32);
+    let nrmsd_fixed_samel = nrmsd_percent(&img_fixed, &img_f64_l32);
+
+    let mut t = Table::new(&["Reconstruction", "NRMSD vs L=1024 f64", "paper"]);
+    t.row(vec![
+        "L=32, 32-bit float (f32)".into(),
+        format!("{nrmsd_f32:.4} %"),
+        "0.047 %".into(),
+    ]);
+    t.row(vec![
+        "L=32, JIGSAW 32-bit fixed".into(),
+        format!("{nrmsd_fixed:.4} %"),
+        "0.012 %".into(),
+    ]);
+    t.row(vec![
+        "L=32, f64 lerp-LUT (software)".into(),
+        format!("{:.4} %", nrmsd_percent(&img_lerp, &reference)),
+        "—".into(),
+    ]);
+    t.print();
+
+    println!("\nNumeric-format error in isolation (vs the L=32 f64 reconstruction,");
+    println!("removing the table-oversampling error the two formats share):\n");
+    let mut t2 = Table::new(&["Format", "NRMSD vs L=32 f64", "ratio"]);
+    t2.row(vec![
+        "32-bit float (f32)".into(),
+        format!("{nrmsd_f32_samel:.5} %"),
+        "1.0".into(),
+    ]);
+    t2.row(vec![
+        "JIGSAW 32-bit fixed".into(),
+        format!("{nrmsd_fixed_samel:.5} %"),
+        format!("{:.2}", nrmsd_fixed_samel / nrmsd_f32_samel.max(1e-30)),
+    ]);
+    t2.print();
+
+    println!("\nSaturations in the fixed-point run: {}", run.report.ops.saturations);
+    println!("JIGSAW cycles: {} (= M + 12)", run.report.compute_cycles);
+
+    for (path, img) in [
+        ("out/fig9_reference_L1024_f64.pgm", &reference),
+        ("out/fig9_L32_f32.pgm", &img_f32_64),
+        ("out/fig9_L32_fixed16.pgm", &img_fixed),
+    ] {
+        match write_pgm(path, img, n) {
+            Ok(p) => println!("wrote {p}"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+    println!("\nThe three PGM images should be visually indistinguishable, matching");
+    println!("the paper's Fig. 9 despite the 32× lower table oversampling and the");
+    println!("16-bit weight / 32-bit fixed-point datapath.");
+}

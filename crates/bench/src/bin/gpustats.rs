@@ -1,0 +1,99 @@
+//! §VI-A micro-architectural analysis panel: derive the paper's four
+//! reasons for the Slice-and-Dice GPU win from an access-pattern replay.
+//!
+//! "This dramatic increase in performance relative to the prior work
+//! arises for several reasons: (1) Slice-and-Dice GPU uses a lookup table
+//! for interpolation weights, while Impatient calculates them during
+//! processing, (2) Slice-and-Dice GPU achieves an L2 hit rate of ~98%
+//! compared to Impatient's ~80%, (3) Slice-and-Dice achieves an occupancy
+//! of ~80% compared to the ~47% for Impatient, and (4) Slice-and-Dice GPU
+//! utilizes parallelism across both the non-uniform input array and the
+//! output grid."
+//!
+//! Run with `cargo run --release -p jigsaw-bench --bin gpustats`.
+
+use jigsaw_bench::{eval_images, HarnessArgs, Table};
+use jigsaw_core::config::GridParams;
+use jigsaw_core::kernel::KernelKind;
+use jigsaw_gpu::{replay_impatient, replay_slice_dice, ReplayConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let img = eval_images()[2]; // N = 256 by default
+    let m = (200_000 / args.quick_divisor).max(5_000);
+    let g = 1024usize; // the paper's grid size (8 MB f32 grid > 3 MiB L2)
+    println!("=== §VI-A GPU analysis (replayed access patterns) ===");
+    println!("workload: {m} samples of a {} trajectory onto a {g}² grid\n", img.name);
+
+    let p = GridParams {
+        grid: g,
+        width: 6,
+        table_oversampling: 32,
+        tile: 8,
+        kernel: KernelKind::Auto.resolve(6, 2.0),
+    };
+    let mut coords_cycles = img.trajectory();
+    coords_cycles.truncate(m);
+    let coords: Vec<[f64; 2]> = coords_cycles
+        .iter()
+        .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+        .collect();
+
+    let cfg = ReplayConfig::default();
+    let sd = replay_slice_dice(&p, &coords, &cfg);
+    let imp = replay_impatient(&p, &coords, &cfg);
+
+    let mut t = Table::new(&[
+        "metric", "Slice-and-Dice GPU", "Impatient-style", "paper (S&D / Imp)",
+    ]);
+    t.row(vec![
+        "weight computation".into(),
+        "LUT (0 FLOPs)".into(),
+        format!("{:.1} MFLOP on-the-fly", imp.weight_flops as f64 / 1e6),
+        "LUT / on-the-fly".into(),
+    ]);
+    t.row(vec![
+        "L2 read hit rate".into(),
+        format!("{:.1}%", 100.0 * sd.l2_hit_rate),
+        format!("{:.1}%", 100.0 * imp.l2_hit_rate),
+        "~98% / ~80%".into(),
+    ]);
+    t.row(vec![
+        "occupancy".into(),
+        format!("{:.1}%", 100.0 * sd.occupancy),
+        format!("{:.1}%", 100.0 * imp.occupancy),
+        "~80% / ~47%".into(),
+    ]);
+    t.row(vec![
+        "SIMD lane efficiency".into(),
+        format!("{:.1}%", 100.0 * sd.lane_efficiency),
+        format!("{:.1}%", 100.0 * imp.lane_efficiency),
+        "W²/T² vs \"T/W idle\"".into(),
+    ]);
+    t.row(vec![
+        "memory-level parallelism".into(),
+        format!("{:.1} lines/step", sd.mlp),
+        format!("{:.1} lines/step", imp.mlp),
+        "\"binning limits MLP\"".into(),
+    ]);
+    t.row(vec![
+        "L2 transactions".into(),
+        sd.l2_accesses.to_string(),
+        imp.l2_accesses.to_string(),
+        "—".into(),
+    ]);
+    t.row(vec![
+        "atomic/write hit rate".into(),
+        format!("{:.1}%", 100.0 * sd.write_hit_rate),
+        format!("{:.1}%", 100.0 * imp.write_hit_rate),
+        "—".into(),
+    ]);
+    t.print();
+
+    println!("\nEverything above is derived: the replay streams the real sample data");
+    println!("through the real coordinate decomposition into a {} KiB, {}-way L2",
+        cfg.cache.capacity_bytes / 1024, cfg.cache.ways);
+    println!("model with {} concurrently resident blocks; occupancy comes from the",
+        cfg.concurrent_blocks);
+    println!("CUDA occupancy formula applied to each kernel's resource footprint.");
+}

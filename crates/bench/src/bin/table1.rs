@@ -1,0 +1,70 @@
+//! Table I — JIGSAW system parameters.
+//!
+//! Prints the supported parameter ranges and demonstrates that the
+//! configuration validator accepts exactly those ranges (a sweep over
+//! in-range and out-of-range values).
+//!
+//! Run with `cargo run -p jigsaw-bench --bin table1`.
+
+use jigsaw_bench::Table;
+use jigsaw_sim::JigsawConfig;
+
+fn main() {
+    println!("=== Table I: JIGSAW system parameters ===\n");
+    let mut t = Table::new(&["Property", "Value"]);
+    t.row(vec!["Target Grid Dimensions (N)".into(), "8–1024".into()]);
+    t.row(vec!["Virtual Tile Dimensions (T)".into(), "8".into()]);
+    t.row(vec!["Interpolation Window Dimensions (W)".into(), "1–8".into()]);
+    t.row(vec!["Table Oversampling Factor (L)".into(), "1–64".into()]);
+    t.row(vec!["Pipeline Bit Width".into(), "32-bit".into()]);
+    t.row(vec!["Interpolation Weight Bit Width".into(), "16-bit".into()]);
+    t.print();
+
+    // Validation sweep.
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for grid_exp in 2..=11usize {
+        let grid = 1 << grid_exp; // 4 .. 2048
+        for width in 0..=9usize {
+            for l_exp in 0..=7usize {
+                let l = 1 << l_exp; // 1 .. 128
+                let cfg = JigsawConfig {
+                    grid,
+                    width,
+                    table_oversampling: l,
+                    ..JigsawConfig::paper_default()
+                };
+                let in_range = (8..=1024).contains(&grid)
+                    && (1..=8).contains(&width)
+                    && (1..=64).contains(&l);
+                match (cfg.validate().is_ok(), in_range) {
+                    (true, true) => accepted += 1,
+                    (false, false) => rejected += 1,
+                    (ok, _) => panic!(
+                        "validator disagrees with Table I at N={grid} W={width} L={l}: ok={ok}"
+                    ),
+                }
+            }
+        }
+    }
+    println!("\nValidator sweep: {accepted} in-range configurations accepted,");
+    println!("{rejected} out-of-range configurations rejected — Table I enforced exactly.");
+
+    // Derived capacities.
+    let cfg = JigsawConfig::paper_default();
+    println!("\nDerived capacities at N = 1024, T = 8:");
+    println!("  pipelines: {}", cfg.tile * cfg.tile);
+    println!(
+        "  accumulation SRAM: {} MiB (paper: ~8 MB)",
+        cfg.total_accum_bits() / 8 / 1024 / 1024
+    );
+    println!(
+        "  weight LUT entries at W=8, L=64: {} (256-word SRAM + zero edge)",
+        JigsawConfig {
+            width: 8,
+            table_oversampling: 64,
+            ..JigsawConfig::paper_default()
+        }
+        .lut_entries()
+    );
+}

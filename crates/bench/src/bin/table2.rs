@@ -1,0 +1,59 @@
+//! Table II — JIGSAW synthesis results (power & area), regenerated from
+//! the calibrated model.
+//!
+//! Also prints the model's *predictions* for configurations the paper did
+//! not synthesize (smaller grids), where the SRAM term shrinks linearly.
+//!
+//! Run with `cargo run -p jigsaw-bench --bin table2`.
+
+use jigsaw_bench::Table;
+use jigsaw_sim::power::{PowerModel, Variant};
+use jigsaw_sim::JigsawConfig;
+
+fn main() {
+    println!("=== Table II: JIGSAW synthesis results in 16 nm (modeled) ===\n");
+    let model = PowerModel::calibrated();
+
+    let paper = [
+        (216.86, 12.20),
+        (94.22, 0.42),
+        (104.36, 12.42),
+        (63.62, 0.64),
+    ];
+    let mut t = Table::new(&[
+        "JIGSAW (1.0 GHz)", "Power (model)", "Power (paper)", "Area (model)", "Area (paper)",
+    ]);
+    for ((label, p_mw, a_mm2), (pp, pa)) in model.table_ii().into_iter().zip(paper) {
+        t.row(vec![
+            label.into(),
+            format!("{p_mw:.2} mW"),
+            format!("{pp:.2} mW"),
+            format!("{a_mm2:.2} mm²"),
+            format!("{pa:.2} mm²"),
+        ]);
+    }
+    t.print();
+    println!("\nModel constants are FITTED to the paper's four synthesis rows");
+    println!("(SRAM-bit area, SRAM leakage, per-RMW energy, logic base power,");
+    println!("per-MAC energy); see EXPERIMENTS.md. Predictions below are model");
+    println!("extrapolations:\n");
+
+    let mut pred = Table::new(&["Target grid", "2D power", "2D area", "SRAM share of area"]);
+    for n in [128usize, 256, 512, 1024] {
+        let cfg = JigsawConfig {
+            grid: n,
+            ..JigsawConfig::paper_default()
+        };
+        let act = (cfg.width * cfg.width) as f64;
+        let p = model.power_mw(&cfg, Variant::TwoD, act, true);
+        let a = model.area_mm2(&cfg, Variant::TwoD, true);
+        let a_logic = model.area_mm2(&cfg, Variant::TwoD, false);
+        pred.row(vec![
+            format!("{n}²"),
+            format!("{p:.2} mW"),
+            format!("{a:.2} mm²"),
+            format!("{:.1}%", 100.0 * (a - a_logic) / a),
+        ]);
+    }
+    pred.print();
+}

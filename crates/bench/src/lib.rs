@@ -1,0 +1,303 @@
+//! Shared infrastructure for the Jigsaw benchmark harnesses.
+//!
+//! The paper evaluates on "five images of differing dimension and number
+//! of non-uniform samples" (§VI-A); the exact dimensions are illegible in
+//! the available scan, so we define five representative MRI problem sizes
+//! spanning the same range (small 2-D slice to large high-resolution
+//! acquisition), each paired with a realistic non-Cartesian trajectory
+//! and synthetic k-space from the analytic Shepp-Logan phantom. Samples
+//! are shuffled into random arrival order, the paper's stated worst case.
+
+use jigsaw_core::phantom::Phantom2d;
+use jigsaw_core::traj;
+use jigsaw_num::C64;
+
+/// Trajectory family of an evaluation image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajKind {
+    /// Golden-angle radial.
+    Radial,
+    /// Interleaved Archimedean spiral.
+    Spiral,
+}
+
+/// One evaluation problem ("image" in the paper's Figs. 6–8).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalImage {
+    /// Display name.
+    pub name: &'static str,
+    /// Base image size per dimension.
+    pub n: usize,
+    /// Number of non-uniform samples.
+    pub m: usize,
+    /// Trajectory family.
+    pub traj: TrajKind,
+}
+
+impl EvalImage {
+    /// Oversampled grid size at σ = 2.
+    pub fn grid(&self) -> usize {
+        2 * self.n
+    }
+
+    /// Generate the trajectory (cycles), shuffled to random order.
+    pub fn trajectory(&self) -> Vec<[f64; 2]> {
+        let mut coords = match self.traj {
+            TrajKind::Radial => {
+                // spokes × samples-per-spoke ≈ m with spoke length 2N.
+                let per = (2 * self.n).min(self.m);
+                let spokes = self.m.div_ceil(per);
+                traj::radial_2d(spokes, per, true)
+            }
+            TrajKind::Spiral => {
+                let arms = 16;
+                let per = self.m.div_ceil(arms);
+                traj::spiral_2d(arms, per, (self.n / 16) as f64)
+            }
+        };
+        coords.truncate(self.m);
+        traj::shuffle(&mut coords, 0x5eed + self.m as u64);
+        coords
+    }
+
+    /// Synthetic k-space at the trajectory points (analytic phantom).
+    pub fn kspace(&self, coords: &[[f64; 2]]) -> Vec<C64> {
+        Phantom2d::shepp_logan().kspace(self.n, coords)
+    }
+}
+
+/// The five evaluation images. Sizes are representative (see module docs).
+pub fn eval_images() -> Vec<EvalImage> {
+    vec![
+        EvalImage {
+            name: "Image1",
+            n: 64,
+            m: 65_536,
+            traj: TrajKind::Spiral,
+        },
+        EvalImage {
+            name: "Image2",
+            n: 128,
+            m: 262_144,
+            traj: TrajKind::Radial,
+        },
+        EvalImage {
+            name: "Image3",
+            n: 256,
+            m: 786_432,
+            traj: TrajKind::Radial,
+        },
+        EvalImage {
+            name: "Image4",
+            n: 384,
+            m: 1_179_648,
+            traj: TrajKind::Spiral,
+        },
+        EvalImage {
+            name: "Image5",
+            n: 512,
+            m: 2_097_152,
+            traj: TrajKind::Radial,
+        },
+    ]
+}
+
+/// Scale factor applied when the harness runs unoptimized (debug) or when
+/// `--quick` is passed: divides every `M` so the tables finish quickly.
+pub fn scale_images(images: &mut [EvalImage], divisor: usize) {
+    for img in images {
+        img.m = (img.m / divisor).max(1024);
+    }
+}
+
+/// Parse harness CLI flags shared by the `figN` binaries.
+pub struct HarnessArgs {
+    /// Divide M by this factor.
+    pub quick_divisor: usize,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`. `--quick` divides M by 16; `--quick=N`
+    /// divides by N; debug builds default to 16 even without the flag.
+    pub fn parse() -> Self {
+        let mut divisor = if cfg!(debug_assertions) { 16 } else { 1 };
+        for a in std::env::args().skip(1) {
+            if a == "--quick" {
+                divisor = divisor.max(16);
+            } else if let Some(v) = a.strip_prefix("--quick=") {
+                divisor = v.parse().unwrap_or(16);
+            }
+        }
+        Self {
+            quick_divisor: divisor,
+        }
+    }
+}
+
+/// Fixed-width table printer for the harness outputs.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.chars().count());
+            }
+        }
+        let line = |ws: &[usize]| {
+            let mut s = String::from("+");
+            for w in ws {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        println!("{}", line(&widths));
+        let fmt_row = |cells: &[String], ws: &[usize]| {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(ws) {
+                let pad = w.saturating_sub(c.chars().count());
+                s.push_str(&format!(" {}{c} |", " ".repeat(pad)));
+            }
+            s
+        };
+        println!("{}", fmt_row(&self.headers, &widths));
+        println!("{}", line(&widths));
+        for row in &self.rows {
+            println!("{}", fmt_row(row, &widths));
+        }
+        println!("{}", line(&widths));
+    }
+}
+
+/// Format seconds human-readably.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}×")
+    } else if x >= 10.0 {
+        format!("{x:.1}×")
+    } else {
+        format!("{x:.2}×")
+    }
+}
+
+/// Format joules human-readably.
+pub fn fmt_energy(j: f64) -> String {
+    if j >= 1.0 {
+        format!("{j:.2} J")
+    } else if j >= 1e-3 {
+        format!("{:.2} mJ", j * 1e3)
+    } else if j >= 1e-6 {
+        format!("{:.2} µJ", j * 1e6)
+    } else {
+        format!("{:.2} nJ", j * 1e9)
+    }
+}
+
+/// Write a magnitude image as a binary 8-bit PGM (for the Fig. 9 visual
+/// comparison). Returns the written path.
+pub fn write_pgm(path: &str, image: &[C64], n: usize) -> std::io::Result<String> {
+    use std::io::Write;
+    assert_eq!(image.len(), n * n);
+    let mags: Vec<f64> = image.iter().map(|z| z.abs()).collect();
+    let hi = mags.iter().cloned().fold(0.0, f64::max).max(1e-30);
+    let mut buf = Vec::with_capacity(n * n + 32);
+    buf.extend_from_slice(format!("P5\n{n} {n}\n255\n").as_bytes());
+    buf.extend(mags.iter().map(|m| (m / hi * 255.0).round() as u8));
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&buf)?;
+    Ok(path.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_images_with_growing_sizes() {
+        let imgs = eval_images();
+        assert_eq!(imgs.len(), 5);
+        for w in imgs.windows(2) {
+            assert!(w[1].n >= w[0].n);
+            assert!(w[1].m > w[0].m);
+        }
+    }
+
+    #[test]
+    fn trajectory_has_exactly_m_samples() {
+        for img in eval_images().iter().take(2) {
+            let t = img.trajectory();
+            assert_eq!(t.len(), img.m);
+        }
+    }
+
+    #[test]
+    fn scale_images_divides_m() {
+        let mut imgs = eval_images();
+        scale_images(&mut imgs, 16);
+        assert_eq!(imgs[0].m, 65_536 / 16);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print(); // smoke test: must not panic
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(2.0), "2.00 s");
+        assert_eq!(fmt_secs(2e-3), "2.00 ms");
+        assert_eq!(fmt_secs(3.5e-6), "3.50 µs");
+        assert_eq!(fmt_speedup(250.4), "250×");
+        assert_eq!(fmt_speedup(16.23), "16.2×");
+        assert_eq!(fmt_energy(1.95), "1.95 J");
+        assert_eq!(fmt_energy(83.89e-6), "83.89 µJ");
+    }
+
+    #[test]
+    fn pgm_roundtrip_header() {
+        let img = vec![C64::new(0.5, 0.0); 16];
+        let path = "/tmp/jigsaw_test_pgm/test.pgm";
+        write_pgm(path, &img, 4).unwrap();
+        let data = std::fs::read(path).unwrap();
+        assert!(data.starts_with(b"P5\n4 4\n255\n"));
+        assert_eq!(data.len(), 11 + 16);
+    }
+}

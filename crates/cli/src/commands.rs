@@ -1,0 +1,419 @@
+//! The `jigsaw` subcommands.
+
+use crate::args::Options;
+use jigsaw_core::config::GridParams;
+use jigsaw_core::gridding::{
+    BinnedGridder, Gridder, SerialGridder, SliceDiceGridder, SliceDiceMode,
+};
+use jigsaw_core::kernel::KernelKind;
+use jigsaw_core::lut::KernelLut;
+use jigsaw_core::metrics::nrmsd_percent;
+use jigsaw_core::phantom::Phantom2d;
+use jigsaw_core::recon::{cg_reconstruct, CgOptions};
+use jigsaw_core::traj;
+use jigsaw_core::{NufftConfig, NufftPlan};
+use jigsaw_num::C64;
+use jigsaw_sim::power::{PowerModel, Variant};
+use jigsaw_sim::{Jigsaw2d, Jigsaw3dSlice, JigsawConfig};
+use std::io::Write;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+jigsaw — Slice-and-Dice NuFFT and JIGSAW accelerator simulator
+
+USAGE:
+    jigsaw <command> [--flag value]...
+
+COMMANDS:
+    recon       Reconstruct a Shepp-Logan phantom from synthetic radial k-space
+                  --n 192 --spokes <auto> --engine slice-dice|serial|binned
+                  --cg 0 (CG iterations; 0 = direct adjoint) --out out/recon.pgm
+    simulate    Run the JIGSAW 2-D accelerator model on a synthetic stream
+                  --grid 512 --samples 100000 [--cycle-accurate] [--trace N]
+    simulate3d  Run the JIGSAW 3D Slice variant
+                  --grid 32 --samples 20000 [--sorted]
+    gridbench   Time every gridding engine on one problem
+                  --n 256 --m 100000
+    gpustats    GPU §VI-A analysis (L2 hit rate, occupancy, divergence)
+                  --grid 1024 --samples 100000
+    emit-rtl    Generate the SystemVerilog select unit, weight-SRAM
+                $readmemh image, and self-checking testbench
+                  --grid 1024 --out rtl/
+    info        Print the supported hardware parameter ranges (Table I)
+                and the power/area model (Table II)
+    help        Show this message
+";
+
+type CmdResult = Result<(), String>;
+
+fn write_pgm(path: &str, image: &[C64], n: usize) -> Result<(), String> {
+    let mags: Vec<f64> = image.iter().map(|z| z.abs()).collect();
+    let hi = mags.iter().cloned().fold(0.0, f64::max).max(1e-30);
+    let mut buf = format!("P5\n{n} {n}\n255\n").into_bytes();
+    buf.extend(mags.iter().map(|m| (m / hi * 255.0).round() as u8));
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(&buf))
+        .map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn engine_by_name(name: &str) -> Result<Box<dyn Gridder<f64, 2>>, String> {
+    match name {
+        "serial" => Ok(Box::new(SerialGridder)),
+        "binned" => Ok(Box::new(BinnedGridder::default())),
+        "slice-dice" => Ok(Box::new(SliceDiceGridder::default())),
+        "slice-dice-serial" => Ok(Box::new(SliceDiceGridder::new(SliceDiceMode::Serial))),
+        other => Err(format!(
+            "unknown engine `{other}` (serial | binned | slice-dice | slice-dice-serial)"
+        )),
+    }
+}
+
+/// `jigsaw recon`
+pub fn recon(o: &Options) -> CmdResult {
+    let n = o.usize("n", 192)?;
+    let default_spokes = (1.2 * core::f64::consts::FRAC_PI_2 * n as f64) as usize;
+    let spokes = o.usize("spokes", default_spokes)?;
+    let cg_iters = o.usize("cg", 0)?;
+    let lambda = o.f64("lambda", 1e-5)?;
+    let out = o.string("out", "out/recon.pgm");
+    let engine = engine_by_name(&o.string("engine", "slice-dice"))?;
+
+    let phantom = Phantom2d::shepp_logan();
+    let mut coords = traj::radial_2d(spokes, 2 * n, true);
+    traj::shuffle(&mut coords, 7);
+    let data = phantom.kspace(n, &coords);
+    println!("acquired {} samples over {spokes} golden-angle spokes", coords.len());
+
+    let plan =
+        NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).map_err(|e| e.to_string())?;
+    let image = if cg_iters == 0 {
+        // Ramp-compensated direct adjoint.
+        let weighted: Vec<C64> = coords
+            .iter()
+            .zip(&data)
+            .map(|(c, v)| {
+                let r = (c[0] * c[0] + c[1] * c[1]).sqrt();
+                v.scale(r.max(0.125 / (2.0 * n as f64)))
+            })
+            .collect();
+        let outp = plan
+            .adjoint(&coords, &weighted, engine.as_ref())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "direct adjoint: gridding {:.1} ms ({:.1}% of total)",
+            outp.timings.interp_seconds * 1e3,
+            100.0 * outp.timings.interp_fraction()
+        );
+        outp.image
+    } else {
+        let cg = cg_reconstruct(
+            &plan,
+            &coords,
+            &data,
+            &[],
+            engine.as_ref(),
+            &CgOptions {
+                max_iterations: cg_iters,
+                tolerance: 1e-8,
+                lambda,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "CG: {} iterations, final relative residual {:.2e}",
+            cg.residuals.len(),
+            cg.residuals.last().copied().unwrap_or(1.0)
+        );
+        cg.image
+    };
+
+    let truth = phantom.rasterize_aa(n, 4);
+    let norm = |v: &[C64]| -> Vec<C64> {
+        let p = v.iter().map(|z| z.abs()).fold(0.0, f64::max).max(1e-30);
+        v.iter().map(|z| z.unscale(p)).collect()
+    };
+    println!(
+        "quality vs phantom: NRMSD {:.2}%",
+        nrmsd_percent(&norm(&image), &norm(&truth))
+    );
+    write_pgm(&out, &image, n)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `jigsaw simulate`
+pub fn simulate(o: &Options) -> CmdResult {
+    let grid = o.usize("grid", 512)?;
+    let m = o.usize("samples", 100_000)?;
+    let cycle_accurate = o.switch("cycle-accurate");
+    let trace_cycles = o.usize("trace", 0)?;
+
+    let cfg = JigsawConfig {
+        grid,
+        ..JigsawConfig::paper_default()
+    };
+    let mut hw = Jigsaw2d::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let coords: Vec<[f64; 2]> = (0..m)
+        .map(|i| {
+            let t = i as f64;
+            [
+                (t * 0.61803398875).rem_euclid(1.0) * grid as f64,
+                (t * 0.3819660113).rem_euclid(1.0) * grid as f64,
+            ]
+        })
+        .collect();
+    let values = vec![C64::new(0.5, -0.25); m];
+    let (stream, _) = hw.quantize_inputs(&coords, &values).map_err(|e| e.to_string())?;
+
+    if trace_cycles > 0 {
+        println!("pipeline trace (first {trace_cycles} cycles):");
+        print!(
+            "{}",
+            jigsaw_sim::trace::render(&jigsaw_sim::trace::trace_2d(
+                m as u64,
+                trace_cycles as u64
+            ))
+        );
+    }
+    let run = if cycle_accurate {
+        println!("running cycle-accurate pipeline simulation…");
+        hw.run_cycle_accurate(&stream)
+    } else {
+        hw.run(&stream)
+    };
+    let r = &run.report;
+    println!("samples         : {m}");
+    println!("compute cycles  : {} (M + 12 = {})", r.compute_cycles, m + 12);
+    println!("readout cycles  : {}", r.readout_cycles);
+    println!("gridding time   : {}", fmt_time(r.gridding_seconds()));
+    println!(
+        "ops             : {} checks, {} LUT reads, {} MACs, {} RMWs, {} saturations",
+        r.ops.select_checks, r.ops.lut_reads, r.ops.interp_macs, r.ops.accum_rmw,
+        r.ops.saturations
+    );
+    let pm = PowerModel::calibrated();
+    println!(
+        "power/area/energy: {:.1} mW, {:.2} mm², {:.2} µJ",
+        pm.power_mw(&cfg, Variant::TwoD, (cfg.width * cfg.width) as f64, true),
+        pm.area_mm2(&cfg, Variant::TwoD, true),
+        pm.energy_joules(&cfg, Variant::TwoD, r) * 1e6
+    );
+    Ok(())
+}
+
+/// `jigsaw simulate3d`
+pub fn simulate3d(o: &Options) -> CmdResult {
+    let grid = o.usize("grid", 32)?;
+    let m = o.usize("samples", 20_000)?;
+    let sorted = o.switch("sorted");
+    let cfg = JigsawConfig {
+        grid,
+        ..JigsawConfig::paper_default()
+    };
+    let mut hw = Jigsaw3dSlice::new(cfg).map_err(|e| e.to_string())?;
+    let coords: Vec<[f64; 3]> = (0..m)
+        .map(|i| {
+            let t = i as f64;
+            [
+                (t * 0.7548776662).rem_euclid(1.0) * grid as f64,
+                (t * 0.5698402910).rem_euclid(1.0) * grid as f64,
+                (t * 0.3028448642).rem_euclid(1.0) * grid as f64,
+            ]
+        })
+        .collect();
+    let values = vec![C64::new(0.3, 0.1); m];
+    let (stream, _) = hw.quantize_inputs(&coords, &values).map_err(|e| e.to_string())?;
+    let run = hw.run(&stream, sorted);
+    println!(
+        "mode            : {}",
+        if sorted { "Z-sorted" } else { "unsorted" }
+    );
+    println!("compute cycles  : {}", run.report.compute_cycles);
+    println!(
+        "law             : {}",
+        if sorted {
+            format!("Σ(|bin_z| + 15) = {}·Wz + 15·Nz", m)
+        } else {
+            format!("(M + 15)·Nz = {}", (m as u64 + 15) * grid as u64)
+        }
+    );
+    println!("gridding time   : {}", fmt_time(run.report.gridding_seconds()));
+    Ok(())
+}
+
+/// `jigsaw gridbench`
+pub fn gridbench(o: &Options) -> CmdResult {
+    let n = o.usize("n", 256)?;
+    let m = o.usize("m", 100_000)?;
+    let g = 2 * n;
+    let params = GridParams {
+        grid: g,
+        width: 6,
+        table_oversampling: 32,
+        tile: 8,
+        kernel: KernelKind::Auto.resolve(6, 2.0),
+    };
+    let lut = KernelLut::from_params(&params);
+    let mut cyc = traj::radial_2d(m.div_ceil(2 * n), 2 * n, true);
+    cyc.truncate(m);
+    traj::shuffle(&mut cyc, 3);
+    let values = Phantom2d::shepp_logan().kspace(n, &cyc);
+    let coords: Vec<[f64; 2]> = cyc
+        .iter()
+        .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+        .collect();
+    println!("{m} samples onto a {g}² grid (W = 6, L = 32):\n");
+    let engines: Vec<(&str, Box<dyn Gridder<f64, 2>>)> = vec![
+        ("serial", Box::new(SerialGridder)),
+        ("binned", Box::new(BinnedGridder::default())),
+        ("slice-dice serial", Box::new(SliceDiceGridder::new(SliceDiceMode::Serial))),
+        ("slice-dice parallel", Box::new(SliceDiceGridder::default())),
+    ];
+    for (name, e) in &engines {
+        let mut out = vec![C64::zeroed(); g * g];
+        let stats = e.grid(&params, &lut, &coords, &values, &mut out);
+        println!(
+            "{name:>20}: {:>10}  (presort {}, {} checks, {:.2}× duplication)",
+            fmt_time(stats.total_seconds()),
+            fmt_time(stats.presort_seconds),
+            stats.boundary_checks,
+            stats.duplication_factor()
+        );
+    }
+    Ok(())
+}
+
+/// `jigsaw gpustats`
+pub fn gpustats(o: &Options) -> CmdResult {
+    let grid = o.usize("grid", 1024)?;
+    let m = o.usize("samples", 100_000)?;
+    let params = GridParams {
+        grid,
+        width: 6,
+        table_oversampling: 32,
+        tile: 8,
+        kernel: KernelKind::Auto.resolve(6, 2.0),
+    };
+    let mut cyc = traj::radial_2d(m.div_ceil(512), 512, true);
+    cyc.truncate(m);
+    traj::shuffle(&mut cyc, 5);
+    let coords: Vec<[f64; 2]> = cyc
+        .iter()
+        .map(|c| {
+            [
+                c[0].rem_euclid(1.0) * grid as f64,
+                c[1].rem_euclid(1.0) * grid as f64,
+            ]
+        })
+        .collect();
+    let cfg = jigsaw_gpu::ReplayConfig::default();
+    for stats in [
+        jigsaw_gpu::replay_slice_dice(&params, &coords, &cfg),
+        jigsaw_gpu::replay_impatient(&params, &coords, &cfg),
+    ] {
+        println!(
+            "{:45} L2 read hit {:5.1}%  lanes {:5.1}%  occupancy {:5.1}%  weight-FLOPs {}",
+            stats.name,
+            100.0 * stats.l2_hit_rate,
+            100.0 * stats.lane_efficiency,
+            100.0 * stats.occupancy,
+            stats.weight_flops
+        );
+    }
+    Ok(())
+}
+
+/// `jigsaw emit-rtl`
+pub fn emit_rtl(o: &Options) -> CmdResult {
+    let grid = o.usize("grid", 1024)?;
+    let width = o.usize("width", 6)?;
+    let l = o.usize("table-oversampling", 32)?;
+    let dir = o.string("out", "rtl");
+    let cfg = JigsawConfig {
+        grid,
+        width,
+        table_oversampling: l,
+        ..JigsawConfig::paper_default()
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let files = [
+        ("jigsaw_select.sv", jigsaw_sim::rtl::emit_select_unit(&cfg)),
+        ("jigsaw_weights.memh", jigsaw_sim::rtl::emit_weight_memh(&cfg)),
+        ("jigsaw_select_tb.sv", jigsaw_sim::rtl::emit_testbench(&cfg, 200)),
+    ];
+    for (name, contents) in files {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, contents).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    println!("\nSimulate with e.g.: iverilog -g2012 {dir}/jigsaw_select.sv {dir}/jigsaw_select_tb.sv");
+    Ok(())
+}
+
+/// `jigsaw info`
+pub fn info() -> CmdResult {
+    println!("Table I — supported JIGSAW parameters:");
+    println!("  target grid N        : 8–1024 (×8 multiples)");
+    println!("  virtual tile T       : 8");
+    println!("  window width W       : 1–8");
+    println!("  table oversampling L : 1–64 (power of two)");
+    println!("  pipeline width       : 32-bit fixed point");
+    println!("  weight width         : 16-bit (Q1.15)");
+    println!();
+    println!("Table II — modeled synthesis (16 nm, 1.0 GHz):");
+    for (label, p, a) in PowerModel::calibrated().table_ii() {
+        println!("  {label:<26} {p:>8.2} mW  {a:>6.2} mm²");
+    }
+    Ok(())
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_lookup() {
+        for name in ["serial", "binned", "slice-dice", "slice-dice-serial"] {
+            assert!(engine_by_name(name).is_ok(), "{name}");
+        }
+        assert!(engine_by_name("warp-drive").is_err());
+    }
+
+    #[test]
+    fn pgm_writer_creates_file() {
+        let img = vec![C64::new(1.0, 0.0); 9];
+        let path = "/tmp/jigsaw_cli_test/out.pgm";
+        write_pgm(path, &img, 3).unwrap();
+        let data = std::fs::read(path).unwrap();
+        assert!(data.starts_with(b"P5\n3 3\n255\n"));
+    }
+
+    #[test]
+    fn info_runs() {
+        info().unwrap();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(1.5), "1.50 s");
+        assert_eq!(fmt_time(2e-3), "2.00 ms");
+        assert_eq!(fmt_time(3e-6), "3.00 \u{b5}s");
+        assert_eq!(fmt_time(5e-9), "5 ns");
+    }
+}

@@ -1,0 +1,54 @@
+//! `jigsaw` — command-line front end for the Slice-and-Dice NuFFT library
+//! and the JIGSAW accelerator simulator.
+//!
+//! ```text
+//! jigsaw recon     --n 192 --spokes 302 [--engine slice-dice] [--cg 15] [--out out/recon.pgm]
+//! jigsaw simulate  --grid 512 --samples 100000 [--cycle-accurate]
+//! jigsaw simulate3d --grid 32 --samples 20000 [--sorted]
+//! jigsaw gridbench --n 256 --m 100000
+//! jigsaw info
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let opts = match args::Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "recon" => commands::recon(&opts),
+        "simulate" => commands::simulate(&opts),
+        "simulate3d" => commands::simulate3d(&opts),
+        "gridbench" => commands::gridbench(&opts),
+        "gpustats" => commands::gpustats(&opts),
+        "emit-rtl" => commands::emit_rtl(&opts),
+        "info" => commands::info(),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Apodization (amplitude-weighting) correction.
+//!
+//! Gridding convolves the true spectrum with the interpolation kernel, so
+//! after the FFT the image is multiplied by the kernel's Fourier transform
+//! `φ̂`. Step (3) of the adjoint NuFFT divides it back out
+//! (*de-apodization*); step (1) of the forward NuFFT divides before the
+//! FFT (*pre-apodization*). The correction is separable: one factor per
+//! dimension, evaluated at frequency `k/G` for image index `k ∈ [−N/2, N/2)`.
+
+use crate::config::NufftConfig;
+use jigsaw_num::{Complex, Float};
+
+/// Per-dimension de-apodization factors `1/φ̂(k/G)` for image indices
+/// `i ∈ [0, N)` (so `k = i − N/2`).
+#[derive(Debug, Clone)]
+pub struct Apodization {
+    n: usize,
+    factors: Vec<f64>,
+}
+
+impl Apodization {
+    /// Precompute the factors for a configuration.
+    pub fn new(cfg: &NufftConfig) -> Self {
+        let n = cfg.n;
+        let g = cfg.grid_size() as f64;
+        let kernel = cfg.resolved_kernel();
+        let factors = (0..n)
+            .map(|i| {
+                let k = i as f64 - (n / 2) as f64;
+                let ft = kernel.ft(k / g, cfg.width);
+                assert!(
+                    ft.abs() > 1e-12,
+                    "kernel transform vanishes at k = {k}; \
+                     widen the kernel or increase oversampling"
+                );
+                1.0 / ft
+            })
+            .collect();
+        Self { n, factors }
+    }
+
+    /// Image size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The factor for image index `i` (0-based; `k = i − N/2`).
+    #[inline]
+    pub fn factor(&self, i: usize) -> f64 {
+        self.factors[i]
+    }
+
+    /// Apply the separable correction in place to a row-major `[N; D]`
+    /// image.
+    pub fn apply<T: Float, const D: usize>(&self, image: &mut [Complex<T>]) {
+        assert_eq!(image.len(), self.n.pow(D as u32));
+        let n = self.n;
+        for (flat, z) in image.iter_mut().enumerate() {
+            let mut rem = flat;
+            let mut f = 1.0;
+            for _ in 0..D {
+                f *= self.factors[rem % n];
+                rem /= n;
+            }
+            *z = z.scale(T::from_f64(f));
+        }
+    }
+
+    /// Dynamic range of the correction `max/min` — a diagnostic: large
+    /// values mean the kernel rolls off steeply inside the field of view
+    /// and the NuFFT will amplify edge noise.
+    pub fn dynamic_range(&self) -> f64 {
+        let max = self.factors.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.factors.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_num::C64;
+
+    #[test]
+    fn factors_are_symmetric_and_positive() {
+        let cfg = NufftConfig::with_n(64);
+        let a = Apodization::new(&cfg);
+        for i in 0..64 {
+            assert!(a.factor(i) > 0.0);
+        }
+        // φ̂ is even, so factors are symmetric about N/2 (with the usual
+        // one-sided offset for even N).
+        for i in 1..32 {
+            assert!(
+                (a.factor(32 - i) - a.factor(32 + i)).abs() < 1e-9 * a.factor(32),
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn center_factor_is_smallest() {
+        // φ̂ peaks at DC, so 1/φ̂ is minimal at the image center.
+        let cfg = NufftConfig::with_n(128);
+        let a = Apodization::new(&cfg);
+        let center = a.factor(64);
+        for i in 0..128 {
+            assert!(a.factor(i) >= center - 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_2d_is_separable_product() {
+        let cfg = NufftConfig::with_n(8);
+        let a = Apodization::new(&cfg);
+        let mut img = vec![C64::one(); 64];
+        a.apply::<f64, 2>(&mut img);
+        for r in 0..8 {
+            for c in 0..8 {
+                let want = a.factor(r) * a.factor(c);
+                assert!((img[r * 8 + c].re - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_range_grows_with_narrower_kernel() {
+        let mut wide = NufftConfig::with_n(128);
+        wide.width = 6;
+        let mut narrow = NufftConfig::with_n(128);
+        narrow.width = 2;
+        let dr_wide = Apodization::new(&wide).dynamic_range();
+        let dr_narrow = Apodization::new(&narrow).dynamic_range();
+        assert!(dr_wide > dr_narrow, "wider kernel → steeper rolloff: {dr_wide} vs {dr_narrow}");
+    }
+}

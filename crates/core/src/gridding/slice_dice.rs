@@ -1,0 +1,667 @@
+//! Slice-and-Dice gridding — the paper's contribution (§III).
+//!
+//! The oversampled grid is split into virtual tiles of side `T`; the tiles
+//! are conceptually *stacked* into "dice", so each of the `T^d` relative
+//! positions — a *column* — appears once per tile. A sample's coordinate
+//! decomposes (div/mod `T`) into a tile coordinate and a relative
+//! coordinate; a two-part boundary check (forward mod-`T` distance `< W`,
+//! wrap iff `rel < p`) determines, per column, whether the sample affects
+//! it and in which tile. Because `W ≤ T`, each sample touches **at most
+//! one point per column**, so column owners never interact: no presort, no
+//! duplicate processing, `M·T^d` checks total.
+//!
+//! Three execution modes mirror the paper's software variants:
+//!
+//! * [`SliceDiceMode::Serial`] — one worker plays all columns (reference).
+//! * [`SliceDiceMode::ColumnParallel`] — the pure output-driven model:
+//!   workers own disjoint column sets of the dice, scan the whole sample
+//!   stream, and never synchronize (JIGSAW's structure in software).
+//! * [`SliceDiceMode::BlockAtomic`] — the paper's *GPU* scheme: the sample
+//!   stream is split across blocks, every block runs the column structure
+//!   on its subset, and updates to the shared grid use atomic adds ("We
+//!   use atomic addition instructions to ensure proper synchronization").
+//! * [`SliceDiceMode::BlockReduce`] — same input split, but with private
+//!   per-block grids merged deterministically at the end (an ablation on
+//!   the atomic traffic).
+
+use super::{validate_batch, worker_threads, Gridder};
+use crate::config::GridParams;
+use crate::decomp::{Decomposer, DimDecomp};
+use crate::lut::KernelLut;
+use crate::stats::GridStats;
+use jigsaw_num::{Complex, Float};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Execution strategy for [`SliceDiceGridder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SliceDiceMode {
+    /// Single worker, dice-structured traversal.
+    Serial,
+    /// Output-driven: workers own disjoint dice columns (default).
+    #[default]
+    ColumnParallel,
+    /// Input-driven blocks with atomic accumulation into the shared grid
+    /// (the paper's GPU mapping). Non-deterministic accumulation order.
+    BlockAtomic,
+    /// Input-driven blocks with private grids and a deterministic merge.
+    BlockReduce,
+}
+
+/// The Slice-and-Dice gridder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SliceDiceGridder {
+    /// Execution mode.
+    pub mode: SliceDiceMode,
+    /// Worker thread / block count (`None` = available parallelism).
+    pub threads: Option<usize>,
+}
+
+impl SliceDiceGridder {
+    /// Convenience constructor.
+    pub fn new(mode: SliceDiceMode) -> Self {
+        Self {
+            mode,
+            threads: None,
+        }
+    }
+}
+
+/// Per-dimension select-unit precomputation for one sample: for each
+/// pipeline index `p ∈ [0, T)`, whether it is affected, its kernel weight,
+/// and the tile coordinate it writes.
+struct DimSelect {
+    weight: [f64; 16],
+    tile: [u32; 16],
+    affected: [bool; 16],
+}
+
+impl DimSelect {
+    #[inline]
+    fn compute(dec: &Decomposer, lut: &KernelLut, dd: &DimDecomp) -> Self {
+        let t = dec.tile() as usize;
+        let mut s = DimSelect {
+            weight: [0.0; 16],
+            tile: [0; 16],
+            affected: [false; 16],
+        };
+        for p in 0..t {
+            let dist = dec.forward_distance(dd.rel, p as u32);
+            if dec.affects(dist) {
+                s.affected[p] = true;
+                s.weight[p] = lut.lookup(dec.lut_index(dist, dd.phi2));
+                s.tile[p] = dec.tile_for_pipeline(dd, p as u32);
+            }
+        }
+        s
+    }
+}
+
+impl<T: AtomicFloat, const D: usize> Gridder<T, D> for SliceDiceGridder {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            SliceDiceMode::Serial => "slice-and-dice (serial)",
+            SliceDiceMode::ColumnParallel => "slice-and-dice (column-parallel)",
+            SliceDiceMode::BlockAtomic => "slice-and-dice (block-atomic GPU model)",
+            SliceDiceMode::BlockReduce => "slice-and-dice (block-reduce)",
+        }
+    }
+
+    fn grid(
+        &self,
+        p: &GridParams,
+        lut: &KernelLut,
+        coords: &[[f64; D]],
+        values: &[Complex<T>],
+        out: &mut [Complex<T>],
+    ) -> GridStats {
+        validate_batch(p, coords, values, out).expect("invalid sample batch");
+        match self.mode {
+            SliceDiceMode::Serial => {
+                grid_columns(p, lut, coords, values, out, 1)
+            }
+            SliceDiceMode::ColumnParallel => {
+                grid_columns(p, lut, coords, values, out, worker_threads(self.threads))
+            }
+            SliceDiceMode::BlockAtomic => {
+                grid_block_atomic(p, lut, coords, values, out, worker_threads(self.threads))
+            }
+            SliceDiceMode::BlockReduce => {
+                grid_block_reduce(p, lut, coords, values, out, worker_threads(self.threads))
+            }
+        }
+    }
+}
+
+/// Column-owned execution: split the `T^d` dice columns across workers;
+/// every worker scans the full sample stream and accumulates into its
+/// private columns. Deterministic (per-point order = stream order).
+fn grid_columns<T: Float, const D: usize>(
+    p: &GridParams,
+    lut: &KernelLut,
+    coords: &[[f64; D]],
+    values: &[Complex<T>],
+    out: &mut [Complex<T>],
+    nthreads: usize,
+) -> GridStats {
+    let dec = Decomposer::new(p);
+    let t = p.tile;
+    let tiles = p.tiles_per_dim();
+    let ncols = t.pow(D as u32);
+    let col_len = tiles.pow(D as u32);
+    let nthreads = nthreads.min(ncols).max(1);
+    let cols_per_thread = ncols.div_ceil(nthreads);
+
+    let start = Instant::now();
+    // The dice: column-major storage, one contiguous slab per column.
+    let mut dice = vec![Complex::<T>::zeroed(); ncols * col_len];
+    let mut checks = vec![0u64; nthreads];
+    let mut accums = vec![0u64; nthreads];
+    {
+        let dec = &dec;
+        std::thread::scope(|s| {
+            for ((tid, chunk), (chk, acc)) in dice
+                .chunks_mut(cols_per_thread * col_len)
+                .enumerate()
+                .zip(checks.iter_mut().zip(accums.iter_mut()))
+            {
+                let first_col = tid * cols_per_thread;
+                s.spawn(move || {
+                    let my_cols = chunk.len() / col_len;
+                    let mut n_checks = 0u64;
+                    let mut n_accums = 0u64;
+                    for (c, &v) in coords.iter().zip(values) {
+                        // Select-unit precomputation, once per sample per dim.
+                        let sel: [DimSelect; D] = core::array::from_fn(|d| {
+                            let dd = dec.decompose(dec.quantize(c[d]));
+                            DimSelect::compute(dec, lut, &dd)
+                        });
+                        n_checks += my_cols as u64;
+                        for (slot, col_buf) in chunk.chunks_mut(col_len).enumerate() {
+                            let col = first_col + slot;
+                            // Decode column → per-dim pipeline indices.
+                            let mut pidx = [0usize; D];
+                            let mut rem = col;
+                            for d in (0..D).rev() {
+                                pidx[d] = rem % t;
+                                rem /= t;
+                            }
+                            let mut wt = 1.0;
+                            let mut addr = 0usize;
+                            let mut hit = true;
+                            for d in 0..D {
+                                let sd = &sel[d];
+                                let pi = pidx[d];
+                                if !sd.affected[pi] {
+                                    hit = false;
+                                    break;
+                                }
+                                wt *= sd.weight[pi];
+                                addr = addr * tiles + sd.tile[pi] as usize;
+                            }
+                            if hit {
+                                col_buf[addr] += v.scale(T::from_f64(wt));
+                                n_accums += 1;
+                            }
+                        }
+                    }
+                    *chk = n_checks;
+                    *acc = n_accums;
+                });
+            }
+        });
+    }
+    // Dice → row-major.
+    for col in 0..ncols {
+        let mut pidx = [0usize; D];
+        let mut rem = col;
+        for d in (0..D).rev() {
+            pidx[d] = rem % t;
+            rem /= t;
+        }
+        let col_buf = &dice[col * col_len..(col + 1) * col_len];
+        for (addr, &v) in col_buf.iter().enumerate() {
+            let mut q = [0usize; D];
+            let mut rem = addr;
+            for d in (0..D).rev() {
+                q[d] = rem % tiles;
+                rem /= tiles;
+            }
+            let mut idx = 0usize;
+            for d in 0..D {
+                idx = idx * p.grid + q[d] * t + pidx[d];
+            }
+            out[idx] += v;
+        }
+    }
+    GridStats {
+        samples: coords.len(),
+        samples_processed: coords.len(),
+        boundary_checks: checks.iter().sum(),
+        kernel_accumulations: accums.iter().sum(),
+        presort_seconds: 0.0,
+        gridding_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// A shared grid of atomically updatable floats (split re/im planes).
+///
+/// Models the GPU `atomicAdd` the paper's Slice-and-Dice kernel uses when
+/// multiple blocks write the shared output grid. Implemented with a
+/// compare-exchange loop on the bit pattern — no unsafe code.
+/// Atomic `f32` complex grid (re/im planes of `AtomicU32`).
+pub struct AtomicGrid32 {
+    re: Vec<AtomicU32>,
+    im: Vec<AtomicU32>,
+}
+
+/// Atomic `f64` complex grid (re/im planes of `AtomicU64`).
+pub struct AtomicGrid64 {
+    re: Vec<AtomicU64>,
+    im: Vec<AtomicU64>,
+}
+
+/// Floats that support lock-free atomic accumulation via bit-pattern CAS.
+pub trait AtomicFloat: Float {
+    /// The shared-grid representation for this precision.
+    type Grid: Sync;
+    /// Allocate a zeroed atomic grid of `n` complex points.
+    fn alloc_grid(n: usize) -> Self::Grid;
+    /// `grid[idx] += v`, atomically per component.
+    fn fetch_add(grid: &Self::Grid, idx: usize, v: Complex<Self>);
+    /// Drain the grid into a complex buffer (`out[i] += grid[i]`).
+    fn drain(grid: &Self::Grid, out: &mut [Complex<Self>]);
+}
+
+impl AtomicFloat for f32 {
+    type Grid = AtomicGrid32;
+    fn alloc_grid(n: usize) -> AtomicGrid32 {
+        AtomicGrid32 {
+            re: (0..n).map(|_| AtomicU32::new(0f32.to_bits())).collect(),
+            im: (0..n).map(|_| AtomicU32::new(0f32.to_bits())).collect(),
+        }
+    }
+    #[inline]
+    fn fetch_add(grid: &AtomicGrid32, idx: usize, v: Complex<f32>) {
+        cas_add_f32(&grid.re[idx], v.re);
+        cas_add_f32(&grid.im[idx], v.im);
+    }
+    fn drain(grid: &AtomicGrid32, out: &mut [Complex<f32>]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            o.re += f32::from_bits(grid.re[i].load(Ordering::Relaxed));
+            o.im += f32::from_bits(grid.im[i].load(Ordering::Relaxed));
+        }
+    }
+}
+
+impl AtomicFloat for f64 {
+    type Grid = AtomicGrid64;
+    fn alloc_grid(n: usize) -> AtomicGrid64 {
+        AtomicGrid64 {
+            re: (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
+            im: (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
+        }
+    }
+    #[inline]
+    fn fetch_add(grid: &AtomicGrid64, idx: usize, v: Complex<f64>) {
+        cas_add_f64(&grid.re[idx], v.re);
+        cas_add_f64(&grid.im[idx], v.im);
+    }
+    fn drain(grid: &AtomicGrid64, out: &mut [Complex<f64>]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            o.re += f64::from_bits(grid.re[i].load(Ordering::Relaxed));
+            o.im += f64::from_bits(grid.im[i].load(Ordering::Relaxed));
+        }
+    }
+}
+
+#[inline]
+fn cas_add_f32(atom: &AtomicU32, v: f32) {
+    if v == 0.0 {
+        return;
+    }
+    let mut cur = atom.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(cur) + v).to_bits();
+        match atom.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[inline]
+fn cas_add_f64(atom: &AtomicU64, v: f64) {
+    if v == 0.0 {
+        return;
+    }
+    let mut cur = atom.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + v).to_bits();
+        match atom.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Per-sample dice-structured scatter used by the block modes: enumerate
+/// the `W^d` affected (pipeline, tile) pairs straight from the select-unit
+/// view and emit (row-major index, weight) pairs.
+#[inline]
+fn for_each_window_point<const D: usize>(
+    dec: &Decomposer,
+    lut: &KernelLut,
+    coord: &[f64; D],
+    g: usize,
+    t: usize,
+    mut f: impl FnMut(usize, f64),
+) -> u64 {
+    let w = dec.width() as usize;
+    let dds: [DimDecomp; D] = core::array::from_fn(|d| dec.decompose(dec.quantize(coord[d])));
+    // Per dim: the W affected pipelines, their weights and tiles.
+    let mut pidx = [[0u32; 16]; D];
+    let mut wts = [[0.0f64; 16]; D];
+    let mut tls = [[0u32; 16]; D];
+    for d in 0..D {
+        for j in 0..w {
+            let dist = j as u32;
+            // Affected pipeline at forward distance j: p = (rel − j) mod T.
+            let p = (dds[d].rel + t as u32 - dist) % t as u32;
+            pidx[d][j] = p;
+            wts[d][j] = lut.lookup(dec.lut_index(dist, dds[d].phi2));
+            tls[d][j] = dec.tile_for_pipeline(&dds[d], p);
+        }
+    }
+    let mut count = 0u64;
+    let mut sel = [0usize; D];
+    loop {
+        let mut idx = 0usize;
+        let mut wt = 1.0;
+        for d in 0..D {
+            idx = idx * g + tls[d][sel[d]] as usize * t + pidx[d][sel[d]] as usize;
+            wt *= wts[d][sel[d]];
+        }
+        f(idx, wt);
+        count += 1;
+        let mut d = D;
+        loop {
+            if d == 0 {
+                return count;
+            }
+            d -= 1;
+            sel[d] += 1;
+            if sel[d] < w {
+                break;
+            }
+            sel[d] = 0;
+        }
+    }
+}
+
+/// Block-parallel execution with atomic accumulation (the GPU scheme).
+fn grid_block_atomic<T: AtomicFloat, const D: usize>(
+    p: &GridParams,
+    lut: &KernelLut,
+    coords: &[[f64; D]],
+    values: &[Complex<T>],
+    out: &mut [Complex<T>],
+    nthreads: usize,
+) -> GridStats {
+    let dec = Decomposer::new(p);
+    let npoints = p.grid.pow(D as u32);
+    let start = Instant::now();
+    let shared = T::alloc_grid(npoints);
+    let m = coords.len();
+    let nthreads = nthreads.min(m.max(1)).max(1);
+    let chunk = m.div_ceil(nthreads);
+    let mut accums = vec![0u64; nthreads];
+    {
+        let dec = &dec;
+        let shared = &shared;
+        std::thread::scope(|s| {
+            for (tid, acc) in accums.iter_mut().enumerate() {
+                let lo = tid * chunk;
+                let hi = ((tid + 1) * chunk).min(m);
+                if lo >= hi {
+                    continue;
+                }
+                s.spawn(move || {
+                    let mut n = 0u64;
+                    for i in lo..hi {
+                        let v = values[i];
+                        n += for_each_window_point(
+                            dec,
+                            lut,
+                            &coords[i],
+                            p.grid,
+                            p.tile,
+                            |idx, wt| {
+                                T::fetch_add(shared, idx, v.scale(T::from_f64(wt)));
+                            },
+                        );
+                    }
+                    *acc = n;
+                });
+            }
+        });
+    }
+    T::drain(&shared, out);
+    GridStats {
+        samples: m,
+        samples_processed: m,
+        boundary_checks: (m * p.tile.pow(D as u32)) as u64,
+        kernel_accumulations: accums.iter().sum(),
+        presort_seconds: 0.0,
+        gridding_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Block-parallel execution with private grids + deterministic merge.
+fn grid_block_reduce<T: Float, const D: usize>(
+    p: &GridParams,
+    lut: &KernelLut,
+    coords: &[[f64; D]],
+    values: &[Complex<T>],
+    out: &mut [Complex<T>],
+    nthreads: usize,
+) -> GridStats {
+    let dec = Decomposer::new(p);
+    let npoints = p.grid.pow(D as u32);
+    let m = coords.len();
+    let nthreads = nthreads.min(m.max(1)).max(1);
+    let chunk = m.div_ceil(nthreads);
+    let start = Instant::now();
+    let mut partials: Vec<Vec<Complex<T>>> = Vec::with_capacity(nthreads);
+    partials.resize_with(nthreads, || vec![Complex::zeroed(); npoints]);
+    let mut accums = vec![0u64; nthreads];
+    {
+        let dec = &dec;
+        std::thread::scope(|s| {
+            for (tid, (partial, acc)) in
+                partials.iter_mut().zip(accums.iter_mut()).enumerate()
+            {
+                let lo = tid * chunk;
+                let hi = ((tid + 1) * chunk).min(m);
+                s.spawn(move || {
+                    let mut n = 0u64;
+                    for i in lo..hi {
+                        let v = values[i];
+                        n += for_each_window_point(
+                            dec,
+                            lut,
+                            &coords[i],
+                            p.grid,
+                            p.tile,
+                            |idx, wt| {
+                                partial[idx] += v.scale(T::from_f64(wt));
+                            },
+                        );
+                    }
+                    *acc = n;
+                });
+            }
+        });
+    }
+    for partial in &partials {
+        for (o, &v) in out.iter_mut().zip(partial) {
+            *o += v;
+        }
+    }
+    GridStats {
+        samples: m,
+        samples_processed: m,
+        boundary_checks: (m * p.tile.pow(D as u32)) as u64,
+        kernel_accumulations: accums.iter().sum(),
+        presort_seconds: 0.0,
+        gridding_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gridding::testutil::*;
+    use crate::gridding::{BinnedGridder, SerialGridder};
+    use jigsaw_num::C64;
+
+    fn grids_match_bitwise(a: &[C64], b: &[C64], ctx: &str) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "{ctx}: re differs at {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "{ctx}: im differs at {i}");
+        }
+    }
+
+    #[test]
+    fn serial_mode_matches_input_driven_serial() {
+        let p = small_params();
+        let lut = KernelLut::from_params(&p);
+        let (coords, values) = sample_batch::<2>(400, 64.0, 13);
+        let mut a = vec![C64::zeroed(); 64 * 64];
+        let mut b = vec![C64::zeroed(); 64 * 64];
+        SerialGridder.grid(&p, &lut, &coords, &values, &mut a);
+        SliceDiceGridder::new(SliceDiceMode::Serial).grid(&p, &lut, &coords, &values, &mut b);
+        grids_match_bitwise(&a, &b, "slice-dice serial");
+    }
+
+    #[test]
+    fn column_parallel_matches_serial_any_thread_count() {
+        let p = small_params();
+        let lut = KernelLut::from_params(&p);
+        let (coords, values) = sample_batch::<2>(300, 64.0, 99);
+        let mut reference = vec![C64::zeroed(); 64 * 64];
+        SerialGridder.grid(&p, &lut, &coords, &values, &mut reference);
+        for threads in [1usize, 2, 7, 64] {
+            let mut b = vec![C64::zeroed(); 64 * 64];
+            SliceDiceGridder {
+                mode: SliceDiceMode::ColumnParallel,
+                threads: Some(threads),
+            }
+            .grid(&p, &lut, &coords, &values, &mut b);
+            grids_match_bitwise(&reference, &b, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn block_reduce_matches_serial_within_fp_reassociation() {
+        let p = small_params();
+        let lut = KernelLut::from_params(&p);
+        let (coords, values) = sample_batch::<2>(500, 64.0, 3);
+        let mut a = vec![C64::zeroed(); 64 * 64];
+        SerialGridder.grid(&p, &lut, &coords, &values, &mut a);
+        let mut b = vec![C64::zeroed(); 64 * 64];
+        SliceDiceGridder {
+            mode: SliceDiceMode::BlockReduce,
+            threads: Some(4),
+        }
+        .grid(&p, &lut, &coords, &values, &mut b);
+        let scale: f64 = a.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn block_atomic_matches_serial_within_fp_reassociation() {
+        let p = small_params();
+        let lut = KernelLut::from_params(&p);
+        let (coords, values) = sample_batch::<2>(500, 64.0, 4);
+        let mut a = vec![C64::zeroed(); 64 * 64];
+        SerialGridder.grid(&p, &lut, &coords, &values, &mut a);
+        let mut b = vec![C64::zeroed(); 64 * 64];
+        SliceDiceGridder {
+            mode: SliceDiceMode::BlockAtomic,
+            threads: Some(4),
+        }
+        .grid(&p, &lut, &coords, &values, &mut b);
+        let scale: f64 = a.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn block_atomic_f32_matches_f64_reference() {
+        let p = small_params();
+        let lut = KernelLut::from_params(&p);
+        let (coords, values64) = sample_batch::<2>(300, 64.0, 8);
+        let values32: Vec<jigsaw_num::C32> =
+            values64.iter().map(|v| jigsaw_num::C32::from_c64(*v)).collect();
+        let mut a = vec![C64::zeroed(); 64 * 64];
+        SerialGridder.grid(&p, &lut, &coords, &values64, &mut a);
+        let mut b = vec![jigsaw_num::C32::zeroed(); 64 * 64];
+        SliceDiceGridder {
+            mode: SliceDiceMode::BlockAtomic,
+            threads: Some(3),
+        }
+        .grid(&p, &lut, &coords, &values32, &mut b);
+        let scale: f64 = a.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - y.to_c64()).abs() < 1e-4 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn boundary_check_count_is_m_t_d() {
+        let p = small_params();
+        let lut = KernelLut::from_params(&p);
+        let (coords, values) = sample_batch::<2>(100, 64.0, 6);
+        let mut out = vec![C64::zeroed(); 64 * 64];
+        let stats = SliceDiceGridder::new(SliceDiceMode::Serial)
+            .grid(&p, &lut, &coords, &values, &mut out);
+        assert_eq!(stats.boundary_checks, 100 * 64); // M·T²
+        assert_eq!(stats.kernel_accumulations, 100 * 36); // M·W²
+        assert_eq!(stats.samples_processed, 100); // no duplication
+        assert_eq!(stats.presort_seconds, 0.0); // no presort
+    }
+
+    #[test]
+    fn three_dimensional_matches_serial() {
+        let mut p = small_params();
+        p.grid = 32;
+        let lut = KernelLut::from_params(&p);
+        let (coords, values) = sample_batch::<3>(80, 32.0, 15);
+        let n = 32usize.pow(3);
+        let mut a = vec![C64::zeroed(); n];
+        let mut b = vec![C64::zeroed(); n];
+        SerialGridder.grid(&p, &lut, &coords, &values, &mut a);
+        SliceDiceGridder {
+            mode: SliceDiceMode::ColumnParallel,
+            threads: Some(3),
+        }
+        .grid(&p, &lut, &coords, &values, &mut b);
+        grids_match_bitwise(&a, &b, "3d");
+    }
+
+    #[test]
+    fn agrees_with_binned_engine() {
+        let p = small_params();
+        let lut = KernelLut::from_params(&p);
+        let (coords, values) = sample_batch::<2>(250, 64.0, 31);
+        let mut a = vec![C64::zeroed(); 64 * 64];
+        let mut b = vec![C64::zeroed(); 64 * 64];
+        BinnedGridder::default().grid(&p, &lut, &coords, &values, &mut a);
+        SliceDiceGridder::default().grid(&p, &lut, &coords, &values, &mut b);
+        grids_match_bitwise(&a, &b, "binned vs slice-dice");
+    }
+}

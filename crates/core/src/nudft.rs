@@ -1,0 +1,181 @@
+//! Direct Non-uniform DFT — the exact (but `O(M·N^d)`) reference.
+//!
+//! Implements equations (1) and (2) of the paper:
+//!
+//! * forward: `f_j = Σ_k f̂_k e^{−2πi k·ν_j}` — uniform image to
+//!   non-uniform samples,
+//! * adjoint: `ĥ_k = Σ_j f_j e^{+2πi k·ν_j}` — non-uniform samples to
+//!   uniform image,
+//!
+//! with image indices `k ∈ [−N/2, N/2)^d` and sample coordinates `ν` in
+//! cycles (the paper's `x_j/N`). "Direct calculation requires `M·N^d`
+//! floating-point operations, which is too expensive for many
+//! applications" (§II-A) — which is exactly why it is the perfect oracle
+//! for small problems.
+//!
+//! All accumulation is in `f64` regardless of the working precision.
+
+use crate::gridding::worker_threads;
+use jigsaw_num::{Complex, C64};
+
+const TWO_PI: f64 = 2.0 * core::f64::consts::PI;
+
+/// Adjoint NuDFT: `out[k] = Σ_j values[j]·e^{+2πi k·ν_j}` over the
+/// `[−N/2, N/2)^d` image, returned row-major with index `i = k + N/2`.
+pub fn adjoint_nudft<const D: usize>(
+    n: usize,
+    coords: &[[f64; D]],
+    values: &[C64],
+    threads: Option<usize>,
+) -> Vec<C64> {
+    assert_eq!(coords.len(), values.len());
+    let npix = n.pow(D as u32);
+    let mut out = vec![C64::zeroed(); npix];
+    let nthreads = worker_threads(threads).min(npix.max(1)).max(1);
+    let chunk = npix.div_ceil(nthreads);
+    std::thread::scope(|s| {
+        for (tid, o_chunk) in out.chunks_mut(chunk).enumerate() {
+            let base = tid * chunk;
+            s.spawn(move || {
+                for (off, o) in o_chunk.iter_mut().enumerate() {
+                    let flat = base + off;
+                    let mut k = [0f64; D];
+                    let mut rem = flat;
+                    for d in (0..D).rev() {
+                        k[d] = (rem % n) as f64 - (n / 2) as f64;
+                        rem /= n;
+                    }
+                    let mut acc = C64::zeroed();
+                    for (c, &v) in coords.iter().zip(values) {
+                        let mut phase = 0.0;
+                        for d in 0..D {
+                            phase += k[d] * c[d];
+                        }
+                        acc += v * Complex::cis(TWO_PI * phase);
+                    }
+                    *o = acc;
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Forward NuDFT: `out[j] = Σ_k image[k]·e^{−2πi k·ν_j}`.
+pub fn forward_nudft<const D: usize>(
+    n: usize,
+    image: &[C64],
+    coords: &[[f64; D]],
+    threads: Option<usize>,
+) -> Vec<C64> {
+    assert_eq!(image.len(), n.pow(D as u32));
+    let m = coords.len();
+    let mut out = vec![C64::zeroed(); m];
+    let nthreads = worker_threads(threads).min(m.max(1)).max(1);
+    let chunk = m.div_ceil(nthreads);
+    std::thread::scope(|s| {
+        for (tid, o_chunk) in out.chunks_mut(chunk).enumerate() {
+            let c_chunk = &coords[tid * chunk..tid * chunk + o_chunk.len()];
+            s.spawn(move || {
+                for (o, c) in o_chunk.iter_mut().zip(c_chunk) {
+                    let mut acc = C64::zeroed();
+                    for (flat, &f) in image.iter().enumerate() {
+                        let mut rem = flat;
+                        let mut phase = 0.0;
+                        for d in (0..D).rev() {
+                            let k = (rem % n) as f64 - (n / 2) as f64;
+                            rem /= n;
+                            phase += k * c[d];
+                        }
+                        acc += f * Complex::cis(-TWO_PI * phase);
+                    }
+                    *o = acc;
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjoint_of_single_sample_is_plane_wave() {
+        let nu = [0.11, -0.23];
+        let img = adjoint_nudft(8, &[nu], &[C64::one()], Some(1));
+        for r in 0..8 {
+            for c in 0..8 {
+                let k = [(r as f64) - 4.0, (c as f64) - 4.0];
+                let want = C64::cis(TWO_PI * (k[0] * nu[0] + k[1] * nu[1]));
+                assert!((img[r * 8 + c] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_of_centered_impulse_is_constant() {
+        // image = δ at k = (0,0) (index N/2 each dim) → f_j = 1 ∀j.
+        let n = 8;
+        let mut img = vec![C64::zeroed(); 64];
+        img[4 * 8 + 4] = C64::one();
+        let coords = [[0.05, 0.3], [-0.4, 0.2], [0.0, 0.0]];
+        let out = forward_nudft(n, &img, &coords, Some(2));
+        for v in &out {
+            assert!((*v - C64::one()).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn forward_adjoint_inner_product_identity() {
+        // ⟨A f, c⟩ = ⟨f, Aᴴ c⟩ with A = forward NuDFT.
+        let n = 6;
+        let coords = [[0.11, 0.31], [-0.25, 0.07], [0.42, -0.44], [0.0, 0.2]];
+        let f: Vec<C64> = (0..36)
+            .map(|i| C64::new((i as f64 * 0.4).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let c: Vec<C64> = (0..4)
+            .map(|i| C64::new(0.5 + i as f64, 1.0 - i as f64 * 0.3))
+            .collect();
+        let af = forward_nudft(n, &f, &coords, Some(1));
+        let ahc = adjoint_nudft(n, &coords, &c, Some(1));
+        let lhs: C64 = af.iter().zip(&c).map(|(a, b)| *a * b.conj()).sum();
+        let rhs: C64 = f.iter().zip(&ahc).map(|(a, b)| *a * b.conj()).sum();
+        assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn uniform_samples_reduce_to_dft() {
+        // Sampling ν on the uniform grid j/N makes the adjoint NuDFT an
+        // inverse-DFT-like sum; cross-check against jigsaw-fft's dft.
+        let n = 4usize;
+        let coords: Vec<[f64; 1]> = (0..n).map(|j| [j as f64 / n as f64]).collect();
+        let values: Vec<C64> = (0..n)
+            .map(|j| C64::new(1.0 + j as f64, -(j as f64)))
+            .collect();
+        let img = adjoint_nudft::<1>(n, &coords, &values, Some(1));
+        // Direct check of the defining sum.
+        for (i, got) in img.iter().enumerate() {
+            let k = i as f64 - 2.0;
+            let want: C64 = (0..n)
+                .map(|j| values[j] * C64::cis(TWO_PI * k * j as f64 / n as f64))
+                .sum();
+            assert!((*got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let n = 8;
+        let coords: Vec<[f64; 2]> = (0..17)
+            .map(|i| [(i as f64 * 0.37).sin() / 2.0, (i as f64 * 0.53).cos() / 2.0])
+            .collect();
+        let values: Vec<C64> = (0..17).map(|i| C64::new(i as f64, -1.0)).collect();
+        let a = adjoint_nudft(n, &coords, &values, Some(1));
+        let b = adjoint_nudft(n, &coords, &values, Some(5));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+        }
+    }
+}

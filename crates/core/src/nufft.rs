@@ -1,0 +1,594 @@
+//! Complete forward and adjoint NuFFT plans.
+//!
+//! The plan precomputes everything reusable — kernel LUT, apodization
+//! factors, FFT twiddles — and then executes the paper's three-step
+//! pipeline (Fig. 1) with per-stage timing, because the *ratio* of
+//! gridding to FFT time is the paper's core motivation (gridding is
+//! 99.6 % of the NuFFT on a modern CPU, §I) and its headline result
+//! (gridding and FFT time equalized on GPU, §VI-A).
+//!
+//! Conventions (`ν` in cycles, image indices `k ∈ [−N/2, N/2)^d`):
+//!
+//! * adjoint: `ĥ_k = Σ_j c_j e^{+2πi k·ν_j}` (matches [`crate::nudft::adjoint_nudft`]),
+//! * forward: `c_j = Σ_k f_k e^{−2πi k·ν_j}` (matches [`crate::nudft::forward_nudft`]).
+
+use crate::apod::Apodization;
+use crate::config::{GridParams, NufftConfig};
+use crate::gridding::Gridder;
+use crate::interp;
+use crate::lut::KernelLut;
+use crate::stats::GridStats;
+use crate::{Error, Result};
+use jigsaw_fft::{Direction, FftNd};
+use jigsaw_num::{Complex, Float};
+use std::time::Instant;
+
+/// Wall-clock breakdown of one NuFFT execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Coordinate mapping / grid preparation.
+    pub prep_seconds: f64,
+    /// Gridding (adjoint) or interpolation (forward).
+    pub interp_seconds: f64,
+    /// Uniform FFT over the oversampled grid.
+    pub fft_seconds: f64,
+    /// Apodization correction + grid extraction/embedding.
+    pub apod_seconds: f64,
+}
+
+impl StageTimings {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.prep_seconds + self.interp_seconds + self.fft_seconds + self.apod_seconds
+    }
+
+    /// Fraction of time in the interpolation stage — the paper's
+    /// "gridding accounts for 99.6 % of NuFFT computation time" statistic.
+    pub fn interp_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.interp_seconds / self.total()
+        }
+    }
+}
+
+/// Result bundle of an adjoint NuFFT.
+#[derive(Debug, Clone)]
+pub struct AdjointOutput<T> {
+    /// Reconstructed `[N; D]` image (row-major).
+    pub image: Vec<Complex<T>>,
+    /// Stage timings.
+    pub timings: StageTimings,
+    /// Gridding-engine counters.
+    pub grid_stats: GridStats,
+}
+
+/// Result bundle of a forward NuFFT.
+#[derive(Debug, Clone)]
+pub struct ForwardOutput<T> {
+    /// Non-uniform sample values.
+    pub samples: Vec<Complex<T>>,
+    /// Stage timings.
+    pub timings: StageTimings,
+}
+
+/// A planned NuFFT for a fixed configuration and dimensionality.
+///
+/// ```
+/// use jigsaw_core::{NufftConfig, NufftPlan};
+/// use jigsaw_core::gridding::SliceDiceGridder;
+/// use jigsaw_core::traj;
+/// use jigsaw_num::C64;
+///
+/// // Adjoint NuFFT of 1000 radial k-space samples onto a 32x32 image.
+/// let coords = traj::radial_2d(20, 50, true);
+/// let values = vec![C64::one(); coords.len()];
+/// let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(32)).unwrap();
+/// let out = plan.adjoint(&coords, &values, &SliceDiceGridder::default()).unwrap();
+/// assert_eq!(out.image.len(), 32 * 32);
+/// assert_eq!(out.grid_stats.boundary_checks, 1000 * 64); // M*T^2
+/// ```
+pub struct NufftPlan<T, const D: usize> {
+    cfg: NufftConfig,
+    params: GridParams,
+    lut: KernelLut,
+    apod: Apodization,
+    fft: FftNd<T>,
+}
+
+impl<T: Float, const D: usize> NufftPlan<T, D> {
+    /// Plan a transform. Validates the configuration.
+    pub fn new(cfg: NufftConfig) -> Result<Self> {
+        cfg.validate()?;
+        if !(1..=4).contains(&D) {
+            return Err(Error::Config(format!("unsupported dimensionality {D}")));
+        }
+        let params = cfg.grid_params();
+        let lut = KernelLut::from_params(&params);
+        let apod = Apodization::new(&cfg);
+        let fft = FftNd::new(&[params.grid; D]);
+        Ok(Self {
+            cfg,
+            params,
+            lut,
+            apod,
+            fft,
+        })
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &NufftConfig {
+        &self.cfg
+    }
+
+    /// Grid-side parameters.
+    pub fn grid_params(&self) -> &GridParams {
+        &self.params
+    }
+
+    /// The shared kernel LUT.
+    pub fn lut(&self) -> &KernelLut {
+        &self.lut
+    }
+
+    /// Map trajectory coordinates (cycles) onto the oversampled grid
+    /// (`u = (ν mod 1)·G`).
+    pub fn map_coords(&self, coords: &[[f64; D]]) -> Vec<[f64; D]> {
+        let g = self.params.grid as f64;
+        coords
+            .iter()
+            .map(|c| {
+                let mut u = [0.0; D];
+                for d in 0..D {
+                    u[d] = c[d].rem_euclid(1.0) * g;
+                }
+                u
+            })
+            .collect()
+    }
+
+    /// Adjoint NuFFT: non-uniform samples → `[N; D]` image, using the
+    /// given gridding engine.
+    pub fn adjoint(
+        &self,
+        coords: &[[f64; D]],
+        values: &[Complex<T>],
+        gridder: &dyn Gridder<T, D>,
+    ) -> Result<AdjointOutput<T>> {
+        if coords.len() != values.len() {
+            return Err(Error::Data(format!(
+                "coordinate count {} != value count {}",
+                coords.len(),
+                values.len()
+            )));
+        }
+        for (i, c) in coords.iter().enumerate() {
+            if c.iter().any(|x| !x.is_finite()) {
+                return Err(Error::Data(format!("non-finite coordinate at sample {i}")));
+            }
+        }
+        let g = self.params.grid;
+        let n = self.cfg.n;
+
+        let t0 = Instant::now();
+        let mapped = self.map_coords(coords);
+        let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
+        let prep_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let grid_stats = gridder.grid(&self.params, &self.lut, &mapped, values, &mut grid);
+        let interp_seconds = t1.elapsed().as_secs_f64();
+        let _ = n;
+
+        let (image, mut timings) = self.finish_adjoint(&mut grid)?;
+        timings.prep_seconds = prep_seconds;
+        timings.interp_seconds = interp_seconds;
+        Ok(AdjointOutput {
+            image,
+            timings,
+            grid_stats,
+        })
+    }
+
+    /// Batched adjoint NuFFT: many value sets (e.g. receive coils) on one
+    /// trajectory. Maps coordinates once and reuses one grid buffer, so
+    /// per-batch overhead is gridding + FFT only.
+    pub fn adjoint_batch(
+        &self,
+        coords: &[[f64; D]],
+        batches: &[&[Complex<T>]],
+        gridder: &dyn Gridder<T, D>,
+    ) -> Result<Vec<AdjointOutput<T>>> {
+        for (i, c) in coords.iter().enumerate() {
+            if c.iter().any(|x| !x.is_finite()) {
+                return Err(Error::Data(format!("non-finite coordinate at sample {i}")));
+            }
+        }
+        let g = self.params.grid;
+        let mapped = self.map_coords(coords);
+        let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
+        let mut out = Vec::with_capacity(batches.len());
+        for values in batches {
+            if values.len() != coords.len() {
+                return Err(Error::Data(format!(
+                    "batch has {} values for {} coordinates",
+                    values.len(),
+                    coords.len()
+                )));
+            }
+            grid.fill(Complex::zeroed());
+            let t1 = Instant::now();
+            let grid_stats =
+                gridder.grid(&self.params, &self.lut, &mapped, values, &mut grid);
+            let interp_seconds = t1.elapsed().as_secs_f64();
+            let (image, mut timings) = self.finish_adjoint(&mut grid)?;
+            timings.interp_seconds = interp_seconds;
+            out.push(AdjointOutput {
+                image,
+                timings,
+                grid_stats,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Batched forward NuFFT: transform many images (e.g. sensitivity-
+    /// weighted coil images) at one trajectory, mapping coordinates once.
+    pub fn forward_batch(
+        &self,
+        images: &[&[Complex<T>]],
+        coords: &[[f64; D]],
+    ) -> Result<Vec<ForwardOutput<T>>> {
+        images.iter().map(|img| self.forward(img, coords)).collect()
+    }
+
+    /// The adjoint NuFFT's post-gridding stages: uniform FFT over an
+    /// already-gridded oversampled buffer, then extraction and
+    /// de-apodization.
+    ///
+    /// This is the host-side half of an accelerator integration (§IV
+    /// "System Integration"): JIGSAW streams back the gridded target grid
+    /// and the host completes the NuFFT. `grid` is consumed as scratch.
+    pub fn finish_adjoint(
+        &self,
+        grid: &mut [Complex<T>],
+    ) -> Result<(Vec<Complex<T>>, StageTimings)> {
+        let g = self.params.grid;
+        let n = self.cfg.n;
+        if grid.len() != g.pow(D as u32) {
+            return Err(Error::Data(format!(
+                "grid has {} points, expected {}^{}",
+                grid.len(),
+                g,
+                D
+            )));
+        }
+        let t2 = Instant::now();
+        self.fft.process(grid, Direction::Forward);
+        let fft_seconds = t2.elapsed().as_secs_f64();
+
+        // Extract ĥ_k = FFT[g][(−k) mod G] with deapodization.
+        let t3 = Instant::now();
+        let mut image = vec![Complex::<T>::zeroed(); n.pow(D as u32)];
+        for (flat, o) in image.iter_mut().enumerate() {
+            let mut rem = flat;
+            let mut src = 0usize;
+            let mut f = 1.0;
+            for d in 0..D {
+                // Row-major: peel dims from the most significant side.
+                let stride = n.pow((D - 1 - d) as u32);
+                let i = (rem / stride) % n;
+                rem %= stride;
+                let k = i as i64 - (n / 2) as i64;
+                let s = (-k).rem_euclid(g as i64) as usize;
+                src = src * g + s;
+                f *= self.apod.factor(i);
+            }
+            *o = grid[src].scale(T::from_f64(f));
+        }
+        let apod_seconds = t3.elapsed().as_secs_f64();
+        Ok((
+            image,
+            StageTimings {
+                prep_seconds: 0.0,
+                interp_seconds: 0.0,
+                fft_seconds,
+                apod_seconds,
+            },
+        ))
+    }
+
+    /// Forward NuFFT: `[N; D]` image → non-uniform samples.
+    pub fn forward(
+        &self,
+        image: &[Complex<T>],
+        coords: &[[f64; D]],
+    ) -> Result<ForwardOutput<T>> {
+        let n = self.cfg.n;
+        let g = self.params.grid;
+        if image.len() != n.pow(D as u32) {
+            return Err(Error::Data(format!(
+                "image has {} pixels, expected {}^{}",
+                image.len(),
+                n,
+                D
+            )));
+        }
+
+        // Pre-apodize and embed into the zero-padded oversampled grid.
+        let t0 = Instant::now();
+        let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
+        for (flat, &v) in image.iter().enumerate() {
+            let mut rem = flat;
+            let mut dst = 0usize;
+            let mut f = 1.0;
+            for d in 0..D {
+                let stride = n.pow((D - 1 - d) as u32);
+                let i = (rem / stride) % n;
+                rem %= stride;
+                let k = i as i64 - (n / 2) as i64;
+                let s = k.rem_euclid(g as i64) as usize;
+                dst = dst * g + s;
+                f *= self.apod.factor(i);
+            }
+            grid[dst] = v.scale(T::from_f64(f));
+        }
+        let apod_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        self.fft.process(&mut grid, Direction::Forward);
+        let fft_seconds = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let mapped = self.map_coords(coords);
+        let prep_seconds = t2.elapsed().as_secs_f64();
+
+        let t3 = Instant::now();
+        let mut samples = vec![Complex::<T>::zeroed(); coords.len()];
+        interp::interpolate(&self.params, &self.lut, &grid, &mapped, &mut samples, None)?;
+        let interp_seconds = t3.elapsed().as_secs_f64();
+
+        Ok(ForwardOutput {
+            samples,
+            timings: StageTimings {
+                prep_seconds,
+                interp_seconds,
+                fft_seconds,
+                apod_seconds,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gridding::{SerialGridder, SliceDiceGridder};
+    use crate::metrics::rel_l2;
+    use crate::nudft::{adjoint_nudft, forward_nudft};
+    use jigsaw_num::C64;
+
+    fn test_coords(m: usize, seed: u64) -> Vec<[f64; 2]> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s as f64 / u64::MAX as f64 - 0.5
+        };
+        (0..m).map(|_| [next(), next()]).collect()
+    }
+
+    fn test_values(m: usize, seed: u64) -> Vec<C64> {
+        let mut s = seed | 3;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s as f64 / u64::MAX as f64 - 0.5
+        };
+        (0..m).map(|_| C64::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn adjoint_matches_nudft_exact_weights() {
+        // With exact (non-LUT) kernel weights, accuracy is limited only by
+        // the Kaiser-Bessel aliasing error (~1e-6 for W = 6, sigma = 2).
+        let n = 32;
+        let m = 200;
+        let coords = test_coords(m, 1);
+        let values = test_values(m, 2);
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+        let out = plan
+            .adjoint(&coords, &values, &crate::gridding::ExactGridder)
+            .unwrap();
+        let exact = adjoint_nudft(n, &coords, &values, None);
+        let err = rel_l2(&out.image, &exact);
+        assert!(err < 2e-5, "adjoint NuFFT error vs NuDFT: {err}");
+    }
+
+    #[test]
+    fn adjoint_lut_error_bounded_and_shrinks_with_l() {
+        // LUT gridding quantizes coordinates to 1/L of a grid cell; the
+        // worst-case phase error at the image edge is pi/(2*sigma*L).
+        let n = 32;
+        let coords = test_coords(150, 1);
+        let values = test_values(150, 2);
+        let exact = adjoint_nudft(n, &coords, &values, None);
+        let mut errs = Vec::new();
+        for l in [32usize, 256] {
+            let mut cfg = NufftConfig::with_n(n);
+            cfg.table_oversampling = l;
+            let plan = NufftPlan::<f64, 2>::new(cfg).unwrap();
+            let out = plan.adjoint(&coords, &values, &SerialGridder).unwrap();
+            let err = rel_l2(&out.image, &exact);
+            let bound = core::f64::consts::PI / (2.0 * 2.0 * l as f64);
+            assert!(err < bound, "L={l}: err {err} exceeds bound {bound}");
+            errs.push(err);
+        }
+        assert!(
+            errs[1] < errs[0] / 4.0,
+            "error must shrink ~1/L: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn forward_matches_nudft() {
+        let n = 32;
+        let image = test_values(n * n, 5);
+        let coords = test_coords(150, 6);
+        let mut cfg = NufftConfig::with_n(n);
+        cfg.table_oversampling = 4096; // make LUT quantization negligible
+        let plan = NufftPlan::<f64, 2>::new(cfg).unwrap();
+        let out = plan.forward(&image, &coords).unwrap();
+        let exact = forward_nudft(n, &image, &coords, None);
+        let err = rel_l2(&out.samples, &exact);
+        assert!(err < 3e-4, "forward NuFFT error vs NuDFT: {err}");
+
+        // Default L = 32 stays within the quantization bound.
+        let plan32 = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+        let out32 = plan32.forward(&image, &coords).unwrap();
+        let err32 = rel_l2(&out32.samples, &exact);
+        assert!(err32 < core::f64::consts::PI / (2.0 * 2.0 * 32.0), "{err32}");
+    }
+
+    #[test]
+    fn adjoint_engine_choice_does_not_change_result() {
+        let n = 32;
+        let coords = test_coords(100, 9);
+        let values = test_values(100, 10);
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+        let a = plan.adjoint(&coords, &values, &SerialGridder).unwrap();
+        let b = plan
+            .adjoint(&coords, &values, &SliceDiceGridder::default())
+            .unwrap();
+        for (x, y) in a.image.iter().zip(&b.image) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn forward_adjoint_inner_product() {
+        // ⟨A f, c⟩ ≈ ⟨f, Aᴴ c⟩ for the NuFFT pair (approximate adjoints —
+        // both approximate the same NuDFT).
+        let n = 16;
+        let coords = test_coords(60, 20);
+        let c = test_values(60, 21);
+        let f = test_values(n * n, 22);
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+        let af = plan.forward(&f, &coords).unwrap().samples;
+        let ahc = plan.adjoint(&coords, &c, &SerialGridder).unwrap().image;
+        let lhs: C64 = af.iter().zip(&c).map(|(a, b)| *a * b.conj()).sum();
+        let rhs: C64 = f.iter().zip(&ahc).map(|(a, b)| *a * b.conj()).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-4 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn beatty_low_oversampling_still_accurate() {
+        // σ = 1.25 with a Beatty-widened kernel should stay accurate
+        // (§II-B: smaller σ needs larger W).
+        let n = 32;
+        let coords = test_coords(100, 30);
+        let values = test_values(100, 31);
+        let mut cfg = NufftConfig::with_n(n);
+        cfg.sigma = 1.25;
+        cfg.width = crate::config::beatty_width(6, 1.25).min(8);
+        cfg.table_oversampling = 1024;
+        let plan = NufftPlan::<f64, 2>::new(cfg).unwrap();
+        let out = plan.adjoint(&coords, &values, &SerialGridder).unwrap();
+        let exact = adjoint_nudft(n, &coords, &values, None);
+        let err = rel_l2(&out.image, &exact);
+        assert!(err < 2e-3, "σ=1.25 adjoint error: {err}");
+    }
+
+    #[test]
+    fn coordinates_wrap_mod_one() {
+        // ν and ν + 1 are the same frequency (torus).
+        let n = 16;
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+        let values = test_values(1, 40);
+        let a = plan
+            .adjoint(&[[0.3, -0.4]], &values, &SerialGridder)
+            .unwrap();
+        let b = plan
+            .adjoint(&[[1.3, 0.6]], &values, &SerialGridder)
+            .unwrap();
+        for (x, y) in a.image.iter().zip(&b.image) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(32)).unwrap();
+        let coords = test_coords(500, 50);
+        let values = test_values(500, 51);
+        let out = plan.adjoint(&coords, &values, &SerialGridder).unwrap();
+        assert!(out.timings.interp_seconds > 0.0);
+        assert!(out.timings.fft_seconds > 0.0);
+        assert!(out.timings.total() > 0.0);
+        assert!(out.timings.interp_fraction() > 0.0 && out.timings.interp_fraction() < 1.0);
+        assert_eq!(out.grid_stats.samples, 500);
+    }
+
+    #[test]
+    fn adjoint_batch_matches_individual_calls() {
+        let n = 16;
+        let coords = test_coords(80, 70);
+        let a = test_values(80, 71);
+        let b = test_values(80, 72);
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+        let batched = plan
+            .adjoint_batch(&coords, &[&a, &b], &SerialGridder)
+            .unwrap();
+        let single_a = plan.adjoint(&coords, &a, &SerialGridder).unwrap();
+        let single_b = plan.adjoint(&coords, &b, &SerialGridder).unwrap();
+        for (x, y) in batched[0].image.iter().zip(&single_a.image) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+        }
+        for (x, y) in batched[1].image.iter().zip(&single_b.image) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+        }
+        // Mismatched batch length is rejected.
+        let short = vec![jigsaw_num::C64::one(); 3];
+        assert!(plan
+            .adjoint_batch(&coords, &[&short], &SerialGridder)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_data() {
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(16)).unwrap();
+        assert!(plan
+            .adjoint(&[[0.0, 0.0]], &[], &SerialGridder)
+            .is_err());
+        assert!(plan
+            .adjoint(&[[f64::NAN, 0.0]], &[C64::one()], &SerialGridder)
+            .is_err());
+        let bad_image = vec![C64::zeroed(); 7];
+        assert!(plan.forward(&bad_image, &[[0.0, 0.0]]).is_err());
+    }
+
+    #[test]
+    fn f32_plan_reasonable_accuracy() {
+        let n = 32;
+        let coords = test_coords(100, 60);
+        let values64 = test_values(100, 61);
+        let values32: Vec<jigsaw_num::C32> = values64
+            .iter()
+            .map(|v| jigsaw_num::C32::from_c64(*v))
+            .collect();
+        let plan = NufftPlan::<f32, 2>::new(NufftConfig::with_n(n)).unwrap();
+        let out = plan.adjoint(&coords, &values32, &SerialGridder).unwrap();
+        let exact = adjoint_nudft(n, &coords, &values64, None);
+        let out64: Vec<C64> = out.image.iter().map(|z| z.to_c64()).collect();
+        let err = rel_l2(&out64, &exact);
+        // Bounded by LUT coordinate quantization at L = 32, not by f32.
+        assert!(err < 0.02, "f32 adjoint error: {err}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Instrumentation counters for the gridding engines.
+//!
+//! §III motivates Slice-and-Dice with an operation-count argument: a naive
+//! output-parallel gridder performs `M·N^d` boundary checks, binning
+//! shrinks that to `Σ|bin|·B^d` but re-processes straddling samples and
+//! needs a presort pass, while Slice-and-Dice performs exactly `M·T^d`
+//! checks with no presort and no duplicates. Every engine reports these
+//! counts so the benches can print the paper's complexity table next to
+//! the measured wall-clock times.
+
+/// Counters and timings returned by one gridding invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GridStats {
+    /// Number of distinct non-uniform input samples `M`.
+    pub samples: usize,
+    /// Samples actually processed, *including* duplicates — for binning
+    /// this counts a straddling sample once per bin it lands in (Fig. 3a
+    /// processes 16 sample instances for 6 samples).
+    pub samples_processed: usize,
+    /// Logical boundary checks performed by the engine's parallel model
+    /// (`M·N^d` naive, `Σ|bin|·B^d` binned, `M·T^d` Slice-and-Dice, 0 for
+    /// the purely input-driven serial gridder).
+    pub boundary_checks: u64,
+    /// Kernel multiply-accumulate operations (one per affected grid
+    /// point, i.e. `W^d` per processed sample).
+    pub kernel_accumulations: u64,
+    /// Seconds spent pre-sorting samples into bins (zero for every engine
+    /// except binning — eliminating this step is a headline claim).
+    pub presort_seconds: f64,
+    /// Seconds spent in the gridding pass proper.
+    pub gridding_seconds: f64,
+}
+
+impl GridStats {
+    /// Total wall-clock seconds (presort + gridding).
+    pub fn total_seconds(&self) -> f64 {
+        self.presort_seconds + self.gridding_seconds
+    }
+
+    /// Duplicate sample-processing factor (1.0 = no duplication).
+    pub fn duplication_factor(&self) -> f64 {
+        if self.samples == 0 {
+            1.0
+        } else {
+            self.samples_processed as f64 / self.samples as f64
+        }
+    }
+
+    /// Merge counters from a parallel worker (times take the max, counts
+    /// add — workers run concurrently).
+    pub fn merge_parallel(&mut self, other: &GridStats) {
+        self.samples += other.samples;
+        self.samples_processed += other.samples_processed;
+        self.boundary_checks += other.boundary_checks;
+        self.kernel_accumulations += other.kernel_accumulations;
+        self.presort_seconds = self.presort_seconds.max(other.presort_seconds);
+        self.gridding_seconds = self.gridding_seconds.max(other.gridding_seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplication_factor() {
+        let s = GridStats {
+            samples: 6,
+            samples_processed: 16,
+            ..Default::default()
+        };
+        // Fig. 3a's example: 6 samples, 16 processed instances.
+        assert!((s.duplication_factor() - 16.0 / 6.0).abs() < 1e-12);
+        assert_eq!(GridStats::default().duplication_factor(), 1.0);
+    }
+
+    #[test]
+    fn merge_parallel_semantics() {
+        let mut a = GridStats {
+            samples: 10,
+            samples_processed: 10,
+            boundary_checks: 100,
+            kernel_accumulations: 360,
+            presort_seconds: 0.0,
+            gridding_seconds: 1.5,
+        };
+        let b = GridStats {
+            samples: 20,
+            samples_processed: 20,
+            boundary_checks: 200,
+            kernel_accumulations: 720,
+            presort_seconds: 0.0,
+            gridding_seconds: 2.0,
+        };
+        a.merge_parallel(&b);
+        assert_eq!(a.samples, 30);
+        assert_eq!(a.boundary_checks, 300);
+        assert_eq!(a.gridding_seconds, 2.0); // concurrent → max
+    }
+
+    #[test]
+    fn total_includes_presort() {
+        let s = GridStats {
+            presort_seconds: 0.5,
+            gridding_seconds: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(s.total_seconds(), 1.5);
+    }
+}

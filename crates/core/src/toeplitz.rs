@@ -1,0 +1,257 @@
+//! Toeplitz embedding of the NuFFT normal operator — the strategy behind
+//! the paper's GPU baseline.
+//!
+//! Impatient \[10\] is "a gridding-accelerated *Toeplitz-based* strategy":
+//! iterative MRI reconstruction repeatedly applies the normal operator
+//! `AᴴA`, and because `(AᴴA x)_k = Σ_l x_l ψ(k−l)` with the point-spread
+//! kernel `ψ(d) = Σ_j w_j e^{2πi d·ν_j}`, the whole operator is a
+//! (block-)Toeplitz matrix: its action is one zero-padded FFT
+//! convolution on a `2N` grid. Gridding is then needed only *once*, to
+//! build `ψ` — which is exactly why Impatient's performance is dominated
+//! by that single gridding pass, the step the paper accelerates.
+//!
+//! [`ToeplitzOperator::build`] computes `ψ` on the `[−N, N)^d` lattice
+//! with one adjoint NuFFT of the (optionally density-weighted) all-ones
+//! vector at doubled image size, then [`ToeplitzOperator::apply`]
+//! evaluates `AᴴA x` with two FFTs and no gridding at all.
+
+use crate::config::NufftConfig;
+use crate::gridding::Gridder;
+use crate::nufft::NufftPlan;
+use crate::{Error, Result};
+use jigsaw_fft::{Direction, FftNd};
+use jigsaw_num::C64;
+
+/// A precomputed NuFFT normal operator `x ↦ AᴴA x`.
+pub struct ToeplitzOperator<const D: usize> {
+    n: usize,
+    /// FFT of the PSF kernel on the `(2N)^d` torus.
+    psf_hat: Vec<C64>,
+    fft: FftNd<f64>,
+}
+
+impl<const D: usize> ToeplitzOperator<D> {
+    /// Build from trajectory `coords` (cycles) for an `N^d` image, using
+    /// the given NuFFT configuration's kernel/accuracy parameters and
+    /// gridding engine. `weights` (density compensation, applied inside
+    /// `AᴴA` as `Aᴴ W A`) may be empty for uniform weighting.
+    pub fn build(
+        cfg: &NufftConfig,
+        coords: &[[f64; D]],
+        weights: &[f64],
+        gridder: &dyn Gridder<f64, D>,
+    ) -> Result<Self> {
+        if !weights.is_empty() && weights.len() != coords.len() {
+            return Err(Error::Data(format!(
+                "weight count {} != coordinate count {}",
+                weights.len(),
+                coords.len()
+            )));
+        }
+        let n = cfg.n;
+        // PSF on the doubled lattice: adjoint NuFFT at image size 2N.
+        let mut cfg2 = cfg.clone();
+        cfg2.n = 2 * n;
+        let plan2 = NufftPlan::<f64, D>::new(cfg2)?;
+        let ones: Vec<C64> = if weights.is_empty() {
+            vec![C64::one(); coords.len()]
+        } else {
+            weights.iter().map(|&w| C64::new(w, 0.0)).collect()
+        };
+        let psf = plan2.adjoint(coords, &ones, gridder)?.image;
+        // Rearrange ψ(d), d ∈ [−N, N)^d (index i = d + N) onto the torus
+        // (index d mod 2N) and take its FFT once.
+        let two_n = 2 * n;
+        let npts = two_n.pow(D as u32);
+        let mut torus = vec![C64::zeroed(); npts];
+        for (flat, &v) in psf.iter().enumerate() {
+            let mut rem = flat;
+            let mut dst = 0usize;
+            for d in 0..D {
+                let stride = two_n.pow((D - 1 - d) as u32);
+                let i = (rem / stride) % two_n;
+                rem %= stride;
+                let delta = i as i64 - n as i64; // d ∈ [−N, N)
+                let t = delta.rem_euclid(two_n as i64) as usize;
+                dst = dst * two_n + t;
+            }
+            torus[dst] = v;
+        }
+        let fft = FftNd::new(&[two_n; D]);
+        fft.process(&mut torus, Direction::Forward);
+        Ok(Self {
+            n,
+            psf_hat: torus,
+            fft,
+        })
+    }
+
+    /// Image size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Apply the normal operator: `out = AᴴA x` for a row-major `[N; D]`
+    /// image. Two FFTs on the `(2N)^d` grid, no gridding.
+    pub fn apply(&self, x: &[C64]) -> Result<Vec<C64>> {
+        let n = self.n;
+        let two_n = 2 * n;
+        if x.len() != n.pow(D as u32) {
+            return Err(Error::Data(format!(
+                "image has {} pixels, expected {}^{}",
+                x.len(),
+                n,
+                D
+            )));
+        }
+        // Zero-pad x: pixel index i ↔ k = i − N/2 ∈ [−N/2, N/2), placed at
+        // (k mod 2N) on the torus.
+        let npts = two_n.pow(D as u32);
+        let mut pad = vec![C64::zeroed(); npts];
+        for (flat, &v) in x.iter().enumerate() {
+            let mut rem = flat;
+            let mut dst = 0usize;
+            for d in 0..D {
+                let stride = n.pow((D - 1 - d) as u32);
+                let i = (rem / stride) % n;
+                rem %= stride;
+                let k = i as i64 - (n / 2) as i64;
+                dst = dst * two_n + k.rem_euclid(two_n as i64) as usize;
+            }
+            pad[dst] = v;
+        }
+        self.fft.process(&mut pad, Direction::Forward);
+        for (p, &h) in pad.iter_mut().zip(&self.psf_hat) {
+            *p *= h;
+        }
+        self.fft.process(&mut pad, Direction::Inverse);
+        // Crop back to [−N/2, N/2)^d.
+        let mut out = vec![C64::zeroed(); n.pow(D as u32)];
+        for (flat, o) in out.iter_mut().enumerate() {
+            let mut rem = flat;
+            let mut src = 0usize;
+            for d in 0..D {
+                let stride = n.pow((D - 1 - d) as u32);
+                let i = (rem / stride) % n;
+                rem %= stride;
+                let k = i as i64 - (n / 2) as i64;
+                src = src * two_n + k.rem_euclid(two_n as i64) as usize;
+            }
+            *o = pad[src];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gridding::{ExactGridder, SerialGridder};
+    use crate::metrics::rel_l2;
+    use crate::nudft::{adjoint_nudft, forward_nudft};
+    use crate::traj;
+
+    fn test_image(n: usize, seed: u64) -> Vec<C64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s as f64 / u64::MAX as f64 - 0.5
+        };
+        (0..n * n).map(|_| C64::new(next(), next())).collect()
+    }
+
+    /// Direct normal operator via the NuDFT pair — the exact oracle.
+    fn normal_direct(n: usize, coords: &[[f64; 2]], x: &[C64]) -> Vec<C64> {
+        let samples = forward_nudft(n, x, coords, None);
+        adjoint_nudft(n, coords, &samples, None)
+    }
+
+    #[test]
+    fn matches_direct_normal_operator() {
+        let n = 16;
+        let mut coords = traj::radial_2d(20, 24, true);
+        traj::shuffle(&mut coords, 1);
+        let cfg = NufftConfig::with_n(n);
+        let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &ExactGridder).unwrap();
+        let x = test_image(n, 5);
+        let got = top.apply(&x).unwrap();
+        let want = normal_direct(n, &coords, &x);
+        let err = rel_l2(&got, &want);
+        assert!(err < 1e-3, "Toeplitz vs direct AᴴA: {err}");
+    }
+
+    #[test]
+    fn matches_forward_adjoint_composition() {
+        let n = 16;
+        let mut coords = traj::spiral_2d(4, 300, 4.0);
+        traj::shuffle(&mut coords, 2);
+        let cfg = NufftConfig::with_n(n);
+        let plan = NufftPlan::<f64, 2>::new(cfg.clone()).unwrap();
+        let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &SerialGridder).unwrap();
+        let x = test_image(n, 9);
+        let fa = plan
+            .adjoint(
+                &coords,
+                &plan.forward(&x, &coords).unwrap().samples,
+                &SerialGridder,
+            )
+            .unwrap()
+            .image;
+        let tp = top.apply(&x).unwrap();
+        let err = rel_l2(&tp, &fa);
+        assert!(err < 5e-2, "Toeplitz vs NuFFT AᴴA: {err}");
+    }
+
+    #[test]
+    fn weighted_normal_operator() {
+        // Aᴴ W A with non-uniform weights must match the weighted NuDFT
+        // composition.
+        let n = 12;
+        let coords = traj::random_nd::<2>(200, 7);
+        let weights: Vec<f64> = (0..200).map(|i| 0.5 + (i % 5) as f64 * 0.25).collect();
+        let cfg = NufftConfig::with_n(n);
+        let top =
+            ToeplitzOperator::<2>::build(&cfg, &coords, &weights, &ExactGridder).unwrap();
+        let x = test_image(n, 11);
+        let got = top.apply(&x).unwrap();
+        // Oracle.
+        let samples = forward_nudft(n, &x, &coords, None);
+        let weighted: Vec<C64> = samples
+            .iter()
+            .zip(&weights)
+            .map(|(s, &w)| s.scale(w))
+            .collect();
+        let want = adjoint_nudft(n, &coords, &weighted, None);
+        let err = rel_l2(&got, &want);
+        assert!(err < 1e-3, "weighted Toeplitz error: {err}");
+    }
+
+    #[test]
+    fn operator_is_hermitian() {
+        // ⟨Tx, y⟩ = ⟨x, Ty⟩ (AᴴA is Hermitian).
+        let n = 8;
+        let coords = traj::random_nd::<2>(100, 3);
+        let cfg = NufftConfig::with_n(n);
+        let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &ExactGridder).unwrap();
+        let x = test_image(n, 1);
+        let y = test_image(n, 2);
+        let tx = top.apply(&x).unwrap();
+        let ty = top.apply(&y).unwrap();
+        let lhs: C64 = tx.iter().zip(&y).map(|(a, b)| *a * b.conj()).sum();
+        let rhs: C64 = x.iter().zip(&ty).map(|(a, b)| *a * b.conj()).sum();
+        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        let cfg = NufftConfig::with_n(8);
+        let coords = traj::random_nd::<2>(10, 1);
+        assert!(
+            ToeplitzOperator::<2>::build(&cfg, &coords, &[1.0; 3], &SerialGridder).is_err()
+        );
+        let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &SerialGridder).unwrap();
+        assert!(top.apply(&[C64::zeroed(); 7]).is_err());
+    }
+}

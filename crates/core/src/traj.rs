@@ -1,0 +1,340 @@
+//! Non-Cartesian MRI sampling trajectories.
+//!
+//! "Imaging applications such as MRI use non-uniform sampling to enable
+//! reduced imaging scan time or irregular sensor placement" (§I) —
+//! "such as spiral and radial scans" (§II). These generators produce
+//! k-space coordinates in **cycles**, `ν ∈ [−½, ½)` per dimension, the
+//! unit the [`crate::NufftPlan`] consumes. Samples arrive in acquisition
+//! order; [`shuffle`] randomizes it, since the paper stresses that
+//! real-world sample streams are "often arriving in effectively random
+//! order".
+
+const TWO_PI: f64 = 2.0 * core::f64::consts::PI;
+/// The golden angle in radians (π·(3−√5)): the asymptotically uniform
+/// radial-spoke increment used by modern real-time MRI.
+pub const GOLDEN_ANGLE: f64 = core::f64::consts::PI * (3.0 - 2.23606797749979);
+
+/// Radial (projection-reconstruction) trajectory: `spokes` diameters
+/// through the k-space origin, `samples_per_spoke` points each, spanning
+/// radius `[−½, ½)`. `golden = true` uses golden-angle ordering, `false`
+/// uniform angles.
+pub fn radial_2d(spokes: usize, samples_per_spoke: usize, golden: bool) -> Vec<[f64; 2]> {
+    let mut out = Vec::with_capacity(spokes * samples_per_spoke);
+    for s in 0..spokes {
+        let theta = if golden {
+            s as f64 * GOLDEN_ANGLE
+        } else {
+            s as f64 * core::f64::consts::PI / spokes as f64
+        };
+        let (sin, cos) = theta.sin_cos();
+        for i in 0..samples_per_spoke {
+            // Radius in [−½, ½), excluding the +½ endpoint (Nyquist edge).
+            let r = (i as f64 + 0.5) / samples_per_spoke as f64 - 0.5;
+            out.push([clamp_half(r * cos), clamp_half(r * sin)]);
+        }
+    }
+    out
+}
+
+/// Archimedean spiral: `arms` interleaved arms, each with
+/// `samples_per_arm` points winding `turns` times out to the k-space edge.
+pub fn spiral_2d(arms: usize, samples_per_arm: usize, turns: f64) -> Vec<[f64; 2]> {
+    let mut out = Vec::with_capacity(arms * samples_per_arm);
+    for a in 0..arms {
+        let phase = a as f64 * TWO_PI / arms as f64;
+        for i in 0..samples_per_arm {
+            let t = i as f64 / samples_per_arm as f64; // [0, 1)
+            let r = 0.5 * t;
+            let theta = phase + turns * TWO_PI * t;
+            out.push([clamp_half(r * theta.cos()), clamp_half(r * theta.sin())]);
+        }
+    }
+    out
+}
+
+/// Rosette trajectory `r(t) = ½ sin(ω₁ t)` at angle `ω₂ t` — a stress
+/// test with dense self-crossings near the origin.
+pub fn rosette_2d(m: usize, omega1: f64, omega2: f64) -> Vec<[f64; 2]> {
+    (0..m)
+        .map(|i| {
+            let t = i as f64 / m as f64 * TWO_PI;
+            let r = 0.5 * (omega1 * t).sin();
+            let theta = omega2 * t;
+            [clamp_half(r * theta.cos()), clamp_half(r * theta.sin())]
+        })
+        .collect()
+}
+
+/// Uniformly random coordinates (the paper's worst-case "effectively
+/// random order" stream *and* random positions).
+pub fn random_nd<const D: usize>(m: usize, seed: u64) -> Vec<[f64; D]> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s as f64 / u64::MAX as f64 - 0.5
+    };
+    (0..m)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for x in c.iter_mut() {
+                *x = clamp_half(next());
+            }
+            c
+        })
+        .collect()
+}
+
+/// Cartesian grid positions perturbed by uniform jitter of amplitude
+/// `jitter` grid cells — models slightly miscalibrated Cartesian scans.
+pub fn perturbed_cartesian_2d(n: usize, jitter: f64, seed: u64) -> Vec<[f64; 2]> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64 - 0.5) * 2.0
+    };
+    let mut out = Vec::with_capacity(n * n);
+    for r in 0..n {
+        for c in 0..n {
+            let base_r = (r as f64 + 0.5) / n as f64 - 0.5;
+            let base_c = (c as f64 + 0.5) / n as f64 - 0.5;
+            out.push([
+                clamp_half(base_r + next() * jitter / n as f64),
+                clamp_half(base_c + next() * jitter / n as f64),
+            ]);
+        }
+    }
+    out
+}
+
+/// 3-D stack-of-stars: a radial trajectory in (x, y) repeated on `nz`
+/// uniformly spaced kz planes — the standard 3-D extension the paper's
+/// "3D Slice" JIGSAW variant targets (samples sortable by z-slice).
+pub fn stack_of_stars_3d(
+    spokes: usize,
+    samples_per_spoke: usize,
+    nz: usize,
+) -> Vec<[f64; 3]> {
+    let plane = radial_2d(spokes, samples_per_spoke, true);
+    let mut out = Vec::with_capacity(plane.len() * nz);
+    for z in 0..nz {
+        let kz = (z as f64 + 0.5) / nz as f64 - 0.5;
+        for p in &plane {
+            out.push([kz, p[0], p[1]]);
+        }
+    }
+    out
+}
+
+/// Sort samples by the Morton (Z-order) code of their quantized grid
+/// position — a *software* locality presort. This is the alternative the
+/// paper's binning baselines embody: spend a pass reordering the stream
+/// so the serial gridder's window writes become cache-friendly. Useful
+/// as an ablation against Slice-and-Dice's no-presort claim: the sort
+/// helps a serial CPU gridder, but it is a pre-processing pass of
+/// exactly the kind JIGSAW's trajectory-agnostic `M + 12` makes
+/// unnecessary.
+/// Returns the permutation (indices into the original order); apply it to
+/// the value array with [`apply_permutation`].
+pub fn morton_order_2d(coords: &[[f64; 2]], grid: usize) -> Vec<u32> {
+    let mut keyed: Vec<(u64, u32)> = coords
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let qx = (c[0].rem_euclid(1.0) * grid as f64) as u32;
+            let qy = (c[1].rem_euclid(1.0) * grid as f64) as u32;
+            (morton_interleave(qy, qx), i as u32)
+        })
+        .collect();
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Interleave the low 16 bits of `a` (odd positions) and `b` (even).
+fn morton_interleave(a: u32, b: u32) -> u64 {
+    fn spread(mut x: u64) -> u64 {
+        x &= 0xFFFF;
+        x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+        x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+        x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+        x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+        x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+        x
+    }
+    (spread(a as u64) << 1) | spread(b as u64)
+}
+
+/// Reorder a slice by a permutation produced by [`morton_order_2d`].
+pub fn apply_permutation<T: Copy>(items: &[T], perm: &[u32]) -> Vec<T> {
+    perm.iter().map(|&i| items[i as usize]).collect()
+}
+
+/// Deterministically shuffle sample order (Fisher-Yates with an xorshift
+/// generator) — the random arrival order the paper assumes.
+pub fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[inline]
+fn clamp_half(v: f64) -> f64 {
+    // Keep strictly inside [−½, ½) so grid mapping never hits exactly G.
+    v.clamp(-0.5, 0.5 - 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_range(coords: &[[f64; 2]]) {
+        for c in coords {
+            for &x in c {
+                assert!((-0.5..0.5).contains(&x), "coordinate {x} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn radial_counts_and_range() {
+        let t = radial_2d(13, 64, true);
+        assert_eq!(t.len(), 13 * 64);
+        in_range(&t);
+    }
+
+    #[test]
+    fn radial_spokes_pass_through_origin_region() {
+        let t = radial_2d(1, 64, false);
+        // First spoke is horizontal (θ = 0): all y ≈ 0.
+        for c in &t {
+            assert!(c[1].abs() < 1e-12);
+        }
+        // Radii cover both negative and positive sides.
+        assert!(t.iter().any(|c| c[0] < -0.4));
+        assert!(t.iter().any(|c| c[0] > 0.4));
+    }
+
+    #[test]
+    fn golden_angle_spokes_differ() {
+        let a = radial_2d(8, 4, true);
+        let b = radial_2d(8, 4, false);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spiral_radius_grows() {
+        let t = spiral_2d(1, 256, 8.0);
+        in_range(&t);
+        let r0 = (t[10][0].powi(2) + t[10][1].powi(2)).sqrt();
+        let r1 = (t[200][0].powi(2) + t[200][1].powi(2)).sqrt();
+        assert!(r1 > r0, "spiral must wind outward");
+    }
+
+    #[test]
+    fn rosette_in_range() {
+        let t = rosette_2d(500, 3.0, 5.0);
+        in_range(&t);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = random_nd::<2>(100, 7);
+        let b = random_nd::<2>(100, 7);
+        let c = random_nd::<2>(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        in_range(&a);
+    }
+
+    #[test]
+    fn perturbed_cartesian_stays_close_to_grid() {
+        let n = 16;
+        let t = perturbed_cartesian_2d(n, 0.25, 3);
+        assert_eq!(t.len(), n * n);
+        for (i, c) in t.iter().enumerate() {
+            let r = i / n;
+            let col = i % n;
+            let base_r = (r as f64 + 0.5) / n as f64 - 0.5;
+            let base_c = (col as f64 + 0.5) / n as f64 - 0.5;
+            assert!((c[0] - base_r).abs() <= 0.25 / n as f64 + 1e-12);
+            assert!((c[1] - base_c).abs() <= 0.25 / n as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn stack_of_stars_has_planes() {
+        let t = stack_of_stars_3d(4, 8, 5);
+        assert_eq!(t.len(), 4 * 8 * 5);
+        let mut kzs: Vec<f64> = t.iter().map(|c| c[0]).collect();
+        kzs.dedup();
+        assert_eq!(kzs.len(), 5);
+    }
+
+    #[test]
+    fn morton_order_is_a_permutation_with_locality() {
+        let coords = random_nd::<2>(2000, 9);
+        let perm = morton_order_2d(&coords, 256);
+        // Permutation property.
+        let mut seen = perm.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..2000u32).collect::<Vec<_>>());
+        // Locality: mean grid distance between consecutive samples drops
+        // sharply vs the shuffled order.
+        let sorted = apply_permutation(&coords, &perm);
+        let mean_step = |v: &[[f64; 2]]| -> f64 {
+            v.windows(2)
+                .map(|w| {
+                    let dx = (w[0][0] - w[1][0]).abs();
+                    let dy = (w[0][1] - w[1][1]).abs();
+                    (dx * dx + dy * dy).sqrt()
+                })
+                .sum::<f64>()
+                / (v.len() - 1) as f64
+        };
+        let before = mean_step(&coords);
+        let after = mean_step(&sorted);
+        assert!(
+            after < before / 4.0,
+            "Morton order should localize the stream: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn morton_interleave_known_values() {
+        assert_eq!(morton_interleave(0, 0), 0);
+        assert_eq!(morton_interleave(0, 1), 1);
+        assert_eq!(morton_interleave(1, 0), 2);
+        assert_eq!(morton_interleave(0b11, 0b11), 0b1111);
+        assert_eq!(morton_interleave(0b10, 0b01), 0b1001);
+    }
+
+    #[test]
+    fn apply_permutation_reorders() {
+        let items = [10, 20, 30];
+        assert_eq!(apply_permutation(&items, &[2, 0, 1]), vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        let mut a: Vec<u32> = (0..100).collect();
+        shuffle(&mut a, 42);
+        let mut b: Vec<u32> = (0..100).collect();
+        shuffle(&mut b, 42);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(a, (0..100).collect::<Vec<_>>());
+    }
+}

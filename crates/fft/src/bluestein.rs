@@ -1,0 +1,147 @@
+//! Bluestein's chirp-z algorithm: FFTs of arbitrary length.
+//!
+//! Rewrites the DFT as a circular convolution with a "chirp" sequence,
+//! which is evaluated by power-of-two FFTs:
+//!
+//! ```text
+//! X_k = conj(c_k) · Σ_j (x_j · conj(c_j)) · c_{k-j},   c_k = e^{iπk²/n}
+//! ```
+//!
+//! Planning precomputes the chirp and the forward transform of its
+//! zero-padded, wrapped extension; each `process` call then costs three
+//! power-of-two FFTs of length `m = next_pow2(2n−1)`.
+
+use crate::{radix::Radix2, Direction};
+use jigsaw_num::{Complex, Float};
+
+/// Planned Bluestein transform of arbitrary length `n ≥ 2`.
+pub struct Bluestein<T> {
+    n: usize,
+    m: usize,
+    inner: Radix2<T>,
+    /// `chirp[k] = e^{-iπk²/n}` for `k < n` (forward-direction chirp).
+    chirp: Vec<Complex<T>>,
+    /// Forward FFT of the wrapped conjugate chirp, length `m`.
+    chirp_spectrum: Vec<Complex<T>>,
+}
+
+impl<T: Float> Bluestein<T> {
+    /// Plan a transform of length `n` (any value ≥ 2).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "Bluestein needs n ≥ 2");
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2::new(m);
+        // Compute the quadratic phase mod 2n to avoid k² overflow/precision
+        // loss for large n: k² mod 2n determines e^{-iπk²/n} exactly.
+        let chirp: Vec<Complex<T>> = (0..n)
+            .map(|k| {
+                let q = (k * k) % (2 * n);
+                let theta = -core::f64::consts::PI * q as f64 / n as f64;
+                Complex::from_c64(Complex::cis(theta))
+            })
+            .collect();
+        // b_j = conj(chirp[|j|]) wrapped onto [0, m): indices j and m-j.
+        let mut b = vec![Complex::<T>::zeroed(); m];
+        for (j, &c) in chirp.iter().enumerate() {
+            b[j] = c.conj();
+            if j != 0 {
+                b[m - j] = c.conj();
+            }
+        }
+        inner.process(&mut b, Direction::Forward);
+        Self {
+            n,
+            m,
+            inner,
+            chirp,
+            chirp_spectrum: b,
+        }
+    }
+
+    /// In-place transform (no inverse scaling; the caller handles it).
+    ///
+    /// The inverse direction is computed via the conjugation identity
+    /// `idft(x) · n = conj(dft(conj(x)))`.
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        debug_assert_eq!(data.len(), self.n);
+        if dir == Direction::Inverse {
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+        }
+        self.forward(data);
+        if dir == Direction::Inverse {
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+        }
+    }
+
+    fn forward(&self, data: &mut [Complex<T>]) {
+        let mut a = vec![Complex::<T>::zeroed(); self.m];
+        for (j, (&x, &c)) in data.iter().zip(&self.chirp).enumerate() {
+            a[j] = x * c;
+        }
+        self.inner.process(&mut a, Direction::Forward);
+        for (av, &bv) in a.iter_mut().zip(&self.chirp_spectrum) {
+            *av *= bv;
+        }
+        self.inner.process(&mut a, Direction::Inverse);
+        let scale = T::ONE / T::from_usize(self.m);
+        for (k, out) in data.iter_mut().enumerate() {
+            *out = a[k].scale(scale) * self.chirp[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+    use jigsaw_num::C64;
+
+    #[test]
+    fn prime_length_matches_dft() {
+        let n = 13;
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let want = dft(&x, Direction::Forward);
+        let plan = Bluestein::new(n);
+        let mut got = x.clone();
+        plan.process(&mut got, Direction::Forward);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn large_prime_roundtrip() {
+        let n = 997;
+        let x: Vec<C64> = (0..n).map(|i| C64::new(i as f64 % 7.0, -(i as f64 % 3.0))).collect();
+        let plan = Bluestein::new(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        for (a, b) in x.iter().zip(&y) {
+            // process() does not apply the 1/n inverse scale (Fft1d does),
+            // so compare against n·x.
+            assert!((*b - a.scale(n as f64)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn quadratic_phase_mod_identity() {
+        // e^{-iπk²/n} computed with k² mod 2n must equal the direct value.
+        let n = 1000usize;
+        for k in [0usize, 1, 37, 999] {
+            let direct = Complex::<f64>::cis(
+                -core::f64::consts::PI * (k * k) as f64 / n as f64,
+            );
+            let q = (k * k) % (2 * n);
+            let modded =
+                Complex::<f64>::cis(-core::f64::consts::PI * q as f64 / n as f64);
+            assert!((direct - modded).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! From-scratch uniform FFT substrate for the Jigsaw NuFFT.
+//!
+//! The NuFFT's third step is a conventional uniform FFT over the
+//! oversampled grid. The paper treats this step as a fast, solved substrate
+//! (FFTW on the CPU, cuFFT on the GPU); we provide the same role with a
+//! self-contained implementation:
+//!
+//! * [`Fft1d`] — planned 1-D transform: iterative radix-4 (for `4^k`
+//!   lengths) and radix-2 decimation-in-time with precomputed twiddles for
+//!   the remaining powers of two, and Bluestein's chirp-z algorithm for
+//!   everything else, so *any* length is `O(n log n)`.
+//! * [`FftNd`] — multi-dimensional transforms (the paper's grids are 2-D
+//!   `σN × σN` and 3-D processed as 2-D slices) via the row-column method.
+//! * [`dft`] — a direct `O(n²)` DFT used as the oracle in tests.
+//!
+//! # Conventions
+//!
+//! The forward transform computes `X_k = Σ_j x_j e^{-2πi jk/n}`
+//! (unnormalized); the inverse applies `e^{+2πi jk/n}` and scales by `1/n`,
+//! so `inverse(forward(x)) == x`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bluestein;
+pub mod nd;
+pub mod radix;
+pub mod radix4;
+pub mod shift;
+
+use jigsaw_num::{Complex, Float};
+
+pub use nd::FftNd;
+pub use shift::{fftshift, ifftshift};
+
+/// Transform direction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Negative exponent, unnormalized.
+    Forward,
+    /// Positive exponent, scaled by `1/n`.
+    Inverse,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Forward => Direction::Inverse,
+            Direction::Inverse => Direction::Forward,
+        }
+    }
+}
+
+enum Algo<T> {
+    Radix2(radix::Radix2<T>),
+    Radix4(radix4::Radix4<T>),
+    Bluestein(Box<bluestein::Bluestein<T>>),
+    Trivial,
+}
+
+/// A planned one-dimensional FFT of a fixed length.
+///
+/// Planning precomputes twiddle tables (and, for non-power-of-two lengths,
+/// the Bluestein chirp spectra); [`Fft1d::process`] then runs with no
+/// allocation for power-of-two sizes.
+///
+/// ```
+/// use jigsaw_fft::{Fft1d, Direction};
+/// use jigsaw_num::C64;
+/// let plan = Fft1d::<f64>::new(8);
+/// let mut data = vec![C64::zeroed(); 8];
+/// data[0] = C64::one(); // impulse
+/// plan.process(&mut data, Direction::Forward);
+/// assert!(data.iter().all(|z| (z.re - 1.0).abs() < 1e-12)); // flat spectrum
+/// plan.process(&mut data, Direction::Inverse);
+/// assert!((data[0].re - 1.0).abs() < 1e-12); // round trip
+/// ```
+pub struct Fft1d<T> {
+    n: usize,
+    algo: Algo<T>,
+}
+
+impl<T: Float> Fft1d<T> {
+    /// Plan a transform of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be positive");
+        let algo = if n == 1 {
+            Algo::Trivial
+        } else if radix4::is_power_of_four(n) {
+            Algo::Radix4(radix4::Radix4::new(n))
+        } else if n.is_power_of_two() {
+            Algo::Radix2(radix::Radix2::new(n))
+        } else {
+            Algo::Bluestein(Box::new(bluestein::Bluestein::new(n)))
+        };
+        Self { n, algo }
+    }
+
+    /// The planned length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (length is ≥ 1 by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transform `data` in place.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan");
+        match &self.algo {
+            Algo::Trivial => {}
+            Algo::Radix2(r) => r.process(data, dir),
+            Algo::Radix4(r) => r.process(data, dir),
+            Algo::Bluestein(b) => b.process(data, dir),
+        }
+        if dir == Direction::Inverse {
+            let scale = T::ONE / T::from_usize(self.n);
+            for z in data.iter_mut() {
+                *z = z.scale(scale);
+            }
+        }
+    }
+}
+
+/// Direct `O(n²)` discrete Fourier transform; the correctness oracle.
+///
+/// Uses the same conventions as [`Fft1d`].
+pub fn dft<T: Float>(input: &[Complex<T>], dir: Direction) -> Vec<Complex<T>> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex::zeroed(); n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::<f64>::zeroed();
+        for (j, &x) in input.iter().enumerate() {
+            let theta = sign * 2.0 * core::f64::consts::PI * ((j * k) % n) as f64 / n as f64;
+            acc += x.to_c64() * Complex::cis(theta);
+        }
+        if dir == Direction::Inverse {
+            acc = acc.unscale(n as f64);
+        }
+        *o = Complex::from_c64(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_num::C64;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<C64> {
+        // Simple xorshift so tests don't need the rand crate here.
+        let mut s = seed | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| C64::new(next(), next())).collect()
+    }
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_dft_all_small_sizes() {
+        for n in 1..=64 {
+            let x = rand_signal(n, n as u64 * 7919);
+            let want = dft(&x, Direction::Forward);
+            let plan = Fft1d::new(n);
+            let mut got = x.clone();
+            plan.process(&mut got, Direction::Forward);
+            assert!(
+                max_err(&got, &want) < 1e-9 * (n as f64),
+                "size {n} mismatch: {}",
+                max_err(&got, &want)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_matches_dft_small_sizes() {
+        for n in [2usize, 3, 5, 8, 12, 17, 31, 32] {
+            let x = rand_signal(n, n as u64 + 5);
+            let want = dft(&x, Direction::Inverse);
+            let plan = Fft1d::new(n);
+            let mut got = x.clone();
+            plan.process(&mut got, Direction::Inverse);
+            assert!(max_err(&got, &want) < 1e-10 * n as f64, "size {n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_pow2() {
+        let n = 4096;
+        let x = rand_signal(n, 42);
+        let plan = Fft1d::new(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        assert!(max_err(&y, &x) < 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_large_nonpow2() {
+        for n in [1000usize, 1536, 2187] {
+            let x = rand_signal(n, n as u64);
+            let plan = Fft1d::new(n);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            plan.process(&mut y, Direction::Inverse);
+            assert!(max_err(&y, &x) < 1e-9, "size {n}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 256;
+        let mut x = vec![C64::zeroed(); n];
+        x[0] = C64::one();
+        Fft1d::new(n).process(&mut x, Direction::Forward);
+        for z in &x {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_has_single_bin() {
+        let n = 128;
+        let k0 = 9;
+        let x: Vec<C64> = (0..n)
+            .map(|j| C64::cis(2.0 * core::f64::consts::PI * (j * k0) as f64 / n as f64))
+            .collect();
+        let mut y = x.clone();
+        Fft1d::new(n).process(&mut y, Direction::Forward);
+        for (k, z) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((z.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 512;
+        let x = rand_signal(n, 99);
+        let mut y = x.clone();
+        Fft1d::new(n).process(&mut y, Direction::Forward);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() / ex < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let a = rand_signal(n, 1);
+        let b = rand_signal(n, 2);
+        let plan = Fft1d::new(n);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.process(&mut fa, Direction::Forward);
+        plan.process(&mut fb, Direction::Forward);
+        let mut sum: Vec<C64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        plan.process(&mut sum, Direction::Forward);
+        let combined: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&sum, &combined) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_length_panics() {
+        let plan = Fft1d::<f64>::new(8);
+        let mut data = vec![C64::zeroed(); 4];
+        plan.process(&mut data, Direction::Forward);
+    }
+
+    #[test]
+    fn f32_precision_reasonable() {
+        let n = 1024;
+        let x: Vec<jigsaw_num::C32> = rand_signal(n, 3)
+            .into_iter()
+            .map(jigsaw_num::C32::from_c64)
+            .collect();
+        let plan = Fft1d::<f32>::new(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        let err = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(err < 1e-4, "f32 roundtrip err {err}");
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Forward.flip(), Direction::Inverse);
+        assert_eq!(Direction::Inverse.flip(), Direction::Forward);
+    }
+}

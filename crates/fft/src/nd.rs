@@ -1,0 +1,217 @@
+//! Multi-dimensional FFTs via the row-column method.
+//!
+//! An N-dimensional transform factorizes into 1-D transforms along each
+//! axis. Data is stored flat in row-major order (`dims = [d0, d1, ...]`,
+//! with the *last* dimension contiguous), matching the grid layout used by
+//! the gridding engines in `jigsaw-core`.
+
+use crate::{Direction, Fft1d};
+use jigsaw_num::{Complex, Float};
+
+/// A planned multi-dimensional FFT.
+///
+/// One [`Fft1d`] plan is created per distinct axis length, so a square 2-D
+/// plan stores a single 1-D plan.
+pub struct FftNd<T> {
+    dims: Vec<usize>,
+    plans: Vec<Fft1d<T>>, // parallel to dims
+    len: usize,
+}
+
+impl<T: Float> FftNd<T> {
+    /// Plan a transform over a row-major array of shape `dims`.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or any dimension is zero.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "need at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension");
+        let plans = dims.iter().map(|&d| Fft1d::new(d)).collect();
+        let len = dims.iter().product();
+        Self {
+            dims: dims.to_vec(),
+            plans,
+            len,
+        }
+    }
+
+    /// The shape this plan transforms.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transform `data` (row-major, shape [`Self::dims`]) in place.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the planned shape.
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        assert_eq!(data.len(), self.len, "buffer must match planned shape");
+        let nd = self.dims.len();
+        // Stride of axis a in row-major layout: product of dims after a.
+        for axis in 0..nd {
+            let d = self.dims[axis];
+            if d == 1 {
+                continue;
+            }
+            let stride: usize = self.dims[axis + 1..].iter().product();
+            let plan = &self.plans[axis];
+            let mut scratch = vec![Complex::<T>::zeroed(); d];
+            // Iterate over all 1-D lines along `axis`: the set of base
+            // offsets is every index whose coordinate on `axis` is zero.
+            let outer: usize = self.dims[..axis].iter().product();
+            for o in 0..outer {
+                for i in 0..stride {
+                    let base = o * d * stride + i;
+                    if stride == 1 {
+                        // Contiguous line: transform in place.
+                        plan.process(&mut data[base..base + d], dir);
+                    } else {
+                        for (k, s) in scratch.iter_mut().enumerate() {
+                            *s = data[base + k * stride];
+                        }
+                        plan.process(&mut scratch, dir);
+                        for (k, s) in scratch.iter().enumerate() {
+                            data[base + k * stride] = *s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_num::C64;
+
+    /// Direct 2-D DFT oracle.
+    fn dft2(input: &[C64], rows: usize, cols: usize, dir: Direction) -> Vec<C64> {
+        let sign = if dir == Direction::Forward { -1.0 } else { 1.0 };
+        let mut out = vec![C64::zeroed(); rows * cols];
+        for kr in 0..rows {
+            for kc in 0..cols {
+                let mut acc = C64::zeroed();
+                for jr in 0..rows {
+                    for jc in 0..cols {
+                        let theta = sign
+                            * 2.0
+                            * core::f64::consts::PI
+                            * (jr as f64 * kr as f64 / rows as f64
+                                + jc as f64 * kc as f64 / cols as f64);
+                        acc += input[jr * cols + jc] * C64::cis(theta);
+                    }
+                }
+                if dir == Direction::Inverse {
+                    acc = acc.unscale((rows * cols) as f64);
+                }
+                out[kr * cols + kc] = acc;
+            }
+        }
+        out
+    }
+
+    fn signal(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::new((i as f64 * 0.17).sin(), (i as f64 * 0.31).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_2d_dft() {
+        for (r, c) in [(4usize, 4usize), (8, 4), (3, 5), (8, 6)] {
+            let x = signal(r * c);
+            let want = dft2(&x, r, c, Direction::Forward);
+            let plan = FftNd::new(&[r, c]);
+            let mut got = x.clone();
+            plan.process(&mut got, Direction::Forward);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((*g - *w).abs() < 1e-9, "{r}x{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let (r, c) = (32, 64);
+        let x = signal(r * c);
+        let plan = FftNd::new(&[r, c]);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let dims = [8usize, 4, 16];
+        let n: usize = dims.iter().product();
+        let x = signal(n);
+        let plan = FftNd::new(&dims);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn separable_impulse_2d() {
+        // An impulse at the origin transforms to an all-ones grid.
+        let (r, c) = (8, 8);
+        let mut x = vec![C64::zeroed(); r * c];
+        x[0] = C64::one();
+        FftNd::new(&[r, c]).process(&mut x, Direction::Forward);
+        for z in &x {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_dimensional_degenerate() {
+        let x = signal(16);
+        let plan_nd = FftNd::new(&[16]);
+        let plan_1d = Fft1d::new(16);
+        let mut a = x.clone();
+        let mut b = x.clone();
+        plan_nd.process(&mut a, Direction::Forward);
+        plan_1d.process(&mut b, Direction::Forward);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((*p - *q).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn unit_dims_are_skipped() {
+        let x = signal(8);
+        let plan = FftNd::new(&[1, 8, 1]);
+        let mut a = x.clone();
+        plan.process(&mut a, Direction::Forward);
+        let mut b = x.clone();
+        Fft1d::new(8).process(&mut b, Direction::Forward);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((*p - *q).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer must match")]
+    fn shape_mismatch_panics() {
+        let plan = FftNd::<f64>::new(&[4, 4]);
+        let mut data = vec![C64::zeroed(); 8];
+        plan.process(&mut data, Direction::Forward);
+    }
+}

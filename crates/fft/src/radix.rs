@@ -1,0 +1,129 @@
+//! Iterative radix-2 decimation-in-time FFT for power-of-two lengths.
+//!
+//! The classic textbook pipeline: a bit-reversal permutation followed by
+//! `log2(n)` butterfly passes. Twiddle factors `e^{-2πik/n}` are
+//! precomputed once at plan time (`n/2` entries); the inverse transform
+//! conjugates them on the fly, so one table serves both directions.
+
+use crate::Direction;
+use jigsaw_num::{Complex, Float};
+
+/// Planned radix-2 transform for a power-of-two length `n ≥ 2`.
+pub struct Radix2<T> {
+    n: usize,
+    log2n: u32,
+    /// `twiddles[k] = e^{-2πik/n}` for `k < n/2`.
+    twiddles: Vec<Complex<T>>,
+    /// Precomputed bit-reversal swap pairs `(i, j)` with `i < j`.
+    swaps: Vec<(u32, u32)>,
+}
+
+impl<T: Float> Radix2<T> {
+    /// Plan a radix-2 FFT. `n` must be a power of two, `n ≥ 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "radix-2 needs a power of two ≥ 2");
+        let log2n = n.trailing_zeros();
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let theta = -2.0 * core::f64::consts::PI * k as f64 / n as f64;
+                Complex::from_c64(Complex::cis(theta))
+            })
+            .collect();
+        let shift = 32 - log2n;
+        let mut swaps = Vec::with_capacity(n / 2);
+        for i in 0..n as u32 {
+            let j = i.reverse_bits() >> shift;
+            if i < j {
+                swaps.push((i, j));
+            }
+        }
+        Self {
+            n,
+            log2n,
+            twiddles,
+            swaps,
+        }
+    }
+
+    /// In-place transform (no inverse scaling; the caller handles it).
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        debug_assert_eq!(data.len(), self.n);
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let inverse = dir == Direction::Inverse;
+        for stage in 1..=self.log2n {
+            let len = 1usize << stage;
+            let half = len / 2;
+            let tw_step = self.n >> stage;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * tw_step];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let u = data[start + k];
+                    let v = data[start + k + half] * w;
+                    data[start + k] = u + v;
+                    data[start + k + half] = u - v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_num::C64;
+
+    #[test]
+    fn size_two_butterfly() {
+        let plan = Radix2::<f64>::new(2);
+        let mut d = [C64::new(1.0, 0.0), C64::new(2.0, 0.0)];
+        plan.process(&mut d, Direction::Forward);
+        assert!((d[0].re - 3.0).abs() < 1e-15);
+        assert!((d[1].re + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn size_four_known_answer() {
+        // DFT([1, i, -1, -i]) = [0, 4, 0, 0] (tone at bin 1).
+        let plan = Radix2::<f64>::new(4);
+        let mut d = [
+            C64::new(1.0, 0.0),
+            C64::new(0.0, 1.0),
+            C64::new(-1.0, 0.0),
+            C64::new(0.0, -1.0),
+        ];
+        plan.process(&mut d, Direction::Forward);
+        assert!(d[0].abs() < 1e-15);
+        assert!((d[1] - C64::new(4.0, 0.0)).abs() < 1e-15);
+        assert!(d[2].abs() < 1e-15);
+        assert!(d[3].abs() < 1e-15);
+    }
+
+    #[test]
+    fn bit_reversal_pairs_cover_permutation() {
+        let plan = Radix2::<f64>::new(16);
+        // Applying swaps twice must be the identity.
+        let mut v: Vec<C64> = (0..16).map(|i| C64::new(i as f64, 0.0)).collect();
+        let orig = v.clone();
+        for &(i, j) in &plan.swaps {
+            v.swap(i as usize, j as usize);
+        }
+        for &(i, j) in &plan.swaps {
+            v.swap(i as usize, j as usize);
+        }
+        assert_eq!(
+            v.iter().map(|z| z.re as i64).collect::<Vec<_>>(),
+            orig.iter().map(|z| z.re as i64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Radix2::<f64>::new(12);
+    }
+}

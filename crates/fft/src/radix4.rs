@@ -1,0 +1,184 @@
+//! Iterative radix-4 decimation-in-time FFT for lengths that are powers
+//! of four.
+//!
+//! Radix-4 halves the number of butterfly passes and replaces four
+//! complex multiplies per 4-group with three (the `±i` rotations are
+//! free), cutting multiply count ~25 % vs radix-2 — matters for the `σN`
+//! grids of this workspace, which are powers of four for the common
+//! `N ∈ {128, 512}` (G ∈ {256, 1024}). The planner picks this engine
+//! automatically when applicable.
+
+use crate::Direction;
+use jigsaw_num::{Complex, Float};
+
+/// Planned radix-4 transform for `n = 4^k`, `n ≥ 4`.
+pub struct Radix4<T> {
+    n: usize,
+    stages: u32,
+    /// `twiddles[k] = e^{-2πik/n}` for `k < n`.
+    twiddles: Vec<Complex<T>>,
+    /// Base-4 digit-reversal swap pairs `(i, j)` with `i < j`.
+    swaps: Vec<(u32, u32)>,
+}
+
+/// Whether `n` is a power of four.
+pub fn is_power_of_four(n: usize) -> bool {
+    n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2) && n >= 4
+}
+
+fn digit_reverse_base4(mut x: u32, digits: u32) -> u32 {
+    let mut out = 0u32;
+    for _ in 0..digits {
+        out = (out << 2) | (x & 3);
+        x >>= 2;
+    }
+    out
+}
+
+impl<T: Float> Radix4<T> {
+    /// Plan a radix-4 FFT. `n` must be a power of four.
+    pub fn new(n: usize) -> Self {
+        assert!(is_power_of_four(n), "radix-4 needs n = 4^k ≥ 4");
+        let stages = n.trailing_zeros() / 2;
+        let twiddles = (0..n)
+            .map(|k| {
+                let theta = -2.0 * core::f64::consts::PI * k as f64 / n as f64;
+                Complex::from_c64(Complex::cis(theta))
+            })
+            .collect();
+        let mut swaps = Vec::new();
+        for i in 0..n as u32 {
+            let j = digit_reverse_base4(i, stages);
+            if i < j {
+                swaps.push((i, j));
+            }
+        }
+        Self {
+            n,
+            stages,
+            twiddles,
+            swaps,
+        }
+    }
+
+    /// In-place transform (no inverse scaling; the caller handles it).
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        debug_assert_eq!(data.len(), self.n);
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let inverse = dir == Direction::Inverse;
+        for stage in 1..=self.stages {
+            let len = 1usize << (2 * stage);
+            let quarter = len / 4;
+            let tw_step = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..quarter {
+                    let w1 = self.tw(k * tw_step, inverse);
+                    let w2 = self.tw(2 * k * tw_step, inverse);
+                    let w3 = self.tw(3 * k * tw_step, inverse);
+                    let a = data[start + k];
+                    let b = data[start + k + quarter] * w1;
+                    let c = data[start + k + 2 * quarter] * w2;
+                    let d = data[start + k + 3 * quarter] * w3;
+                    let t0 = a + c;
+                    let t1 = a - c;
+                    let t2 = b + d;
+                    // ±i rotation: forward uses −i, inverse +i.
+                    let bd = b - d;
+                    let t3 = if inverse { bd.mul_i() } else { bd.mul_neg_i() };
+                    data[start + k] = t0 + t2;
+                    data[start + k + quarter] = t1 + t3;
+                    data[start + k + 2 * quarter] = t0 - t2;
+                    data[start + k + 3 * quarter] = t1 - t3;
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn tw(&self, idx: usize, inverse: bool) -> Complex<T> {
+        let w = self.twiddles[idx % self.n];
+        if inverse {
+            w.conj()
+        } else {
+            w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix::Radix2;
+    use jigsaw_num::C64;
+
+    fn signal(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::new((i as f64 * 0.19).sin(), (i as f64 * 0.41).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn power_of_four_detector() {
+        for n in [4usize, 16, 64, 256, 1024] {
+            assert!(is_power_of_four(n), "{n}");
+        }
+        for n in [1usize, 2, 8, 32, 128, 512, 12] {
+            assert!(!is_power_of_four(n), "{n}");
+        }
+    }
+
+    #[test]
+    fn digit_reversal_is_involution() {
+        for digits in 1..6 {
+            let n = 1u32 << (2 * digits);
+            for i in 0..n {
+                assert_eq!(
+                    digit_reverse_base4(digit_reverse_base4(i, digits), digits),
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_radix2_forward_and_inverse() {
+        for n in [4usize, 16, 64, 256, 1024] {
+            let x = signal(n);
+            let r2 = Radix2::<f64>::new(n);
+            let r4 = Radix4::<f64>::new(n);
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let mut a = x.clone();
+                let mut b = x.clone();
+                r2.process(&mut a, dir);
+                r4.process(&mut b, dir);
+                let err = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(p, q)| (*p - *q).abs())
+                    .fold(0.0, f64::max);
+                assert!(err < 1e-10 * n as f64, "n={n} {dir:?}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = 256;
+        let x = signal(n);
+        let plan = Radix4::<f64>::new(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*b - a.scale(n as f64)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radix-4")]
+    fn rejects_non_power_of_four() {
+        let _ = Radix4::<f64>::new(128);
+    }
+}

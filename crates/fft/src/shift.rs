@@ -1,0 +1,98 @@
+//! `fftshift`/`ifftshift`: move the zero-frequency bin to the array center.
+//!
+//! MRI reconstructions conventionally display images with DC centered;
+//! the gridding output and FFT use origin-at-index-0 (torus) layout, so
+//! the examples and quality experiments shift between the two.
+
+use jigsaw_num::{Complex, Float};
+
+fn shift_axis<T: Copy>(data: &mut [T], dims: &[usize], axis: usize, amount: usize) {
+    let d = dims[axis];
+    if d <= 1 || amount == 0 {
+        return;
+    }
+    let stride: usize = dims[axis + 1..].iter().product();
+    let outer: usize = dims[..axis].iter().product();
+    let mut line: Vec<T> = Vec::with_capacity(d);
+    for o in 0..outer {
+        for i in 0..stride {
+            let base = o * d * stride + i;
+            line.clear();
+            line.extend((0..d).map(|k| data[base + k * stride]));
+            for k in 0..d {
+                data[base + ((k + amount) % d) * stride] = line[k];
+            }
+        }
+    }
+}
+
+/// Circularly shift so the zero-frequency element moves to the center:
+/// element `0` goes to index `⌈d/2⌉`-rotated position (`d/2` for even `d`).
+pub fn fftshift<T: Float>(data: &mut [Complex<T>], dims: &[usize]) {
+    assert_eq!(data.len(), dims.iter().product::<usize>());
+    for axis in 0..dims.len() {
+        shift_axis(data, dims, axis, dims[axis] / 2);
+    }
+}
+
+/// Inverse of [`fftshift`] (they differ for odd lengths).
+pub fn ifftshift<T: Float>(data: &mut [Complex<T>], dims: &[usize]) {
+    assert_eq!(data.len(), dims.iter().product::<usize>());
+    for axis in 0..dims.len() {
+        let d = dims[axis];
+        shift_axis(data, dims, axis, d - d / 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_num::C64;
+
+    fn seq(n: usize) -> Vec<C64> {
+        (0..n).map(|i| C64::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn shift_1d_even() {
+        let mut v = seq(4);
+        fftshift(&mut v, &[4]);
+        let got: Vec<i64> = v.iter().map(|z| z.re as i64).collect();
+        assert_eq!(got, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn shift_1d_odd_roundtrip() {
+        let orig = seq(5);
+        let mut v = orig.clone();
+        fftshift(&mut v, &[5]);
+        ifftshift(&mut v, &[5]);
+        assert_eq!(
+            v.iter().map(|z| z.re as i64).collect::<Vec<_>>(),
+            orig.iter().map(|z| z.re as i64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shift_2d_moves_origin_to_center() {
+        let dims = [4usize, 4];
+        let mut v = vec![C64::zeroed(); 16];
+        v[0] = C64::one();
+        fftshift(&mut v, &dims);
+        // Origin should now be at (2, 2).
+        assert_eq!(v[2 * 4 + 2], C64::one());
+        assert_eq!(v.iter().filter(|z| z.re != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn roundtrip_3d_odd_dims() {
+        let dims = [3usize, 5, 4];
+        let orig = seq(60);
+        let mut v = orig.clone();
+        fftshift(&mut v, &dims);
+        ifftshift(&mut v, &dims);
+        for (a, b) in v.iter().zip(&orig) {
+            assert_eq!(a.re, b.re);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the FFT substrate.
+
+use jigsaw_fft::{dft, fftshift, ifftshift, Direction, Fft1d, FftNd};
+use jigsaw_num::C64;
+use proptest::prelude::*;
+
+fn arb_signal(max_n: usize) -> impl Strategy<Value = Vec<C64>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..max_n)
+        .prop_map(|v| v.into_iter().map(|(re, im)| C64::new(re, im)).collect())
+}
+
+fn max_err(a: &[C64], b: &[C64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// forward∘inverse ≡ id for every length (radix-2 and Bluestein).
+    #[test]
+    fn roundtrip_any_length(x in arb_signal(300)) {
+        let plan = Fft1d::new(x.len());
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        prop_assert!(max_err(&y, &x) < 1e-9, "err {}", max_err(&y, &x));
+    }
+
+    /// The FFT equals the O(n²) DFT for small arbitrary lengths.
+    #[test]
+    fn matches_dft(x in arb_signal(96)) {
+        let plan = Fft1d::new(x.len());
+        let mut got = x.clone();
+        plan.process(&mut got, Direction::Forward);
+        let want = dft(&x, Direction::Forward);
+        prop_assert!(max_err(&got, &want) < 1e-8);
+    }
+
+    /// Parseval: energy is conserved (up to 1/n on the spectrum side).
+    #[test]
+    fn parseval(x in arb_signal(256)) {
+        let n = x.len();
+        let plan = Fft1d::new(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((ex - ey).abs() <= 1e-9 * ex.max(1.0));
+    }
+
+    /// Time shift ↔ spectral phase ramp (circular shift theorem).
+    #[test]
+    fn shift_theorem(x in arb_signal(128), shift in 0usize..64) {
+        let n = x.len();
+        let shift = shift % n;
+        let plan = Fft1d::new(n);
+        // FFT of circularly shifted signal.
+        let shifted: Vec<C64> = (0..n).map(|i| x[(i + n - shift) % n]).collect();
+        let mut fs = shifted.clone();
+        plan.process(&mut fs, Direction::Forward);
+        // Phase-ramped FFT of the original.
+        let mut fx = x.clone();
+        plan.process(&mut fx, Direction::Forward);
+        for (k, z) in fx.iter_mut().enumerate() {
+            let theta = -2.0 * core::f64::consts::PI * (k * shift) as f64 / n as f64;
+            *z *= C64::cis(theta);
+        }
+        prop_assert!(max_err(&fs, &fx) < 1e-8);
+    }
+
+    /// fftshift/ifftshift are inverses for arbitrary 2-D shapes.
+    #[test]
+    fn shift_inverse_2d(r in 1usize..12, c in 1usize..12, seed in 0u64..1000) {
+        let n = r * c;
+        let mut s = seed | 1;
+        let orig: Vec<C64> = (0..n).map(|_| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            C64::new(s as f64, 0.0)
+        }).collect();
+        let dims = [r, c];
+        let mut v = orig.clone();
+        fftshift(&mut v, &dims);
+        ifftshift(&mut v, &dims);
+        prop_assert_eq!(
+            v.iter().map(|z| z.re.to_bits()).collect::<Vec<_>>(),
+            orig.iter().map(|z| z.re.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// N-d transform is separable: 2-D FFT = row FFTs then column FFTs.
+    #[test]
+    fn nd_is_separable(r_exp in 0u32..4, c_exp in 0u32..4, seed in 0u64..1000) {
+        let (r, c) = (1usize << r_exp, 1usize << c_exp);
+        let mut s = seed | 1;
+        let x: Vec<C64> = (0..r * c).map(|_| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            C64::new((s as f64 / u64::MAX as f64) - 0.5, 0.0)
+        }).collect();
+        let mut a = x.clone();
+        FftNd::new(&[r, c]).process(&mut a, Direction::Forward);
+        // Manual row-column.
+        let mut b = x.clone();
+        let row_plan = Fft1d::new(c);
+        for row in b.chunks_mut(c) {
+            row_plan.process(row, Direction::Forward);
+        }
+        let col_plan = Fft1d::new(r);
+        let mut scratch = vec![C64::zeroed(); r];
+        for col in 0..c {
+            for (i, sc) in scratch.iter_mut().enumerate() {
+                *sc = b[i * c + col];
+            }
+            col_plan.process(&mut scratch, Direction::Forward);
+            for (i, sc) in scratch.iter().enumerate() {
+                b[i * c + col] = *sc;
+            }
+        }
+        prop_assert!(max_err(&a, &b) < 1e-10);
+    }
+}

@@ -1,0 +1,250 @@
+//! Complex fixed-point values and the packed LUT word format.
+//!
+//! JIGSAW stores each interpolation weight as one 32-bit SRAM word holding
+//! a 16-bit real and a 16-bit imaginary component ([`CFx16::pack`]), and
+//! multiplies complex values with Knuth's 3-multiply / 5-add scheme — three
+//! real multipliers instead of four is a real silicon saving at 16 nm.
+
+use crate::{Fx16, Fx32, Round};
+use jigsaw_num::C64;
+
+/// Complex value with 32-bit fixed-point components (pipeline datapath and
+/// accumulator format).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Hash)]
+pub struct CFx32<const FRAC: u32> {
+    /// Real component.
+    pub re: Fx32<FRAC>,
+    /// Imaginary component.
+    pub im: Fx32<FRAC>,
+}
+
+impl<const FRAC: u32> CFx32<FRAC> {
+    /// Zero.
+    pub const ZERO: Self = Self {
+        re: Fx32::ZERO,
+        im: Fx32::ZERO,
+    };
+
+    /// Construct from components.
+    #[inline(always)]
+    pub const fn new(re: Fx32<FRAC>, im: Fx32<FRAC>) -> Self {
+        Self { re, im }
+    }
+
+    /// Quantize a `Complex<f64>`.
+    pub fn from_c64(z: C64, round: Round) -> Self {
+        Self::new(Fx32::from_f64(z.re, round), Fx32::from_f64(z.im, round))
+    }
+
+    /// Widen to `Complex<f64>` (exact).
+    pub fn to_c64(self) -> C64 {
+        C64::new(self.re.to_f64(), self.im.to_f64())
+    }
+
+    /// Saturating complex addition (the accumulate stage).
+    #[inline(always)]
+    pub fn sat_add(self, rhs: Self) -> Self {
+        Self::new(self.re.sat_add(rhs.re), self.im.sat_add(rhs.im))
+    }
+
+    /// Knuth 3-multiply complex product with a 16-bit weight
+    /// (the interpolation unit: weight × sample).
+    ///
+    /// `(a+bi)(c+di) = (ac − bd) + ((a+b)(c+d) − ac − bd)i` where `c+di` is
+    /// the weight. Intermediate sums use 64-bit headroom before narrowing,
+    /// as a hardware implementation would carry guard bits.
+    pub fn knuth_mul_w<const WF: u32>(self, w: CFx16<WF>, round: Round) -> Self {
+        // Work in raw integer domain with full precision, then narrow once.
+        let a = self.re.0 as i64;
+        let b = self.im.0 as i64;
+        let c = w.re.0 as i64;
+        let d = w.im.0 as i64;
+        let ac = a * c;
+        let bd = b * d;
+        let abcd = (a + b) * (c + d);
+        let re_wide = ac - bd;
+        let im_wide = abcd - ac - bd;
+        Self::new(narrow(re_wide, WF, round), narrow(im_wide, WF, round))
+    }
+
+    /// Multiply by a real 16-bit weight (separable kernels apply one real
+    /// weight per dimension before the final complex product).
+    pub fn scale_w<const WF: u32>(self, w: Fx16<WF>, round: Round) -> Self {
+        Self::new(
+            self.re.mul_fx16(w, round),
+            self.im.mul_fx16(w, round),
+        )
+    }
+}
+
+/// Shift a wide product right by `shift` bits with rounding, saturating to
+/// 32 bits — the narrowing stage at the end of every hardware multiplier.
+fn narrow<const FRAC: u32>(wide: i64, shift: u32, round: Round) -> Fx32<FRAC> {
+    let shifted = match round {
+        Round::Nearest => {
+            let half = 1i64 << (shift - 1);
+            if wide >= 0 {
+                (wide + half) >> shift
+            } else {
+                -((-wide + half) >> shift)
+            }
+        }
+        Round::Truncate => wide >> shift,
+    };
+    Fx32(shifted.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+}
+
+/// Complex value with 16-bit fixed-point components — the LUT weight word.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Hash)]
+pub struct CFx16<const FRAC: u32> {
+    /// Real component.
+    pub re: Fx16<FRAC>,
+    /// Imaginary component.
+    pub im: Fx16<FRAC>,
+}
+
+impl<const FRAC: u32> CFx16<FRAC> {
+    /// Zero.
+    pub const ZERO: Self = Self {
+        re: Fx16::ZERO,
+        im: Fx16::ZERO,
+    };
+
+    /// Construct from components.
+    #[inline(always)]
+    pub const fn new(re: Fx16<FRAC>, im: Fx16<FRAC>) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real weight.
+    pub fn from_re(re: Fx16<FRAC>) -> Self {
+        Self::new(re, Fx16::ZERO)
+    }
+
+    /// Quantize a `Complex<f64>`.
+    pub fn from_c64(z: C64, round: Round) -> Self {
+        Self::new(Fx16::from_f64(z.re, round), Fx16::from_f64(z.im, round))
+    }
+
+    /// Widen to `Complex<f64>` (exact).
+    pub fn to_c64(self) -> C64 {
+        C64::new(self.re.to_f64(), self.im.to_f64())
+    }
+
+    /// Pack into the 32-bit SRAM word format: real in the high half-word,
+    /// imaginary in the low half-word.
+    pub fn pack(self) -> u32 {
+        ((self.re.0 as u16 as u32) << 16) | (self.im.0 as u16 as u32)
+    }
+
+    /// Unpack from the 32-bit SRAM word format.
+    pub fn unpack(word: u32) -> Self {
+        Self::new(
+            Fx16::from_bits((word >> 16) as u16 as i16),
+            Fx16::from_bits(word as u16 as i16),
+        )
+    }
+
+    /// Knuth 3-multiply 16×16→16 complex product (combining the
+    /// per-dimension weights in the weight-lookup unit).
+    pub fn knuth_mul(self, rhs: Self, round: Round) -> Self {
+        let a = self.re.0 as i32;
+        let b = self.im.0 as i32;
+        let c = rhs.re.0 as i32;
+        let d = rhs.im.0 as i32;
+        let ac = a * c;
+        let bd = b * d;
+        let abcd = (a + b) * (c + d);
+        let shift_round = |wide: i32| -> i16 {
+            let shifted = match round {
+                Round::Nearest => {
+                    let half = 1i32 << (FRAC - 1);
+                    if wide >= 0 {
+                        (wide + half) >> FRAC
+                    } else {
+                        -((-wide + half) >> FRAC)
+                    }
+                }
+                Round::Truncate => wide >> FRAC,
+            };
+            shifted.clamp(i16::MIN as i32, i16::MAX as i32) as i16
+        };
+        Self::new(
+            Fx16::from_bits(shift_round(ac - bd)),
+            Fx16::from_bits(shift_round(abcd - ac - bd)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_num::C64;
+
+    type W = CFx16<15>;
+    type A = CFx32<16>;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let w = W::from_c64(C64::new(0.75, -0.5), Round::Nearest);
+        assert_eq!(W::unpack(w.pack()), w);
+        // Negative components survive the u16 cast.
+        let w2 = W::from_c64(C64::new(-0.999, 0.001), Round::Nearest);
+        assert_eq!(W::unpack(w2.pack()), w2);
+    }
+
+    #[test]
+    fn pack_layout() {
+        let w = W::new(Fx16::from_bits(0x1234), Fx16::from_bits(0x00AB_u16 as i16));
+        assert_eq!(w.pack(), 0x1234_00AB);
+    }
+
+    #[test]
+    fn knuth_16_matches_float() {
+        let a = C64::new(0.6, -0.3);
+        let b = C64::new(0.5, 0.25);
+        let fa = W::from_c64(a, Round::Nearest);
+        let fb = W::from_c64(b, Round::Nearest);
+        let prod = fa.knuth_mul(fb, Round::Nearest).to_c64();
+        let want = a * b;
+        assert!((prod - want).abs() < 4.0 * Fx16::<15>::EPS);
+    }
+
+    #[test]
+    fn knuth_32x16_matches_float() {
+        let s = C64::new(1.25, -2.5);
+        let w = C64::new(0.5, 0.125);
+        let fs = A::from_c64(s, Round::Nearest);
+        let fw = W::from_c64(w, Round::Nearest);
+        let prod = fs.knuth_mul_w(fw, Round::Nearest).to_c64();
+        let want = s * w;
+        assert!(
+            (prod - want).abs() < 4.0 * Fx32::<16>::EPS + 4.0 * Fx16::<15>::EPS,
+            "{prod} vs {want}"
+        );
+    }
+
+    #[test]
+    fn accumulate_saturates() {
+        let big = A::new(Fx32::MAX, Fx32::ZERO);
+        let one = A::from_c64(C64::new(1.0, 0.0), Round::Nearest);
+        assert_eq!(big.sat_add(one).re, Fx32::MAX);
+    }
+
+    #[test]
+    fn real_scale() {
+        let s = A::from_c64(C64::new(2.0, -4.0), Round::Nearest);
+        let w = Fx16::<15>::from_f64(0.25, Round::Nearest);
+        let r = s.scale_w(w, Round::Nearest).to_c64();
+        assert!((r - C64::new(0.5, -1.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn purely_real_weight_product_preserves_phase() {
+        let s = A::from_c64(C64::new(0.3, 0.4), Round::Nearest);
+        let w = W::from_re(Fx16::from_f64(1.0 - Fx16::<15>::EPS, Round::Truncate));
+        let r = s.knuth_mul_w(w, Round::Nearest).to_c64();
+        let orig = s.to_c64();
+        assert!((r - orig).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,368 @@
+//! 32-bit fixed-point arithmetic — the numeric substrate of the JIGSAW
+//! accelerator pipelines.
+//!
+//! The paper's ASIC performs *all* gridding arithmetic in 32-bit fixed
+//! point: interpolation weights are stored as 32-bit complex words with
+//! 16-bit real and imaginary components, sample values stream in as 32-bit
+//! complex words, and the per-pipeline accumulators are 32-bit per
+//! component. This halves ALU width and table storage versus `f32` while
+//! *improving* reconstruction error (0.012 % vs 0.047 % NRMSD in Fig. 9),
+//! because fixed point spends no bits on exponent range the well-scaled
+//! gridding data never uses.
+//!
+//! * [`Fx32`] — a `Qm.n` value stored in `i32` with a const-generic number
+//!   of fraction bits; saturating conversion/arithmetic (hardware clamps).
+//! * [`Fx16`] — the 16-bit weight format (`Q1.15` when `FRAC = 15`).
+//! * [`CFx32`] / [`CFx16`] — complex pairs, with Knuth's 3-multiply complex
+//!   product exactly as the weight-lookup and interpolation units compute it.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod complex;
+
+pub use complex::{CFx16, CFx32};
+
+/// Rounding mode applied when narrowing (float→fixed and product shifts).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Round {
+    /// Round to nearest, ties away from zero — what a hardware
+    /// "add-half-then-truncate" rounder implements.
+    #[default]
+    Nearest,
+    /// Truncate toward negative infinity (drop the low bits) — the cheapest
+    /// hardware option; used in ablations to show the accuracy cost.
+    Truncate,
+}
+
+/// A signed fixed-point value with `FRAC` fraction bits stored in an `i32`.
+///
+/// The format is `Q(31−FRAC).FRAC`; e.g. `Fx32<16>` is Q15.16 covering
+/// ±32768 with granularity 2⁻¹⁶ — JIGSAW's accumulator format — and
+/// `Fx32<30>` is Q1.30 for unit-magnitude data.
+///
+/// ```
+/// use jigsaw_fixed::{Fx32, Round};
+/// let x = Fx32::<16>::from_f64(1.5, Round::Nearest);
+/// assert_eq!(x.to_f64(), 1.5);                       // exactly representable
+/// assert_eq!(x.mul(x, Round::Nearest).to_f64(), 2.25);
+/// assert_eq!(Fx32::<16>::from_f64(1e9, Round::Nearest), Fx32::<16>::MAX); // saturates
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct Fx32<const FRAC: u32>(pub i32);
+
+impl<const FRAC: u32> Fx32<FRAC> {
+    /// Number of fraction bits.
+    pub const FRAC_BITS: u32 = FRAC;
+    /// Smallest positive increment (one LSB) as `f64`.
+    pub const EPS: f64 = 1.0 / (1u64 << FRAC) as f64;
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+    /// One, if representable (requires `FRAC < 31`).
+    pub const ONE: Self = Self(1 << FRAC);
+    /// Maximum representable value.
+    pub const MAX: Self = Self(i32::MAX);
+    /// Minimum representable value.
+    pub const MIN: Self = Self(i32::MIN);
+
+    /// Construct from the raw two's-complement bit pattern.
+    #[inline(always)]
+    pub const fn from_bits(bits: i32) -> Self {
+        Self(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline(always)]
+    pub const fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Convert from `f64`, saturating out-of-range values and rounding per
+    /// `round`. NaN maps to zero (a hardware pipeline never sees NaN; the
+    /// software front end rejects non-finite samples before streaming).
+    pub fn from_f64(v: f64, round: Round) -> Self {
+        if v.is_nan() {
+            return Self(0);
+        }
+        let scaled = v * (1u64 << FRAC) as f64;
+        let r = match round {
+            Round::Nearest => scaled.round(),
+            Round::Truncate => scaled.floor(),
+        };
+        if r >= i32::MAX as f64 {
+            Self(i32::MAX)
+        } else if r <= i32::MIN as f64 {
+            Self(i32::MIN)
+        } else {
+            Self(r as i32)
+        }
+    }
+
+    /// Convert to `f64` (exact: every `Fx32` is representable in `f64`).
+    #[inline(always)]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 * Self::EPS
+    }
+
+    /// Saturating addition (hardware accumulators clamp on overflow).
+    #[inline(always)]
+    pub fn sat_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline(always)]
+    pub fn sat_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Wrapping addition (for modeling a cheaper non-saturating adder).
+    #[inline(always)]
+    pub fn wrapping_add(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Negation (saturates `MIN` to `MAX`).
+    #[allow(clippy::should_implement_trait)] // deliberate: saturating, not wrapping, semantics
+    #[inline(always)]
+    pub fn neg(self) -> Self {
+        Self(self.0.saturating_neg())
+    }
+
+    /// Fixed-point multiply: 64-bit intermediate product, shifted back by
+    /// `FRAC` with the given rounding, then saturated to 32 bits — the
+    /// standard DSP multiplier datapath.
+    pub fn mul(self, rhs: Self, round: Round) -> Self {
+        let wide = self.0 as i64 * rhs.0 as i64;
+        let shifted = match round {
+            Round::Nearest => {
+                let half = 1i64 << (FRAC - 1);
+                if wide >= 0 {
+                    (wide + half) >> FRAC
+                } else {
+                    -((-wide + half) >> FRAC)
+                }
+            }
+            Round::Truncate => wide >> FRAC,
+        };
+        Self(shifted.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Multiply by a 16-bit value with `F2` fraction bits, producing a
+    /// result in this 32-bit format — the interpolation unit's
+    /// weight × sample product.
+    pub fn mul_fx16<const F2: u32>(self, rhs: Fx16<F2>, round: Round) -> Self {
+        let wide = self.0 as i64 * rhs.0 as i64;
+        let shift = F2;
+        let shifted = match round {
+            Round::Nearest => {
+                let half = 1i64 << (shift - 1);
+                if wide >= 0 {
+                    (wide + half) >> shift
+                } else {
+                    -((-wide + half) >> shift)
+                }
+            }
+            Round::Truncate => wide >> shift,
+        };
+        Self(shifted.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+}
+
+/// A signed fixed-point value with `FRAC` fraction bits stored in an `i16` —
+/// the format of JIGSAW's interpolation-weight LUT entries (`Fx16<15>` =
+/// Q1.15, covering (−1, 1) with 2⁻¹⁵ granularity; kernel weights lie in
+/// `[0, 1]`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct Fx16<const FRAC: u32>(pub i16);
+
+impl<const FRAC: u32> Fx16<FRAC> {
+    /// Number of fraction bits.
+    pub const FRAC_BITS: u32 = FRAC;
+    /// One LSB as `f64`.
+    pub const EPS: f64 = 1.0 / (1u32 << FRAC) as f64;
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+    /// Maximum representable value.
+    pub const MAX: Self = Self(i16::MAX);
+    /// Minimum representable value.
+    pub const MIN: Self = Self(i16::MIN);
+
+    /// Construct from the raw bit pattern.
+    #[inline(always)]
+    pub const fn from_bits(bits: i16) -> Self {
+        Self(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline(always)]
+    pub const fn to_bits(self) -> i16 {
+        self.0
+    }
+
+    /// Convert from `f64`, saturating and rounding. NaN maps to zero.
+    pub fn from_f64(v: f64, round: Round) -> Self {
+        if v.is_nan() {
+            return Self(0);
+        }
+        let scaled = v * (1u32 << FRAC) as f64;
+        let r = match round {
+            Round::Nearest => scaled.round(),
+            Round::Truncate => scaled.floor(),
+        };
+        if r >= i16::MAX as f64 {
+            Self(i16::MAX)
+        } else if r <= i16::MIN as f64 {
+            Self(i16::MIN)
+        } else {
+            Self(r as i16)
+        }
+    }
+
+    /// Convert to `f64` (exact).
+    #[inline(always)]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 * Self::EPS
+    }
+
+    /// Saturating addition.
+    #[inline(always)]
+    pub fn sat_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// Widen to a 32-bit format with the same numeric value
+    /// (requires `F32 ≥ FRAC`; the shift is `F32 − FRAC`).
+    pub fn widen<const F32: u32>(self) -> Fx32<F32> {
+        Fx32((self.0 as i32) << (F32 - FRAC))
+    }
+
+    /// 16×16→16 multiply with rounding — the weight-lookup unit combining
+    /// per-dimension LUT weights into the final interpolation weight.
+    pub fn mul(self, rhs: Self, round: Round) -> Self {
+        let wide = self.0 as i32 * rhs.0 as i32;
+        let shifted = match round {
+            Round::Nearest => {
+                let half = 1i32 << (FRAC - 1);
+                if wide >= 0 {
+                    (wide + half) >> FRAC
+                } else {
+                    -((-wide + half) >> FRAC)
+                }
+            }
+            Round::Truncate => wide >> FRAC,
+        };
+        Self(shifted.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+}
+
+/// JIGSAW's accumulator format: Q15.16.
+pub type Acc = Fx32<16>;
+/// JIGSAW's weight format: Q1.15.
+pub type Weight = Fx16<15>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for v in [-1.0f64, -0.5, 0.0, 0.25, 0.75, 1.0, 100.0, -100.0] {
+            let f = Fx32::<16>::from_f64(v, Round::Nearest);
+            assert_eq!(f.to_f64(), v, "Q15.16 should represent {v} exactly");
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        let mut x = -0.9997;
+        while x < 1.0 {
+            let q = Fx16::<15>::from_f64(x, Round::Nearest);
+            assert!((q.to_f64() - x).abs() <= Fx16::<15>::EPS / 2.0 + 1e-12);
+            let t = Fx16::<15>::from_f64(x, Round::Truncate);
+            assert!(t.to_f64() <= x + 1e-12 && x - t.to_f64() < Fx16::<15>::EPS + 1e-12);
+            x += 0.000137;
+        }
+    }
+
+    #[test]
+    fn saturation_on_overflow() {
+        assert_eq!(Fx16::<15>::from_f64(2.0, Round::Nearest), Fx16::<15>::MAX);
+        assert_eq!(Fx16::<15>::from_f64(-2.0, Round::Nearest), Fx16::<15>::MIN);
+        assert_eq!(Fx32::<16>::from_f64(1e9, Round::Nearest), Fx32::<16>::MAX);
+        assert_eq!(Fx32::<16>::from_f64(-1e9, Round::Nearest), Fx32::<16>::MIN);
+        let big = Fx32::<16>::MAX;
+        assert_eq!(big.sat_add(Fx32::<16>::ONE), Fx32::<16>::MAX);
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        assert_eq!(Fx32::<16>::from_f64(f64::NAN, Round::Nearest), Fx32::<16>::ZERO);
+        assert_eq!(Fx16::<15>::from_f64(f64::NAN, Round::Truncate), Fx16::<15>::ZERO);
+    }
+
+    #[test]
+    fn multiply_matches_float_within_lsb() {
+        let cases = [(0.5, 0.5), (0.999, -0.999), (-0.25, 0.125), (0.707, 0.707)];
+        for (a, b) in cases {
+            let fa = Fx16::<15>::from_f64(a, Round::Nearest);
+            let fb = Fx16::<15>::from_f64(b, Round::Nearest);
+            let prod = fa.mul(fb, Round::Nearest).to_f64();
+            assert!(
+                (prod - a * b).abs() < 3.0 * Fx16::<15>::EPS,
+                "{a}*{b}: {prod} vs {}",
+                a * b
+            );
+        }
+    }
+
+    #[test]
+    fn q16_16_multiply() {
+        let a = Fx32::<16>::from_f64(3.5, Round::Nearest);
+        let b = Fx32::<16>::from_f64(-2.0, Round::Nearest);
+        assert_eq!(a.mul(b, Round::Nearest).to_f64(), -7.0);
+    }
+
+    #[test]
+    fn mixed_width_multiply() {
+        let s = Fx32::<16>::from_f64(1.5, Round::Nearest);
+        let w = Fx16::<15>::from_f64(0.5, Round::Nearest);
+        assert_eq!(s.mul_fx16(w, Round::Nearest).to_f64(), 0.75);
+    }
+
+    #[test]
+    fn widen_preserves_value() {
+        let w = Fx16::<15>::from_f64(0.625, Round::Nearest);
+        let a: Fx32<16> = w.widen();
+        assert_eq!(a.to_f64(), 0.625);
+    }
+
+    #[test]
+    fn nearest_rounding_ties_away() {
+        // 0.5 LSB exactly: 1.5 * EPS has a tie at the LSB boundary.
+        let v = 1.5 * Fx16::<15>::EPS;
+        let q = Fx16::<15>::from_f64(v, Round::Nearest);
+        assert_eq!(q.0, 2); // rounds away from zero
+        let q = Fx16::<15>::from_f64(-v, Round::Nearest);
+        assert_eq!(q.0, -2);
+    }
+
+    #[test]
+    fn truncate_is_floor() {
+        let q = Fx32::<16>::from_f64(-0.30000001, Round::Truncate);
+        assert!(q.to_f64() <= -0.30000001);
+        assert!(-0.30000001 - q.to_f64() < Fx32::<16>::EPS);
+    }
+
+    #[test]
+    fn negation_saturates_min() {
+        assert_eq!(Fx32::<16>::MIN.neg(), Fx32::<16>::MAX);
+        assert_eq!(Fx32::<16>::ONE.neg().to_f64(), -1.0);
+    }
+
+    #[test]
+    fn wrapping_add_wraps() {
+        let r = Fx32::<16>::MAX.wrapping_add(Fx32::<16>(1));
+        assert_eq!(r, Fx32::<16>::MIN);
+    }
+}

@@ -1,0 +1,37 @@
+//! Quick probe of the GPU replay model at two grid sizes.
+fn main() {
+    use jigsaw_core::config::GridParams;
+    use jigsaw_core::kernel::KernelKind;
+    use jigsaw_core::traj;
+    use jigsaw_gpu::*;
+    for g in [512usize, 1024] {
+        let p = GridParams {
+            grid: g,
+            width: 6,
+            table_oversampling: 32,
+            tile: 8,
+            kernel: KernelKind::Auto.resolve(6, 2.0),
+        };
+        let mut cyc = traj::radial_2d(300, 128, true);
+        cyc.truncate(30000);
+        traj::shuffle(&mut cyc, 9);
+        let coords: Vec<[f64; 2]> = cyc
+            .iter()
+            .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+            .collect();
+        let cfg = ReplayConfig::default();
+        let sd = replay_slice_dice(&p, &coords, &cfg);
+        let imp = replay_impatient(&p, &coords, &cfg);
+        for k in [&sd, &imp] {
+            println!(
+                "G={g} {:45} L2 read hit {:5.1}%  write hit {:5.1}%  lanes {:4.1}%  occ {:4.1}%  flops {}",
+                k.name,
+                100.0 * k.l2_hit_rate,
+                100.0 * k.write_hit_rate,
+                100.0 * k.lane_efficiency,
+                100.0 * k.occupancy,
+                k.weight_flops
+            );
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! Models a GPU L2: physically-addressed, shared by all thread blocks,
+//! accessed at cache-line granularity. Only hits/misses are tracked — the
+//! model is structural, not a timing simulator.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The Titan Xp's 3 MiB L2 with 128-byte lines, 16-way.
+    pub fn titan_xp_l2() -> Self {
+        Self {
+            capacity_bytes: 3 * 1024 * 1024,
+            line_bytes: 128,
+            ways: 16,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes / self.ways).max(1)
+    }
+}
+
+/// LRU set-associative cache simulator with separate read/write
+/// accounting (profiler-style hit rates are read hit rates; writes and
+/// atomics are tracked as traffic).
+pub struct CacheSim {
+    cfg: CacheConfig,
+    sets: usize,
+    /// `tags[set]` = lines in LRU order (front = most recent).
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+    write_hits: u64,
+    write_misses: u64,
+}
+
+impl CacheSim {
+    /// Create an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes > 0);
+        assert!(cfg.ways > 0);
+        let sets = cfg.sets();
+        Self {
+            cfg,
+            sets,
+            tags: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+            write_hits: 0,
+            write_misses: 0,
+        }
+    }
+
+    fn touch(&mut self, addr: u64) -> bool {
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Move to MRU.
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            true
+        } else {
+            ways.insert(0, line);
+            if ways.len() > self.cfg.ways {
+                ways.pop();
+            }
+            false
+        }
+    }
+
+    /// Read a byte address. Returns true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let hit = self.touch(addr);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Write (or atomic-update) a byte address; counted separately from
+    /// reads. Returns true on hit.
+    pub fn access_write(&mut self, addr: u64) -> bool {
+        let hit = self.touch(addr);
+        if hit {
+            self.write_hits += 1;
+        } else {
+            self.write_misses += 1;
+        }
+        hit
+    }
+
+    /// Read a whole warp's worth of addresses, coalesced: distinct cache
+    /// lines are accessed once each (the GPU coalescer merges per-lane
+    /// requests that fall in the same line). Returns the number of line
+    /// transactions issued.
+    pub fn access_coalesced(&mut self, addrs: &[u64]) -> usize {
+        let lines = Self::dedup_lines(addrs, self.cfg.line_bytes);
+        for &l in &lines {
+            self.access(l * self.cfg.line_bytes as u64);
+        }
+        lines.len()
+    }
+
+    /// Coalesced write/atomic transactions.
+    pub fn access_coalesced_write(&mut self, addrs: &[u64]) -> usize {
+        let lines = Self::dedup_lines(addrs, self.cfg.line_bytes);
+        for &l in &lines {
+            self.access_write(l * self.cfg.line_bytes as u64);
+        }
+        lines.len()
+    }
+
+    fn dedup_lines(addrs: &[u64], line_bytes: usize) -> Vec<u64> {
+        let mut lines: Vec<u64> = addrs.iter().map(|a| a / line_bytes as u64).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Read hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Read misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Write/atomic transactions so far (hits, misses).
+    pub fn write_counts(&self) -> (u64, u64) {
+        (self.write_hits, self.write_misses)
+    }
+
+    /// Read hit rate in [0, 1] — the profiler-style "L2 hit rate".
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Write/atomic hit rate in [0, 1].
+    pub fn write_hit_rate(&self) -> f64 {
+        let total = self.write_hits + self.write_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.write_hits as f64 / total as f64
+        }
+    }
+
+    /// Reset counters but keep contents (for warm-up phases).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.write_hits = 0;
+        self.write_misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        CacheSim::new(CacheConfig {
+            capacity_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Set 0 holds lines whose index ≡ 0 mod 4: lines 0, 4, 8 (addrs 0, 256, 512).
+        c.access(0);
+        c.access(256);
+        c.access(512); // evicts line 0 (LRU)
+        assert!(!c.access(0), "line 0 must have been evicted");
+        assert!(c.access(512));
+    }
+
+    #[test]
+    fn lru_refresh_on_hit() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(256);
+        c.access(0); // refresh line 0 → line 4 (addr 256) becomes LRU
+        c.access(512); // evicts line at addr 256
+        assert!(c.access(0));
+        assert!(!c.access(256));
+    }
+
+    #[test]
+    fn coalescing_merges_same_line() {
+        let mut c = tiny();
+        // 32 lanes all in one 64-byte line → 1 transaction.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 2).collect();
+        assert_eq!(c.access_coalesced(&addrs), 1);
+        // 32 lanes strided by 64 bytes → 32 transactions.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 64).collect();
+        assert_eq!(c.access_coalesced(&addrs), 32);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+        c.reset_counters();
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = CacheSim::new(CacheConfig {
+            capacity_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        });
+        let addrs: Vec<u64> = (0..512).map(|i| i * 64).collect(); // 32 KiB
+        for &a in &addrs {
+            c.access(a);
+        }
+        c.reset_counters();
+        for _ in 0..3 {
+            for &a in &addrs {
+                c.access(a);
+            }
+        }
+        assert_eq!(c.misses(), 0, "resident working set must not miss");
+        assert!((c.hit_rate() - 1.0).abs() < 1e-12);
+    }
+}

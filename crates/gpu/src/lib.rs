@@ -1,0 +1,38 @@
+//! # jigsaw-gpu — a SIMT/cache execution model for the gridding kernels
+//!
+//! §VI-A of the paper explains *why* Slice-and-Dice beats the binned
+//! Impatient kernel on the same GPU with four micro-architectural
+//! observations:
+//!
+//! 1. Slice-and-Dice reads interpolation weights from a LUT while
+//!    Impatient computes them on the fly;
+//! 2. Slice-and-Dice achieves an **L2 hit rate of ~98 %** vs ~80 %;
+//! 3. Slice-and-Dice achieves **~80 % occupancy** vs ~47 %;
+//! 4. Slice-and-Dice exposes parallelism across both the input array and
+//!    the output grid, while binned output-driven kernels leave `T/W` of
+//!    each warp's lanes idle on every sample ("severe branch divergence").
+//!
+//! We have no GPU, so this crate *derives* those numbers instead of
+//! measuring them: it replays the exact memory-access and branch streams
+//! the two algorithms generate — from real sample data, with the real
+//! decomposition — through a configurable set-associative cache model and
+//! a SIMT lane-efficiency counter, with the concurrent thread blocks of
+//! each kernel interleaved the way a GPU scheduler would interleave them
+//! (which is precisely what the paper says hurts binning: "different
+//! warps evict one another's data from the cache").
+//!
+//! The model is deliberately structural — no latencies or clocks, just
+//! hit rates, lane efficiency, and traffic counts — so every reported
+//! number follows from the algorithms themselves plus one cache
+//! geometry, not from tuned constants.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod occupancy;
+pub mod replay;
+
+pub use cache::{CacheConfig, CacheSim};
+pub use occupancy::{occupancy, KernelResources, SmConfig};
+pub use replay::{replay_impatient, replay_slice_dice, GpuKernelStats, ReplayConfig};

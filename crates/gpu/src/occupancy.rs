@@ -1,0 +1,166 @@
+//! CUDA-style SM occupancy calculation.
+//!
+//! Occupancy = resident threads / maximum resident threads, where the
+//! resident block count is limited by whichever SM resource runs out
+//! first: registers, shared memory, the block slot count, or the thread
+//! count. The paper reports ~80 % occupancy for Slice-and-Dice vs ~47 %
+//! for Impatient (§VI-A reason 3); those numbers follow from each
+//! kernel's resource footprint — Impatient's on-the-fly Kaiser-Bessel
+//! weight evaluation needs far more registers per thread than
+//! Slice-and-Dice's table lookup.
+
+/// Streaming-multiprocessor resource limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmConfig {
+    /// Register file size (32-bit registers).
+    pub registers: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_bytes: u32,
+    /// Maximum resident threads.
+    pub max_threads: u32,
+    /// Maximum resident blocks.
+    pub max_blocks: u32,
+    /// Register allocation granularity (per warp).
+    pub reg_alloc_granularity: u32,
+}
+
+impl SmConfig {
+    /// Pascal (GP102 / Titan Xp) SM limits.
+    pub fn pascal() -> Self {
+        Self {
+            registers: 65_536,
+            shared_bytes: 96 * 1024,
+            max_threads: 2048,
+            max_blocks: 32,
+            reg_alloc_granularity: 256,
+        }
+    }
+}
+
+/// Per-kernel resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Shared memory per block in bytes.
+    pub shared_per_block: u32,
+}
+
+impl KernelResources {
+    /// Estimated footprint of the Impatient-style binned kernel:
+    /// 256-thread blocks (one per 16×16 tile), heavy register use from
+    /// the in-thread Kaiser-Bessel evaluation (polynomial I0, division,
+    /// square roots), and the tile staged in shared memory.
+    pub fn impatient() -> Self {
+        Self {
+            threads_per_block: 256,
+            regs_per_thread: 64,
+            shared_per_block: 16 * 16 * 8, // B² complex f32 tile
+        }
+    }
+
+    /// Estimated footprint of the Slice-and-Dice kernel: 64-thread blocks
+    /// (8×8 dice columns), lean register use (table lookup + MAC), no
+    /// shared-memory staging (atomics to the global grid).
+    pub fn slice_dice() -> Self {
+        Self {
+            threads_per_block: 64,
+            regs_per_thread: 40,
+            shared_per_block: 0,
+        }
+    }
+}
+
+/// Occupancy in `[0, 1]`: resident threads over the SM maximum.
+pub fn occupancy(sm: &SmConfig, k: &KernelResources) -> f64 {
+    let warps_per_block = k.threads_per_block.div_ceil(32);
+    // Register limit (allocated per warp at the SM granularity).
+    let regs_per_warp =
+        (k.regs_per_thread * 32).div_ceil(sm.reg_alloc_granularity) * sm.reg_alloc_granularity;
+    let blocks_by_regs = sm
+        .registers
+        .checked_div(regs_per_warp)
+        .map_or(sm.max_blocks, |warps| warps / warps_per_block);
+    // Shared-memory limit.
+    let blocks_by_shared = sm
+        .shared_bytes
+        .checked_div(k.shared_per_block)
+        .unwrap_or(sm.max_blocks);
+    // Thread and slot limits.
+    let blocks_by_threads = sm.max_threads / k.threads_per_block;
+    let blocks = blocks_by_regs
+        .min(blocks_by_shared)
+        .min(blocks_by_threads)
+        .min(sm.max_blocks);
+    (blocks * k.threads_per_block) as f64 / sm.max_threads as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_kernel_reaches_full_occupancy() {
+        let k = KernelResources {
+            threads_per_block: 256,
+            regs_per_thread: 32,
+            shared_per_block: 0,
+        };
+        let occ = occupancy(&SmConfig::pascal(), &k);
+        assert!((occ - 1.0).abs() < 1e-12, "occ {occ}");
+    }
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        let lean = KernelResources {
+            threads_per_block: 256,
+            regs_per_thread: 32,
+            shared_per_block: 0,
+        };
+        let fat = KernelResources {
+            threads_per_block: 256,
+            regs_per_thread: 128,
+            shared_per_block: 0,
+        };
+        let sm = SmConfig::pascal();
+        assert!(occupancy(&sm, &fat) < occupancy(&sm, &lean));
+        // 128 regs/thread → 65536/4096 = 16 warps = 512 threads = 25 %.
+        assert!((occupancy(&sm, &fat) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let k = KernelResources {
+            threads_per_block: 128,
+            regs_per_thread: 16,
+            shared_per_block: 48 * 1024, // two blocks fill shared memory
+        };
+        let occ = occupancy(&SmConfig::pascal(), &k);
+        assert!((occ - 2.0 * 128.0 / 2048.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_slot_limit_binds_small_blocks() {
+        let k = KernelResources {
+            threads_per_block: 32,
+            regs_per_thread: 16,
+            shared_per_block: 0,
+        };
+        // 32 blocks × 32 threads = 1024 of 2048 = 50 %.
+        let occ = occupancy(&SmConfig::pascal(), &k);
+        assert!((occ - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_kernels_reproduce_reported_occupancies() {
+        // §VI-A: Slice-and-Dice ~80 %, Impatient ~47 %.
+        let sm = SmConfig::pascal();
+        let sd = occupancy(&sm, &KernelResources::slice_dice());
+        let imp = occupancy(&sm, &KernelResources::impatient());
+        assert!((0.70..=0.90).contains(&sd), "S&D occupancy {sd}");
+        assert!((0.40..=0.55).contains(&imp), "Impatient occupancy {imp}");
+        assert!(sd > 1.5 * imp);
+    }
+}

@@ -1,0 +1,368 @@
+//! Complex arithmetic.
+//!
+//! A minimal, `#[repr(C)]`, `Copy` complex type. The layout guarantee means a
+//! `&[Complex<T>]` can be viewed as interleaved re/im pairs, matching how the
+//! JIGSAW hardware streams 32-bit complex words (16-bit re + 16-bit im) and
+//! how FFT libraries lay out their buffers.
+
+use crate::float::Float;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` over a [`Float`] scalar.
+#[derive(Copy, Clone, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real component.
+    pub re: T,
+    /// Imaginary component.
+    pub im: T,
+}
+
+impl<T: Float> Complex<T> {
+    /// Create a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    /// `0 + 0i`.
+    #[inline(always)]
+    pub fn zeroed() -> Self {
+        Self::new(T::ZERO, T::ZERO)
+    }
+
+    /// `1 + 0i`.
+    #[inline(always)]
+    pub fn one() -> Self {
+        Self::new(T::ONE, T::ZERO)
+    }
+
+    /// `0 + 1i`.
+    #[inline(always)]
+    pub fn i() -> Self {
+        Self::new(T::ZERO, T::ONE)
+    }
+
+    /// A purely real complex number.
+    #[inline(always)]
+    pub fn from_re(re: T) -> Self {
+        Self::new(re, T::ZERO)
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    ///
+    /// ```
+    /// use jigsaw_num::C64;
+    /// let z = C64::cis(core::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15 && (z.im - 1.0).abs() < 1e-15);
+    /// ```
+    #[inline(always)]
+    pub fn cis(theta: T) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::new(c, s)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(self, k: T) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// Divide by a real factor.
+    #[inline(always)]
+    pub fn unscale(self, k: T) -> Self {
+        Self::new(self.re / k, self.im / k)
+    }
+
+    /// Multiply by `i` (90° rotation) without a full complex multiply.
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        Self::new(-self.im, self.re)
+    }
+
+    /// Multiply by `-i` (−90° rotation).
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        Self::new(self.im, -self.re)
+    }
+
+    /// Fused multiply-accumulate: `self + a*b`, using scalar FMAs.
+    #[inline(always)]
+    pub fn mul_acc(self, a: Self, b: Self) -> Self {
+        Self::new(
+            a.re.mul_add(b.re, a.im.mul_add(-b.im, self.re)),
+            a.re.mul_add(b.im, a.im.mul_add(b.re, self.im)),
+        )
+    }
+
+    /// Complex multiplication using Knuth's 3-multiply / 5-add scheme
+    /// (The Art of Computer Programming, vol. 2), exactly as the JIGSAW
+    /// weight-lookup and interpolation units implement it in hardware.
+    ///
+    /// `(a+bi)(c+di) = (ac − bd) + ((a+b)(c+d) − ac − bd) i`
+    ///
+    /// ```
+    /// use jigsaw_num::C64;
+    /// let a = C64::new(1.0, 2.0);
+    /// let b = C64::new(3.0, -1.0);
+    /// assert!((a.knuth_mul(b) - a * b).abs() < 1e-14);
+    /// ```
+    #[inline]
+    pub fn knuth_mul(self, rhs: Self) -> Self {
+        let ac = self.re * rhs.re;
+        let bd = self.im * rhs.im;
+        let abcd = (self.re + self.im) * (rhs.re + rhs.im);
+        Self::new(ac - bd, abcd - ac - bd)
+    }
+
+    /// True when both components are finite.
+    #[inline(always)]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Widen to `f64` precision.
+    #[inline(always)]
+    pub fn to_c64(self) -> Complex<f64> {
+        Complex::new(self.re.to_f64(), self.im.to_f64())
+    }
+
+    /// Narrow from `f64` precision.
+    #[inline(always)]
+    pub fn from_c64(z: Complex<f64>) -> Self {
+        Complex::new(T::from_f64(z.re), T::from_f64(z.im))
+    }
+}
+
+impl<T: Float> Add for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Float> Sub for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: Float> Mul for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<T: Float> Div for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl<T: Float> Neg for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Float> Mul<T> for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: T) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<T: Float> Div<T> for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: T) -> Self {
+        self.unscale(rhs)
+    }
+}
+
+impl<T: Float> AddAssign for Complex<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<T: Float> SubAssign for Complex<T> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<T: Float> MulAssign for Complex<T> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Float> DivAssign for Complex<T> {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<T: Float> MulAssign<T> for Complex<T> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: T) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl<T: Float> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zeroed(), |a, b| a + b)
+    }
+}
+
+impl<T: Float> From<T> for Complex<T> {
+    #[inline(always)]
+    fn from(re: T) -> Self {
+        Self::from_re(re)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}+{:?}i)", self.re, self.im)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}i", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type C = Complex<f64>;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = C::new(1.0, 2.0);
+        let b = C::new(3.0, -1.0);
+        assert_eq!(a + b, C::new(4.0, 1.0));
+        assert_eq!(a - b, C::new(-2.0, 3.0));
+        assert_eq!(a * b, C::new(5.0, 5.0));
+        let q = (a / b) * b;
+        assert!((q - a).abs() < 1e-14);
+    }
+
+    #[test]
+    fn knuth_matches_schoolbook() {
+        let a = C::new(0.3, -1.7);
+        let b = C::new(-2.5, 0.9);
+        let k = a.knuth_mul(b);
+        let s = a * b;
+        assert!((k - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..32 {
+            let th = k as f64 * 0.2 - 3.0;
+            let z = C::cis(th);
+            assert!((z.abs() - 1.0).abs() < 1e-14);
+            assert!((z.re - th.cos()).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = C::new(3.0, 4.0);
+        assert_eq!(a.conj(), C::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!((a * a.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn mul_i_rotations() {
+        let a = C::new(1.0, 2.0);
+        assert_eq!(a.mul_i(), a * C::i());
+        assert_eq!(a.mul_neg_i(), a * C::new(0.0, -1.0));
+        assert_eq!(a.mul_i().mul_neg_i(), a);
+    }
+
+    #[test]
+    fn mul_acc_is_fused_multiply_add() {
+        let acc = C::new(0.5, -0.5);
+        let a = C::new(1.25, 0.75);
+        let b = C::new(-0.5, 2.0);
+        let r = acc.mul_acc(a, b);
+        let expect = acc + a * b;
+        assert!((r - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sum_of_cis_roots_is_zero() {
+        // Sum of all n-th roots of unity is 0 for n > 1.
+        let n = 16;
+        let s: C = (0..n)
+            .map(|k| C::cis(2.0 * core::f64::consts::PI * k as f64 / n as f64))
+            .sum();
+        assert!(s.abs() < 1e-13);
+    }
+
+    #[test]
+    fn widen_narrow_roundtrip() {
+        let a = Complex::<f32>::new(1.5, -2.25);
+        let w = a.to_c64();
+        assert_eq!(w, C::new(1.5, -2.25));
+        assert_eq!(Complex::<f32>::from_c64(w), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", C::new(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{:?}", C::new(1.0, 2.0)), "(1.0+2.0i)");
+    }
+}

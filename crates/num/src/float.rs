@@ -1,0 +1,239 @@
+//! Scalar float abstraction.
+//!
+//! The NuFFT engines are generic over the working precision: the paper's
+//! CPU baseline runs in `f64`, its GPU implementation in `f32`, and the
+//! JIGSAW accelerator in 32-bit fixed point (see the `jigsaw-fixed` crate).
+//! [`Float`] captures exactly the operations the floating-point paths need,
+//! so `f32` and `f64` share one implementation of every algorithm.
+
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+/// A real scalar type usable as the working precision of an (Nu)FFT.
+///
+/// Implemented for `f32` and `f64`. The trait is deliberately small:
+/// everything the workspace needs and nothing more.
+pub trait Float:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Rem<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum<Self>
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// One half.
+    const HALF: Self;
+    /// Two.
+    const TWO: Self;
+    /// Archimedes' constant.
+    const PI: Self;
+    /// Machine epsilon.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64` (used for constants and LUT generation).
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion from `usize` (grid sizes, indices).
+    fn from_usize(v: usize) -> Self;
+    /// Widening conversion to `f64` for error analysis and accumulation.
+    fn to_f64(self) -> f64;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Simultaneous sine and cosine.
+    fn sin_cos(self) -> (Self, Self);
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Largest integer ≤ self.
+    fn floor(self) -> Self;
+    /// Smallest integer ≥ self.
+    fn ceil(self) -> Self;
+    /// Round half away from zero.
+    fn round(self) -> Self;
+    /// Raise to an integer power.
+    fn powi(self, n: i32) -> Self;
+    /// Fused multiply-add.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// True if the value is finite (not NaN or ±∞).
+    fn is_finite(self) -> bool;
+    /// True if the value is NaN.
+    fn is_nan(self) -> bool;
+    /// Maximum of two values (NaN-propagating like `f64::max` is fine).
+    fn max(self, other: Self) -> Self;
+    /// Minimum of two values.
+    fn min(self, other: Self) -> Self;
+    /// Euclidean remainder into `[0, rhs)`.
+    fn rem_euclid(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_float {
+    ($t:ty) => {
+        impl Float for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const HALF: Self = 0.5;
+            const TWO: Self = 2.0;
+            const PI: Self = core::f64::consts::PI as $t;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                self.sin()
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                self.cos()
+            }
+            #[inline(always)]
+            fn sin_cos(self) -> (Self, Self) {
+                self.sin_cos()
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            #[inline(always)]
+            fn floor(self) -> Self {
+                self.floor()
+            }
+            #[inline(always)]
+            fn ceil(self) -> Self {
+                self.ceil()
+            }
+            #[inline(always)]
+            fn round(self) -> Self {
+                self.round()
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                self.powi(n)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self.mul_add(a, b)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+            #[inline(always)]
+            fn is_nan(self) -> bool {
+                self.is_nan()
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline(always)]
+            fn rem_euclid(self, rhs: Self) -> Self {
+                self.rem_euclid(rhs)
+            }
+        }
+    };
+}
+
+impl_float!(f32);
+impl_float!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<T: Float>() {
+        let x = T::from_f64(1.5);
+        assert_eq!(x.to_f64(), 1.5);
+        assert_eq!(T::from_usize(3).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn roundtrip_f32_f64() {
+        generic_roundtrip::<f32>();
+        generic_roundtrip::<f64>();
+    }
+
+    #[test]
+    fn constants_match_std() {
+        assert_eq!(<f64 as Float>::PI, core::f64::consts::PI);
+        assert!((<f32 as Float>::PI - core::f32::consts::PI).abs() < 1e-7);
+        assert_eq!(<f64 as Float>::HALF * 2.0, 1.0);
+    }
+
+    #[test]
+    fn rem_euclid_wraps_negative() {
+        let x: f64 = -0.25;
+        assert_eq!(Float::rem_euclid(x, 8.0), 7.75);
+        let y: f32 = -3.5;
+        assert_eq!(Float::rem_euclid(y, 2.0), 0.5);
+    }
+
+    #[test]
+    fn sin_cos_consistent() {
+        let x = 0.7f64;
+        let (s, c) = Float::sin_cos(x);
+        assert!((s - x.sin()).abs() < 1e-15);
+        assert!((c - x.cos()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn finite_and_nan_predicates() {
+        assert!(Float::is_finite(1.0f64));
+        assert!(!Float::is_finite(f64::INFINITY));
+        assert!(Float::is_nan(f64::NAN));
+        assert!(!Float::is_nan(0.0f32));
+    }
+}

@@ -1,0 +1,38 @@
+//! Numeric substrate for the Jigsaw NuFFT reproduction.
+//!
+//! This crate provides the small, dependency-free numeric toolbox that the
+//! rest of the workspace builds on:
+//!
+//! * [`Complex`] — a `#[repr(C)]` complex number generic over [`Float`],
+//!   with the full operator surface needed by FFTs and gridding kernels.
+//! * [`Float`] — the scalar abstraction unifying `f32` and `f64` so that the
+//!   FFT and NuFFT engines can be instantiated at either precision (the
+//!   paper's GPU implementation is `f32`, its reference is `f64`).
+//! * [`special`] — special functions (modified Bessel `I0`, `sinc`) needed
+//!   by the Kaiser-Bessel interpolation kernel and its apodization inverse.
+//!
+//! Everything here is written from scratch; no external numeric crates are
+//! used, mirroring the paper's self-contained fixed-function hardware.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod complex;
+pub mod float;
+pub mod special;
+
+pub use complex::Complex;
+pub use float::Float;
+
+/// Complex number specialized to `f64` (reference precision, as used by the
+/// paper's MIRT baseline).
+pub type C64 = Complex<f64>;
+/// Complex number specialized to `f32` (GPU precision in the paper).
+pub type C32 = Complex<f32>;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::complex::Complex;
+    pub use crate::float::Float;
+    pub use crate::{C32, C64};
+}

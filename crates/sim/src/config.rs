@@ -1,0 +1,236 @@
+//! JIGSAW hardware configuration — Table I of the paper.
+//!
+//! | Property | Value |
+//! |---|---|
+//! | Target grid dimensions (N) | 8–1024 |
+//! | Virtual tile dimensions (T) | 8 |
+//! | Interpolation window dimensions (W) | 1–8 |
+//! | Table oversampling factor (L) | 1–64 |
+//! | Pipeline bit width | 32-bit |
+//! | Interpolation weight bit width | 16-bit |
+//!
+//! The "target grid" here is the grid the accelerator accumulates into —
+//! the NuFFT's *oversampled* grid (`σN` on the host side).
+
+use crate::{Result, SimError};
+use jigsaw_core::config::GridParams;
+use jigsaw_core::kernel::KernelKind;
+use jigsaw_fixed::Round;
+
+/// Clock frequency of the synthesized design (§IV: 1.0 GHz).
+pub const CLOCK_HZ: f64 = 1.0e9;
+/// 2-D pipeline depth in cycles (§VI-A).
+pub const PIPELINE_DEPTH_2D: u64 = 12;
+/// 3-D slice pipeline depth in cycles (§VI-A).
+pub const PIPELINE_DEPTH_3D: u64 = 15;
+/// Input bus width in bits (Fig. 5: "non-uniform samples arrive on a
+/// 128-bit bus").
+pub const INPUT_BUS_BITS: u64 = 128;
+/// Output: "two 64-bit uniform target points are read through the bus
+/// each cycle".
+pub const OUTPUT_POINTS_PER_CYCLE: u64 = 2;
+
+/// A validated JIGSAW configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JigsawConfig {
+    /// Target (oversampled) grid size per dimension, 8–1024.
+    pub grid: usize,
+    /// Virtual tile dimension. The paper's implementation fixes `T = 8`.
+    pub tile: usize,
+    /// Interpolation window width, 1–8.
+    pub width: usize,
+    /// Table oversampling factor, 1–64 (power of two).
+    pub table_oversampling: usize,
+    /// Interpolation kernel whose weights fill the LUT SRAMs.
+    pub kernel: KernelKind,
+    /// Hardware rounding mode for the fixed-point datapath.
+    pub round: Round,
+}
+
+impl JigsawConfig {
+    /// The paper's running example: `N = 1024, T = 8, W = 6, L = 32`,
+    /// Beatty Kaiser-Bessel, round-to-nearest.
+    pub fn paper_default() -> Self {
+        Self {
+            grid: 1024,
+            tile: 8,
+            width: 6,
+            table_oversampling: 32,
+            kernel: KernelKind::Auto.resolve(6, 2.0),
+            round: Round::Nearest,
+        }
+    }
+
+    /// Same shape with a smaller grid (for fast tests).
+    pub fn small(grid: usize) -> Self {
+        Self {
+            grid,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Validate against Table I.
+    pub fn validate(&self) -> Result<()> {
+        if !(8..=1024).contains(&self.grid) {
+            return Err(SimError::Config(format!(
+                "target grid {} outside Table I range 8–1024",
+                self.grid
+            )));
+        }
+        if self.tile != 8 {
+            return Err(SimError::Config(format!(
+                "virtual tile dimension must be 8 (Table I), got {}",
+                self.tile
+            )));
+        }
+        if !self.grid.is_multiple_of(self.tile) {
+            return Err(SimError::Config(format!(
+                "tile {} must divide grid {}",
+                self.tile, self.grid
+            )));
+        }
+        if !(1..=8).contains(&self.width) {
+            return Err(SimError::Config(format!(
+                "window width {} outside Table I range 1–8",
+                self.width
+            )));
+        }
+        if !(1..=64).contains(&self.table_oversampling)
+            || !self.table_oversampling.is_power_of_two()
+        {
+            return Err(SimError::Config(format!(
+                "table oversampling {} outside Table I range 1–64 (power of two)",
+                self.table_oversampling
+            )));
+        }
+        if matches!(self.kernel, KernelKind::Auto) {
+            return Err(SimError::Config(
+                "kernel must be resolved before configuring hardware".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Stored LUT entries: `WL/2 + 1 ≤ 257` — fits the 256-entry dual-port
+    /// SRAM of §IV with the always-zero edge entry optimized away.
+    pub fn lut_entries(&self) -> usize {
+        self.width * self.table_oversampling / 2 + 1
+    }
+
+    /// Grid-side parameter view (shared vocabulary with `jigsaw-core`).
+    pub fn grid_params(&self) -> GridParams {
+        GridParams {
+            grid: self.grid,
+            width: self.width,
+            table_oversampling: self.table_oversampling,
+            tile: self.tile,
+            kernel: self.kernel,
+        }
+    }
+
+    /// Accumulation SRAM per pipeline in bits (2-D): each pipeline owns one
+    /// dice column of `(G/T)²` points × 64-bit complex.
+    pub fn accum_bits_per_pipeline(&self) -> u64 {
+        let tiles = (self.grid / self.tile) as u64;
+        tiles * tiles * 64
+    }
+
+    /// Total accumulation SRAM in bits across the `T²` pipelines.
+    pub fn total_accum_bits(&self) -> u64 {
+        self.accum_bits_per_pipeline() * (self.tile * self.tile) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        assert!(JigsawConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn table_i_boundaries() {
+        let mut c = JigsawConfig::paper_default();
+        c.grid = 8;
+        assert!(c.validate().is_ok());
+        c.grid = 1024;
+        assert!(c.validate().is_ok());
+        c.grid = 4;
+        assert!(c.validate().is_err());
+        c.grid = 2048;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn width_range() {
+        let mut c = JigsawConfig::paper_default();
+        for w in 1..=8 {
+            c.width = w;
+            assert!(c.validate().is_ok(), "W={w}");
+        }
+        c.width = 9;
+        assert!(c.validate().is_err());
+        c.width = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn l_range_and_pow2() {
+        let mut c = JigsawConfig::paper_default();
+        for l in [1usize, 2, 4, 8, 16, 32, 64] {
+            c.table_oversampling = l;
+            assert!(c.validate().is_ok(), "L={l}");
+        }
+        c.table_oversampling = 128;
+        assert!(c.validate().is_err());
+        c.table_oversampling = 48;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tile_fixed_at_8() {
+        let mut c = JigsawConfig::paper_default();
+        c.tile = 16;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn lut_capacity_matches_sram() {
+        // Max config W = 8, L = 64 → 257 entries (256-weight SRAM + the
+        // structurally-zero edge weight).
+        let mut c = JigsawConfig::paper_default();
+        c.width = 8;
+        c.table_oversampling = 64;
+        assert_eq!(c.lut_entries(), 257);
+    }
+
+    #[test]
+    fn accum_sram_capacity_is_8mb_at_n1024() {
+        // §IV: "JIGSAW only has ~8MB of on-chip SRAM" for the 1024² grid.
+        let c = JigsawConfig::paper_default();
+        let total_bytes = c.total_accum_bits() / 8;
+        assert_eq!(total_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn dma_bandwidth_matches_ddr4_claim() {
+        // §IV System Integration: "with a synthesized clock speed of
+        // 1.0 GHz, JIGSAW is able to transmit and receive data at DDR4
+        // bandwidth (~20 GB/s)". 128 bits/cycle × 1 GHz = 16 GB/s — the
+        // stream never outruns a DDR4-2666 channel.
+        let bytes_per_second = INPUT_BUS_BITS as f64 / 8.0 * CLOCK_HZ;
+        assert_eq!(bytes_per_second, 16e9);
+        assert!(bytes_per_second <= 21.3e9); // DDR4-2666 peak
+    }
+
+    #[test]
+    fn grid_params_roundtrip() {
+        let c = JigsawConfig::paper_default();
+        let p = c.grid_params();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.grid, 1024);
+        assert_eq!(p.lut_len(), c.lut_entries());
+    }
+}

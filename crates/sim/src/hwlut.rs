@@ -1,0 +1,148 @@
+//! Hardware interpolation-weight LUT (the per-pipeline weight SRAM).
+//!
+//! §IV "Weight Lookup": each unit holds a dual-ported SRAM of up to 256
+//! 32-bit complex weights — 16 bits per real/imaginary component — storing
+//! only half the (symmetric) window. Real-valued kernels (every kernel in
+//! this workspace) leave the imaginary half zero, but the datapath carries
+//! it, exactly as the silicon would.
+
+use crate::config::JigsawConfig;
+use jigsaw_fixed::{CFx16, Fx16};
+use jigsaw_num::C64;
+use std::cell::Cell;
+
+/// Quantized weight table plus SRAM access accounting.
+#[derive(Debug, Clone)]
+pub struct HwLut {
+    wl: u32,
+    /// Packed 32-bit SRAM words (16-bit re, 16-bit im).
+    words: Vec<u32>,
+    reads: Cell<u64>,
+}
+
+impl HwLut {
+    /// Build from a configuration: evaluate the kernel in `f64`, quantize
+    /// each weight to Q1.15, and pack into SRAM words.
+    ///
+    /// Weights are scaled by `(1 − 2⁻¹⁵)` before quantization so the peak
+    /// weight 1.0 fits the Q1.15 range (the hardware equivalent: weights
+    /// normalized to the format's max representable value).
+    pub fn build(cfg: &JigsawConfig) -> Self {
+        let w = cfg.width;
+        let l = cfg.table_oversampling;
+        let wl = (w * l) as u32;
+        let scale = 1.0 - Fx16::<15>::EPS;
+        let words = (0..=wl / 2)
+            .map(|s| {
+                let delta = s as f64 / l as f64 - w as f64 / 2.0;
+                let weight = cfg.kernel.eval(delta, w) * scale;
+                CFx16::<15>::from_c64(C64::new(weight, 0.0), cfg.round).pack()
+            })
+            .collect();
+        Self {
+            wl,
+            words,
+            reads: Cell::new(0),
+        }
+    }
+
+    /// Number of stored SRAM words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the table is empty (never for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Look up by *unfolded* index `t ∈ [0, WL]`; the fold
+    /// `min(t, WL − t)` is a mux on the SRAM address lines.
+    #[inline]
+    pub fn read(&self, t: u32) -> CFx16<15> {
+        debug_assert!(t <= self.wl);
+        self.reads.set(self.reads.get() + 1);
+        let folded = t.min(self.wl - t) as usize;
+        CFx16::unpack(self.words[folded])
+    }
+
+    /// Total SRAM reads performed (energy accounting).
+    pub fn read_count(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Reset the access counter.
+    pub fn reset_counters(&self) {
+        self.reads.set(0);
+    }
+
+    /// The worst-case quantization error of the stored weights vs the
+    /// `f64` kernel (should be ≤ half an LSB of Q1.15 plus the 1−2⁻¹⁵
+    /// rescale).
+    pub fn quantization_error(&self, cfg: &JigsawConfig) -> f64 {
+        let l = cfg.table_oversampling as f64;
+        let w = cfg.width;
+        (0..self.words.len())
+            .map(|s| {
+                let delta = s as f64 / l - w as f64 / 2.0;
+                let exact = cfg.kernel.eval(delta, w);
+                (CFx16::<15>::unpack(self.words[s]).to_c64().re - exact).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_fits_256_word_sram() {
+        let mut cfg = JigsawConfig::paper_default();
+        cfg.width = 8;
+        cfg.table_oversampling = 64;
+        let lut = HwLut::build(&cfg);
+        assert!(lut.len() <= 257);
+    }
+
+    #[test]
+    fn weights_quantized_within_lsb() {
+        let cfg = JigsawConfig::paper_default();
+        let lut = HwLut::build(&cfg);
+        // Error ≤ rescale loss (≤ EPS) + rounding (≤ EPS/2).
+        assert!(lut.quantization_error(&cfg) <= 1.6 * Fx16::<15>::EPS);
+    }
+
+    #[test]
+    fn folded_reads_are_symmetric() {
+        let cfg = JigsawConfig::small(64);
+        let lut = HwLut::build(&cfg);
+        let wl = (cfg.width * cfg.table_oversampling) as u32;
+        for t in 0..=wl {
+            assert_eq!(lut.read(t), lut.read(wl - t));
+        }
+    }
+
+    #[test]
+    fn peak_weight_is_format_max() {
+        let cfg = JigsawConfig::paper_default();
+        let lut = HwLut::build(&cfg);
+        let wl = (cfg.width * cfg.table_oversampling) as u32;
+        let peak = lut.read(wl / 2);
+        assert_eq!(peak.re, Fx16::<15>::MAX);
+        assert_eq!(peak.im, Fx16::<15>::ZERO);
+    }
+
+    #[test]
+    fn read_counter_accumulates() {
+        let cfg = JigsawConfig::small(64);
+        let lut = HwLut::build(&cfg);
+        lut.reset_counters();
+        for t in 0..10 {
+            lut.read(t);
+        }
+        assert_eq!(lut.read_count(), 10);
+        lut.reset_counters();
+        assert_eq!(lut.read_count(), 0);
+    }
+}

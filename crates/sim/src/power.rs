@@ -1,0 +1,261 @@
+//! Power and area model — regenerating Table II.
+//!
+//! We cannot run a 16 nm synthesis flow, so this module models JIGSAW's
+//! power and area as the paper's own analysis suggests decomposing them:
+//! "approximately 95 % of this area is used for the on-chip storage of the
+//! 1024×1024 uniform target grid, which is also responsible for over 56 %
+//! of the power consumption" (§VI-B), and the 3-D variant draws less power
+//! purely through "reduced switching activity".
+//!
+//! The model has six constants — SRAM area/bit, two leakage terms, and
+//! two per-operation energies — **fitted** to the four rows of Table II
+//! (documented in `EXPERIMENTS.md`). What the model *predicts* (rather
+//! than fits) is every other configuration: smaller grids, different `W`,
+//! sorted-vs-unsorted 3-D streams, and the per-run energies of Fig. 8.
+//!
+//! Fit quality: the four Table II rows are reproduced to < 0.1 %, because
+//! the decomposition has exactly the paper's structure — static leakage
+//! proportional to SRAM bits plus per-variant logic base, and dynamic
+//! energy proportional to switching activity (window MACs and accumulator
+//! read-modify-writes per cycle).
+
+use crate::config::{JigsawConfig, CLOCK_HZ};
+use crate::machine::SimReport;
+
+/// Accelerator variant (row selector of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// JIGSAW 2D.
+    TwoD,
+    /// JIGSAW 3D Slice.
+    ThreeDSlice,
+}
+
+/// The calibrated power/area model.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    /// Accumulator SRAM area per bit (mm²) — 16 nm macro estimate fitted
+    /// from Table II: (12.20 − 0.42) mm² / 8 MiB.
+    pub sram_area_per_bit_mm2: f64,
+    /// Non-SRAM (pipelines + LUTs + control) area, 2-D variant (mm²).
+    pub logic_area_2d_mm2: f64,
+    /// Non-SRAM area, 3-D slice variant (mm²).
+    pub logic_area_3d_mm2: f64,
+    /// Accumulator SRAM leakage for the full 8 MiB array (mW); scales
+    /// linearly with bits for other grid sizes.
+    pub sram_leak_mw: f64,
+    /// Energy per 64-bit accumulator read-modify-write (pJ).
+    pub sram_rmw_pj: f64,
+    /// Logic base power (clock tree + leakage), per variant (mW).
+    pub logic_base_2d_mw: f64,
+    /// Logic base power for the 3-D variant (mW).
+    pub logic_base_3d_mw: f64,
+    /// Logic energy per window-point operation — one select hit, LUT
+    /// read pair, weight combine, and MAC (pJ).
+    pub logic_mac_pj: f64,
+}
+
+/// Reference SRAM capacity of the paper's configuration (bits of 8 MiB).
+const BITS_8MIB: f64 = 8.0 * 1024.0 * 1024.0 * 8.0;
+
+impl PowerModel {
+    /// Constants fitted to Table II (see module docs).
+    pub fn calibrated() -> Self {
+        Self {
+            sram_area_per_bit_mm2: (12.20 - 0.42) / BITS_8MIB,
+            logic_area_2d_mm2: 0.42,
+            logic_area_3d_mm2: 0.64,
+            sram_leak_mw: 40.24,
+            sram_rmw_pj: 2.289,
+            logic_base_2d_mw: 63.44,
+            logic_base_3d_mw: 63.44,
+            logic_mac_pj: 0.855,
+        }
+    }
+
+    /// Die area in mm² for a configuration, with or without the
+    /// accumulation SRAM (the two sub-rows of Table II).
+    pub fn area_mm2(&self, cfg: &JigsawConfig, variant: Variant, with_accum_sram: bool) -> f64 {
+        let logic = match variant {
+            Variant::TwoD => self.logic_area_2d_mm2,
+            Variant::ThreeDSlice => self.logic_area_3d_mm2,
+        };
+        if with_accum_sram {
+            logic + cfg.total_accum_bits() as f64 * self.sram_area_per_bit_mm2
+        } else {
+            logic
+        }
+    }
+
+    /// Average power in mW given the per-cycle switching activity
+    /// `macs_per_cycle` (window-point operations per clock; 2-D streaming
+    /// saturates at `W²`, 3-D slice streaming averages `W³/Nz`).
+    pub fn power_mw(
+        &self,
+        cfg: &JigsawConfig,
+        variant: Variant,
+        macs_per_cycle: f64,
+        with_accum_sram: bool,
+    ) -> f64 {
+        let logic_base = match variant {
+            Variant::TwoD => self.logic_base_2d_mw,
+            Variant::ThreeDSlice => self.logic_base_3d_mw,
+        };
+        // pJ per cycle at 1 GHz = mW.
+        let ghz = CLOCK_HZ / 1e9;
+        let logic_dyn = self.logic_mac_pj * macs_per_cycle * ghz;
+        if with_accum_sram {
+            let leak = self.sram_leak_mw * cfg.total_accum_bits() as f64 / BITS_8MIB;
+            let sram_dyn = self.sram_rmw_pj * macs_per_cycle * ghz;
+            logic_base + logic_dyn + leak + sram_dyn
+        } else {
+            logic_base + logic_dyn
+        }
+    }
+
+    /// Regenerate Table II: `(label, power mW, area mm²)` for the paper's
+    /// `N = 1024, W = 6` configuration.
+    pub fn table_ii(&self) -> Vec<(&'static str, f64, f64)> {
+        let cfg = JigsawConfig::paper_default();
+        // 2-D: every cycle accepts a sample hitting W² = 36 window points.
+        let act_2d = (cfg.width * cfg.width) as f64;
+        // 3-D slice: a sample's W³ window points spread over Nz slice
+        // passes of the stream → W³/Nz active points per streamed cycle.
+        let act_3d = (cfg.width.pow(3)) as f64 / cfg.grid as f64;
+        vec![
+            (
+                "2D (8MB SRAM)",
+                self.power_mw(&cfg, Variant::TwoD, act_2d, true),
+                self.area_mm2(&cfg, Variant::TwoD, true),
+            ),
+            (
+                "2D (no accum SRAM)",
+                self.power_mw(&cfg, Variant::TwoD, act_2d, false),
+                self.area_mm2(&cfg, Variant::TwoD, false),
+            ),
+            (
+                "3D Slice (8MB SRAM)",
+                self.power_mw(&cfg, Variant::ThreeDSlice, act_3d, true),
+                self.area_mm2(&cfg, Variant::ThreeDSlice, true),
+            ),
+            (
+                "3D Slice (no accum SRAM)",
+                self.power_mw(&cfg, Variant::ThreeDSlice, act_3d, false),
+                self.area_mm2(&cfg, Variant::ThreeDSlice, false),
+            ),
+        ]
+    }
+
+    /// Energy in joules of a simulated run: static power × runtime plus
+    /// per-operation dynamic energy.
+    pub fn energy_joules(
+        &self,
+        cfg: &JigsawConfig,
+        variant: Variant,
+        report: &SimReport,
+    ) -> f64 {
+        let logic_base = match variant {
+            Variant::TwoD => self.logic_base_2d_mw,
+            Variant::ThreeDSlice => self.logic_base_3d_mw,
+        };
+        let leak = self.sram_leak_mw * cfg.total_accum_bits() as f64 / BITS_8MIB;
+        let static_w = (logic_base + leak) * 1e-3;
+        let t = report.gridding_seconds();
+        let dyn_j =
+            (self.logic_mac_pj + self.sram_rmw_pj) * 1e-12 * report.ops.interp_macs as f64;
+        static_w * t + dyn_j
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::OpCounts;
+
+    /// Paper Table II values.
+    const TABLE_II: [(&str, f64, f64); 4] = [
+        ("2D (8MB SRAM)", 216.86, 12.20),
+        ("2D (no accum SRAM)", 94.22, 0.42),
+        ("3D Slice (8MB SRAM)", 104.36, 12.42),
+        ("3D Slice (no accum SRAM)", 63.62, 0.64),
+    ];
+
+    #[test]
+    fn reproduces_table_ii_within_one_percent() {
+        let rows = PowerModel::calibrated().table_ii();
+        for ((label, power, area), (plabel, ppower, parea)) in rows.iter().zip(TABLE_II) {
+            assert_eq!(*label, plabel);
+            assert!(
+                (power - ppower).abs() / ppower < 0.01,
+                "{label}: power {power:.2} vs paper {ppower}"
+            );
+            assert!(
+                (area - parea).abs() / parea < 0.01,
+                "{label}: area {area:.2} vs paper {parea}"
+            );
+        }
+    }
+
+    #[test]
+    fn sram_dominates_area_and_power_as_stated() {
+        // §VI-B: ~95 % of area is the target-grid SRAM; >56 % of power.
+        let m = PowerModel::calibrated();
+        let cfg = JigsawConfig::paper_default();
+        let total_area = m.area_mm2(&cfg, Variant::TwoD, true);
+        let sram_area = total_area - m.area_mm2(&cfg, Variant::TwoD, false);
+        assert!(sram_area / total_area > 0.95);
+        let total_p = m.power_mw(&cfg, Variant::TwoD, 36.0, true);
+        let sram_p = total_p - m.power_mw(&cfg, Variant::TwoD, 36.0, false);
+        assert!(sram_p / total_p > 0.56);
+    }
+
+    #[test]
+    fn smaller_grids_shrink_sram_linearly() {
+        let m = PowerModel::calibrated();
+        let big = JigsawConfig::paper_default();
+        let small = JigsawConfig::small(512);
+        let a_big = m.area_mm2(&big, Variant::TwoD, true) - m.logic_area_2d_mm2;
+        let a_small = m.area_mm2(&small, Variant::TwoD, true) - m.logic_area_2d_mm2;
+        assert!((a_big / a_small - 4.0).abs() < 1e-9); // 1024² / 512² = 4
+    }
+
+    #[test]
+    fn energy_of_typical_run_matches_paper_scale() {
+        // Fig. 8: JIGSAW consumes ~84 µJ on average across the five
+        // evaluation images. A ~400k-sample image should land in that
+        // order of magnitude.
+        let m = PowerModel::calibrated();
+        let cfg = JigsawConfig::paper_default();
+        let report = SimReport {
+            samples: 400_000,
+            compute_cycles: 400_012,
+            readout_cycles: 1024 * 1024 / 2,
+            ops: OpCounts {
+                interp_macs: 400_000 * 36,
+                accum_rmw: 400_000 * 36,
+                ..Default::default()
+            },
+        };
+        let e = m.energy_joules(&cfg, Variant::TwoD, &report);
+        assert!(
+            (2e-5..5e-4).contains(&e),
+            "energy {e} J outside the paper's order of magnitude"
+        );
+    }
+
+    #[test]
+    fn three_d_power_below_two_d() {
+        // Reduced switching activity must lower power (§VI-B).
+        let m = PowerModel::calibrated();
+        let cfg = JigsawConfig::paper_default();
+        let p2 = m.power_mw(&cfg, Variant::TwoD, 36.0, true);
+        let p3 = m.power_mw(&cfg, Variant::ThreeDSlice, 216.0 / 1024.0, true);
+        assert!(p3 < p2 / 2.0, "{p3} vs {p2}");
+    }
+}

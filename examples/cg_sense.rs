@@ -1,0 +1,91 @@
+//! Multi-coil CG-SENSE reconstruction — the clinical workload shape.
+//!
+//! Simulates an 8-coil golden-angle radial acquisition of the Shepp-Logan
+//! phantom at 3× undersampling and reconstructs with CG-SENSE. Every CG
+//! iteration costs one forward + one adjoint NuFFT *per coil* — the
+//! "millions of NuFFTs" regime from the paper's introduction, and the
+//! reason a 250–1500× gridding speedup changes what is clinically
+//! feasible.
+//!
+//! ```sh
+//! cargo run --release --example cg_sense
+//! ```
+
+use jigsaw::core::gridding::SliceDiceGridder;
+use jigsaw::core::metrics::nrmsd_percent;
+use jigsaw::core::phantom::Phantom2d;
+use jigsaw::core::recon::CgOptions;
+use jigsaw::core::sense::{acquire, adjoint, cg_sense, CoilMaps};
+use jigsaw::core::traj;
+use jigsaw::core::{NufftConfig, NufftPlan};
+use jigsaw::num::C64;
+use std::time::Instant;
+
+fn main() {
+    let n = 96usize;
+    let coils = 8usize;
+    let phantom = Phantom2d::shepp_logan();
+    let truth = phantom.rasterize_aa(n, 4);
+
+    // 3× undersampled golden-angle radial trajectory.
+    let full = (core::f64::consts::FRAC_PI_2 * n as f64) as usize;
+    let spokes = full / 3;
+    let mut coords = traj::radial_2d(spokes, 2 * n, true);
+    traj::shuffle(&mut coords, 11);
+    println!(
+        "{coils}-coil acquisition: {spokes} spokes ({}× undersampled), {} samples/coil",
+        full / spokes,
+        coords.len()
+    );
+
+    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).expect("plan");
+    let maps = CoilMaps::synthetic(n, coils);
+    let data = acquire(&plan, &maps, &truth, &coords).expect("acquire");
+
+    let norm = |v: &[C64]| -> Vec<C64> {
+        let p = v.iter().map(|z| z.abs()).fold(0.0, f64::max).max(1e-30);
+        v.iter().map(|z| z.unscale(p)).collect()
+    };
+    let tn = norm(&truth);
+
+    // Coil-combined direct adjoint.
+    let engine = SliceDiceGridder::default();
+    let direct = adjoint(&plan, &maps, &data, &coords, &engine).expect("adjoint");
+    println!(
+        "coil-combined adjoint : NRMSD {:.2}%",
+        nrmsd_percent(&norm(&direct), &tn)
+    );
+
+    // CG-SENSE.
+    let t0 = Instant::now();
+    let iters = 20;
+    let out = cg_sense(
+        &plan,
+        &maps,
+        &data,
+        &coords,
+        &engine,
+        &CgOptions {
+            max_iterations: iters,
+            tolerance: 1e-9,
+            lambda: 1e-4,
+        },
+    )
+    .expect("cg-sense");
+    let dt = t0.elapsed().as_secs_f64();
+    let nuffts = out.residuals.len() * coils * 2 + coils; // fwd+adj per coil per iter + rhs
+    println!(
+        "CG-SENSE ({} iters)   : NRMSD {:.2}% in {:.2} s — {} NuFFT invocations",
+        out.residuals.len(),
+        nrmsd_percent(&norm(&out.image), &tn),
+        dt,
+        nuffts
+    );
+    println!(
+        "                        ≈ {:.1} ms per NuFFT on this host; a 250× gridding\n\
+         speedup turns this reconstruction from {:.1} s into ~{:.0} ms.",
+        dt * 1e3 / nuffts as f64,
+        dt,
+        dt * 1e3 / 100.0
+    );
+}

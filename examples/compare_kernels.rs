@@ -1,0 +1,65 @@
+//! Kernel-family comparison — §II-B: "The interpolation kernel itself can
+//! be one of a variety of windowing functions, such as Kaiser-Bessel,
+//! Gaussian, B-spline, Sinc, etc. The choice of windowing function is
+//! application-specific."
+//!
+//! Reconstructs the same radial acquisition with every kernel family and
+//! prints the predicted aliasing bound next to the measured error —
+//! showing why the paper (and everyone else) defaults to Kaiser-Bessel.
+//!
+//! ```sh
+//! cargo run --release --example compare_kernels
+//! ```
+
+use jigsaw::core::accuracy;
+use jigsaw::core::gridding::ExactGridder;
+use jigsaw::core::kernel::KernelKind;
+use jigsaw::core::metrics::rel_l2;
+use jigsaw::core::nudft::adjoint_nudft;
+use jigsaw::core::traj;
+use jigsaw::core::{NufftConfig, NufftPlan};
+use jigsaw::num::C64;
+
+fn main() {
+    let n = 48usize;
+    let w = 6usize;
+    let mut coords = traj::radial_2d(60, 96, true);
+    traj::shuffle(&mut coords, 3);
+    let mut s = 7u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s as f64 / u64::MAX as f64 - 0.5
+    };
+    let values: Vec<C64> = (0..coords.len()).map(|_| C64::new(next(), next())).collect();
+    let exact = adjoint_nudft(n, &coords, &values, None);
+
+    println!("kernel comparison at N = {n}, W = {w}, σ = 2 (exact weights):\n");
+    println!("{:<28} {:>14} {:>14}", "kernel", "aliasing bound", "measured err");
+    let kernels = [
+        ("Kaiser-Bessel (Beatty β)", KernelKind::Auto.resolve(w, 2.0)),
+        ("Kaiser-Bessel (β = 8)", KernelKind::KaiserBessel { beta: 8.0 }),
+        ("Gaussian (s = W/6)", KernelKind::Gaussian { s: w as f64 / 6.0 }),
+        ("cubic B-spline", KernelKind::BSpline),
+        ("Hann cosine", KernelKind::Cosine),
+        ("windowed sinc", KernelKind::Sinc),
+        ("triangle", KernelKind::Triangle),
+    ];
+    for (name, kernel) in kernels {
+        let mut cfg = NufftConfig::with_n(n);
+        cfg.width = w;
+        cfg.kernel = kernel;
+        let bound = accuracy::aliasing_bound(&cfg);
+        let plan = NufftPlan::<f64, 2>::new(cfg).expect("plan");
+        let img = plan
+            .adjoint(&coords, &values, &ExactGridder)
+            .expect("adjoint")
+            .image;
+        let err = rel_l2(&img, &exact);
+        println!("{name:<28} {bound:>14.2e} {err:>14.2e}");
+    }
+    println!("\nThe Beatty-tuned Kaiser-Bessel wins by orders of magnitude at equal");
+    println!("width — the reason it is the de-facto gridding kernel and the one");
+    println!("burned into JIGSAW's weight LUTs.");
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the Jigsaw NuFFT reproduction.
+//!
+//! Re-exports every workspace crate under one roof so downstream users can
+//! depend on a single `jigsaw` crate. See the README for a tour.
+
+pub use jigsaw_core as core;
+pub use jigsaw_fft as fft;
+pub use jigsaw_fixed as fixed;
+pub use jigsaw_num as num;
+pub use jigsaw_gpu as gpu;
+pub use jigsaw_sim as sim;
