@@ -9,7 +9,7 @@
 //! * `ablation_l_sweep` — table oversampling factor L vs gridding cost
 //!   (accuracy side measured in `tests/quality.rs`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_bench::harness::BenchGroup;
 use jigsaw_bench::{eval_images, EvalImage, TrajKind};
 use jigsaw_core::config::GridParams;
 use jigsaw_core::gridding::{
@@ -39,77 +39,74 @@ fn problem(n: usize, m: usize) -> (GridParams, KernelLut, Vec<[f64; 2]>, Vec<C64
     let values = img.kspace(&coords_cycles);
     let coords: Vec<[f64; 2]> = coords_cycles
         .iter()
-        .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+        .map(|c| {
+            [
+                c[0].rem_euclid(1.0) * g as f64,
+                c[1].rem_euclid(1.0) * g as f64,
+            ]
+        })
         .collect();
     (params, lut, coords, values)
 }
 
-fn ablation_lut(c: &mut Criterion) {
+fn ablation_lut() {
     let (params, lut, coords, values) = problem(128, 16_384);
     let g = params.grid;
-    let mut group = c.benchmark_group("ablation_lut");
+    let mut group = BenchGroup::new("ablation_lut");
     group.sample_size(10);
-    group.bench_function("lut_weights", |b| {
-        b.iter(|| {
-            let mut out = vec![C64::zeroed(); g * g];
-            SerialGridder.grid(&params, &lut, &coords, &values, &mut out);
-            out
-        })
+    group.bench_function("lut_weights", || {
+        let mut out = vec![C64::zeroed(); g * g];
+        SerialGridder.grid(&params, &lut, &coords, &values, &mut out);
+        out
     });
-    group.bench_function("on_the_fly_weights", |b| {
-        b.iter(|| {
-            let mut out = vec![C64::zeroed(); g * g];
-            ExactGridder.grid(&params, &lut, &coords, &values, &mut out);
-            out
-        })
+    group.bench_function("on_the_fly_weights", || {
+        let mut out = vec![C64::zeroed(); g * g];
+        ExactGridder.grid(&params, &lut, &coords, &values, &mut out);
+        out
     });
     group.finish();
 }
 
-fn ablation_tile(c: &mut Criterion) {
+fn ablation_tile() {
     let (params, lut, coords, values) = problem(128, 16_384);
     let g = params.grid;
-    let mut group = c.benchmark_group("ablation_bin_tile");
+    let mut group = BenchGroup::new("ablation_bin_tile");
     group.sample_size(10);
     for bin_tile in [8usize, 16, 32, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(bin_tile), &bin_tile, |b, &bt| {
-            let binner = BinnedGridder {
-                bin_tile: bt,
-                threads: None,
-            };
-            b.iter(|| {
-                let mut out = vec![C64::zeroed(); g * g];
-                binner.grid(&params, &lut, &coords, &values, &mut out);
-                out
-            })
+        let binner = BinnedGridder {
+            bin_tile,
+            ..Default::default()
+        };
+        group.bench_function(&format!("tile{bin_tile}"), || {
+            let mut out = vec![C64::zeroed(); g * g];
+            binner.grid(&params, &lut, &coords, &values, &mut out);
+            out
         });
     }
     group.finish();
 }
 
-fn ablation_atomics(c: &mut Criterion) {
+fn ablation_atomics() {
     let (params, lut, coords, values) = problem(128, 16_384);
     let g = params.grid;
-    let mut group = c.benchmark_group("ablation_accumulation");
+    let mut group = BenchGroup::new("ablation_accumulation");
     group.sample_size(10);
     for (name, mode) in [
         ("column_owned", SliceDiceMode::ColumnParallel),
         ("block_atomic", SliceDiceMode::BlockAtomic),
         ("block_reduce", SliceDiceMode::BlockReduce),
     ] {
-        group.bench_function(name, |b| {
-            let engine = SliceDiceGridder::new(mode);
-            b.iter(|| {
-                let mut out = vec![C64::zeroed(); g * g];
-                engine.grid(&params, &lut, &coords, &values, &mut out);
-                out
-            })
+        let engine = SliceDiceGridder::new(mode);
+        group.bench_function(name, || {
+            let mut out = vec![C64::zeroed(); g * g];
+            engine.grid(&params, &lut, &coords, &values, &mut out);
+            out
         });
     }
     group.finish();
 }
 
-fn ablation_l_sweep(c: &mut Criterion) {
+fn ablation_l_sweep() {
     // Larger L grows the table but should not change gridding *time*
     // (same number of lookups) — the accuracy benefit is free at runtime.
     let img = eval_images()[0];
@@ -118,9 +115,14 @@ fn ablation_l_sweep(c: &mut Criterion) {
     let values = img.kspace(&coords_cycles);
     let coords: Vec<[f64; 2]> = coords_cycles
         .iter()
-        .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+        .map(|c| {
+            [
+                c[0].rem_euclid(1.0) * g as f64,
+                c[1].rem_euclid(1.0) * g as f64,
+            ]
+        })
         .collect();
-    let mut group = c.benchmark_group("ablation_table_oversampling");
+    let mut group = BenchGroup::new("ablation_table_oversampling");
     group.sample_size(10);
     for l in [8usize, 32, 128, 1024] {
         let params = GridParams {
@@ -131,18 +133,16 @@ fn ablation_l_sweep(c: &mut Criterion) {
             kernel: KernelKind::Auto.resolve(6, 2.0),
         };
         let lut = KernelLut::from_params(&params);
-        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
-            b.iter(|| {
-                let mut out = vec![C64::zeroed(); g * g];
-                SerialGridder.grid(&params, &lut, &coords, &values, &mut out);
-                out
-            })
+        group.bench_function(&format!("L{l}"), || {
+            let mut out = vec![C64::zeroed(); g * g];
+            SerialGridder.grid(&params, &lut, &coords, &values, &mut out);
+            out
         });
     }
     group.finish();
 }
 
-fn ablation_zsort(c: &mut Criterion) {
+fn ablation_zsort() {
     // §IV: unsorted 3-D streams re-process all M samples per slice
     // ((M+15)·Nz cycles); Z-sorting reduces it to ≈ (M+15)·Wz. Note the
     // simulator's wall-clock gap understates the modeled Nz/Wz cycle gap:
@@ -170,14 +170,14 @@ fn ablation_zsort(c: &mut Criterion) {
     })
     .unwrap();
     let (stream, _) = hw.quantize_inputs(&mapped, &values).unwrap();
-    let mut group = c.benchmark_group("ablation_zsort");
+    let mut group = BenchGroup::new("ablation_zsort");
     group.sample_size(10);
-    group.bench_function("unsorted", |b| b.iter(|| hw.run(&stream, false).report));
-    group.bench_function("z_sorted", |b| b.iter(|| hw.run(&stream, true).report));
+    group.bench_function("unsorted", || hw.run(&stream, false).report);
+    group.bench_function("z_sorted", || hw.run(&stream, true).report);
     group.finish();
 }
 
-fn ablation_beatty(c: &mut Criterion) {
+fn ablation_beatty() {
     // Beatty trade-off: lower σ shrinks the FFT grid but needs a wider
     // kernel, pushing work back into gridding (§II-B).
     use jigsaw_core::gridding::SerialGridder as SG;
@@ -191,23 +191,21 @@ fn ablation_beatty(c: &mut Criterion) {
     };
     let coords = img.trajectory();
     let values = img.kspace(&coords);
-    let mut group = c.benchmark_group("ablation_beatty");
+    let mut group = BenchGroup::new("ablation_beatty");
     group.sample_size(10);
     for (sigma, width) in [(2.0, 6usize), (1.5, 7), (1.25, 8)] {
         let mut cfg = NufftConfig::with_n(n);
         cfg.sigma = sigma;
         cfg.width = width;
         let plan = NufftPlan::<f64, 2>::new(cfg).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("sigma{sigma}_w{width}")),
-            &sigma,
-            |b, _| b.iter(|| plan.adjoint(&coords, &values, &SG).unwrap().image),
-        );
+        group.bench_function(&format!("sigma{sigma}_w{width}"), || {
+            plan.adjoint(&coords, &values, &SG).unwrap().image
+        });
     }
     group.finish();
 }
 
-fn ablation_morton_presort(c: &mut Criterion) {
+fn ablation_morton_presort() {
     // A Z-order presort buys the *serial* CPU gridder cache locality —
     // the same trade the paper's binning baselines make, and exactly the
     // pre-processing pass Slice-and-Dice/JIGSAW eliminate.
@@ -222,33 +220,27 @@ fn ablation_morton_presort(c: &mut Criterion) {
     );
     let sorted_coords = jigsaw_core::traj::apply_permutation(&coords, &perm);
     let sorted_values = jigsaw_core::traj::apply_permutation(&values, &perm);
-    let mut group = c.benchmark_group("ablation_morton_presort");
+    let mut group = BenchGroup::new("ablation_morton_presort");
     group.sample_size(10);
-    group.bench_function("shuffled_stream", |b| {
-        b.iter(|| {
-            let mut out = vec![C64::zeroed(); g * g];
-            SerialGridder.grid(&params, &lut, &coords, &values, &mut out);
-            out
-        })
+    group.bench_function("shuffled_stream", || {
+        let mut out = vec![C64::zeroed(); g * g];
+        SerialGridder.grid(&params, &lut, &coords, &values, &mut out);
+        out
     });
-    group.bench_function("morton_sorted_stream", |b| {
-        b.iter(|| {
-            let mut out = vec![C64::zeroed(); g * g];
-            SerialGridder.grid(&params, &lut, &sorted_coords, &sorted_values, &mut out);
-            out
-        })
+    group.bench_function("morton_sorted_stream", || {
+        let mut out = vec![C64::zeroed(); g * g];
+        SerialGridder.grid(&params, &lut, &sorted_coords, &sorted_values, &mut out);
+        out
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_lut,
-    ablation_tile,
-    ablation_atomics,
-    ablation_l_sweep,
-    ablation_zsort,
-    ablation_beatty,
-    ablation_morton_presort
-);
-criterion_main!(benches);
+fn main() {
+    ablation_lut();
+    ablation_tile();
+    ablation_atomics();
+    ablation_l_sweep();
+    ablation_zsort();
+    ablation_beatty();
+    ablation_morton_presort();
+}

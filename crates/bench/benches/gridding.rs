@@ -1,10 +1,11 @@
-//! Criterion microbenchmarks of the gridding engines (Fig. 6's measured
+//! Microbenchmarks of the gridding engines (Fig. 6's measured
 //! substrate): serial baseline vs binned vs Slice-and-Dice variants on a
-//! fixed mid-size problem.
+//! fixed mid-size problem, on both execution backends.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jigsaw_bench::harness::BenchGroup;
 use jigsaw_bench::{eval_images, EvalImage};
 use jigsaw_core::config::GridParams;
+use jigsaw_core::engine::ExecBackend;
 use jigsaw_core::gridding::{
     BinnedGridder, Gridder, SerialGridder, SliceDiceGridder, SliceDiceMode,
 };
@@ -27,53 +28,66 @@ fn problem(img: &EvalImage, m: usize) -> (GridParams, KernelLut, Vec<[f64; 2]>, 
     let values = img.kspace(&coords_cycles);
     let coords: Vec<[f64; 2]> = coords_cycles
         .iter()
-        .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+        .map(|c| {
+            [
+                c[0].rem_euclid(1.0) * g as f64,
+                c[1].rem_euclid(1.0) * g as f64,
+            ]
+        })
         .collect();
     (params, lut, coords, values)
 }
 
-fn bench_engines(c: &mut Criterion) {
+fn bench_engines() {
     let img = eval_images()[1]; // N = 128
     let m = 32_768;
     let (params, lut, coords, values) = problem(&img, m);
     let g = params.grid;
 
-    let mut group = c.benchmark_group("gridding");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(m as u64));
+    let mut group = BenchGroup::new("gridding");
+    group.sample_size(10).throughput_elements(m as u64);
 
-    let engines: Vec<(&str, Box<dyn Gridder<f64, 2>>)> = vec![
-        ("serial", Box::new(SerialGridder)),
-        ("binned", Box::new(BinnedGridder::default())),
-        (
-            "slice_dice_serial",
-            Box::new(SliceDiceGridder::new(SliceDiceMode::Serial)),
-        ),
-        (
-            "slice_dice_parallel",
-            Box::new(SliceDiceGridder::new(SliceDiceMode::ColumnParallel)),
-        ),
-        (
-            "slice_dice_atomic",
-            Box::new(SliceDiceGridder::new(SliceDiceMode::BlockAtomic)),
-        ),
-    ];
+    let mut engines: Vec<(String, Box<dyn Gridder<f64, 2>>)> =
+        vec![("serial".into(), Box::new(SerialGridder))];
+    for backend in [ExecBackend::Pooled, ExecBackend::Scoped] {
+        let tag = match backend {
+            ExecBackend::Pooled => "pooled",
+            ExecBackend::Scoped => "scoped",
+        };
+        engines.push((
+            format!("binned_{tag}"),
+            Box::new(BinnedGridder {
+                backend,
+                ..Default::default()
+            }),
+        ));
+        engines.push((
+            format!("slice_dice_serial_{tag}"),
+            Box::new(SliceDiceGridder::new(SliceDiceMode::Serial).with_backend(backend)),
+        ));
+        engines.push((
+            format!("slice_dice_parallel_{tag}"),
+            Box::new(SliceDiceGridder::new(SliceDiceMode::ColumnParallel).with_backend(backend)),
+        ));
+        engines.push((
+            format!("slice_dice_atomic_{tag}"),
+            Box::new(SliceDiceGridder::new(SliceDiceMode::BlockAtomic).with_backend(backend)),
+        ));
+    }
     for (name, engine) in &engines {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let mut out = vec![C64::zeroed(); g * g];
-                engine.grid(&params, &lut, &coords, &values, &mut out);
-                out
-            })
+        group.bench_function(name, || {
+            let mut out = vec![C64::zeroed(); g * g];
+            engine.grid(&params, &lut, &coords, &values, &mut out);
+            out
         });
     }
     group.finish();
 }
 
-fn bench_grid_size_scaling(c: &mut Criterion) {
+fn bench_grid_size_scaling() {
     // Slice-and-Dice's check count is M·T², independent of grid size;
     // the naive model would scale with G². Sweep G at fixed M.
-    let mut group = c.benchmark_group("grid_size_scaling");
+    let mut group = BenchGroup::new("grid_size_scaling");
     group.sample_size(10);
     for n in [64usize, 128, 256] {
         let img = EvalImage {
@@ -84,17 +98,17 @@ fn bench_grid_size_scaling(c: &mut Criterion) {
         };
         let (params, lut, coords, values) = problem(&img, img.m);
         let g = params.grid;
-        group.bench_with_input(BenchmarkId::new("slice_dice", n), &n, |b, _| {
-            b.iter(|| {
-                let mut out = vec![C64::zeroed(); g * g];
-                SliceDiceGridder::new(SliceDiceMode::Serial)
-                    .grid(&params, &lut, &coords, &values, &mut out);
-                out
-            })
+        group.bench_function(&format!("slice_dice/{n}"), || {
+            let mut out = vec![C64::zeroed(); g * g];
+            SliceDiceGridder::new(SliceDiceMode::Serial)
+                .grid(&params, &lut, &coords, &values, &mut out);
+            out
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_grid_size_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_engines();
+    bench_grid_size_scaling();
+}

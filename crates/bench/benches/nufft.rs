@@ -1,16 +1,16 @@
-//! Criterion benchmarks of the end-to-end NuFFT (Fig. 7's measured
-//! substrate), including the gridding/FFT time split and the JIGSAW
-//! functional simulator throughput.
+//! Benchmarks of the end-to-end NuFFT (Fig. 7's measured substrate),
+//! including the gridding/FFT time split, the planned multi-coil batch
+//! path, and the JIGSAW functional simulator throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jigsaw_bench::eval_images;
+use jigsaw_bench::harness::BenchGroup;
 use jigsaw_core::gridding::{SerialGridder, SliceDiceGridder, SliceDiceMode};
 use jigsaw_core::{NufftConfig, NufftPlan};
 use jigsaw_fft::{Direction, FftNd};
 use jigsaw_num::C64;
 use jigsaw_sim::{Jigsaw2d, JigsawConfig};
 
-fn bench_nufft_adjoint(c: &mut Criterion) {
+fn bench_nufft_adjoint() {
     let img = eval_images()[1]; // N = 128
     let m = 32_768;
     let mut coords = img.trajectory();
@@ -18,48 +18,49 @@ fn bench_nufft_adjoint(c: &mut Criterion) {
     let values = img.kspace(&coords);
     let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(img.n)).unwrap();
 
-    let mut group = c.benchmark_group("nufft_adjoint");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(m as u64));
-    group.bench_function("serial_engine", |b| {
-        b.iter(|| plan.adjoint(&coords, &values, &SerialGridder).unwrap().image)
-    });
-    group.bench_function("slice_dice_engine", |b| {
-        b.iter(|| {
-            plan.adjoint(
-                &coords,
-                &values,
-                &SliceDiceGridder::new(SliceDiceMode::ColumnParallel),
-            )
+    let mut group = BenchGroup::new("nufft_adjoint");
+    group.sample_size(10).throughput_elements(m as u64);
+    group.bench_function("serial_engine", || {
+        plan.adjoint(&coords, &values, &SerialGridder)
             .unwrap()
             .image
-        })
+    });
+    group.bench_function("slice_dice_engine", || {
+        plan.adjoint(
+            &coords,
+            &values,
+            &SliceDiceGridder::new(SliceDiceMode::ColumnParallel),
+        )
+        .unwrap()
+        .image
+    });
+    let traj = plan.plan_trajectory(&coords).unwrap();
+    group.bench_function("planned_single_coil", || {
+        plan.adjoint_batch_planned(&traj, &[&values]).unwrap()
     });
     group.finish();
 }
 
-fn bench_fft_alone(c: &mut Criterion) {
+fn bench_fft_alone() {
     // The uniform FFT is a tiny fraction of the serial NuFFT — the
     // paper's 99.6 % motivation, measured directly.
-    let mut group = c.benchmark_group("uniform_fft");
+    let mut group = BenchGroup::new("uniform_fft");
     group.sample_size(10);
     for g in [256usize, 512] {
         let plan = FftNd::<f64>::new(&[g, g]);
         let data: Vec<C64> = (0..g * g)
             .map(|i| C64::new((i as f64 * 0.1).sin(), 0.0))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
-            b.iter(|| {
-                let mut buf = data.clone();
-                plan.process(&mut buf, Direction::Forward);
-                buf
-            })
+        group.bench_function(&format!("{g}x{g}"), || {
+            let mut buf = data.clone();
+            plan.process(&mut buf, Direction::Forward);
+            buf
         });
     }
     group.finish();
 }
 
-fn bench_jigsaw_sim(c: &mut Criterion) {
+fn bench_jigsaw_sim() {
     let img = eval_images()[1];
     let m = 32_768;
     let g = img.grid();
@@ -68,7 +69,12 @@ fn bench_jigsaw_sim(c: &mut Criterion) {
     let values = img.kspace(&coords);
     let mapped: Vec<[f64; 2]> = coords
         .iter()
-        .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+        .map(|c| {
+            [
+                c[0].rem_euclid(1.0) * g as f64,
+                c[1].rem_euclid(1.0) * g as f64,
+            ]
+        })
         .collect();
     let mut hw = Jigsaw2d::new(JigsawConfig {
         grid: g,
@@ -77,12 +83,14 @@ fn bench_jigsaw_sim(c: &mut Criterion) {
     .unwrap();
     let (stream, _) = hw.quantize_inputs(&mapped, &values).unwrap();
 
-    let mut group = c.benchmark_group("jigsaw_sim");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(m as u64));
-    group.bench_function("functional_2d", |b| b.iter(|| hw.run(&stream).report));
+    let mut group = BenchGroup::new("jigsaw_sim");
+    group.sample_size(10).throughput_elements(m as u64);
+    group.bench_function("functional_2d", || hw.run(&stream).report);
     group.finish();
 }
 
-criterion_group!(benches, bench_nufft_adjoint, bench_fft_alone, bench_jigsaw_sim);
-criterion_main!(benches);
+fn main() {
+    bench_nufft_adjoint();
+    bench_fft_alone();
+    bench_jigsaw_sim();
+}

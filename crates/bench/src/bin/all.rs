@@ -11,7 +11,9 @@ fn main() {
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
         .expect("locate harness directory");
-    for bin in ["table1", "table2", "fig6", "fig7", "fig8", "fig9", "gpustats", "sweep"] {
+    for bin in [
+        "table1", "table2", "fig6", "fig7", "fig8", "fig9", "gpustats", "sweep",
+    ] {
         println!("\n================ {bin} ================\n");
         let status = Command::new(exe_dir.join(bin))
             .args(&quick)

@@ -18,12 +18,12 @@
 //! `--quick` to shrink M).
 
 use jigsaw_bench::*;
+use jigsaw_core::config::GridParams;
 use jigsaw_core::gridding::{
     BinnedGridder, Gridder, SerialGridder, SliceDiceGridder, SliceDiceMode,
 };
 use jigsaw_core::kernel::KernelKind;
 use jigsaw_core::lut::KernelLut;
-use jigsaw_core::config::GridParams;
 use jigsaw_num::C64;
 use jigsaw_sim::device::{JigsawPlatform, Platform};
 use jigsaw_sim::{Jigsaw2d, JigsawConfig};
@@ -37,15 +37,31 @@ fn main() {
     }
 
     println!("=== Figure 6: gridding speedups (normalized to the serial baseline) ===\n");
-    println!("Measured on this machine ({} hardware threads):\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "Measured on this machine ({} hardware threads):\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 
     let mut measured = Table::new(&[
-        "Image", "N", "M", "serial (MIRT-style)", "binned (Impatient-style)",
-        "slice-dice", "S&D speedup", "JIGSAW sim", "JIGSAW speedup",
+        "Image",
+        "N",
+        "M",
+        "serial (MIRT-style)",
+        "binned (Impatient-style)",
+        "slice-dice",
+        "S&D speedup",
+        "JIGSAW sim",
+        "JIGSAW speedup",
     ]);
     let mut opcounts = Table::new(&[
-        "Image", "engine", "presort", "processed/M", "boundary checks", "kernel MACs",
+        "Image",
+        "engine",
+        "presort",
+        "processed/M",
+        "boundary checks",
+        "kernel MACs",
     ]);
 
     for img in &images {
@@ -63,7 +79,12 @@ fn main() {
         // Map cycles → oversampled grid units.
         let coords: Vec<[f64; 2]> = coords_cycles
             .iter()
-            .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+            .map(|c| {
+                [
+                    c[0].rem_euclid(1.0) * g as f64,
+                    c[1].rem_euclid(1.0) * g as f64,
+                ]
+            })
             .collect();
 
         let run = |gr: &dyn Gridder<f64, 2>| {
@@ -114,7 +135,9 @@ fn main() {
     }
     measured.print();
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if threads <= 2 {
         println!("\nNOTE: this host has {threads} hardware thread(s). Output-driven engines");
         println!("(binned, slice-and-dice) trade extra boundary checks for parallelism,");
@@ -133,8 +156,12 @@ fn main() {
     let imp = Platform::impatient_gpu();
     let sd = Platform::slice_dice_gpu();
     let mut model = Table::new(&[
-        "Image", "Impatient vs MIRT", "S&D GPU vs MIRT", "JIGSAW vs MIRT",
-        "S&D vs Impatient", "JIGSAW vs S&D GPU",
+        "Image",
+        "Impatient vs MIRT",
+        "S&D GPU vs MIRT",
+        "JIGSAW vs MIRT",
+        "S&D vs Impatient",
+        "JIGSAW vs S&D GPU",
     ]);
     for img in &images {
         let jig = JigsawPlatform::new(JigsawConfig::paper_default());

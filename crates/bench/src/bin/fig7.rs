@@ -28,8 +28,14 @@ fn main() {
 
     println!("=== Figure 7: end-to-end NuFFT speedups ===\n");
     let mut measured = Table::new(&[
-        "Image", "engine", "gridding", "FFT", "apod", "total",
-        "gridding %", "speedup vs serial",
+        "Image",
+        "engine",
+        "gridding",
+        "FFT",
+        "apod",
+        "total",
+        "gridding %",
+        "speedup vs serial",
     ]);
 
     for img in &images {
@@ -107,7 +113,11 @@ fn main() {
     let imp = Platform::impatient_gpu();
     let sd = Platform::slice_dice_gpu();
     let mut model = Table::new(&[
-        "Image", "Impatient vs MIRT", "S&D GPU vs MIRT", "JIGSAW vs MIRT", "S&D vs Impatient",
+        "Image",
+        "Impatient vs MIRT",
+        "S&D GPU vs MIRT",
+        "JIGSAW vs MIRT",
+        "S&D vs Impatient",
     ]);
     for img in &images {
         let pts = img.grid() * img.grid();

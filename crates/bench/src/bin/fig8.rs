@@ -25,8 +25,14 @@ fn main() {
     let jig = JigsawPlatform::new(JigsawConfig::paper_default());
 
     let mut t = Table::new(&[
-        "Image", "M", "MIRT (CPU)", "Impatient (GPU)", "S&D (GPU)", "JIGSAW (ASIC)",
-        "Imp/JIGSAW", "S&D/JIGSAW",
+        "Image",
+        "M",
+        "MIRT (CPU)",
+        "Impatient (GPU)",
+        "S&D (GPU)",
+        "JIGSAW (ASIC)",
+        "Imp/JIGSAW",
+        "S&D/JIGSAW",
     ]);
     let (mut sum_imp, mut sum_sd, mut sum_jig) = (0.0, 0.0, 0.0);
     for img in &images {
@@ -52,9 +58,18 @@ fn main() {
 
     let n = images.len() as f64;
     println!("\nAverages over the five images:");
-    println!("  Impatient        {}   (paper: 1.95 J)", fmt_energy(sum_imp / n));
-    println!("  Slice-and-Dice   {}   (paper: 108.27 mJ)", fmt_energy(sum_sd / n));
-    println!("  JIGSAW           {}   (paper: 83.89 µJ)", fmt_energy(sum_jig / n));
+    println!(
+        "  Impatient        {}   (paper: 1.95 J)",
+        fmt_energy(sum_imp / n)
+    );
+    println!(
+        "  Slice-and-Dice   {}   (paper: 108.27 mJ)",
+        fmt_energy(sum_sd / n)
+    );
+    println!(
+        "  JIGSAW           {}   (paper: 83.89 µJ)",
+        fmt_energy(sum_jig / n)
+    );
     println!(
         "  Impatient/JIGSAW {}   (paper: >23000×)",
         fmt_speedup(sum_imp / sum_jig)

@@ -126,7 +126,10 @@ fn main() {
     ]);
     t2.print();
 
-    println!("\nSaturations in the fixed-point run: {}", run.report.ops.saturations);
+    println!(
+        "\nSaturations in the fixed-point run: {}",
+        run.report.ops.saturations
+    );
     println!("JIGSAW cycles: {} (= M + 12)", run.report.compute_cycles);
 
     for (path, img) in [

@@ -23,7 +23,10 @@ fn main() {
     let m = (200_000 / args.quick_divisor).max(5_000);
     let g = 1024usize; // the paper's grid size (8 MB f32 grid > 3 MiB L2)
     println!("=== §VI-A GPU analysis (replayed access patterns) ===");
-    println!("workload: {m} samples of a {} trajectory onto a {g}² grid\n", img.name);
+    println!(
+        "workload: {m} samples of a {} trajectory onto a {g}² grid\n",
+        img.name
+    );
 
     let p = GridParams {
         grid: g,
@@ -36,7 +39,12 @@ fn main() {
     coords_cycles.truncate(m);
     let coords: Vec<[f64; 2]> = coords_cycles
         .iter()
-        .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+        .map(|c| {
+            [
+                c[0].rem_euclid(1.0) * g as f64,
+                c[1].rem_euclid(1.0) * g as f64,
+            ]
+        })
         .collect();
 
     let cfg = ReplayConfig::default();
@@ -44,7 +52,10 @@ fn main() {
     let imp = replay_impatient(&p, &coords, &cfg);
 
     let mut t = Table::new(&[
-        "metric", "Slice-and-Dice GPU", "Impatient-style", "paper (S&D / Imp)",
+        "metric",
+        "Slice-and-Dice GPU",
+        "Impatient-style",
+        "paper (S&D / Imp)",
     ]);
     t.row(vec![
         "weight computation".into(),
@@ -91,9 +102,14 @@ fn main() {
     t.print();
 
     println!("\nEverything above is derived: the replay streams the real sample data");
-    println!("through the real coordinate decomposition into a {} KiB, {}-way L2",
-        cfg.cache.capacity_bytes / 1024, cfg.cache.ways);
-    println!("model with {} concurrently resident blocks; occupancy comes from the",
-        cfg.concurrent_blocks);
+    println!(
+        "through the real coordinate decomposition into a {} KiB, {}-way L2",
+        cfg.cache.capacity_bytes / 1024,
+        cfg.cache.ways
+    );
+    println!(
+        "model with {} concurrently resident blocks; occupancy comes from the",
+        cfg.concurrent_blocks
+    );
     println!("CUDA occupancy formula applied to each kernel's resource footprint.");
 }

@@ -1,0 +1,247 @@
+//! Pooled vs scoped execution-engine comparison, plus the batched
+//! multi-coil adjoint path.
+//!
+//! Two questions, answered with wall-clock numbers and recorded in
+//! `BENCH_pooled_vs_scoped.json`:
+//!
+//! 1. **Engine dispatch** — does routing the parallel gridders through
+//!    the persistent [`WorkerPool`](jigsaw_core::engine::WorkerPool)
+//!    (`ExecBackend::Pooled`) keep up with (or beat) per-call
+//!    `std::thread::scope` spawning (`ExecBackend::Scoped`)?
+//! 2. **Multi-coil batching** — on a radial 256² problem with ≥ 8 coils,
+//!    does `plan_trajectory` + `adjoint_batch_planned` (decompose once,
+//!    stream every coil through the pool) beat a per-coil loop of
+//!    scoped-spawn `adjoint` calls?
+//!
+//! Run with `cargo run --release -p jigsaw-bench --bin pooled_vs_scoped`
+//! (append `--quick` to shrink M).
+
+use jigsaw_bench::harness::{fmt_time, BenchGroup, Stats};
+use jigsaw_bench::{EvalImage, HarnessArgs, TrajKind};
+use jigsaw_core::engine::ExecBackend;
+use jigsaw_core::gridding::{BinnedGridder, Gridder, SliceDiceGridder, SliceDiceMode};
+use jigsaw_core::{NufftConfig, NufftPlan};
+use jigsaw_num::C64;
+
+const COILS: usize = 8;
+
+struct JsonRecord {
+    group: String,
+    id: String,
+    median_seconds: f64,
+    min_seconds: f64,
+}
+
+fn record(records: &mut Vec<JsonRecord>, group: &str, id: &str, s: Stats) {
+    records.push(JsonRecord {
+        group: group.to_string(),
+        id: id.to_string(),
+        median_seconds: s.median,
+        min_seconds: s.min,
+    });
+}
+
+/// Pooled vs scoped dispatch for every parallel engine on one problem.
+fn engine_dispatch(img: &EvalImage, records: &mut Vec<JsonRecord>) -> (f64, f64) {
+    let g = img.grid();
+    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(img.n)).unwrap();
+    let coords_cycles = img.trajectory();
+    let values = img.kspace(&coords_cycles);
+    let mapped = plan.map_coords(&coords_cycles);
+    let params = plan.grid_params();
+    let lut = plan.lut();
+
+    let mut group = BenchGroup::new("engine_dispatch");
+    group
+        .sample_size(10)
+        .throughput_elements(coords_cycles.len() as u64);
+    let mut pooled_med = f64::INFINITY;
+    let mut scoped_med = f64::INFINITY;
+    for backend in [ExecBackend::Pooled, ExecBackend::Scoped] {
+        let tag = match backend {
+            ExecBackend::Pooled => "pooled",
+            ExecBackend::Scoped => "scoped",
+        };
+        let engines: Vec<(String, Box<dyn Gridder<f64, 2>>)> = vec![
+            (
+                format!("binned_{tag}"),
+                Box::new(BinnedGridder {
+                    backend,
+                    ..Default::default()
+                }),
+            ),
+            (
+                format!("slice_dice_parallel_{tag}"),
+                Box::new(
+                    SliceDiceGridder::new(SliceDiceMode::ColumnParallel).with_backend(backend),
+                ),
+            ),
+            (
+                format!("slice_dice_atomic_{tag}"),
+                Box::new(SliceDiceGridder::new(SliceDiceMode::BlockAtomic).with_backend(backend)),
+            ),
+        ];
+        for (name, engine) in &engines {
+            let stats = group.bench_function(name, || {
+                let mut out = vec![C64::zeroed(); g * g];
+                engine.grid(params, lut, &mapped, &values, &mut out);
+                out
+            });
+            record(records, "engine_dispatch", name, stats);
+            if name.starts_with("slice_dice_parallel") {
+                match backend {
+                    ExecBackend::Pooled => pooled_med = stats.median,
+                    ExecBackend::Scoped => scoped_med = stats.median,
+                }
+            }
+        }
+    }
+    group.finish();
+    (pooled_med, scoped_med)
+}
+
+/// Batched planned multi-coil adjoint vs a per-coil scoped-spawn loop.
+fn multi_coil(img: &EvalImage, records: &mut Vec<JsonRecord>) -> (f64, f64) {
+    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(img.n)).unwrap();
+    let coords = img.trajectory();
+    let base = img.kspace(&coords);
+    // Synthetic coils: the same k-space under per-coil complex gains, the
+    // shape `sense::acquire` produces for flat maps. Gridding cost is
+    // identical for every coil, which is what we are measuring.
+    let coils: Vec<Vec<C64>> = (0..COILS)
+        .map(|c| {
+            let phase = 0.7 * c as f64;
+            let gain = C64::new(phase.cos(), phase.sin());
+            base.iter().map(|&v| v * gain).collect()
+        })
+        .collect();
+    let coil_refs: Vec<&[C64]> = coils.iter().map(|c| c.as_slice()).collect();
+    let scoped_engine =
+        SliceDiceGridder::new(SliceDiceMode::ColumnParallel).with_backend(ExecBackend::Scoped);
+
+    let mut group = BenchGroup::new(&format!(
+        "multi_coil_adjoint ({COILS} coils, radial {n}²)",
+        n = img.n
+    ));
+    group.sample_size(5);
+    let per_coil = group.bench_function("per_coil_scoped_adjoint", || {
+        coils
+            .iter()
+            .map(|c| plan.adjoint(&coords, c, &scoped_engine).unwrap().image)
+            .collect::<Vec<_>>()
+    });
+    let batched = group.bench_function("planned_batched_adjoint", || {
+        // Planning is inside the timed region: the comparison is one full
+        // reconstruction, cold trajectory, not an amortized replay.
+        let traj = plan.plan_trajectory(&coords).unwrap();
+        plan.adjoint_batch_planned(&traj, &coil_refs).unwrap()
+    });
+    let traj = plan.plan_trajectory(&coords).unwrap();
+    let replay = group.bench_function("planned_batched_adjoint_warm", || {
+        plan.adjoint_batch_planned(&traj, &coil_refs).unwrap()
+    });
+    group.finish();
+
+    record(
+        records,
+        "multi_coil_adjoint",
+        "per_coil_scoped_adjoint",
+        per_coil,
+    );
+    record(
+        records,
+        "multi_coil_adjoint",
+        "planned_batched_adjoint",
+        batched,
+    );
+    record(
+        records,
+        "multi_coil_adjoint",
+        "planned_batched_adjoint_warm",
+        replay,
+    );
+    (per_coil.median, batched.median)
+}
+
+fn write_json(
+    path: &str,
+    records: &[JsonRecord],
+    img: &EvalImage,
+    dispatch: (f64, f64),
+    coil: (f64, f64),
+) -> std::io::Result<()> {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"problem\": {{\"n\": {}, \"grid\": {}, \"m\": {}, \"trajectory\": \"radial\", \"coils\": {}}},\n",
+        img.n,
+        img.grid(),
+        img.m,
+        COILS
+    ));
+    s.push_str(&format!(
+        "  \"threads\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_seconds\": {:.6e}, \"min_seconds\": {:.6e}}}{}\n",
+            r.group,
+            r.id,
+            r.median_seconds,
+            r.min_seconds,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"pooled_over_scoped_speedup\": {:.4},\n",
+        dispatch.1 / dispatch.0
+    ));
+    s.push_str(&format!(
+        "  \"batched_over_per_coil_speedup\": {:.4}\n}}\n",
+        coil.0 / coil.1
+    ));
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // "Radial 256²": base image N = 256 (grid 512 at σ = 2).
+    let mut img = EvalImage {
+        name: "radial256",
+        n: 256,
+        m: 131_072,
+        traj: TrajKind::Radial,
+    };
+    if args.quick_divisor > 1 {
+        println!("[quick mode: M divided by {}]", args.quick_divisor);
+        img.m /= args.quick_divisor;
+    }
+
+    println!("=== Pooled vs scoped execution engines ===\n");
+    let mut records = Vec::new();
+    let dispatch = engine_dispatch(&img, &mut records);
+    let coil = multi_coil(&img, &mut records);
+
+    println!(
+        "slice-dice parallel: pooled {} vs scoped {}  ({:.2}x)",
+        fmt_time(dispatch.0),
+        fmt_time(dispatch.1),
+        dispatch.1 / dispatch.0
+    );
+    println!(
+        "{COILS}-coil adjoint: batched {} vs per-coil {}  ({:.2}x)",
+        fmt_time(coil.1),
+        fmt_time(coil.0),
+        coil.0 / coil.1
+    );
+
+    let path = "BENCH_pooled_vs_scoped.json";
+    match write_json(path, &records, &img, dispatch, coil) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

@@ -34,13 +34,23 @@ fn main() {
         s ^= s << 17;
         s as f64 / u64::MAX as f64 - 0.5
     };
-    let values: Vec<C64> = (0..coords.len()).map(|_| C64::new(next(), next())).collect();
+    let values: Vec<C64> = (0..coords.len())
+        .map(|_| C64::new(next(), next()))
+        .collect();
     let exact = adjoint_nudft(n, &coords, &values, None);
 
     println!("=== Beatty trade-off sweep (N = {n}, M = {m}) ===\n");
     let mut t = Table::new(&[
-        "σ", "W", "L", "grid", "aliasing bound", "quant floor", "measured err",
-        "gridding", "FFT", "MACs",
+        "σ",
+        "W",
+        "L",
+        "grid",
+        "aliasing bound",
+        "quant floor",
+        "measured err",
+        "gridding",
+        "FFT",
+        "MACs",
     ]);
     let sweep = [
         (2.0, 6, 32),

@@ -14,10 +14,16 @@ fn main() {
     let mut t = Table::new(&["Property", "Value"]);
     t.row(vec!["Target Grid Dimensions (N)".into(), "8–1024".into()]);
     t.row(vec!["Virtual Tile Dimensions (T)".into(), "8".into()]);
-    t.row(vec!["Interpolation Window Dimensions (W)".into(), "1–8".into()]);
+    t.row(vec![
+        "Interpolation Window Dimensions (W)".into(),
+        "1–8".into(),
+    ]);
     t.row(vec!["Table Oversampling Factor (L)".into(), "1–64".into()]);
     t.row(vec!["Pipeline Bit Width".into(), "32-bit".into()]);
-    t.row(vec!["Interpolation Weight Bit Width".into(), "16-bit".into()]);
+    t.row(vec![
+        "Interpolation Weight Bit Width".into(),
+        "16-bit".into(),
+    ]);
     t.print();
 
     // Validation sweep.
@@ -34,9 +40,8 @@ fn main() {
                     table_oversampling: l,
                     ..JigsawConfig::paper_default()
                 };
-                let in_range = (8..=1024).contains(&grid)
-                    && (1..=8).contains(&width)
-                    && (1..=64).contains(&l);
+                let in_range =
+                    (8..=1024).contains(&grid) && (1..=8).contains(&width) && (1..=64).contains(&l);
                 match (cfg.validate().is_ok(), in_range) {
                     (true, true) => accepted += 1,
                     (false, false) => rejected += 1,

@@ -21,7 +21,11 @@ fn main() {
         (63.62, 0.64),
     ];
     let mut t = Table::new(&[
-        "JIGSAW (1.0 GHz)", "Power (model)", "Power (paper)", "Area (model)", "Area (paper)",
+        "JIGSAW (1.0 GHz)",
+        "Power (model)",
+        "Power (paper)",
+        "Area (model)",
+        "Area (paper)",
     ]);
     for ((label, p_mw, a_mm2), (pp, pa)) in model.table_ii().into_iter().zip(paper) {
         t.row(vec![

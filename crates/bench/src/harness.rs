@@ -1,0 +1,166 @@
+//! Minimal microbenchmark harness — the workspace's criterion stand-in.
+//!
+//! The repo builds hermetically (no registry), so the bench targets use
+//! this ~100-line harness instead of criterion: warm up once, time `n`
+//! samples of a closure, report min/median/mean and optional per-element
+//! throughput in an aligned table. `JIGSAW_BENCH_SAMPLES` overrides the
+//! per-group sample count (set it to `1` for smoke runs).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timing statistics of one benchmark, in seconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample.
+    pub median: f64,
+    /// Mean of all samples.
+    pub mean: f64,
+}
+
+/// A named group of benchmarks sharing a sample count, printed as one
+/// table on [`BenchGroup::finish`].
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    elements: Option<u64>,
+    rows: Vec<(String, Stats)>,
+}
+
+impl BenchGroup {
+    /// Start a group.
+    pub fn new(name: &str) -> Self {
+        let samples = std::env::var("JIGSAW_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10)
+            .max(1);
+        Self {
+            name: name.to_string(),
+            samples,
+            elements: None,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the per-benchmark sample count (env override still wins).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("JIGSAW_BENCH_SAMPLES").is_err() {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    /// Declare the number of logical elements processed per iteration so
+    /// the table can report elements/second.
+    pub fn throughput_elements(&mut self, m: u64) -> &mut Self {
+        self.elements = Some(m);
+        self
+    }
+
+    /// Time `f` (after one warm-up call) and record it under `id`.
+    /// Returns the stats so callers can post-process (e.g. JSON output).
+    pub fn bench_function<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> Stats {
+        black_box(f()); // warm-up: page in buffers, populate pools
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            times.push(t.elapsed().as_secs_f64());
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let stats = Stats {
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: times.iter().sum::<f64>() / times.len() as f64,
+        };
+        self.rows.push((id.to_string(), stats));
+        stats
+    }
+
+    /// Print the group's table.
+    pub fn finish(self) {
+        println!("\n== {} ({} samples) ==", self.name, self.samples);
+        let wid = self
+            .rows
+            .iter()
+            .map(|(id, _)| id.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        match self.elements {
+            Some(m) => {
+                println!(
+                    "{:wid$}  {:>12} {:>12} {:>12} {:>14}",
+                    "id", "min", "median", "mean", "Melem/s"
+                );
+                for (id, s) in &self.rows {
+                    println!(
+                        "{id:wid$}  {:>12} {:>12} {:>12} {:>14.2}",
+                        fmt_time(s.min),
+                        fmt_time(s.median),
+                        fmt_time(s.mean),
+                        m as f64 / s.median / 1e6
+                    );
+                }
+            }
+            None => {
+                println!(
+                    "{:wid$}  {:>12} {:>12} {:>12}",
+                    "id", "min", "median", "mean"
+                );
+                for (id, s) in &self.rows {
+                    println!(
+                        "{id:wid$}  {:>12} {:>12} {:>12}",
+                        fmt_time(s.min),
+                        fmt_time(s.median),
+                        fmt_time(s.mean)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Human-friendly duration (s/ms/µs/ns).
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered() {
+        let mut g = BenchGroup::new("t");
+        g.sample_size(5);
+        let s = g.bench_function("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(s.min <= s.median && s.median >= 0.0 && s.mean > 0.0);
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-9).ends_with("ns"));
+    }
+}

@@ -8,6 +8,8 @@
 //! and synthetic k-space from the analytic Shepp-Logan phantom. Samples
 //! are shuffled into random arrival order, the paper's stated worst case.
 
+pub mod harness;
+
 use jigsaw_core::phantom::Phantom2d;
 use jigsaw_core::traj;
 use jigsaw_num::C64;

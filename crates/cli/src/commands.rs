@@ -2,6 +2,7 @@
 
 use crate::args::Options;
 use jigsaw_core::config::GridParams;
+use jigsaw_core::engine::ExecBackend;
 use jigsaw_core::gridding::{
     BinnedGridder, Gridder, SerialGridder, SliceDiceGridder, SliceDiceMode,
 };
@@ -10,6 +11,7 @@ use jigsaw_core::lut::KernelLut;
 use jigsaw_core::metrics::nrmsd_percent;
 use jigsaw_core::phantom::Phantom2d;
 use jigsaw_core::recon::{cg_reconstruct, CgOptions};
+use jigsaw_core::sense::{self, CoilMaps};
 use jigsaw_core::traj;
 use jigsaw_core::{NufftConfig, NufftPlan};
 use jigsaw_num::C64;
@@ -27,12 +29,15 @@ USAGE:
 COMMANDS:
     recon       Reconstruct a Shepp-Logan phantom from synthetic radial k-space
                   --n 192 --spokes <auto> --engine slice-dice|serial|binned
+                  --backend pooled|scoped (parallel execution engine)
+                  --coils 1 (>1 = planned multi-coil batch via the worker pool)
                   --cg 0 (CG iterations; 0 = direct adjoint) --out out/recon.pgm
     simulate    Run the JIGSAW 2-D accelerator model on a synthetic stream
                   --grid 512 --samples 100000 [--cycle-accurate] [--trace N]
     simulate3d  Run the JIGSAW 3D Slice variant
                   --grid 32 --samples 20000 [--sorted]
-    gridbench   Time every gridding engine on one problem
+    gridbench   Time every gridding engine on one problem, on both the
+                pooled and the legacy scoped execution backends
                   --n 256 --m 100000
     gpustats    GPU §VI-A analysis (L2 hit rate, occupancy, divergence)
                   --grid 1024 --samples 100000
@@ -59,11 +64,22 @@ fn write_pgm(path: &str, image: &[C64], n: usize) -> Result<(), String> {
         .map_err(|e| format!("writing {path}: {e}"))
 }
 
-fn engine_by_name(name: &str) -> Result<Box<dyn Gridder<f64, 2>>, String> {
+fn backend_by_name(name: &str) -> Result<ExecBackend, String> {
+    match name {
+        "pooled" => Ok(ExecBackend::Pooled),
+        "scoped" => Ok(ExecBackend::Scoped),
+        other => Err(format!("unknown backend `{other}` (pooled | scoped)")),
+    }
+}
+
+fn engine_by_name(name: &str, backend: ExecBackend) -> Result<Box<dyn Gridder<f64, 2>>, String> {
     match name {
         "serial" => Ok(Box::new(SerialGridder)),
-        "binned" => Ok(Box::new(BinnedGridder::default())),
-        "slice-dice" => Ok(Box::new(SliceDiceGridder::default())),
+        "binned" => Ok(Box::new(BinnedGridder {
+            backend,
+            ..Default::default()
+        })),
+        "slice-dice" => Ok(Box::new(SliceDiceGridder::default().with_backend(backend))),
         "slice-dice-serial" => Ok(Box::new(SliceDiceGridder::new(SliceDiceMode::Serial))),
         other => Err(format!(
             "unknown engine `{other}` (serial | binned | slice-dice | slice-dice-serial)"
@@ -78,18 +94,55 @@ pub fn recon(o: &Options) -> CmdResult {
     let spokes = o.usize("spokes", default_spokes)?;
     let cg_iters = o.usize("cg", 0)?;
     let lambda = o.f64("lambda", 1e-5)?;
+    let coils = o.usize("coils", 1)?;
     let out = o.string("out", "out/recon.pgm");
-    let engine = engine_by_name(&o.string("engine", "slice-dice"))?;
+    let backend = backend_by_name(&o.string("backend", "pooled"))?;
+    let engine = engine_by_name(&o.string("engine", "slice-dice"), backend)?;
 
     let phantom = Phantom2d::shepp_logan();
     let mut coords = traj::radial_2d(spokes, 2 * n, true);
     traj::shuffle(&mut coords, 7);
     let data = phantom.kspace(n, &coords);
-    println!("acquired {} samples over {spokes} golden-angle spokes", coords.len());
+    println!(
+        "acquired {} samples over {spokes} golden-angle spokes",
+        coords.len()
+    );
 
-    let plan =
-        NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).map_err(|e| e.to_string())?;
-    let image = if cg_iters == 0 {
+    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).map_err(|e| e.to_string())?;
+    let image = if coils > 1 {
+        // Multi-coil: modulate the acquisition by synthetic sensitivity
+        // maps and reconstruct with the planned batched adjoint — the
+        // window decomposition is computed once and every coil streams
+        // through the persistent worker pool.
+        let maps = CoilMaps::synthetic(n, coils);
+        let truth = phantom.rasterize_aa(n, 4);
+        let coil_data = sense::acquire(&plan, &maps, &truth, &coords).map_err(|e| e.to_string())?;
+        // Density compensation per coil (same radial ramp as below).
+        let weighted: Vec<Vec<C64>> = coil_data
+            .iter()
+            .map(|d| {
+                coords
+                    .iter()
+                    .zip(d)
+                    .map(|(c, v)| {
+                        let r = (c[0] * c[0] + c[1] * c[1]).sqrt();
+                        v.scale(r.max(0.125 / (2.0 * n as f64)))
+                    })
+                    .collect()
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let traj_plan = plan.plan_trajectory(&coords).map_err(|e| e.to_string())?;
+        let combined = sense::adjoint_planned(&plan, &maps, &weighted, &traj_plan)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "planned {}-coil adjoint: plan {:.1} ms + batch {:.1} ms",
+            coils,
+            traj_plan.plan_seconds() * 1e3,
+            t0.elapsed().as_secs_f64() * 1e3 - traj_plan.plan_seconds() * 1e3
+        );
+        combined
+    } else if cg_iters == 0 {
         // Ramp-compensated direct adjoint.
         let weighted: Vec<C64> = coords
             .iter()
@@ -166,16 +219,15 @@ pub fn simulate(o: &Options) -> CmdResult {
         })
         .collect();
     let values = vec![C64::new(0.5, -0.25); m];
-    let (stream, _) = hw.quantize_inputs(&coords, &values).map_err(|e| e.to_string())?;
+    let (stream, _) = hw
+        .quantize_inputs(&coords, &values)
+        .map_err(|e| e.to_string())?;
 
     if trace_cycles > 0 {
         println!("pipeline trace (first {trace_cycles} cycles):");
         print!(
             "{}",
-            jigsaw_sim::trace::render(&jigsaw_sim::trace::trace_2d(
-                m as u64,
-                trace_cycles as u64
-            ))
+            jigsaw_sim::trace::render(&jigsaw_sim::trace::trace_2d(m as u64, trace_cycles as u64))
         );
     }
     let run = if cycle_accurate {
@@ -186,13 +238,16 @@ pub fn simulate(o: &Options) -> CmdResult {
     };
     let r = &run.report;
     println!("samples         : {m}");
-    println!("compute cycles  : {} (M + 12 = {})", r.compute_cycles, m + 12);
+    println!(
+        "compute cycles  : {} (M + 12 = {})",
+        r.compute_cycles,
+        m + 12
+    );
     println!("readout cycles  : {}", r.readout_cycles);
     println!("gridding time   : {}", fmt_time(r.gridding_seconds()));
     println!(
         "ops             : {} checks, {} LUT reads, {} MACs, {} RMWs, {} saturations",
-        r.ops.select_checks, r.ops.lut_reads, r.ops.interp_macs, r.ops.accum_rmw,
-        r.ops.saturations
+        r.ops.select_checks, r.ops.lut_reads, r.ops.interp_macs, r.ops.accum_rmw, r.ops.saturations
     );
     let pm = PowerModel::calibrated();
     println!(
@@ -225,7 +280,9 @@ pub fn simulate3d(o: &Options) -> CmdResult {
         })
         .collect();
     let values = vec![C64::new(0.3, 0.1); m];
-    let (stream, _) = hw.quantize_inputs(&coords, &values).map_err(|e| e.to_string())?;
+    let (stream, _) = hw
+        .quantize_inputs(&coords, &values)
+        .map_err(|e| e.to_string())?;
     let run = hw.run(&stream, sorted);
     println!(
         "mode            : {}",
@@ -240,7 +297,10 @@ pub fn simulate3d(o: &Options) -> CmdResult {
             format!("(M + 15)·Nz = {}", (m as u64 + 15) * grid as u64)
         }
     );
-    println!("gridding time   : {}", fmt_time(run.report.gridding_seconds()));
+    println!(
+        "gridding time   : {}",
+        fmt_time(run.report.gridding_seconds())
+    );
     Ok(())
 }
 
@@ -263,20 +323,43 @@ pub fn gridbench(o: &Options) -> CmdResult {
     let values = Phantom2d::shepp_logan().kspace(n, &cyc);
     let coords: Vec<[f64; 2]> = cyc
         .iter()
-        .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+        .map(|c| {
+            [
+                c[0].rem_euclid(1.0) * g as f64,
+                c[1].rem_euclid(1.0) * g as f64,
+            ]
+        })
         .collect();
     println!("{m} samples onto a {g}² grid (W = 6, L = 32):\n");
-    let engines: Vec<(&str, Box<dyn Gridder<f64, 2>>)> = vec![
-        ("serial", Box::new(SerialGridder)),
-        ("binned", Box::new(BinnedGridder::default())),
-        ("slice-dice serial", Box::new(SliceDiceGridder::new(SliceDiceMode::Serial))),
-        ("slice-dice parallel", Box::new(SliceDiceGridder::default())),
+    let mut engines: Vec<(String, Box<dyn Gridder<f64, 2>>)> = vec![
+        ("serial".into(), Box::new(SerialGridder)),
+        (
+            "slice-dice serial".into(),
+            Box::new(SliceDiceGridder::new(SliceDiceMode::Serial)),
+        ),
     ];
+    for backend in [ExecBackend::Pooled, ExecBackend::Scoped] {
+        let tag = match backend {
+            ExecBackend::Pooled => "pooled",
+            ExecBackend::Scoped => "scoped",
+        };
+        engines.push((
+            format!("binned [{tag}]"),
+            Box::new(BinnedGridder {
+                backend,
+                ..Default::default()
+            }),
+        ));
+        engines.push((
+            format!("slice-dice parallel [{tag}]"),
+            Box::new(SliceDiceGridder::default().with_backend(backend)),
+        ));
+    }
     for (name, e) in &engines {
         let mut out = vec![C64::zeroed(); g * g];
         let stats = e.grid(&params, &lut, &coords, &values, &mut out);
         println!(
-            "{name:>20}: {:>10}  (presort {}, {} checks, {:.2}× duplication)",
+            "{name:>28}: {:>10}  (presort {}, {} checks, {:.2}× duplication)",
             fmt_time(stats.total_seconds()),
             fmt_time(stats.presort_seconds),
             stats.boundary_checks,
@@ -342,15 +425,23 @@ pub fn emit_rtl(o: &Options) -> CmdResult {
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
     let files = [
         ("jigsaw_select.sv", jigsaw_sim::rtl::emit_select_unit(&cfg)),
-        ("jigsaw_weights.memh", jigsaw_sim::rtl::emit_weight_memh(&cfg)),
-        ("jigsaw_select_tb.sv", jigsaw_sim::rtl::emit_testbench(&cfg, 200)),
+        (
+            "jigsaw_weights.memh",
+            jigsaw_sim::rtl::emit_weight_memh(&cfg),
+        ),
+        (
+            "jigsaw_select_tb.sv",
+            jigsaw_sim::rtl::emit_testbench(&cfg, 200),
+        ),
     ];
     for (name, contents) in files {
         let path = format!("{dir}/{name}");
         std::fs::write(&path, contents).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
-    println!("\nSimulate with e.g.: iverilog -g2012 {dir}/jigsaw_select.sv {dir}/jigsaw_select_tb.sv");
+    println!(
+        "\nSimulate with e.g.: iverilog -g2012 {dir}/jigsaw_select.sv {dir}/jigsaw_select_tb.sv"
+    );
     Ok(())
 }
 
@@ -390,9 +481,12 @@ mod tests {
     #[test]
     fn engine_lookup() {
         for name in ["serial", "binned", "slice-dice", "slice-dice-serial"] {
-            assert!(engine_by_name(name).is_ok(), "{name}");
+            assert!(engine_by_name(name, ExecBackend::Pooled).is_ok(), "{name}");
         }
-        assert!(engine_by_name("warp-drive").is_err());
+        assert!(engine_by_name("warp-drive", ExecBackend::Pooled).is_err());
+        assert!(backend_by_name("pooled").is_ok());
+        assert!(backend_by_name("scoped").is_ok());
+        assert!(backend_by_name("gpu").is_err());
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub fn aliasing_bound(cfg: &NufftConfig) -> f64 {
 /// `1/(2L)`, a worst-case edge phase error of `π·N/(2·G·L) = π/(2σL)`
 /// radians; the rms relative error over a flat spectrum is `≈ bound/√3`.
 pub fn quantization_floor(cfg: &NufftConfig) -> f64 {
-    core::f64::consts::PI / (2.0 * cfg.effective_sigma() * cfg.table_oversampling as f64)
+    core::f64::consts::PI
+        / (2.0 * cfg.effective_sigma() * cfg.table_oversampling as f64)
         / 3f64.sqrt()
 }
 
@@ -83,10 +84,7 @@ mod tests {
         let coords: Vec<[f64; 2]> = (0..m).map(|_| [next(), next()]).collect();
         let values: Vec<C64> = (0..m).map(|_| C64::new(next(), next())).collect();
         let plan = NufftPlan::<f64, 2>::new(cfg.clone()).unwrap();
-        let img = plan
-            .adjoint(&coords, &values, &ExactGridder)
-            .unwrap()
-            .image;
+        let img = plan.adjoint(&coords, &values, &ExactGridder).unwrap().image;
         let exact = adjoint_nudft(n, &coords, &values, None);
         rel_l2(&img, &exact)
     }

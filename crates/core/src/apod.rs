@@ -131,6 +131,9 @@ mod tests {
         narrow.width = 2;
         let dr_wide = Apodization::new(&wide).dynamic_range();
         let dr_narrow = Apodization::new(&narrow).dynamic_range();
-        assert!(dr_wide > dr_narrow, "wider kernel → steeper rolloff: {dr_wide} vs {dr_narrow}");
+        assert!(
+            dr_wide > dr_narrow,
+            "wider kernel → steeper rolloff: {dr_wide} vs {dr_narrow}"
+        );
     }
 }

@@ -338,7 +338,7 @@ mod tests {
         let dec = d.decompose(d.quantize(10.0)); // u + W/2 = 12.5
         assert_eq!(dec.base, 12);
         assert_eq!(dec.phi2, 1); // half unit
-        // t_j = round(j + 0.5) = j + 1 (half up).
+                                 // t_j = round(j + 0.5) = j + 1 (half up).
         for j in 0..5 {
             assert_eq!(d.lut_index(j, dec.phi2), j + 1);
         }

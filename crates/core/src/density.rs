@@ -131,7 +131,12 @@ mod tests {
     fn map_coords(coords: &[[f64; 2]], g: usize) -> Vec<[f64; 2]> {
         coords
             .iter()
-            .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+            .map(|c| {
+                [
+                    c[0].rem_euclid(1.0) * g as f64,
+                    c[1].rem_euclid(1.0) * g as f64,
+                ]
+            })
             .collect()
     }
 

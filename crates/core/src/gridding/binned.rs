@@ -26,9 +26,12 @@
 use super::{sample_windows, validate_batch, worker_threads, Gridder};
 use crate::config::GridParams;
 use crate::decomp::Decomposer;
+use crate::engine::{keys, ExecBackend, WorkerPool};
 use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The binned gridder.
@@ -40,6 +43,9 @@ pub struct BinnedGridder {
     pub bin_tile: usize,
     /// Worker thread count (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Execution backend: persistent worker pool (default) or legacy
+    /// per-call scoped threads.
+    pub backend: ExecBackend,
 }
 
 impl Default for BinnedGridder {
@@ -47,6 +53,7 @@ impl Default for BinnedGridder {
         Self {
             bin_tile: 16,
             threads: None,
+            backend: ExecBackend::default(),
         }
     }
 }
@@ -150,84 +157,111 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
         let presort_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        // Tile-blocked scratch: tile `lin` owns the contiguous range
-        // [lin·B^d, (lin+1)·B^d).
-        let mut blocked = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
         let nthreads = worker_threads(self.threads).min(ntiles.max(1));
         let tiles_per_thread = ntiles.div_ceil(nthreads);
-        let mut accum_counts = vec![0u64; nthreads];
-        let check_counts: Vec<u64>;
-        {
-            let bins = &bins;
-            let dec = &dec;
-            let chunks: Vec<&mut [Complex<T>]> = blocked
-                .chunks_mut(tiles_per_thread * tile_points)
-                .collect();
-            let counts: &mut [u64] = &mut accum_counts;
-            let mut checks = vec![0u64; nthreads];
-            std::thread::scope(|s| {
-                for (tid, (chunk, (acc_slot, chk_slot))) in chunks
-                    .into_iter()
-                    .zip(counts.iter_mut().zip(checks.iter_mut()))
-                    .enumerate()
+        let njobs = ntiles.div_ceil(tiles_per_thread);
+        let width = p.width;
+        let mut total_accums = 0u64;
+        let mut total_checks = 0u64;
+        match self.backend {
+            ExecBackend::Scoped => {
+                // Legacy path: tile-blocked scratch (tile `lin` owns the
+                // contiguous range [lin·B^d, (lin+1)·B^d)) allocated per
+                // call, scoped spawn/join.
+                let mut blocked = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
+                let mut accum_counts = vec![0u64; njobs];
+                let mut check_counts = vec![0u64; njobs];
                 {
-                    let first_tile = tid * tiles_per_thread;
-                    s.spawn(move || {
-                        let mut accums = 0u64;
-                        let mut checks = 0u64;
-                        for (slot, tile_buf) in chunk.chunks_mut(tile_points).enumerate() {
-                            let lin = first_tile + slot;
-                            let bin = &bins[lin];
-                            if bin.is_empty() {
-                                continue;
-                            }
-                            // Decode tile origin.
-                            let mut origin = [0u32; D];
-                            let mut rem = lin;
-                            for d in (0..D).rev() {
-                                origin[d] = ((rem % tiles_per_dim) * b) as u32;
-                                rem /= tiles_per_dim;
-                            }
-                            checks += bin.len() as u64 * tile_points as u64;
-                            for &si in bin {
-                                let (wins, _) =
-                                    sample_windows(dec, lut, &coords[si as usize]);
-                                let v = values[si as usize];
-                                accums += scatter_into_tile::<T, D>(
-                                    b, &origin, &wins, p.width, v, tile_buf,
+                    let bins = &bins;
+                    let dec = &dec;
+                    std::thread::scope(|s| {
+                        for (tid, (chunk, (acc_slot, chk_slot))) in blocked
+                            .chunks_mut(tiles_per_thread * tile_points)
+                            .zip(accum_counts.iter_mut().zip(check_counts.iter_mut()))
+                            .enumerate()
+                        {
+                            let first_tile = tid * tiles_per_thread;
+                            s.spawn(move || {
+                                let (a, c) = binned_tile_worker::<T, D>(
+                                    dec,
+                                    lut,
+                                    coords,
+                                    values,
+                                    bins,
+                                    b,
+                                    tiles_per_dim,
+                                    tile_points,
+                                    width,
+                                    first_tile,
+                                    chunk,
                                 );
-                            }
+                                *acc_slot = a;
+                                *chk_slot = c;
+                            });
                         }
-                        *acc_slot = accums;
-                        *chk_slot = checks;
                     });
                 }
-            });
-            check_counts = checks;
-        }
-        // Un-block into the row-major output.
-        for lin in 0..ntiles {
-            let mut origin = [0usize; D];
-            let mut rem = lin;
-            for d in (0..D).rev() {
-                origin[d] = (rem % tiles_per_dim) * b;
-                rem /= tiles_per_dim;
+                for (tid, chunk) in blocked.chunks(tiles_per_thread * tile_points).enumerate() {
+                    unblock_tile_chunk::<T, D>(
+                        g,
+                        b,
+                        tiles_per_dim,
+                        tile_points,
+                        tid * tiles_per_thread,
+                        chunk,
+                        out,
+                    );
+                }
+                total_accums = accum_counts.iter().sum();
+                total_checks = check_counts.iter().sum();
             }
-            let tile_buf = &blocked[lin * tile_points..(lin + 1) * tile_points];
-            // Iterate tile-local points.
-            for (local, &v) in tile_buf.iter().enumerate() {
-                let mut idx = 0usize;
-                let mut rem = local;
-                // Decode local coordinates (row-major within tile).
-                let mut loc = [0usize; D];
-                for d in (0..D).rev() {
-                    loc[d] = rem % b;
-                    rem /= b;
+            ExecBackend::Pooled => {
+                // Persistent path: each job's tile block comes from (and
+                // returns to) the owning pool worker's scratch arena.
+                let pool = WorkerPool::global();
+                let coords: Arc<[[f64; D]]> = coords.into();
+                let values: Arc<[Complex<T>]> = values.into();
+                let bins = Arc::new(bins);
+                let lut = lut.clone();
+                let (tx, rx) = channel();
+                pool.run(njobs, move |tid, arena| {
+                    let first_tile = tid * tiles_per_thread;
+                    let my_tiles = tiles_per_thread.min(ntiles - first_tile);
+                    let mut chunk = arena.take_vec(
+                        keys::BIN_TILES,
+                        my_tiles * tile_points,
+                        Complex::<T>::zeroed(),
+                    );
+                    let (a, c) = binned_tile_worker::<T, D>(
+                        &dec,
+                        &lut,
+                        &coords,
+                        &values,
+                        &bins,
+                        b,
+                        tiles_per_dim,
+                        tile_points,
+                        width,
+                        first_tile,
+                        &mut chunk,
+                    );
+                    let _ = tx.send((tid, chunk, a, c));
+                });
+                for _ in 0..njobs {
+                    let (tid, chunk, a, c) = rx.recv().expect("pooled binned job result");
+                    unblock_tile_chunk::<T, D>(
+                        g,
+                        b,
+                        tiles_per_dim,
+                        tile_points,
+                        tid * tiles_per_thread,
+                        &chunk,
+                        out,
+                    );
+                    pool.restore(tid, keys::BIN_TILES, chunk);
+                    total_accums += a;
+                    total_checks += c;
                 }
-                for d in 0..D {
-                    idx = idx * g + origin[d] + loc[d];
-                }
-                out[idx] += v;
             }
         }
         let gridding_seconds = t1.elapsed().as_secs_f64();
@@ -235,10 +269,91 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
         GridStats {
             samples: coords.len(),
             samples_processed: processed,
-            boundary_checks: check_counts.iter().sum(),
-            kernel_accumulations: accum_counts.iter().sum(),
+            boundary_checks: total_checks,
+            kernel_accumulations: total_accums,
             presort_seconds,
             gridding_seconds,
+        }
+    }
+}
+
+/// One worker's job: process every tile–bin pair in its tile range into a
+/// private tile-blocked chunk. Shared verbatim by the scoped and pooled
+/// backends, so the per-tile accumulation order (bin order, then window
+/// order) is identical under both. Returns (accumulations, checks).
+#[allow(clippy::too_many_arguments)]
+fn binned_tile_worker<T: Float, const D: usize>(
+    dec: &Decomposer,
+    lut: &KernelLut,
+    coords: &[[f64; D]],
+    values: &[Complex<T>],
+    bins: &[Vec<u32>],
+    b: usize,
+    tiles_per_dim: usize,
+    tile_points: usize,
+    width: usize,
+    first_tile: usize,
+    chunk: &mut [Complex<T>],
+) -> (u64, u64) {
+    let mut accums = 0u64;
+    let mut checks = 0u64;
+    for (slot, tile_buf) in chunk.chunks_mut(tile_points).enumerate() {
+        let lin = first_tile + slot;
+        let bin = &bins[lin];
+        if bin.is_empty() {
+            continue;
+        }
+        // Decode tile origin.
+        let mut origin = [0u32; D];
+        let mut rem = lin;
+        for d in (0..D).rev() {
+            origin[d] = ((rem % tiles_per_dim) * b) as u32;
+            rem /= tiles_per_dim;
+        }
+        checks += bin.len() as u64 * tile_points as u64;
+        for &si in bin {
+            let (wins, _) = sample_windows(dec, lut, &coords[si as usize]);
+            let v = values[si as usize];
+            accums += scatter_into_tile::<T, D>(b, &origin, &wins, width, v, tile_buf);
+        }
+    }
+    (accums, checks)
+}
+
+/// Un-block one worker's tile chunk into the row-major output. Tiles are
+/// disjoint regions of the grid, so chunks can merge in any order without
+/// changing a single bit of the result.
+fn unblock_tile_chunk<T: Float, const D: usize>(
+    g: usize,
+    b: usize,
+    tiles_per_dim: usize,
+    tile_points: usize,
+    first_tile: usize,
+    chunk: &[Complex<T>],
+    out: &mut [Complex<T>],
+) {
+    for (slot, tile_buf) in chunk.chunks(tile_points).enumerate() {
+        let lin = first_tile + slot;
+        let mut origin = [0usize; D];
+        let mut rem = lin;
+        for d in (0..D).rev() {
+            origin[d] = (rem % tiles_per_dim) * b;
+            rem /= tiles_per_dim;
+        }
+        // Iterate tile-local points.
+        for (local, &v) in tile_buf.iter().enumerate() {
+            let mut idx = 0usize;
+            let mut rem = local;
+            // Decode local coordinates (row-major within tile).
+            let mut loc = [0usize; D];
+            for d in (0..D).rev() {
+                loc[d] = rem % b;
+                rem /= b;
+            }
+            for d in 0..D {
+                idx = idx * g + origin[d] + loc[d];
+            }
+            out[idx] += v;
         }
     }
 }
@@ -326,6 +441,7 @@ mod tests {
             let binner = BinnedGridder {
                 bin_tile: 16,
                 threads: Some(threads),
+                ..Default::default()
             };
             let (a, b, _) = run_both(&p, 300, 5, &binner);
             for (x, y) in a.iter().zip(&b) {
@@ -341,6 +457,7 @@ mod tests {
         let binner = BinnedGridder {
             bin_tile: 8,
             threads: Some(2),
+            ..Default::default()
         };
         let (a, b, _) = run_both(&p, 200, 77, &binner);
         for (x, y) in a.iter().zip(&b) {
@@ -357,6 +474,7 @@ mod tests {
         let binner = BinnedGridder {
             bin_tile: 16,
             threads: Some(1),
+            ..Default::default()
         };
         // Place the sample right at a 4-tile corner: (16, 16).
         let coords = [[16.0, 16.0]];
@@ -389,6 +507,7 @@ mod tests {
         let binner = BinnedGridder {
             bin_tile: 16,
             threads: Some(1),
+            ..Default::default()
         };
         // One interior sample: 1 bin × 16² points.
         let mut out = vec![C64::zeroed(); 64 * 64];
@@ -425,6 +544,7 @@ mod tests {
         BinnedGridder {
             bin_tile: 8,
             threads: Some(2),
+            ..Default::default()
         }
         .grid(&p, &lut, &coords, &values, &mut b);
         for (x, y) in a.iter().zip(&b) {
@@ -442,6 +562,7 @@ mod tests {
         BinnedGridder {
             bin_tile: 4,
             threads: Some(1),
+            ..Default::default()
         }
         .grid(&p, &lut, &[[1.0, 1.0]], &[C64::one()], &mut out);
     }

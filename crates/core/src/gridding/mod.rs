@@ -97,7 +97,7 @@ pub fn validate_batch<T: Float, const D: usize>(
 }
 
 /// Per-dimension window of one sample: grid indices and kernel weights.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 pub struct DimWindow {
     /// Grid index of window point `j` (already torus-wrapped).
     pub idx: [u32; MAX_W],
@@ -240,7 +240,11 @@ pub(crate) mod testutil {
 
     /// Deterministic pseudo-random sample batch covering interior, edge
     /// (wrap), and exactly-on-grid coordinates.
-    pub fn sample_batch<const D: usize>(m: usize, g: f64, seed: u64) -> (Vec<[f64; D]>, Vec<jigsaw_num::C64>) {
+    pub fn sample_batch<const D: usize>(
+        m: usize,
+        g: f64,
+        seed: u64,
+    ) -> (Vec<[f64; D]>, Vec<jigsaw_num::C64>) {
         let mut s = seed | 1;
         let mut next = move || {
             s ^= s << 13;
@@ -254,9 +258,9 @@ pub(crate) mod testutil {
             let mut c = [0.0; D];
             for x in c.iter_mut() {
                 *x = match i % 7 {
-                    0 => next() * 0.5,             // near the wrap edge
-                    1 => g - next() * 0.5,         // near the other edge
-                    2 => (next() * g).floor(),     // exactly on a grid point
+                    0 => next() * 0.5,         // near the wrap edge
+                    1 => g - next() * 0.5,     // near the other edge
+                    2 => (next() * g).floor(), // exactly on a grid point
                     _ => next() * g,
                 };
             }

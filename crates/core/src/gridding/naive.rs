@@ -11,17 +11,31 @@
 //!
 //! Complexity is `O(M·G^d)` — only use it on small problems.
 
-use super::{validate_batch, Gridder};
+use super::{validate_batch, worker_threads, Gridder};
 use crate::config::GridParams;
 use crate::decomp::Decomposer;
+use crate::engine::{keys, ExecBackend, WorkerPool};
 use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The naive output-driven gridder (one logical thread per grid point).
+///
+/// Output points partition across workers; each worker scans the full
+/// sample stream for every point it owns, so the per-point accumulation
+/// order is the stream order regardless of the partition — the result is
+/// bitwise identical for any thread count and either backend.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct NaiveOutputGridder;
+pub struct NaiveOutputGridder {
+    /// Worker thread count (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// Execution backend: persistent worker pool (default) or legacy
+    /// per-call scoped threads.
+    pub backend: ExecBackend,
+}
 
 impl NaiveOutputGridder {
     /// Kernel weight of grid point `k` for a sample at quantized
@@ -79,47 +93,119 @@ impl<T: Float, const D: usize> Gridder<T, D> for NaiveOutputGridder {
                 q
             })
             .collect();
-        let mut accums = 0u64;
-        // Output-driven: iterate grid points (the "threads"), each scanning
-        // every sample.
+        // Output-driven: partition the grid points (the "threads") across
+        // workers; each worker scans every sample for each of its points.
         let npoints = g.pow(D as u32);
-        for (flat, o) in out.iter_mut().enumerate() {
-            // Decode this point's coordinates.
-            let mut k = [0u32; D];
-            let mut rem = flat;
-            for d in (0..D).rev() {
-                k[d] = (rem % g) as u32;
-                rem /= g;
-            }
-            let mut acc = Complex::<T>::zeroed();
-            for (q, &v) in quant.iter().zip(values) {
-                let mut wt = 1.0;
-                let mut inside = true;
-                for d in 0..D {
-                    match Self::weight_for(&dec, lut, q[d], k[d]) {
-                        Some(x) => wt *= x,
-                        None => {
-                            inside = false;
-                            break;
+        let nthreads = worker_threads(self.threads).min(npoints.max(1));
+        let points_per_job = npoints.div_ceil(nthreads);
+        let njobs = npoints.div_ceil(points_per_job);
+        let mut total_accums = 0u64;
+        match self.backend {
+            ExecBackend::Scoped => {
+                let mut accum_counts = vec![0u64; njobs];
+                {
+                    let dec = &dec;
+                    let quant = &quant;
+                    std::thread::scope(|s| {
+                        for ((tid, chunk), acc_slot) in out
+                            .chunks_mut(points_per_job)
+                            .enumerate()
+                            .zip(accum_counts.iter_mut())
+                        {
+                            let lo = tid * points_per_job;
+                            s.spawn(move || {
+                                *acc_slot =
+                                    naive_worker::<T, D>(dec, lut, g, quant, values, lo, chunk);
+                            });
                         }
-                    }
+                    });
                 }
-                if inside {
-                    acc += v.scale(T::from_f64(wt));
-                    accums += 1;
+                total_accums = accum_counts.iter().sum();
+            }
+            ExecBackend::Pooled => {
+                let pool = WorkerPool::global();
+                let quant: Arc<[[u32; D]]> = quant.into();
+                let values: Arc<[Complex<T>]> = values.into();
+                let lut = lut.clone();
+                let (tx, rx) = channel();
+                pool.run(njobs, move |tid, arena| {
+                    let lo = tid * points_per_job;
+                    let len = points_per_job.min(npoints - lo);
+                    let mut chunk = arena.take_vec(keys::NAIVE_CHUNK, len, Complex::<T>::zeroed());
+                    let n = naive_worker::<T, D>(&dec, &lut, g, &quant, &values, lo, &mut chunk);
+                    let _ = tx.send((tid, chunk, n));
+                });
+                for _ in 0..njobs {
+                    let (tid, chunk, n) = rx.recv().expect("pooled naive job result");
+                    let lo = tid * points_per_job;
+                    for (o, &v) in out[lo..lo + chunk.len()].iter_mut().zip(&chunk) {
+                        *o += v;
+                    }
+                    pool.restore(tid, keys::NAIVE_CHUNK, chunk);
+                    total_accums += n;
                 }
             }
-            *o += acc;
         }
         GridStats {
             samples: coords.len(),
             samples_processed: coords.len(),
             boundary_checks: (coords.len() * npoints) as u64,
-            kernel_accumulations: accums,
+            kernel_accumulations: total_accums,
             presort_seconds: 0.0,
             gridding_seconds: start.elapsed().as_secs_f64(),
         }
     }
+}
+
+/// One worker's job: for each grid point in `lo..lo + chunk.len()`, scan
+/// the full (pre-quantized) sample stream and accumulate the point's
+/// value into `chunk`. Shared verbatim by both backends.
+///
+/// The scoped backend hands `chunk` straight from the output grid (the
+/// per-point sum lands on top of the existing value), while the pooled
+/// backend hands a zeroed arena buffer that the caller adds into the
+/// output — both orderings produce identical bits because each point's
+/// windowed sum is computed in full before the single `+=`.
+fn naive_worker<T: Float, const D: usize>(
+    dec: &Decomposer,
+    lut: &KernelLut,
+    g: usize,
+    quant: &[[u32; D]],
+    values: &[Complex<T>],
+    lo: usize,
+    chunk: &mut [Complex<T>],
+) -> u64 {
+    let mut accums = 0u64;
+    for (off, o) in chunk.iter_mut().enumerate() {
+        let flat = lo + off;
+        // Decode this point's coordinates.
+        let mut k = [0u32; D];
+        let mut rem = flat;
+        for d in (0..D).rev() {
+            k[d] = (rem % g) as u32;
+            rem /= g;
+        }
+        let mut acc = Complex::<T>::zeroed();
+        for (q, &v) in quant.iter().zip(values) {
+            let mut wt = 1.0;
+            let mut inside = true;
+            for d in 0..D {
+                match NaiveOutputGridder::weight_for(dec, lut, q[d], k[d]) {
+                    Some(x) => wt *= x,
+                    None => {
+                        inside = false;
+                        break;
+                    }
+                }
+            }
+            if inside {
+                acc += v.scale(T::from_f64(wt));
+                accums += 1;
+            }
+        }
+        *o += acc;
+    }
+    accums
 }
 
 #[cfg(test)]
@@ -138,9 +224,13 @@ mod tests {
         let mut a = vec![C64::zeroed(); 16 * 16];
         let mut b = vec![C64::zeroed(); 16 * 16];
         SerialGridder.grid(&p, &lut, &coords, &values, &mut a);
-        NaiveOutputGridder.grid(&p, &lut, &coords, &values, &mut b);
+        NaiveOutputGridder::default().grid(&p, &lut, &coords, &values, &mut b);
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.re.to_bits(), y.re.to_bits(), "grids must be bitwise equal");
+            assert_eq!(
+                x.re.to_bits(),
+                y.re.to_bits(),
+                "grids must be bitwise equal"
+            );
             assert_eq!(x.im.to_bits(), y.im.to_bits());
         }
     }
@@ -152,7 +242,7 @@ mod tests {
         let lut = KernelLut::from_params(&p);
         let (coords, values) = sample_batch::<2>(10, 16.0, 2);
         let mut out = vec![C64::zeroed(); 256];
-        let stats = NaiveOutputGridder.grid(&p, &lut, &coords, &values, &mut out);
+        let stats = NaiveOutputGridder::default().grid(&p, &lut, &coords, &values, &mut out);
         assert_eq!(stats.boundary_checks, 10 * 256);
         // Each sample touches exactly W² points.
         assert_eq!(stats.kernel_accumulations, 10 * 36);

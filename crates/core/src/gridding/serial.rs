@@ -232,13 +232,7 @@ mod tests {
         let p = small_params();
         let lut = KernelLut::from_params(&p);
         let mut out = vec![C64::zeroed(); 64 * 64];
-        let stats = SerialGridder.grid(
-            &p,
-            &lut,
-            &[[20.0, 30.0]],
-            &[C64::one()],
-            &mut out,
-        );
+        let stats = SerialGridder.grid(&p, &lut, &[[20.0, 30.0]], &[C64::one()], &mut out);
         assert_eq!(stats.kernel_accumulations, 36);
         // Center point (20,30): base = 23, window j = 0..6 covers 23..18;
         // point 20 is j = 3 with offset (3 + 0) − 3 = 0 → peak weight 1².
@@ -305,8 +299,7 @@ mod tests {
         let p = small_params();
         let lut = KernelLut::from_params(&p);
         let mut out = vec![C64::zeroed(); 64 * 64 * 64];
-        let stats =
-            SerialGridder.grid(&p, &lut, &[[32.0, 32.0, 32.0]], &[C64::one()], &mut out);
+        let stats = SerialGridder.grid(&p, &lut, &[[32.0, 32.0, 32.0]], &[C64::one()], &mut out);
         assert_eq!(stats.kernel_accumulations, 216); // 6³
         assert!((out[32 * 64 * 64 + 32 * 64 + 32].re - 1.0).abs() < 1e-12);
         let total: f64 = out.iter().map(|z| z.re).sum();

@@ -27,10 +27,13 @@
 use super::{validate_batch, worker_threads, Gridder};
 use crate::config::GridParams;
 use crate::decomp::{Decomposer, DimDecomp};
+use crate::engine::{keys, ExecBackend, WorkerPool};
 use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Execution strategy for [`SliceDiceGridder`].
@@ -54,7 +57,15 @@ pub struct SliceDiceGridder {
     /// Execution mode.
     pub mode: SliceDiceMode,
     /// Worker thread / block count (`None` = available parallelism).
+    ///
+    /// This controls the *partition* of work (and therefore, for the
+    /// non-deterministic block modes, the reduction shape) — not how many
+    /// OS threads exist. Under [`ExecBackend::Pooled`] the partition's
+    /// jobs are multiplexed onto the persistent global pool.
     pub threads: Option<usize>,
+    /// Execution backend: persistent worker pool (default) or legacy
+    /// per-call scoped threads.
+    pub backend: ExecBackend,
 }
 
 impl SliceDiceGridder {
@@ -63,7 +74,14 @@ impl SliceDiceGridder {
         Self {
             mode,
             threads: None,
+            backend: ExecBackend::default(),
         }
+    }
+
+    /// Builder-style backend override.
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -116,110 +134,101 @@ impl<T: AtomicFloat, const D: usize> Gridder<T, D> for SliceDiceGridder {
         out: &mut [Complex<T>],
     ) -> GridStats {
         validate_batch(p, coords, values, out).expect("invalid sample batch");
+        let b = self.backend;
         match self.mode {
-            SliceDiceMode::Serial => {
-                grid_columns(p, lut, coords, values, out, 1)
-            }
+            SliceDiceMode::Serial => grid_columns(p, lut, coords, values, out, 1, b),
             SliceDiceMode::ColumnParallel => {
-                grid_columns(p, lut, coords, values, out, worker_threads(self.threads))
+                grid_columns(p, lut, coords, values, out, worker_threads(self.threads), b)
             }
             SliceDiceMode::BlockAtomic => {
-                grid_block_atomic(p, lut, coords, values, out, worker_threads(self.threads))
+                grid_block_atomic(p, lut, coords, values, out, worker_threads(self.threads), b)
             }
             SliceDiceMode::BlockReduce => {
-                grid_block_reduce(p, lut, coords, values, out, worker_threads(self.threads))
+                grid_block_reduce(p, lut, coords, values, out, worker_threads(self.threads), b)
             }
         }
     }
 }
 
-/// Column-owned execution: split the `T^d` dice columns across workers;
-/// every worker scans the full sample stream and accumulates into its
-/// private columns. Deterministic (per-point order = stream order).
-fn grid_columns<T: Float, const D: usize>(
-    p: &GridParams,
+/// One column-owner's job: scan the *full* sample stream and accumulate
+/// into a private slab of `chunk.len() / col_len` dice columns starting
+/// at global column `first_col`. Shared verbatim by the scoped and pooled
+/// backends so their per-column arithmetic is identical instruction for
+/// instruction — the bitwise-equality guarantee rests on this.
+#[allow(clippy::too_many_arguments)]
+fn columns_worker<T: Float, const D: usize>(
+    dec: &Decomposer,
     lut: &KernelLut,
     coords: &[[f64; D]],
     values: &[Complex<T>],
-    out: &mut [Complex<T>],
-    nthreads: usize,
-) -> GridStats {
-    let dec = Decomposer::new(p);
-    let t = p.tile;
-    let tiles = p.tiles_per_dim();
-    let ncols = t.pow(D as u32);
-    let col_len = tiles.pow(D as u32);
-    let nthreads = nthreads.min(ncols).max(1);
-    let cols_per_thread = ncols.div_ceil(nthreads);
-
-    let start = Instant::now();
-    // The dice: column-major storage, one contiguous slab per column.
-    let mut dice = vec![Complex::<T>::zeroed(); ncols * col_len];
-    let mut checks = vec![0u64; nthreads];
-    let mut accums = vec![0u64; nthreads];
-    {
-        let dec = &dec;
-        std::thread::scope(|s| {
-            for ((tid, chunk), (chk, acc)) in dice
-                .chunks_mut(cols_per_thread * col_len)
-                .enumerate()
-                .zip(checks.iter_mut().zip(accums.iter_mut()))
-            {
-                let first_col = tid * cols_per_thread;
-                s.spawn(move || {
-                    let my_cols = chunk.len() / col_len;
-                    let mut n_checks = 0u64;
-                    let mut n_accums = 0u64;
-                    for (c, &v) in coords.iter().zip(values) {
-                        // Select-unit precomputation, once per sample per dim.
-                        let sel: [DimSelect; D] = core::array::from_fn(|d| {
-                            let dd = dec.decompose(dec.quantize(c[d]));
-                            DimSelect::compute(dec, lut, &dd)
-                        });
-                        n_checks += my_cols as u64;
-                        for (slot, col_buf) in chunk.chunks_mut(col_len).enumerate() {
-                            let col = first_col + slot;
-                            // Decode column → per-dim pipeline indices.
-                            let mut pidx = [0usize; D];
-                            let mut rem = col;
-                            for d in (0..D).rev() {
-                                pidx[d] = rem % t;
-                                rem /= t;
-                            }
-                            let mut wt = 1.0;
-                            let mut addr = 0usize;
-                            let mut hit = true;
-                            for d in 0..D {
-                                let sd = &sel[d];
-                                let pi = pidx[d];
-                                if !sd.affected[pi] {
-                                    hit = false;
-                                    break;
-                                }
-                                wt *= sd.weight[pi];
-                                addr = addr * tiles + sd.tile[pi] as usize;
-                            }
-                            if hit {
-                                col_buf[addr] += v.scale(T::from_f64(wt));
-                                n_accums += 1;
-                            }
-                        }
-                    }
-                    *chk = n_checks;
-                    *acc = n_accums;
-                });
-            }
+    t: usize,
+    tiles: usize,
+    col_len: usize,
+    first_col: usize,
+    chunk: &mut [Complex<T>],
+) -> (u64, u64) {
+    let my_cols = chunk.len() / col_len;
+    let mut n_checks = 0u64;
+    let mut n_accums = 0u64;
+    for (c, &v) in coords.iter().zip(values) {
+        // Select-unit precomputation, once per sample per dim.
+        let sel: [DimSelect; D] = core::array::from_fn(|d| {
+            let dd = dec.decompose(dec.quantize(c[d]));
+            DimSelect::compute(dec, lut, &dd)
         });
+        n_checks += my_cols as u64;
+        for (slot, col_buf) in chunk.chunks_mut(col_len).enumerate() {
+            let col = first_col + slot;
+            // Decode column → per-dim pipeline indices.
+            let mut pidx = [0usize; D];
+            let mut rem = col;
+            for d in (0..D).rev() {
+                pidx[d] = rem % t;
+                rem /= t;
+            }
+            let mut wt = 1.0;
+            let mut addr = 0usize;
+            let mut hit = true;
+            for d in 0..D {
+                let sd = &sel[d];
+                let pi = pidx[d];
+                if !sd.affected[pi] {
+                    hit = false;
+                    break;
+                }
+                wt *= sd.weight[pi];
+                addr = addr * tiles + sd.tile[pi] as usize;
+            }
+            if hit {
+                col_buf[addr] += v.scale(T::from_f64(wt));
+                n_accums += 1;
+            }
+        }
     }
-    // Dice → row-major.
-    for col in 0..ncols {
+    (n_checks, n_accums)
+}
+
+/// Merge one worker's dice chunk (columns `first_col..`) into the
+/// row-major output. Every (column, tile-address) pair maps to a unique
+/// grid index, so chunks can merge in any order without changing a single
+/// bit of the result.
+fn merge_column_chunk<T: Float, const D: usize>(
+    g: usize,
+    t: usize,
+    tiles: usize,
+    col_len: usize,
+    first_col: usize,
+    chunk: &[Complex<T>],
+    out: &mut [Complex<T>],
+) {
+    for (slot, col_buf) in chunk.chunks(col_len).enumerate() {
+        let col = first_col + slot;
         let mut pidx = [0usize; D];
         let mut rem = col;
         for d in (0..D).rev() {
             pidx[d] = rem % t;
             rem /= t;
         }
-        let col_buf = &dice[col * col_len..(col + 1) * col_len];
         for (addr, &v) in col_buf.iter().enumerate() {
             let mut q = [0usize; D];
             let mut rem = addr;
@@ -229,16 +238,114 @@ fn grid_columns<T: Float, const D: usize>(
             }
             let mut idx = 0usize;
             for d in 0..D {
-                idx = idx * p.grid + q[d] * t + pidx[d];
+                idx = idx * g + q[d] * t + pidx[d];
             }
             out[idx] += v;
+        }
+    }
+}
+
+/// Column-owned execution: split the `T^d` dice columns across workers;
+/// every worker scans the full sample stream and accumulates into its
+/// private columns. Deterministic (per-point order = stream order) for
+/// *both* backends and any thread count: the partition only decides which
+/// worker owns a column, never the order of accumulations within it.
+fn grid_columns<T: Float, const D: usize>(
+    p: &GridParams,
+    lut: &KernelLut,
+    coords: &[[f64; D]],
+    values: &[Complex<T>],
+    out: &mut [Complex<T>],
+    nthreads: usize,
+    backend: ExecBackend,
+) -> GridStats {
+    let dec = Decomposer::new(p);
+    let g = p.grid;
+    let t = p.tile;
+    let tiles = p.tiles_per_dim();
+    let ncols = t.pow(D as u32);
+    let col_len = tiles.pow(D as u32);
+    let nthreads = nthreads.min(ncols).max(1);
+    let cols_per_thread = ncols.div_ceil(nthreads);
+    let njobs = ncols.div_ceil(cols_per_thread);
+
+    let start = Instant::now();
+    let mut total_checks = 0u64;
+    let mut total_accums = 0u64;
+    match backend {
+        ExecBackend::Scoped => {
+            // Legacy path: per-call allocation + scoped spawn/join.
+            let mut dice = vec![Complex::<T>::zeroed(); ncols * col_len];
+            let mut checks = vec![0u64; njobs];
+            let mut accums = vec![0u64; njobs];
+            {
+                let dec = &dec;
+                std::thread::scope(|s| {
+                    for ((tid, chunk), (chk, acc)) in dice
+                        .chunks_mut(cols_per_thread * col_len)
+                        .enumerate()
+                        .zip(checks.iter_mut().zip(accums.iter_mut()))
+                    {
+                        let first_col = tid * cols_per_thread;
+                        s.spawn(move || {
+                            let (c, a) = columns_worker(
+                                dec, lut, coords, values, t, tiles, col_len, first_col, chunk,
+                            );
+                            *chk = c;
+                            *acc = a;
+                        });
+                    }
+                });
+            }
+            for (tid, chunk) in dice.chunks(cols_per_thread * col_len).enumerate() {
+                merge_column_chunk::<T, D>(g, t, tiles, col_len, tid * cols_per_thread, chunk, out);
+            }
+            total_checks = checks.iter().sum();
+            total_accums = accums.iter().sum();
+        }
+        ExecBackend::Pooled => {
+            // Persistent path: jobs run on the global pool, column slabs
+            // come from (and return to) the owning worker's scratch arena.
+            let pool = WorkerPool::global();
+            let coords: Arc<[[f64; D]]> = coords.into();
+            let values: Arc<[Complex<T>]> = values.into();
+            let lut = lut.clone();
+            let (tx, rx) = channel();
+            pool.run(njobs, move |tid, arena| {
+                let first_col = tid * cols_per_thread;
+                let my_cols = cols_per_thread.min(ncols - first_col);
+                let mut chunk = arena.take_vec(
+                    keys::DICE_COLUMNS,
+                    my_cols * col_len,
+                    Complex::<T>::zeroed(),
+                );
+                let (chk, acc) = columns_worker(
+                    &dec, &lut, &coords, &values, t, tiles, col_len, first_col, &mut chunk,
+                );
+                let _ = tx.send((tid, chunk, chk, acc));
+            });
+            for _ in 0..njobs {
+                let (tid, chunk, chk, acc) = rx.recv().expect("pooled column job result");
+                merge_column_chunk::<T, D>(
+                    g,
+                    t,
+                    tiles,
+                    col_len,
+                    tid * cols_per_thread,
+                    &chunk,
+                    out,
+                );
+                pool.restore(tid, keys::DICE_COLUMNS, chunk);
+                total_checks += chk;
+                total_accums += acc;
+            }
         }
     }
     GridStats {
         samples: coords.len(),
         samples_processed: coords.len(),
-        boundary_checks: checks.iter().sum(),
-        kernel_accumulations: accums.iter().sum(),
+        boundary_checks: total_checks,
+        kernel_accumulations: total_accums,
         presort_seconds: 0.0,
         gridding_seconds: start.elapsed().as_secs_f64(),
     }
@@ -263,8 +370,10 @@ pub struct AtomicGrid64 {
 
 /// Floats that support lock-free atomic accumulation via bit-pattern CAS.
 pub trait AtomicFloat: Float {
-    /// The shared-grid representation for this precision.
-    type Grid: Sync;
+    /// The shared-grid representation for this precision (`Send + Sync`
+    /// so the pooled backend can share it via `Arc` across `'static`
+    /// jobs).
+    type Grid: Send + Sync + 'static;
     /// Allocate a zeroed atomic grid of `n` complex points.
     fn alloc_grid(n: usize) -> Self::Grid;
     /// `grid[idx] += v`, atomically per component.
@@ -399,6 +508,30 @@ fn for_each_window_point<const D: usize>(
     }
 }
 
+/// One input-block's job for the atomic mode: grid samples `lo..hi` into
+/// the shared atomic grid. Shared by both backends.
+#[allow(clippy::too_many_arguments)]
+fn block_atomic_worker<T: AtomicFloat, const D: usize>(
+    dec: &Decomposer,
+    lut: &KernelLut,
+    coords: &[[f64; D]],
+    values: &[Complex<T>],
+    g: usize,
+    t: usize,
+    lo: usize,
+    hi: usize,
+    shared: &T::Grid,
+) -> u64 {
+    let mut n = 0u64;
+    for i in lo..hi {
+        let v = values[i];
+        n += for_each_window_point(dec, lut, &coords[i], g, t, |idx, wt| {
+            T::fetch_add(shared, idx, v.scale(T::from_f64(wt)));
+        });
+    }
+    n
+}
+
 /// Block-parallel execution with atomic accumulation (the GPU scheme).
 fn grid_block_atomic<T: AtomicFloat, const D: usize>(
     p: &GridParams,
@@ -407,57 +540,112 @@ fn grid_block_atomic<T: AtomicFloat, const D: usize>(
     values: &[Complex<T>],
     out: &mut [Complex<T>],
     nthreads: usize,
+    backend: ExecBackend,
 ) -> GridStats {
     let dec = Decomposer::new(p);
     let npoints = p.grid.pow(D as u32);
+    let g = p.grid;
+    let t = p.tile;
     let start = Instant::now();
-    let shared = T::alloc_grid(npoints);
     let m = coords.len();
     let nthreads = nthreads.min(m.max(1)).max(1);
     let chunk = m.div_ceil(nthreads);
-    let mut accums = vec![0u64; nthreads];
-    {
-        let dec = &dec;
-        let shared = &shared;
-        std::thread::scope(|s| {
-            for (tid, acc) in accums.iter_mut().enumerate() {
-                let lo = tid * chunk;
-                let hi = ((tid + 1) * chunk).min(m);
-                if lo >= hi {
-                    continue;
-                }
-                s.spawn(move || {
-                    let mut n = 0u64;
-                    for i in lo..hi {
-                        let v = values[i];
-                        n += for_each_window_point(
-                            dec,
-                            lut,
-                            &coords[i],
-                            p.grid,
-                            p.tile,
-                            |idx, wt| {
-                                T::fetch_add(shared, idx, v.scale(T::from_f64(wt)));
-                            },
-                        );
+    let total_accums: u64;
+    let shared = Arc::new(T::alloc_grid(npoints));
+    match backend {
+        ExecBackend::Scoped => {
+            let mut accums = vec![0u64; nthreads];
+            {
+                let dec = &dec;
+                let shared = &*shared;
+                std::thread::scope(|s| {
+                    for (tid, acc) in accums.iter_mut().enumerate() {
+                        let lo = tid * chunk;
+                        let hi = ((tid + 1) * chunk).min(m);
+                        if lo >= hi {
+                            continue;
+                        }
+                        s.spawn(move || {
+                            *acc = block_atomic_worker::<T, D>(
+                                dec, lut, coords, values, g, t, lo, hi, shared,
+                            );
+                        });
                     }
-                    *acc = n;
                 });
             }
-        });
+            total_accums = accums.iter().sum();
+        }
+        ExecBackend::Pooled => {
+            let pool = WorkerPool::global();
+            let coords: Arc<[[f64; D]]> = coords.into();
+            let values: Arc<[Complex<T>]> = values.into();
+            let lut = lut.clone();
+            let shared_jobs = Arc::clone(&shared);
+            let (tx, rx) = channel();
+            pool.run(nthreads, move |tid, _arena| {
+                let lo = tid * chunk;
+                let hi = ((tid + 1) * chunk).min(m);
+                let n = if lo < hi {
+                    block_atomic_worker::<T, D>(
+                        &dec,
+                        &lut,
+                        &coords,
+                        &values,
+                        g,
+                        t,
+                        lo,
+                        hi,
+                        &shared_jobs,
+                    )
+                } else {
+                    0
+                };
+                let _ = tx.send(n);
+            });
+            total_accums = (0..nthreads).map(|_| rx.recv().unwrap_or(0)).sum();
+        }
     }
     T::drain(&shared, out);
     GridStats {
         samples: m,
         samples_processed: m,
         boundary_checks: (m * p.tile.pow(D as u32)) as u64,
-        kernel_accumulations: accums.iter().sum(),
+        kernel_accumulations: total_accums,
         presort_seconds: 0.0,
         gridding_seconds: start.elapsed().as_secs_f64(),
     }
 }
 
+/// One input-block's job for the reduce mode: grid samples `lo..hi` into
+/// a private partial grid. Shared by both backends.
+#[allow(clippy::too_many_arguments)]
+fn block_reduce_worker<T: Float, const D: usize>(
+    dec: &Decomposer,
+    lut: &KernelLut,
+    coords: &[[f64; D]],
+    values: &[Complex<T>],
+    g: usize,
+    t: usize,
+    lo: usize,
+    hi: usize,
+    partial: &mut [Complex<T>],
+) -> u64 {
+    let mut n = 0u64;
+    for i in lo..hi {
+        let v = values[i];
+        n += for_each_window_point(dec, lut, &coords[i], g, t, |idx, wt| {
+            partial[idx] += v.scale(T::from_f64(wt));
+        });
+    }
+    n
+}
+
 /// Block-parallel execution with private grids + deterministic merge.
+///
+/// The merge runs in block order (`tid` ascending) under both backends,
+/// so for a fixed `threads` request the result is reproducible — though
+/// unlike the column modes it is *not* bitwise equal to serial, because
+/// splitting the sample stream reassociates the floating-point sums.
 fn grid_block_reduce<T: Float, const D: usize>(
     p: &GridParams,
     lut: &KernelLut,
@@ -465,54 +653,91 @@ fn grid_block_reduce<T: Float, const D: usize>(
     values: &[Complex<T>],
     out: &mut [Complex<T>],
     nthreads: usize,
+    backend: ExecBackend,
 ) -> GridStats {
     let dec = Decomposer::new(p);
     let npoints = p.grid.pow(D as u32);
+    let g = p.grid;
+    let t = p.tile;
     let m = coords.len();
     let nthreads = nthreads.min(m.max(1)).max(1);
     let chunk = m.div_ceil(nthreads);
     let start = Instant::now();
-    let mut partials: Vec<Vec<Complex<T>>> = Vec::with_capacity(nthreads);
-    partials.resize_with(nthreads, || vec![Complex::zeroed(); npoints]);
-    let mut accums = vec![0u64; nthreads];
-    {
-        let dec = &dec;
-        std::thread::scope(|s| {
-            for (tid, (partial, acc)) in
-                partials.iter_mut().zip(accums.iter_mut()).enumerate()
+    let total_accums: u64;
+    match backend {
+        ExecBackend::Scoped => {
+            let mut partials: Vec<Vec<Complex<T>>> = Vec::with_capacity(nthreads);
+            partials.resize_with(nthreads, || vec![Complex::zeroed(); npoints]);
+            let mut accums = vec![0u64; nthreads];
             {
-                let lo = tid * chunk;
-                let hi = ((tid + 1) * chunk).min(m);
-                s.spawn(move || {
-                    let mut n = 0u64;
-                    for i in lo..hi {
-                        let v = values[i];
-                        n += for_each_window_point(
-                            dec,
-                            lut,
-                            &coords[i],
-                            p.grid,
-                            p.tile,
-                            |idx, wt| {
-                                partial[idx] += v.scale(T::from_f64(wt));
-                            },
-                        );
+                let dec = &dec;
+                std::thread::scope(|s| {
+                    for (tid, (partial, acc)) in
+                        partials.iter_mut().zip(accums.iter_mut()).enumerate()
+                    {
+                        let lo = tid * chunk;
+                        let hi = ((tid + 1) * chunk).min(m);
+                        s.spawn(move || {
+                            *acc = block_reduce_worker::<T, D>(
+                                dec, lut, coords, values, g, t, lo, hi, partial,
+                            );
+                        });
                     }
-                    *acc = n;
                 });
             }
-        });
-    }
-    for partial in &partials {
-        for (o, &v) in out.iter_mut().zip(partial) {
-            *o += v;
+            for partial in &partials {
+                for (o, &v) in out.iter_mut().zip(partial) {
+                    *o += v;
+                }
+            }
+            total_accums = accums.iter().sum();
+        }
+        ExecBackend::Pooled => {
+            let pool = WorkerPool::global();
+            let coords: Arc<[[f64; D]]> = coords.into();
+            let values: Arc<[Complex<T>]> = values.into();
+            let lut = lut.clone();
+            let (tx, rx) = channel();
+            pool.run(nthreads, move |tid, arena| {
+                let lo = tid * chunk;
+                let hi = ((tid + 1) * chunk).min(m);
+                let mut partial =
+                    arena.take_vec(keys::PARTIAL_GRID, npoints, Complex::<T>::zeroed());
+                let n = block_reduce_worker::<T, D>(
+                    &dec,
+                    &lut,
+                    &coords,
+                    &values,
+                    g,
+                    t,
+                    lo,
+                    hi,
+                    &mut partial,
+                );
+                let _ = tx.send((tid, partial, n));
+            });
+            // Deterministic merge: collect all partials, then fold them in
+            // block (tid) order exactly as the scoped path does.
+            let mut results: Vec<(usize, Vec<Complex<T>>, u64)> = (0..nthreads)
+                .map(|_| rx.recv().expect("pooled reduce job result"))
+                .collect();
+            results.sort_unstable_by_key(|(tid, _, _)| *tid);
+            let mut n = 0u64;
+            for (tid, partial, acc) in results {
+                for (o, &v) in out.iter_mut().zip(&partial) {
+                    *o += v;
+                }
+                pool.restore(tid, keys::PARTIAL_GRID, partial);
+                n += acc;
+            }
+            total_accums = n;
         }
     }
     GridStats {
         samples: m,
         samples_processed: m,
         boundary_checks: (m * p.tile.pow(D as u32)) as u64,
-        kernel_accumulations: accums.iter().sum(),
+        kernel_accumulations: total_accums,
         presort_seconds: 0.0,
         gridding_seconds: start.elapsed().as_secs_f64(),
     }
@@ -556,6 +781,7 @@ mod tests {
             SliceDiceGridder {
                 mode: SliceDiceMode::ColumnParallel,
                 threads: Some(threads),
+                ..Default::default()
             }
             .grid(&p, &lut, &coords, &values, &mut b);
             grids_match_bitwise(&reference, &b, &format!("threads={threads}"));
@@ -573,6 +799,7 @@ mod tests {
         SliceDiceGridder {
             mode: SliceDiceMode::BlockReduce,
             threads: Some(4),
+            ..Default::default()
         }
         .grid(&p, &lut, &coords, &values, &mut b);
         let scale: f64 = a.iter().map(|z| z.abs()).fold(0.0, f64::max);
@@ -592,6 +819,7 @@ mod tests {
         SliceDiceGridder {
             mode: SliceDiceMode::BlockAtomic,
             threads: Some(4),
+            ..Default::default()
         }
         .grid(&p, &lut, &coords, &values, &mut b);
         let scale: f64 = a.iter().map(|z| z.abs()).fold(0.0, f64::max);
@@ -605,14 +833,17 @@ mod tests {
         let p = small_params();
         let lut = KernelLut::from_params(&p);
         let (coords, values64) = sample_batch::<2>(300, 64.0, 8);
-        let values32: Vec<jigsaw_num::C32> =
-            values64.iter().map(|v| jigsaw_num::C32::from_c64(*v)).collect();
+        let values32: Vec<jigsaw_num::C32> = values64
+            .iter()
+            .map(|v| jigsaw_num::C32::from_c64(*v))
+            .collect();
         let mut a = vec![C64::zeroed(); 64 * 64];
         SerialGridder.grid(&p, &lut, &coords, &values64, &mut a);
         let mut b = vec![jigsaw_num::C32::zeroed(); 64 * 64];
         SliceDiceGridder {
             mode: SliceDiceMode::BlockAtomic,
             threads: Some(3),
+            ..Default::default()
         }
         .grid(&p, &lut, &coords, &values32, &mut b);
         let scale: f64 = a.iter().map(|z| z.abs()).fold(0.0, f64::max);
@@ -627,8 +858,8 @@ mod tests {
         let lut = KernelLut::from_params(&p);
         let (coords, values) = sample_batch::<2>(100, 64.0, 6);
         let mut out = vec![C64::zeroed(); 64 * 64];
-        let stats = SliceDiceGridder::new(SliceDiceMode::Serial)
-            .grid(&p, &lut, &coords, &values, &mut out);
+        let stats =
+            SliceDiceGridder::new(SliceDiceMode::Serial).grid(&p, &lut, &coords, &values, &mut out);
         assert_eq!(stats.boundary_checks, 100 * 64); // M·T²
         assert_eq!(stats.kernel_accumulations, 100 * 36); // M·W²
         assert_eq!(stats.samples_processed, 100); // no duplication
@@ -648,6 +879,7 @@ mod tests {
         SliceDiceGridder {
             mode: SliceDiceMode::ColumnParallel,
             threads: Some(3),
+            ..Default::default()
         }
         .grid(&p, &lut, &coords, &values, &mut b);
         grids_match_bitwise(&a, &b, "3d");

@@ -12,7 +12,7 @@
 
 use crate::config::GridParams;
 use crate::decomp::Decomposer;
-use crate::gridding::{sample_windows, worker_threads, MAX_W};
+use crate::gridding::{sample_windows, worker_threads, DimWindow, MAX_W};
 use crate::lut::KernelLut;
 use crate::{Error, Result};
 use jigsaw_num::{Complex, Float};
@@ -28,6 +28,21 @@ fn gather_sample<T: Float, const D: usize>(
     coord: &[f64; D],
 ) -> Complex<T> {
     let (wins, _) = sample_windows(dec, lut, coord);
+    gather_from_windows(grid, g, w, &wins)
+}
+
+/// Gather one sample's value from the grid given *precomputed* per-dim
+/// windows (see [`crate::nufft::PlannedTrajectory`]): the kernel-weighted
+/// sum of the `W^d` window points, accumulated in exactly the order the
+/// on-the-fly path uses, so planned and unplanned gathers are bitwise
+/// identical.
+#[inline]
+pub fn gather_from_windows<T: Float, const D: usize>(
+    grid: &[Complex<T>],
+    g: usize,
+    w: usize,
+    wins: &[DimWindow; D],
+) -> Complex<T> {
     match D {
         2 => {
             let mut acc = Complex::<T>::zeroed();
@@ -36,8 +51,8 @@ fn gather_sample<T: Float, const D: usize>(
                 let wy = wins[0].weight[jy];
                 let mut rowacc = Complex::<T>::zeroed();
                 for jx in 0..w {
-                    rowacc += grid[row + wins[1].idx[jx] as usize]
-                        .scale(T::from_f64(wins[1].weight[jx]));
+                    rowacc +=
+                        grid[row + wins[1].idx[jx] as usize].scale(T::from_f64(wins[1].weight[jx]));
                 }
                 acc += rowacc.scale(T::from_f64(wy));
             }
@@ -229,9 +244,7 @@ mod tests {
         let mut out = vec![C64::zeroed(); 2];
         assert!(interpolate(&p, &lut, &grid, &[[0.0, 0.0]], &mut out, None).is_err());
         let mut out1 = vec![C64::zeroed(); 1];
-        assert!(
-            interpolate(&p, &lut, &grid, &[[f64::INFINITY, 0.0]], &mut out1, None).is_err()
-        );
+        assert!(interpolate(&p, &lut, &grid, &[[f64::INFINITY, 0.0]], &mut out1, None).is_err());
         let small = vec![C64::zeroed(); 10];
         assert!(interpolate(&p, &lut, &small, &[[0.0, 0.0]], &mut out1, None).is_err());
     }

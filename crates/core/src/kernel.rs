@@ -70,9 +70,7 @@ impl KernelKind {
             }
             KernelKind::Gaussian { s } => (-t * t / (2.0 * s * s)).exp(),
             KernelKind::Triangle => 1.0 - (2.0 * t / w as f64).abs(),
-            KernelKind::Cosine => {
-                0.5 * (1.0 + (2.0 * core::f64::consts::PI * t / w as f64).cos())
-            }
+            KernelKind::Cosine => 0.5 * (1.0 + (2.0 * core::f64::consts::PI * t / w as f64).cos()),
             KernelKind::BSpline => {
                 // Cubic B-spline on [−2, 2], scaled so support = [−W/2, W/2].
                 let x = 4.0 * t.abs() / w as f64; // |x| ≤ 2 inside support
@@ -85,8 +83,7 @@ impl KernelKind {
                 }
             }
             KernelKind::Sinc => {
-                let taper =
-                    0.5 * (1.0 + (2.0 * core::f64::consts::PI * t / w as f64).cos());
+                let taper = 0.5 * (1.0 + (2.0 * core::f64::consts::PI * t / w as f64).cos());
                 sinc(2.0 * t / w as f64 * 2.0) * taper
             }
         }
@@ -132,7 +129,9 @@ impl KernelKind {
         // both the window and the oscillation.
         let half = w as f64 / 2.0;
         let oscillations = (nu.abs() * w as f64).ceil() as usize + 1;
-        let n = (1024 * oscillations.max(4)).next_power_of_two().min(1 << 20);
+        let n = (1024 * oscillations.max(4))
+            .next_power_of_two()
+            .min(1 << 20);
         let h = 2.0 * half / n as f64;
         let f = |t: f64| self.eval(t, w) * (2.0 * core::f64::consts::PI * nu * t).cos();
         let mut sum = f(-half) + f(half);

@@ -13,17 +13,22 @@
 
 use crate::config::GridParams;
 use crate::kernel::KernelKind;
+use std::sync::Arc;
 
 /// A folded, per-dimension kernel weight table in `f64`.
 ///
 /// The hardware simulator quantizes these weights to its 16-bit format;
 /// the software engines use them directly, so every engine interpolates
 /// with bit-identical weights.
+///
+/// The weight storage is reference-counted, so `Clone` is `O(1)` — the
+/// pooled execution paths clone the table into `'static` worker jobs on
+/// every dispatch.
 #[derive(Debug, Clone)]
 pub struct KernelLut {
     w: usize,
     l: usize,
-    weights: Vec<f64>,
+    weights: Arc<[f64]>,
 }
 
 impl KernelLut {

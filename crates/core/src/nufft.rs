@@ -7,6 +7,15 @@
 //! 99.6 % of the NuFFT on a modern CPU, §I) and its headline result
 //! (gridding and FFT time equalized on GPU, §VI-A).
 //!
+//! For multi-coil MRI (§II-A: "each of the C receive coils acquires the
+//! same k-space trajectory") the plan additionally supports *planned*
+//! batched execution: [`NufftPlan::plan_trajectory`] performs the
+//! per-sample window decomposition (the div/mod/LUT work of §III) once,
+//! and [`NufftPlan::adjoint_batch_planned`] /
+//! [`NufftPlan::forward_batch_planned`] stream every coil through the
+//! cached windows on the persistent [`crate::engine::WorkerPool`], one
+//! coil per pooled job with an arena-recycled grid buffer each.
+//!
 //! Conventions (`ν` in cycles, image indices `k ∈ [−N/2, N/2)^d`):
 //!
 //! * adjoint: `ĥ_k = Σ_j c_j e^{+2πi k·ν_j}` (matches [`crate::nudft::adjoint_nudft`]),
@@ -14,13 +23,17 @@
 
 use crate::apod::Apodization;
 use crate::config::{GridParams, NufftConfig};
-use crate::gridding::Gridder;
-use crate::interp;
+use crate::decomp::Decomposer;
+use crate::engine::{keys, WorkerPool};
+use crate::gridding::{sample_windows, scatter_rowmajor, DimWindow, Gridder};
+use crate::interp::{self, gather_from_windows};
 use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use crate::{Error, Result};
 use jigsaw_fft::{Direction, FftNd};
 use jigsaw_num::{Complex, Float};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Wall-clock breakdown of one NuFFT execution.
@@ -73,23 +86,49 @@ pub struct ForwardOutput<T> {
     pub timings: StageTimings,
 }
 
-/// A planned NuFFT for a fixed configuration and dimensionality.
+/// A trajectory whose per-sample window decomposition has been computed
+/// once and cached for reuse across coils/frames.
 ///
-/// ```
-/// use jigsaw_core::{NufftConfig, NufftPlan};
-/// use jigsaw_core::gridding::SliceDiceGridder;
-/// use jigsaw_core::traj;
-/// use jigsaw_num::C64;
-///
-/// // Adjoint NuFFT of 1000 radial k-space samples onto a 32x32 image.
-/// let coords = traj::radial_2d(20, 50, true);
-/// let values = vec![C64::one(); coords.len()];
-/// let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(32)).unwrap();
-/// let out = plan.adjoint(&coords, &values, &SliceDiceGridder::default()).unwrap();
-/// assert_eq!(out.image.len(), 32 * 32);
-/// assert_eq!(out.grid_stats.boundary_checks, 1000 * 64); // M*T^2
-/// ```
-pub struct NufftPlan<T, const D: usize> {
+/// Produced by [`NufftPlan::plan_trajectory`]. Holds the mapped
+/// (oversampled-grid-unit) coordinates and, for every sample, the `D`
+/// per-dimension index/weight windows that both the adjoint scatter and
+/// the forward gather consume. Sharing is `Arc`-based, so cloning the
+/// trajectory (or capturing it in pooled jobs) is `O(1)`.
+#[derive(Debug, Clone)]
+pub struct PlannedTrajectory<const D: usize> {
+    mapped: Arc<[[f64; D]]>,
+    windows: Arc<[[DimWindow; D]]>,
+    grid: usize,
+    width: usize,
+    plan_seconds: f64,
+}
+
+impl<const D: usize> PlannedTrajectory<D> {
+    /// Number of planned samples.
+    pub fn len(&self) -> usize {
+        self.mapped.len()
+    }
+
+    /// Whether the trajectory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mapped.is_empty()
+    }
+
+    /// Mapped coordinates in oversampled-grid units (`u = (ν mod 1)·G`).
+    pub fn mapped_coords(&self) -> &[[f64; D]] {
+        &self.mapped
+    }
+
+    /// Seconds spent planning (coordinate mapping + window decomposition)
+    /// — the one-time cost amortized over every batched coil.
+    pub fn plan_seconds(&self) -> f64 {
+        self.plan_seconds
+    }
+}
+
+/// The reusable internals of a plan, shared via `Arc` so pooled jobs can
+/// hold `'static` references to the FFT, apodization table, and LUT.
+struct PlanInner<T, const D: usize> {
     cfg: NufftConfig,
     params: GridParams,
     lut: KernelLut,
@@ -97,44 +136,10 @@ pub struct NufftPlan<T, const D: usize> {
     fft: FftNd<T>,
 }
 
-impl<T: Float, const D: usize> NufftPlan<T, D> {
-    /// Plan a transform. Validates the configuration.
-    pub fn new(cfg: NufftConfig) -> Result<Self> {
-        cfg.validate()?;
-        if !(1..=4).contains(&D) {
-            return Err(Error::Config(format!("unsupported dimensionality {D}")));
-        }
-        let params = cfg.grid_params();
-        let lut = KernelLut::from_params(&params);
-        let apod = Apodization::new(&cfg);
-        let fft = FftNd::new(&[params.grid; D]);
-        Ok(Self {
-            cfg,
-            params,
-            lut,
-            apod,
-            fft,
-        })
-    }
-
-    /// The configuration this plan was built from.
-    pub fn config(&self) -> &NufftConfig {
-        &self.cfg
-    }
-
-    /// Grid-side parameters.
-    pub fn grid_params(&self) -> &GridParams {
-        &self.params
-    }
-
-    /// The shared kernel LUT.
-    pub fn lut(&self) -> &KernelLut {
-        &self.lut
-    }
-
+impl<T: Float, const D: usize> PlanInner<T, D> {
     /// Map trajectory coordinates (cycles) onto the oversampled grid
     /// (`u = (ν mod 1)·G`).
-    pub fn map_coords(&self, coords: &[[f64; D]]) -> Vec<[f64; D]> {
+    fn map_coords(&self, coords: &[[f64; D]]) -> Vec<[f64; D]> {
         let g = self.params.grid as f64;
         coords
             .iter()
@@ -148,112 +153,32 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             .collect()
     }
 
-    /// Adjoint NuFFT: non-uniform samples → `[N; D]` image, using the
-    /// given gridding engine.
-    pub fn adjoint(
-        &self,
-        coords: &[[f64; D]],
-        values: &[Complex<T>],
-        gridder: &dyn Gridder<T, D>,
-    ) -> Result<AdjointOutput<T>> {
-        if coords.len() != values.len() {
-            return Err(Error::Data(format!(
-                "coordinate count {} != value count {}",
-                coords.len(),
-                values.len()
-            )));
-        }
-        for (i, c) in coords.iter().enumerate() {
-            if c.iter().any(|x| !x.is_finite()) {
-                return Err(Error::Data(format!("non-finite coordinate at sample {i}")));
-            }
-        }
-        let g = self.params.grid;
+    /// Pre-apodize an `[N; D]` image and embed it into the (pre-zeroed)
+    /// oversampled grid — the forward NuFFT's first stage.
+    fn embed_apodized(&self, image: &[Complex<T>], grid: &mut [Complex<T>]) {
         let n = self.cfg.n;
-
-        let t0 = Instant::now();
-        let mapped = self.map_coords(coords);
-        let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
-        let prep_seconds = t0.elapsed().as_secs_f64();
-
-        let t1 = Instant::now();
-        let grid_stats = gridder.grid(&self.params, &self.lut, &mapped, values, &mut grid);
-        let interp_seconds = t1.elapsed().as_secs_f64();
-        let _ = n;
-
-        let (image, mut timings) = self.finish_adjoint(&mut grid)?;
-        timings.prep_seconds = prep_seconds;
-        timings.interp_seconds = interp_seconds;
-        Ok(AdjointOutput {
-            image,
-            timings,
-            grid_stats,
-        })
-    }
-
-    /// Batched adjoint NuFFT: many value sets (e.g. receive coils) on one
-    /// trajectory. Maps coordinates once and reuses one grid buffer, so
-    /// per-batch overhead is gridding + FFT only.
-    pub fn adjoint_batch(
-        &self,
-        coords: &[[f64; D]],
-        batches: &[&[Complex<T>]],
-        gridder: &dyn Gridder<T, D>,
-    ) -> Result<Vec<AdjointOutput<T>>> {
-        for (i, c) in coords.iter().enumerate() {
-            if c.iter().any(|x| !x.is_finite()) {
-                return Err(Error::Data(format!("non-finite coordinate at sample {i}")));
-            }
-        }
         let g = self.params.grid;
-        let mapped = self.map_coords(coords);
-        let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
-        let mut out = Vec::with_capacity(batches.len());
-        for values in batches {
-            if values.len() != coords.len() {
-                return Err(Error::Data(format!(
-                    "batch has {} values for {} coordinates",
-                    values.len(),
-                    coords.len()
-                )));
+        for (flat, &v) in image.iter().enumerate() {
+            let mut rem = flat;
+            let mut dst = 0usize;
+            let mut f = 1.0;
+            for d in 0..D {
+                let stride = n.pow((D - 1 - d) as u32);
+                let i = (rem / stride) % n;
+                rem %= stride;
+                let k = i as i64 - (n / 2) as i64;
+                let s = k.rem_euclid(g as i64) as usize;
+                dst = dst * g + s;
+                f *= self.apod.factor(i);
             }
-            grid.fill(Complex::zeroed());
-            let t1 = Instant::now();
-            let grid_stats =
-                gridder.grid(&self.params, &self.lut, &mapped, values, &mut grid);
-            let interp_seconds = t1.elapsed().as_secs_f64();
-            let (image, mut timings) = self.finish_adjoint(&mut grid)?;
-            timings.interp_seconds = interp_seconds;
-            out.push(AdjointOutput {
-                image,
-                timings,
-                grid_stats,
-            });
+            grid[dst] = v.scale(T::from_f64(f));
         }
-        Ok(out)
-    }
-
-    /// Batched forward NuFFT: transform many images (e.g. sensitivity-
-    /// weighted coil images) at one trajectory, mapping coordinates once.
-    pub fn forward_batch(
-        &self,
-        images: &[&[Complex<T>]],
-        coords: &[[f64; D]],
-    ) -> Result<Vec<ForwardOutput<T>>> {
-        images.iter().map(|img| self.forward(img, coords)).collect()
     }
 
     /// The adjoint NuFFT's post-gridding stages: uniform FFT over an
     /// already-gridded oversampled buffer, then extraction and
-    /// de-apodization.
-    ///
-    /// This is the host-side half of an accelerator integration (§IV
-    /// "System Integration"): JIGSAW streams back the gridded target grid
-    /// and the host completes the NuFFT. `grid` is consumed as scratch.
-    pub fn finish_adjoint(
-        &self,
-        grid: &mut [Complex<T>],
-    ) -> Result<(Vec<Complex<T>>, StageTimings)> {
+    /// de-apodization. `grid` is consumed as scratch.
+    fn finish_adjoint(&self, grid: &mut [Complex<T>]) -> Result<(Vec<Complex<T>>, StageTimings)> {
         let g = self.params.grid;
         let n = self.cfg.n;
         if grid.len() != g.pow(D as u32) {
@@ -298,15 +223,416 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             },
         ))
     }
+}
+
+/// A planned NuFFT for a fixed configuration and dimensionality.
+///
+/// ```
+/// use jigsaw_core::{NufftConfig, NufftPlan};
+/// use jigsaw_core::gridding::SliceDiceGridder;
+/// use jigsaw_core::traj;
+/// use jigsaw_num::C64;
+///
+/// // Adjoint NuFFT of 1000 radial k-space samples onto a 32x32 image.
+/// let coords = traj::radial_2d(20, 50, true);
+/// let values = vec![C64::one(); coords.len()];
+/// let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(32)).unwrap();
+/// let out = plan.adjoint(&coords, &values, &SliceDiceGridder::default()).unwrap();
+/// assert_eq!(out.image.len(), 32 * 32);
+/// assert_eq!(out.grid_stats.boundary_checks, 1000 * 64); // M*T^2
+/// ```
+///
+/// Multi-coil batches amortize the window decomposition:
+///
+/// ```
+/// use jigsaw_core::{NufftConfig, NufftPlan};
+/// use jigsaw_core::traj;
+/// use jigsaw_num::C64;
+///
+/// let coords = traj::radial_2d(10, 40, true);
+/// let coil_a = vec![C64::one(); coords.len()];
+/// let coil_b = vec![C64::new(0.0, 1.0); coords.len()];
+/// let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(32)).unwrap();
+/// let traj = plan.plan_trajectory(&coords).unwrap();
+/// let images = plan
+///     .adjoint_batch_planned(&traj, &[&coil_a, &coil_b])
+///     .unwrap();
+/// assert_eq!(images.len(), 2);
+/// ```
+pub struct NufftPlan<T, const D: usize> {
+    inner: Arc<PlanInner<T, D>>,
+}
+
+impl<T: Float, const D: usize> NufftPlan<T, D> {
+    /// Plan a transform. Validates the configuration.
+    pub fn new(cfg: NufftConfig) -> Result<Self> {
+        cfg.validate()?;
+        if !(1..=4).contains(&D) {
+            return Err(Error::Config(format!("unsupported dimensionality {D}")));
+        }
+        let params = cfg.grid_params();
+        let lut = KernelLut::from_params(&params);
+        let apod = Apodization::new(&cfg);
+        let fft = FftNd::new(&[params.grid; D]);
+        Ok(Self {
+            inner: Arc::new(PlanInner {
+                cfg,
+                params,
+                lut,
+                apod,
+                fft,
+            }),
+        })
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &NufftConfig {
+        &self.inner.cfg
+    }
+
+    /// Grid-side parameters.
+    pub fn grid_params(&self) -> &GridParams {
+        &self.inner.params
+    }
+
+    /// The shared kernel LUT.
+    pub fn lut(&self) -> &KernelLut {
+        &self.inner.lut
+    }
+
+    /// Map trajectory coordinates (cycles) onto the oversampled grid
+    /// (`u = (ν mod 1)·G`).
+    pub fn map_coords(&self, coords: &[[f64; D]]) -> Vec<[f64; D]> {
+        self.inner.map_coords(coords)
+    }
+
+    /// Validate coordinate finiteness, producing the standard error.
+    fn check_finite(coords: &[[f64; D]]) -> Result<()> {
+        for (i, c) in coords.iter().enumerate() {
+            if c.iter().any(|x| !x.is_finite()) {
+                return Err(Error::Data(format!("non-finite coordinate at sample {i}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Adjoint NuFFT: non-uniform samples → `[N; D]` image, using the
+    /// given gridding engine.
+    pub fn adjoint(
+        &self,
+        coords: &[[f64; D]],
+        values: &[Complex<T>],
+        gridder: &dyn Gridder<T, D>,
+    ) -> Result<AdjointOutput<T>> {
+        if coords.len() != values.len() {
+            return Err(Error::Data(format!(
+                "coordinate count {} != value count {}",
+                coords.len(),
+                values.len()
+            )));
+        }
+        Self::check_finite(coords)?;
+        let g = self.inner.params.grid;
+
+        let t0 = Instant::now();
+        let mapped = self.inner.map_coords(coords);
+        let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
+        let prep_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let grid_stats = gridder.grid(
+            &self.inner.params,
+            &self.inner.lut,
+            &mapped,
+            values,
+            &mut grid,
+        );
+        let interp_seconds = t1.elapsed().as_secs_f64();
+
+        let (image, mut timings) = self.inner.finish_adjoint(&mut grid)?;
+        timings.prep_seconds = prep_seconds;
+        timings.interp_seconds = interp_seconds;
+        Ok(AdjointOutput {
+            image,
+            timings,
+            grid_stats,
+        })
+    }
+
+    /// Batched adjoint NuFFT: many value sets (e.g. receive coils) on one
+    /// trajectory. Maps coordinates once and reuses one grid buffer, so
+    /// per-batch overhead is gridding + FFT only.
+    ///
+    /// Coils execute sequentially through the supplied engine; for the
+    /// decomposition-amortizing, pool-parallel path see
+    /// [`Self::adjoint_batch_planned`].
+    pub fn adjoint_batch(
+        &self,
+        coords: &[[f64; D]],
+        batches: &[&[Complex<T>]],
+        gridder: &dyn Gridder<T, D>,
+    ) -> Result<Vec<AdjointOutput<T>>> {
+        Self::check_finite(coords)?;
+        let g = self.inner.params.grid;
+        let mapped = self.inner.map_coords(coords);
+        let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
+        let mut out = Vec::with_capacity(batches.len());
+        for values in batches {
+            if values.len() != coords.len() {
+                return Err(Error::Data(format!(
+                    "batch has {} values for {} coordinates",
+                    values.len(),
+                    coords.len()
+                )));
+            }
+            grid.fill(Complex::zeroed());
+            let t1 = Instant::now();
+            let grid_stats = gridder.grid(
+                &self.inner.params,
+                &self.inner.lut,
+                &mapped,
+                values,
+                &mut grid,
+            );
+            let interp_seconds = t1.elapsed().as_secs_f64();
+            let (image, mut timings) = self.inner.finish_adjoint(&mut grid)?;
+            timings.interp_seconds = interp_seconds;
+            out.push(AdjointOutput {
+                image,
+                timings,
+                grid_stats,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Batched forward NuFFT: transform many images (e.g. sensitivity-
+    /// weighted coil images) at one trajectory, mapping coordinates once.
+    ///
+    /// Images execute sequentially; for the pool-parallel path see
+    /// [`Self::forward_batch_planned`].
+    pub fn forward_batch(
+        &self,
+        images: &[&[Complex<T>]],
+        coords: &[[f64; D]],
+    ) -> Result<Vec<ForwardOutput<T>>> {
+        images.iter().map(|img| self.forward(img, coords)).collect()
+    }
+
+    /// Precompute the per-sample window decomposition for a trajectory.
+    ///
+    /// This runs the quantize → div/mod-`T` decompose → LUT-lookup stage
+    /// (§III) exactly once per sample; the result can then drive any
+    /// number of [`Self::adjoint_batch_planned`] /
+    /// [`Self::forward_batch_planned`] calls without repeating that work.
+    /// Scatter via the cached windows visits grid points in the same
+    /// order as [`crate::gridding::SerialGridder`], so planned outputs
+    /// are bitwise identical to unplanned serial ones.
+    pub fn plan_trajectory(&self, coords: &[[f64; D]]) -> Result<PlannedTrajectory<D>> {
+        Self::check_finite(coords)?;
+        let t0 = Instant::now();
+        let mapped = self.inner.map_coords(coords);
+        let dec = Decomposer::new(&self.inner.params);
+        let windows: Vec<[DimWindow; D]> = mapped
+            .iter()
+            .map(|c| sample_windows(&dec, &self.inner.lut, c).0)
+            .collect();
+        let plan_seconds = t0.elapsed().as_secs_f64();
+        Ok(PlannedTrajectory {
+            mapped: mapped.into(),
+            windows: windows.into(),
+            grid: self.inner.params.grid,
+            width: self.inner.params.width,
+            plan_seconds,
+        })
+    }
+
+    /// Check a planned trajectory was built against this plan's geometry.
+    fn check_traj(&self, traj: &PlannedTrajectory<D>) -> Result<()> {
+        if traj.grid != self.inner.params.grid || traj.width != self.inner.params.width {
+            return Err(Error::Config(format!(
+                "planned trajectory (G = {}, W = {}) does not match plan (G = {}, W = {})",
+                traj.grid, traj.width, self.inner.params.grid, self.inner.params.width
+            )));
+        }
+        Ok(())
+    }
+
+    /// Batched adjoint NuFFT over a planned trajectory: every coil's
+    /// samples stream through the cached window decomposition, one coil
+    /// per job on the persistent [`WorkerPool`], each scattering into an
+    /// arena-recycled grid buffer and finishing (FFT + de-apodization)
+    /// inside its worker.
+    ///
+    /// Each coil's image is bitwise identical to
+    /// `self.adjoint(coords, coil, &SerialGridder)` because the scatter
+    /// consumes the cached windows in sample order. `timings.prep_seconds`
+    /// is zero here — the mapping/decomposition cost lives in
+    /// [`PlannedTrajectory::plan_seconds`], paid once.
+    pub fn adjoint_batch_planned(
+        &self,
+        traj: &PlannedTrajectory<D>,
+        batches: &[&[Complex<T>]],
+    ) -> Result<Vec<AdjointOutput<T>>> {
+        self.check_traj(traj)?;
+        let m = traj.len();
+        for (c, values) in batches.iter().enumerate() {
+            if values.len() != m {
+                return Err(Error::Data(format!(
+                    "coil {c} has {} values for {m} planned samples",
+                    values.len()
+                )));
+            }
+        }
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
+        let g = self.inner.params.grid;
+        let w = self.inner.params.width;
+        let npoints = g.pow(D as u32);
+        let kernel_accums = (m as u64) * (w as u64).pow(D as u32);
+        let njobs = batches.len();
+
+        let pool = WorkerPool::global();
+        let inner = Arc::clone(&self.inner);
+        let windows = Arc::clone(&traj.windows);
+        let coils: Vec<Arc<[Complex<T>]>> = batches.iter().map(|b| Arc::from(*b)).collect();
+        let (tx, rx) = channel();
+        pool.run(njobs, move |c, arena| {
+            let values = &coils[c];
+            let mut grid = arena.take_vec(keys::COIL_GRID, npoints, Complex::<T>::zeroed());
+            let t1 = Instant::now();
+            for (wins, &v) in windows.iter().zip(values.iter()) {
+                scatter_rowmajor(g, w, wins, v, &mut grid);
+            }
+            let interp_seconds = t1.elapsed().as_secs_f64();
+            let finished = inner.finish_adjoint(&mut grid);
+            let _ = tx.send((c, grid, interp_seconds, finished));
+        });
+
+        let mut out: Vec<Option<AdjointOutput<T>>> = (0..njobs).map(|_| None).collect();
+        for _ in 0..njobs {
+            let (c, grid, interp_seconds, finished) =
+                rx.recv().expect("planned adjoint job result");
+            pool.restore(c, keys::COIL_GRID, grid);
+            let (image, mut timings) = finished?;
+            timings.interp_seconds = interp_seconds;
+            out[c] = Some(AdjointOutput {
+                image,
+                timings,
+                grid_stats: GridStats {
+                    samples: m,
+                    samples_processed: m,
+                    boundary_checks: 0,
+                    kernel_accumulations: kernel_accums,
+                    presort_seconds: 0.0,
+                    gridding_seconds: interp_seconds,
+                },
+            });
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every coil job reported"))
+            .collect())
+    }
+
+    /// Batched forward NuFFT over a planned trajectory: one image per
+    /// pooled job, each embedding + FFT-ing into an arena-recycled grid
+    /// and gathering every sample via the cached windows.
+    ///
+    /// Each output is bitwise identical to `self.forward(image, coords)`
+    /// because [`gather_from_windows`] accumulates in the same order as
+    /// the on-the-fly interpolator.
+    pub fn forward_batch_planned(
+        &self,
+        images: &[&[Complex<T>]],
+        traj: &PlannedTrajectory<D>,
+    ) -> Result<Vec<ForwardOutput<T>>> {
+        self.check_traj(traj)?;
+        let n = self.inner.cfg.n;
+        let expect = n.pow(D as u32);
+        for (j, img) in images.iter().enumerate() {
+            if img.len() != expect {
+                return Err(Error::Data(format!(
+                    "image {j} has {} pixels, expected {}^{}",
+                    img.len(),
+                    n,
+                    D
+                )));
+            }
+        }
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        let g = self.inner.params.grid;
+        let w = self.inner.params.width;
+        let npoints = g.pow(D as u32);
+        let njobs = images.len();
+
+        let pool = WorkerPool::global();
+        let inner = Arc::clone(&self.inner);
+        let windows = Arc::clone(&traj.windows);
+        let imgs: Vec<Arc<[Complex<T>]>> = images.iter().map(|b| Arc::from(*b)).collect();
+        let (tx, rx) = channel();
+        pool.run(njobs, move |j, arena| {
+            let mut grid = arena.take_vec(keys::COIL_GRID, npoints, Complex::<T>::zeroed());
+            let t0 = Instant::now();
+            inner.embed_apodized(&imgs[j], &mut grid);
+            let apod_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            inner.fft.process(&mut grid, Direction::Forward);
+            let fft_seconds = t1.elapsed().as_secs_f64();
+            let t2 = Instant::now();
+            let samples: Vec<Complex<T>> = windows
+                .iter()
+                .map(|wins| gather_from_windows::<T, D>(&grid, g, w, wins))
+                .collect();
+            let interp_seconds = t2.elapsed().as_secs_f64();
+            let _ = tx.send((
+                j,
+                grid,
+                ForwardOutput {
+                    samples,
+                    timings: StageTimings {
+                        prep_seconds: 0.0,
+                        interp_seconds,
+                        fft_seconds,
+                        apod_seconds,
+                    },
+                },
+            ));
+        });
+
+        let mut out: Vec<Option<ForwardOutput<T>>> = (0..njobs).map(|_| None).collect();
+        for _ in 0..njobs {
+            let (j, grid, fwd) = rx.recv().expect("planned forward job result");
+            pool.restore(j, keys::COIL_GRID, grid);
+            out[j] = Some(fwd);
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every image job reported"))
+            .collect())
+    }
+
+    /// The adjoint NuFFT's post-gridding stages: uniform FFT over an
+    /// already-gridded oversampled buffer, then extraction and
+    /// de-apodization.
+    ///
+    /// This is the host-side half of an accelerator integration (§IV
+    /// "System Integration"): JIGSAW streams back the gridded target grid
+    /// and the host completes the NuFFT. `grid` is consumed as scratch.
+    pub fn finish_adjoint(
+        &self,
+        grid: &mut [Complex<T>],
+    ) -> Result<(Vec<Complex<T>>, StageTimings)> {
+        self.inner.finish_adjoint(grid)
+    }
 
     /// Forward NuFFT: `[N; D]` image → non-uniform samples.
-    pub fn forward(
-        &self,
-        image: &[Complex<T>],
-        coords: &[[f64; D]],
-    ) -> Result<ForwardOutput<T>> {
-        let n = self.cfg.n;
-        let g = self.params.grid;
+    pub fn forward(&self, image: &[Complex<T>], coords: &[[f64; D]]) -> Result<ForwardOutput<T>> {
+        let n = self.inner.cfg.n;
+        let g = self.inner.params.grid;
         if image.len() != n.pow(D as u32) {
             return Err(Error::Data(format!(
                 "image has {} pixels, expected {}^{}",
@@ -319,34 +645,27 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
         // Pre-apodize and embed into the zero-padded oversampled grid.
         let t0 = Instant::now();
         let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
-        for (flat, &v) in image.iter().enumerate() {
-            let mut rem = flat;
-            let mut dst = 0usize;
-            let mut f = 1.0;
-            for d in 0..D {
-                let stride = n.pow((D - 1 - d) as u32);
-                let i = (rem / stride) % n;
-                rem %= stride;
-                let k = i as i64 - (n / 2) as i64;
-                let s = k.rem_euclid(g as i64) as usize;
-                dst = dst * g + s;
-                f *= self.apod.factor(i);
-            }
-            grid[dst] = v.scale(T::from_f64(f));
-        }
+        self.inner.embed_apodized(image, &mut grid);
         let apod_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        self.fft.process(&mut grid, Direction::Forward);
+        self.inner.fft.process(&mut grid, Direction::Forward);
         let fft_seconds = t1.elapsed().as_secs_f64();
 
         let t2 = Instant::now();
-        let mapped = self.map_coords(coords);
+        let mapped = self.inner.map_coords(coords);
         let prep_seconds = t2.elapsed().as_secs_f64();
 
         let t3 = Instant::now();
         let mut samples = vec![Complex::<T>::zeroed(); coords.len()];
-        interp::interpolate(&self.params, &self.lut, &grid, &mapped, &mut samples, None)?;
+        interp::interpolate(
+            &self.inner.params,
+            &self.inner.lut,
+            &grid,
+            &mapped,
+            &mut samples,
+            None,
+        )?;
         let interp_seconds = t3.elapsed().as_secs_f64();
 
         Ok(ForwardOutput {
@@ -427,10 +746,7 @@ mod tests {
             assert!(err < bound, "L={l}: err {err} exceeds bound {bound}");
             errs.push(err);
         }
-        assert!(
-            errs[1] < errs[0] / 4.0,
-            "error must shrink ~1/L: {errs:?}"
-        );
+        assert!(errs[1] < errs[0] / 4.0, "error must shrink ~1/L: {errs:?}");
     }
 
     #[test]
@@ -450,7 +766,10 @@ mod tests {
         let plan32 = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
         let out32 = plan32.forward(&image, &coords).unwrap();
         let err32 = rel_l2(&out32.samples, &exact);
-        assert!(err32 < core::f64::consts::PI / (2.0 * 2.0 * 32.0), "{err32}");
+        assert!(
+            err32 < core::f64::consts::PI / (2.0 * 2.0 * 32.0),
+            "{err32}"
+        );
     }
 
     #[test]
@@ -562,11 +881,80 @@ mod tests {
     }
 
     #[test]
+    fn planned_adjoint_batch_is_bitwise_serial() {
+        let n = 16;
+        let coords = test_coords(90, 80);
+        let coils: Vec<Vec<C64>> = (0..5).map(|i| test_values(90, 81 + i)).collect();
+        let refs: Vec<&[C64]> = coils.iter().map(|c| c.as_slice()).collect();
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+        let traj = plan.plan_trajectory(&coords).unwrap();
+        assert_eq!(traj.len(), 90);
+        let batched = plan.adjoint_batch_planned(&traj, &refs).unwrap();
+        assert_eq!(batched.len(), 5);
+        for (c, coil) in coils.iter().enumerate() {
+            let single = plan.adjoint(&coords, coil, &SerialGridder).unwrap();
+            for (x, y) in batched[c].image.iter().zip(&single.image) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "coil {c}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "coil {c}");
+            }
+            assert_eq!(
+                batched[c].grid_stats.kernel_accumulations,
+                single.grid_stats.kernel_accumulations
+            );
+        }
+    }
+
+    #[test]
+    fn planned_forward_batch_is_bitwise_forward() {
+        let n = 16;
+        let coords = test_coords(70, 90);
+        let images: Vec<Vec<C64>> = (0..3).map(|i| test_values(n * n, 91 + i)).collect();
+        let refs: Vec<&[C64]> = images.iter().map(|c| c.as_slice()).collect();
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+        let traj = plan.plan_trajectory(&coords).unwrap();
+        let batched = plan.forward_batch_planned(&refs, &traj).unwrap();
+        for (j, img) in images.iter().enumerate() {
+            let single = plan.forward(img, &coords).unwrap();
+            for (x, y) in batched[j].samples.iter().zip(&single.samples) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "image {j}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "image {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_batch_edge_cases() {
+        let n = 16;
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+        // Empty coil list → empty output.
+        let coords = test_coords(10, 100);
+        let traj = plan.plan_trajectory(&coords).unwrap();
+        assert!(plan.adjoint_batch_planned(&traj, &[]).unwrap().is_empty());
+        assert!(plan.forward_batch_planned(&[], &traj).unwrap().is_empty());
+        // Single-sample trajectory.
+        let one = plan.plan_trajectory(&[[0.25, -0.125]]).unwrap();
+        assert_eq!(one.len(), 1);
+        let v = [C64::one()];
+        let out = plan.adjoint_batch_planned(&one, &[&v]).unwrap();
+        let single = plan.adjoint(&[[0.25, -0.125]], &v, &SerialGridder).unwrap();
+        for (x, y) in out[0].image.iter().zip(&single.image) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+        }
+        // Wrong-length coil rejected.
+        let bad = vec![C64::one(); 3];
+        assert!(plan.adjoint_batch_planned(&traj, &[&bad]).is_err());
+        // Trajectory planned against a different geometry rejected.
+        let other = NufftPlan::<f64, 2>::new(NufftConfig::with_n(32)).unwrap();
+        let foreign = other.plan_trajectory(&coords).unwrap();
+        assert!(plan.adjoint_batch_planned(&foreign, &[]).is_err());
+        // Non-finite coordinates rejected at planning time.
+        assert!(plan.plan_trajectory(&[[f64::NAN, 0.0]]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_data() {
         let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(16)).unwrap();
-        assert!(plan
-            .adjoint(&[[0.0, 0.0]], &[], &SerialGridder)
-            .is_err());
+        assert!(plan.adjoint(&[[0.0, 0.0]], &[], &SerialGridder).is_err());
         assert!(plan
             .adjoint(&[[f64::NAN, 0.0]], &[C64::one()], &SerialGridder)
             .is_err());

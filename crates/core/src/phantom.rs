@@ -80,15 +80,15 @@ impl Phantom2d {
     /// 2-D liver test data \[25\].
     pub fn abdominal() -> Self {
         let spec: [(f64, f64, f64, f64, f64, f64); 9] = [
-            (0.9, 0.88, 0.65, 0.0, -0.1, 0.0),    // body outline
-            (-0.25, 0.82, 0.58, 0.0, -0.1, 0.0),  // subcutaneous layer
-            (0.45, 0.5, 0.38, -0.25, 0.0, 20.0),  // liver lobe
-            (0.25, 0.2, 0.28, 0.42, -0.05, -15.0),// spleen/stomach
-            (-0.3, 0.05, 0.05, -0.3, 0.1, 0.0),   // vessel
-            (-0.3, 0.04, 0.04, -0.12, -0.08, 0.0),// vessel
-            (0.35, 0.06, 0.05, -0.38, -0.15, 0.0),// lesion 1
-            (0.35, 0.045, 0.06, -0.1, 0.22, 30.0),// lesion 2
-            (0.15, 0.12, 0.09, 0.1, -0.42, 0.0),  // kidney
+            (0.9, 0.88, 0.65, 0.0, -0.1, 0.0),     // body outline
+            (-0.25, 0.82, 0.58, 0.0, -0.1, 0.0),   // subcutaneous layer
+            (0.45, 0.5, 0.38, -0.25, 0.0, 20.0),   // liver lobe
+            (0.25, 0.2, 0.28, 0.42, -0.05, -15.0), // spleen/stomach
+            (-0.3, 0.05, 0.05, -0.3, 0.1, 0.0),    // vessel
+            (-0.3, 0.04, 0.04, -0.12, -0.08, 0.0), // vessel
+            (0.35, 0.06, 0.05, -0.38, -0.15, 0.0), // lesion 1
+            (0.35, 0.045, 0.06, -0.1, 0.22, 30.0), // lesion 2
+            (0.15, 0.12, 0.09, 0.1, -0.42, 0.0),   // kidney
         ];
         Phantom2d {
             ellipses: spec
@@ -253,9 +253,7 @@ impl Phantom3d {
         self.ellipsoids
             .iter()
             .map(|e| {
-                let q: f64 = (0..3)
-                    .map(|d| ((p[d] - e.c[d]) / e.r[d]).powi(2))
-                    .sum();
+                let q: f64 = (0..3).map(|d| ((p[d] - e.c[d]) / e.r[d]).powi(2)).sum();
                 if q <= 1.0 {
                     e.amplitude
                 } else {
@@ -273,10 +271,7 @@ impl Phantom3d {
         for zi in 0..n {
             for yi in 0..n {
                 for xi in 0..n {
-                    img.push(C64::new(
-                        self.eval([coord(xi), coord(yi), coord(zi)]),
-                        0.0,
-                    ));
+                    img.push(C64::new(self.eval([coord(xi), coord(yi), coord(zi)]), 0.0));
                 }
             }
         }
@@ -306,7 +301,8 @@ impl Phantom3d {
                         4.0 * core::f64::consts::PI / 3.0
                     } else {
                         let t = TWO_PI * rho;
-                        (t.sin() - t * t.cos()) / (2.0 * core::f64::consts::PI.powi(2) * rho.powi(3))
+                        (t.sin() - t * t.cos())
+                            / (2.0 * core::f64::consts::PI.powi(2) * rho.powi(3))
                     };
                     let vol = e.amplitude * e.r[0] * e.r[1] * e.r[2];
                     let phase = -TWO_PI * (k[0] * e.c[0] + k[1] * e.c[1] + k[2] * e.c[2]);
@@ -321,8 +317,8 @@ impl Phantom3d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::nudft::forward_nudft;
     use crate::metrics::rel_l2;
+    use crate::nudft::forward_nudft;
 
     #[test]
     fn shepp_logan_has_expected_structure() {
@@ -330,7 +326,7 @@ mod tests {
         // Center of the head: inside big ellipse (1.0) + brain (−0.8) +
         // nothing else at exactly (0, 0.1) also hits a small +0.1 blob.
         assert!((p.eval(0.0, 0.0) - 0.2).abs() < 1e-12); // 1 − 0.8
-        // Outside the skull: zero.
+                                                         // Outside the skull: zero.
         assert_eq!(p.eval(0.95, 0.95), 0.0);
         // Skull rim (inside outer, outside inner): 1.0.
         assert!((p.eval(0.0, 0.9) - 1.0).abs() < 1e-12);

@@ -126,9 +126,7 @@ pub fn cg_solve<const D: usize>(
             break;
         }
         let alpha = rs_old / denom;
-        for ((xi, pi), (ri, api)) in
-            x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap))
-        {
+        for ((xi, pi), (ri, api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
             *xi += pi.scale(alpha);
             *ri -= api.scale(alpha);
         }
@@ -163,10 +161,7 @@ pub fn cg_reconstruct<const D: usize>(
     let weighted: Vec<C64> = if weights.is_empty() {
         data.to_vec()
     } else {
-        data.iter()
-            .zip(weights)
-            .map(|(d, &w)| d.scale(w))
-            .collect()
+        data.iter().zip(weights).map(|(d, &w)| d.scale(w)).collect()
     };
     let rhs = plan.adjoint(coords, &weighted, gridder)?.image;
     let op = NormalOp::Nufft {

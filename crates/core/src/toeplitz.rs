@@ -212,8 +212,7 @@ mod tests {
         let coords = traj::random_nd::<2>(200, 7);
         let weights: Vec<f64> = (0..200).map(|i| 0.5 + (i % 5) as f64 * 0.25).collect();
         let cfg = NufftConfig::with_n(n);
-        let top =
-            ToeplitzOperator::<2>::build(&cfg, &coords, &weights, &ExactGridder).unwrap();
+        let top = ToeplitzOperator::<2>::build(&cfg, &coords, &weights, &ExactGridder).unwrap();
         let x = test_image(n, 11);
         let got = top.apply(&x).unwrap();
         // Oracle.
@@ -248,9 +247,7 @@ mod tests {
     fn rejects_bad_sizes() {
         let cfg = NufftConfig::with_n(8);
         let coords = traj::random_nd::<2>(10, 1);
-        assert!(
-            ToeplitzOperator::<2>::build(&cfg, &coords, &[1.0; 3], &SerialGridder).is_err()
-        );
+        assert!(ToeplitzOperator::<2>::build(&cfg, &coords, &[1.0; 3], &SerialGridder).is_err());
         let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &SerialGridder).unwrap();
         assert!(top.apply(&[C64::zeroed(); 7]).is_err());
     }

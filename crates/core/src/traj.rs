@@ -113,11 +113,7 @@ pub fn perturbed_cartesian_2d(n: usize, jitter: f64, seed: u64) -> Vec<[f64; 2]>
 /// 3-D stack-of-stars: a radial trajectory in (x, y) repeated on `nz`
 /// uniformly spaced kz planes — the standard 3-D extension the paper's
 /// "3D Slice" JIGSAW variant targets (samples sortable by z-slice).
-pub fn stack_of_stars_3d(
-    spokes: usize,
-    samples_per_spoke: usize,
-    nz: usize,
-) -> Vec<[f64; 3]> {
+pub fn stack_of_stars_3d(spokes: usize, samples_per_spoke: usize, nz: usize) -> Vec<[f64; 3]> {
     let plane = radial_2d(spokes, samples_per_spoke, true);
     let mut out = Vec::with_capacity(plane.len() * nz);
     for z in 0..nz {

@@ -118,7 +118,9 @@ mod tests {
     #[test]
     fn large_prime_roundtrip() {
         let n = 997;
-        let x: Vec<C64> = (0..n).map(|i| C64::new(i as f64 % 7.0, -(i as f64 % 3.0))).collect();
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::new(i as f64 % 7.0, -(i as f64 % 3.0)))
+            .collect();
         let plan = Bluestein::new(n);
         let mut y = x.clone();
         plan.process(&mut y, Direction::Forward);
@@ -135,12 +137,9 @@ mod tests {
         // e^{-iπk²/n} computed with k² mod 2n must equal the direct value.
         let n = 1000usize;
         for k in [0usize, 1, 37, 999] {
-            let direct = Complex::<f64>::cis(
-                -core::f64::consts::PI * (k * k) as f64 / n as f64,
-            );
+            let direct = Complex::<f64>::cis(-core::f64::consts::PI * (k * k) as f64 / n as f64);
             let q = (k * k) % (2 * n);
-            let modded =
-                Complex::<f64>::cis(-core::f64::consts::PI * q as f64 / n as f64);
+            let modded = Complex::<f64>::cis(-core::f64::consts::PI * q as f64 / n as f64);
             assert!((direct - modded).abs() < 1e-9);
         }
     }

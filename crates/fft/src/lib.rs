@@ -173,7 +173,10 @@ mod tests {
     }
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

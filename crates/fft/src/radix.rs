@@ -21,7 +21,10 @@ pub struct Radix2<T> {
 impl<T: Float> Radix2<T> {
     /// Plan a radix-2 FFT. `n` must be a power of two, `n ≥ 2`.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "radix-2 needs a power of two ≥ 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "radix-2 needs a power of two ≥ 2"
+        );
         let log2n = n.trailing_zeros();
         let twiddles = (0..n / 2)
             .map(|k| {

@@ -2,57 +2,70 @@
 
 use jigsaw_fft::{dft, fftshift, ifftshift, Direction, Fft1d, FftNd};
 use jigsaw_num::C64;
-use proptest::prelude::*;
+use jigsaw_testkit::{cases, Rng};
 
-fn arb_signal(max_n: usize) -> impl Strategy<Value = Vec<C64>> {
-    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..max_n)
-        .prop_map(|v| v.into_iter().map(|(re, im)| C64::new(re, im)).collect())
+fn arb_signal(rng: &mut Rng, max_n: usize) -> Vec<C64> {
+    let n = rng.usize_range(1, max_n);
+    rng.vec(n, |r| {
+        C64::new(r.f64_range(-1.0, 1.0), r.f64_range(-1.0, 1.0))
+    })
 }
 
 fn max_err(a: &[C64], b: &[C64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// forward∘inverse ≡ id for every length (radix-2 and Bluestein).
-    #[test]
-    fn roundtrip_any_length(x in arb_signal(300)) {
+/// forward∘inverse ≡ id for every length (radix-2 and Bluestein).
+#[test]
+fn roundtrip_any_length() {
+    cases!(64, |rng| {
+        let x = arb_signal(rng, 300);
         let plan = Fft1d::new(x.len());
         let mut y = x.clone();
         plan.process(&mut y, Direction::Forward);
         plan.process(&mut y, Direction::Inverse);
-        prop_assert!(max_err(&y, &x) < 1e-9, "err {}", max_err(&y, &x));
-    }
+        assert!(max_err(&y, &x) < 1e-9, "err {}", max_err(&y, &x));
+    });
+}
 
-    /// The FFT equals the O(n²) DFT for small arbitrary lengths.
-    #[test]
-    fn matches_dft(x in arb_signal(96)) {
+/// The FFT equals the O(n²) DFT for small arbitrary lengths.
+#[test]
+fn matches_dft() {
+    cases!(64, |rng| {
+        let x = arb_signal(rng, 96);
         let plan = Fft1d::new(x.len());
         let mut got = x.clone();
         plan.process(&mut got, Direction::Forward);
         let want = dft(&x, Direction::Forward);
-        prop_assert!(max_err(&got, &want) < 1e-8);
-    }
+        assert!(max_err(&got, &want) < 1e-8);
+    });
+}
 
-    /// Parseval: energy is conserved (up to 1/n on the spectrum side).
-    #[test]
-    fn parseval(x in arb_signal(256)) {
+/// Parseval: energy is conserved (up to 1/n on the spectrum side).
+#[test]
+fn parseval() {
+    cases!(64, |rng| {
+        let x = arb_signal(rng, 256);
         let n = x.len();
         let plan = Fft1d::new(n);
         let mut y = x.clone();
         plan.process(&mut y, Direction::Forward);
         let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
-        prop_assert!((ex - ey).abs() <= 1e-9 * ex.max(1.0));
-    }
+        assert!((ex - ey).abs() <= 1e-9 * ex.max(1.0));
+    });
+}
 
-    /// Time shift ↔ spectral phase ramp (circular shift theorem).
-    #[test]
-    fn shift_theorem(x in arb_signal(128), shift in 0usize..64) {
+/// Time shift ↔ spectral phase ramp (circular shift theorem).
+#[test]
+fn shift_theorem() {
+    cases!(64, |rng| {
+        let x = arb_signal(rng, 128);
         let n = x.len();
-        let shift = shift % n;
+        let shift = rng.usize_range(0, 64) % n;
         let plan = Fft1d::new(n);
         // FFT of circularly shifted signal.
         let shifted: Vec<C64> = (0..n).map(|i| x[(i + n - shift) % n]).collect();
@@ -65,37 +78,36 @@ proptest! {
             let theta = -2.0 * core::f64::consts::PI * (k * shift) as f64 / n as f64;
             *z *= C64::cis(theta);
         }
-        prop_assert!(max_err(&fs, &fx) < 1e-8);
-    }
+        assert!(max_err(&fs, &fx) < 1e-8);
+    });
+}
 
-    /// fftshift/ifftshift are inverses for arbitrary 2-D shapes.
-    #[test]
-    fn shift_inverse_2d(r in 1usize..12, c in 1usize..12, seed in 0u64..1000) {
+/// fftshift/ifftshift are inverses for arbitrary 2-D shapes.
+#[test]
+fn shift_inverse_2d() {
+    cases!(64, |rng| {
+        let r = rng.usize_range(1, 12);
+        let c = rng.usize_range(1, 12);
         let n = r * c;
-        let mut s = seed | 1;
-        let orig: Vec<C64> = (0..n).map(|_| {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            C64::new(s as f64, 0.0)
-        }).collect();
+        let orig: Vec<C64> = rng.vec(n, |rr| C64::new(rr.u64() as f64, 0.0));
         let dims = [r, c];
         let mut v = orig.clone();
         fftshift(&mut v, &dims);
         ifftshift(&mut v, &dims);
-        prop_assert_eq!(
+        assert_eq!(
             v.iter().map(|z| z.re.to_bits()).collect::<Vec<_>>(),
             orig.iter().map(|z| z.re.to_bits()).collect::<Vec<_>>()
         );
-    }
+    });
+}
 
-    /// N-d transform is separable: 2-D FFT = row FFTs then column FFTs.
-    #[test]
-    fn nd_is_separable(r_exp in 0u32..4, c_exp in 0u32..4, seed in 0u64..1000) {
-        let (r, c) = (1usize << r_exp, 1usize << c_exp);
-        let mut s = seed | 1;
-        let x: Vec<C64> = (0..r * c).map(|_| {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            C64::new((s as f64 / u64::MAX as f64) - 0.5, 0.0)
-        }).collect();
+/// N-d transform is separable: 2-D FFT = row FFTs then column FFTs.
+#[test]
+fn nd_is_separable() {
+    cases!(64, |rng| {
+        let r = 1usize << rng.usize_range(0, 4);
+        let c = 1usize << rng.usize_range(0, 4);
+        let x: Vec<C64> = rng.vec(r * c, |rr| C64::new(rr.f64() - 0.5, 0.0));
         let mut a = x.clone();
         FftNd::new(&[r, c]).process(&mut a, Direction::Forward);
         // Manual row-column.
@@ -115,6 +127,6 @@ proptest! {
                 b[i * c + col] = *sc;
             }
         }
-        prop_assert!(max_err(&a, &b) < 1e-10);
-    }
+        assert!(max_err(&a, &b) < 1e-10);
+    });
 }

@@ -70,10 +70,7 @@ impl<const FRAC: u32> CFx32<FRAC> {
     /// Multiply by a real 16-bit weight (separable kernels apply one real
     /// weight per dimension before the final complex product).
     pub fn scale_w<const WF: u32>(self, w: Fx16<WF>, round: Round) -> Self {
-        Self::new(
-            self.re.mul_fx16(w, round),
-            self.im.mul_fx16(w, round),
-        )
+        Self::new(self.re.mul_fx16(w, round), self.im.mul_fx16(w, round))
     }
 }
 

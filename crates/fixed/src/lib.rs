@@ -297,8 +297,14 @@ mod tests {
 
     #[test]
     fn nan_maps_to_zero() {
-        assert_eq!(Fx32::<16>::from_f64(f64::NAN, Round::Nearest), Fx32::<16>::ZERO);
-        assert_eq!(Fx16::<15>::from_f64(f64::NAN, Round::Truncate), Fx16::<15>::ZERO);
+        assert_eq!(
+            Fx32::<16>::from_f64(f64::NAN, Round::Nearest),
+            Fx32::<16>::ZERO
+        );
+        assert_eq!(
+            Fx16::<15>::from_f64(f64::NAN, Round::Truncate),
+            Fx16::<15>::ZERO
+        );
     }
 
     #[test]

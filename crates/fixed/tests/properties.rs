@@ -2,107 +2,133 @@
 
 use jigsaw_fixed::{CFx16, CFx32, Fx16, Fx32, Round};
 use jigsaw_num::C64;
-use proptest::prelude::*;
+use jigsaw_testkit::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Float→fixed→float round trip error is bounded by the rounding mode.
-    #[test]
-    fn q15_roundtrip_error(v in -0.999f64..0.999) {
+/// Float→fixed→float round trip error is bounded by the rounding mode.
+#[test]
+fn q15_roundtrip_error() {
+    cases!(256, |rng| {
+        let v = rng.f64_range(-0.999, 0.999);
         let near = Fx16::<15>::from_f64(v, Round::Nearest);
-        prop_assert!((near.to_f64() - v).abs() <= Fx16::<15>::EPS / 2.0 + 1e-15);
+        assert!((near.to_f64() - v).abs() <= Fx16::<15>::EPS / 2.0 + 1e-15);
         let trunc = Fx16::<15>::from_f64(v, Round::Truncate);
-        prop_assert!(trunc.to_f64() <= v + 1e-15);
-        prop_assert!(v - trunc.to_f64() < Fx16::<15>::EPS + 1e-15);
-    }
+        assert!(trunc.to_f64() <= v + 1e-15);
+        assert!(v - trunc.to_f64() < Fx16::<15>::EPS + 1e-15);
+    });
+}
 
-    #[test]
-    fn q16_roundtrip_error(v in -30000.0f64..30000.0) {
+#[test]
+fn q16_roundtrip_error() {
+    cases!(256, |rng| {
+        let v = rng.f64_range(-30000.0, 30000.0);
         let near = Fx32::<16>::from_f64(v, Round::Nearest);
-        prop_assert!((near.to_f64() - v).abs() <= Fx32::<16>::EPS / 2.0 + 1e-12);
-    }
+        assert!((near.to_f64() - v).abs() <= Fx32::<16>::EPS / 2.0 + 1e-12);
+    });
+}
 
-    /// Out-of-range values saturate (never wrap).
-    #[test]
-    fn saturation_never_wraps(v in prop::num::f64::NORMAL) {
+/// Out-of-range values saturate (never wrap).
+#[test]
+fn saturation_never_wraps() {
+    cases!(256, |rng| {
+        // Arbitrary normal floats, including huge magnitudes.
+        let v = loop {
+            let x = f64::from_bits(rng.u64());
+            if x.is_normal() {
+                break x;
+            }
+        };
         let q = Fx16::<15>::from_f64(v, Round::Nearest);
         if v >= 1.0 {
-            prop_assert_eq!(q, Fx16::<15>::MAX);
+            assert_eq!(q, Fx16::<15>::MAX);
         } else if v <= -1.0 - Fx16::<15>::EPS {
-            prop_assert_eq!(q, Fx16::<15>::MIN);
+            assert_eq!(q, Fx16::<15>::MIN);
         }
         // Sign is always preserved.
-        prop_assert!(q.to_f64() * v >= 0.0 || q.0 == 0);
-    }
+        assert!(q.to_f64() * v >= 0.0 || q.0 == 0);
+    });
+}
 
-    /// Multiplication is commutative and tracks the real product.
-    #[test]
-    fn mul_commutative_and_accurate(a in -0.99f64..0.99, b in -0.99f64..0.99) {
+/// Multiplication is commutative and tracks the real product.
+#[test]
+fn mul_commutative_and_accurate() {
+    cases!(256, |rng| {
+        let a = rng.f64_range(-0.99, 0.99);
+        let b = rng.f64_range(-0.99, 0.99);
         let fa = Fx16::<15>::from_f64(a, Round::Nearest);
         let fb = Fx16::<15>::from_f64(b, Round::Nearest);
-        prop_assert_eq!(fa.mul(fb, Round::Nearest), fb.mul(fa, Round::Nearest));
+        assert_eq!(fa.mul(fb, Round::Nearest), fb.mul(fa, Round::Nearest));
         let err = (fa.mul(fb, Round::Nearest).to_f64() - a * b).abs();
-        prop_assert!(err < 3.0 * Fx16::<15>::EPS, "err {err}");
-    }
+        assert!(err < 3.0 * Fx16::<15>::EPS, "err {err}");
+    });
+}
 
-    /// Saturating addition is commutative and monotone.
-    #[test]
-    fn sat_add_commutative(a in i32::MIN..i32::MAX, b in i32::MIN..i32::MAX) {
+/// Saturating addition is commutative and monotone.
+#[test]
+fn sat_add_commutative() {
+    cases!(256, |rng| {
+        let a = rng.u64() as u32 as i32;
+        let b = rng.u64() as u32 as i32;
         let fa = Fx32::<16>::from_bits(a);
         let fb = Fx32::<16>::from_bits(b);
-        prop_assert_eq!(fa.sat_add(fb), fb.sat_add(fa));
-    }
+        assert_eq!(fa.sat_add(fb), fb.sat_add(fa));
+    });
+}
 
-    /// Complex pack/unpack is the identity for every bit pattern.
-    #[test]
-    fn pack_unpack_identity(word in any::<u32>()) {
-        prop_assert_eq!(CFx16::<15>::unpack(word).pack(), word);
-    }
+/// Complex pack/unpack is the identity for every bit pattern.
+#[test]
+fn pack_unpack_identity() {
+    cases!(256, |rng| {
+        let word = rng.u32();
+        assert_eq!(CFx16::<15>::unpack(word).pack(), word);
+    });
+}
 
-    /// Knuth's 3-multiply complex product matches the schoolbook product.
-    #[test]
-    fn knuth_matches_schoolbook(
-        ar in -0.7f64..0.7, ai in -0.7f64..0.7,
-        br in -0.7f64..0.7, bi in -0.7f64..0.7,
-    ) {
-        let a = C64::new(ar, ai);
-        let b = C64::new(br, bi);
+/// Knuth's 3-multiply complex product matches the schoolbook product.
+#[test]
+fn knuth_matches_schoolbook() {
+    cases!(256, |rng| {
+        let a = C64::new(rng.f64_range(-0.7, 0.7), rng.f64_range(-0.7, 0.7));
+        let b = C64::new(rng.f64_range(-0.7, 0.7), rng.f64_range(-0.7, 0.7));
         let fa = CFx16::<15>::from_c64(a, Round::Nearest);
         let fb = CFx16::<15>::from_c64(b, Round::Nearest);
         let prod = fa.knuth_mul(fb, Round::Nearest).to_c64();
-        prop_assert!((prod - a * b).abs() < 6.0 * Fx16::<15>::EPS);
-    }
+        assert!((prod - a * b).abs() < 6.0 * Fx16::<15>::EPS);
+    });
+}
 
-    /// 32×16 product (interpolation unit) tracks f64 within format error.
-    #[test]
-    fn mixed_width_product(
-        sr in -100.0f64..100.0, si in -100.0f64..100.0,
-        wr in -0.99f64..0.99, wi in -0.99f64..0.99,
-    ) {
-        let s = C64::new(sr, si);
-        let w = C64::new(wr, wi);
+/// 32×16 product (interpolation unit) tracks f64 within format error.
+#[test]
+fn mixed_width_product() {
+    cases!(256, |rng| {
+        let s = C64::new(rng.f64_range(-100.0, 100.0), rng.f64_range(-100.0, 100.0));
+        let w = C64::new(rng.f64_range(-0.99, 0.99), rng.f64_range(-0.99, 0.99));
         let fs = CFx32::<16>::from_c64(s, Round::Nearest);
         let fw = CFx16::<15>::from_c64(w, Round::Nearest);
         let prod = fs.knuth_mul_w(fw, Round::Nearest).to_c64();
         // Error ≈ |s|·(weight LSB) + product LSB.
         let bound = (s.abs() + 1.0) * 2.0 * Fx16::<15>::EPS + 4.0 * Fx32::<16>::EPS;
-        prop_assert!((prod - s * w).abs() < bound, "{:?} vs {:?}", prod, s * w);
-    }
+        assert!((prod - s * w).abs() < bound, "{:?} vs {:?}", prod, s * w);
+    });
+}
 
-    /// Widening a 16-bit value to 32 bits is exact.
-    #[test]
-    fn widen_exact(bits in any::<i16>()) {
+/// Widening a 16-bit value to 32 bits is exact.
+#[test]
+fn widen_exact() {
+    cases!(256, |rng| {
+        let bits = rng.u64() as u16 as i16;
         let w = Fx16::<15>::from_bits(bits);
         let a: Fx32<16> = w.widen();
-        prop_assert_eq!(a.to_f64(), w.to_f64());
-    }
+        assert_eq!(a.to_f64(), w.to_f64());
+    });
+}
 
-    /// Nearest rounding error never exceeds truncation error.
-    #[test]
-    fn nearest_at_least_as_good_as_truncate(v in -0.999f64..0.999) {
+/// Nearest rounding error never exceeds truncation error.
+#[test]
+fn nearest_at_least_as_good_as_truncate() {
+    cases!(256, |rng| {
+        let v = rng.f64_range(-0.999, 0.999);
         let en = (Fx16::<15>::from_f64(v, Round::Nearest).to_f64() - v).abs();
         let et = (Fx16::<15>::from_f64(v, Round::Truncate).to_f64() - v).abs();
-        prop_assert!(en <= et + 1e-15);
-    }
+        assert!(en <= et + 1e-15);
+    });
 }

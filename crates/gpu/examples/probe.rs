@@ -17,7 +17,12 @@ fn main() {
         traj::shuffle(&mut cyc, 9);
         let coords: Vec<[f64; 2]> = cyc
             .iter()
-            .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+            .map(|c| {
+                [
+                    c[0].rem_euclid(1.0) * g as f64,
+                    c[1].rem_euclid(1.0) * g as f64,
+                ]
+            })
             .collect();
         let cfg = ReplayConfig::default();
         let sd = replay_slice_dice(&p, &coords, &cfg);

@@ -83,11 +83,7 @@ pub struct GpuKernelStats {
 /// Replay the Impatient-style kernel: output-driven tile–bin pairs,
 /// `B²`-thread blocks, tile staged in shared memory, Kaiser-Bessel
 /// weights computed in-thread (~40 FLOPs per affected point).
-pub fn replay_impatient(
-    p: &GridParams,
-    coords: &[[f64; 2]],
-    cfg: &ReplayConfig,
-) -> GpuKernelStats {
+pub fn replay_impatient(p: &GridParams, coords: &[[f64; 2]], cfg: &ReplayConfig) -> GpuKernelStats {
     let dec = Decomposer::new(p);
     let b = cfg.bin_tile as u32;
     let g = p.grid as u32;
@@ -345,7 +341,12 @@ mod tests {
         traj::shuffle(&mut cyc, 9);
         let coords = cyc
             .iter()
-            .map(|c| [c[0].rem_euclid(1.0) * g as f64, c[1].rem_euclid(1.0) * g as f64])
+            .map(|c| {
+                [
+                    c[0].rem_euclid(1.0) * g as f64,
+                    c[1].rem_euclid(1.0) * g as f64,
+                ]
+            })
             .collect();
         (p, coords)
     }
@@ -425,7 +426,10 @@ mod tests {
         // (1 sample read + a few coalesced LUT lines + ≤ W·2 grid lines);
         // Impatient adds tile write-back traffic scaled by duplication.
         let sd_per = sd.l2_accesses as f64 / coords.len() as f64;
-        assert!((5.0..30.0).contains(&sd_per), "S&D transactions/sample {sd_per}");
+        assert!(
+            (5.0..30.0).contains(&sd_per),
+            "S&D transactions/sample {sd_per}"
+        );
         let _ = imp;
     }
 

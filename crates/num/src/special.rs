@@ -46,10 +46,10 @@ pub fn bessel_j1(x: f64) -> f64 {
         let num = x
             * (72362614232.0
                 + y * (-7895059235.0
-                    + y * (242396853.1 + y * (-2972611.439 + y * (15704.48260 + y * -30.16036606)))));
+                    + y * (242396853.1
+                        + y * (-2972611.439 + y * (15704.48260 + y * -30.16036606)))));
         let den = 144725228442.0
-            + y * (2300535178.0
-                + y * (18583304.74 + y * (99447.43394 + y * (376.9991397 + y))));
+            + y * (2300535178.0 + y * (18583304.74 + y * (99447.43394 + y * (376.9991397 + y))));
         return num / den;
     } else {
         let z = 8.0 / ax;
@@ -138,10 +138,7 @@ mod tests {
             let x = i as f64 * 0.0375; // covers [0, 3.75)
             let a = bessel_i0(x);
             let b = i0_series(x);
-            assert!(
-                (a - b).abs() / b < 2e-7,
-                "x={x}: poly {a} vs series {b}"
-            );
+            assert!((a - b).abs() / b < 2e-7, "x={x}: poly {a} vs series {b}");
         }
     }
 
@@ -151,10 +148,7 @@ mod tests {
             let x = 3.75 + i as f64;
             let a = bessel_i0(x);
             let b = i0_series(x);
-            assert!(
-                (a - b).abs() / b < 2e-7,
-                "x={x}: poly {a} vs series {b}"
-            );
+            assert!((a - b).abs() / b < 2e-7, "x={x}: poly {a} vs series {b}");
         }
     }
 

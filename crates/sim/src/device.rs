@@ -138,9 +138,7 @@ impl JigsawPlatform {
     /// Gridding energy: calibrated average power × gridding time.
     pub fn gridding_energy_joules(&self, m: usize) -> f64 {
         let w2 = (self.cfg.width * self.cfg.width) as f64;
-        let p_mw = self
-            .power
-            .power_mw(&self.cfg, Variant::TwoD, w2, true);
+        let p_mw = self.power.power_mw(&self.cfg, Variant::TwoD, w2, true);
         p_mw * 1e-3 * self.gridding_seconds(m)
     }
 }
@@ -165,11 +163,20 @@ mod tests {
         // Fig. 6 headline ratios (±40 % tolerance — the paper's own
         // numbers are averages over five differently-shaped images).
         let sd_vs_mirt = t_mirt / t_sd;
-        assert!((150.0..400.0).contains(&sd_vs_mirt), "S&D vs MIRT {sd_vs_mirt}");
+        assert!(
+            (150.0..400.0).contains(&sd_vs_mirt),
+            "S&D vs MIRT {sd_vs_mirt}"
+        );
         let sd_vs_imp = t_imp / t_sd;
-        assert!((10.0..25.0).contains(&sd_vs_imp), "S&D vs Impatient {sd_vs_imp}");
+        assert!(
+            (10.0..25.0).contains(&sd_vs_imp),
+            "S&D vs Impatient {sd_vs_imp}"
+        );
         let jig_vs_mirt = t_mirt / t_jig;
-        assert!((1000.0..2200.0).contains(&jig_vs_mirt), "JIGSAW vs MIRT {jig_vs_mirt}");
+        assert!(
+            (1000.0..2200.0).contains(&jig_vs_mirt),
+            "JIGSAW vs MIRT {jig_vs_mirt}"
+        );
         let jig_vs_sd = t_sd / t_jig;
         assert!((4.0..9.0).contains(&jig_vs_sd), "JIGSAW vs S&D {jig_vs_sd}");
     }
@@ -200,7 +207,10 @@ mod tests {
         let tg = jig.gridding_seconds(M);
         let total = jig.nufft_seconds(M, G * G);
         let frac = tg / total;
-        assert!((0.1..0.45).contains(&frac), "JIGSAW gridding fraction {frac}");
+        assert!(
+            (0.1..0.45).contains(&frac),
+            "JIGSAW gridding fraction {frac}"
+        );
     }
 
     #[test]
@@ -211,7 +221,11 @@ mod tests {
         let jig = JigsawPlatform::new(JigsawConfig::paper_default()).gridding_energy_joules(M);
         assert!(imp / sd > 10.0, "Impatient/S&D energy {}", imp / sd);
         assert!(sd / jig > 500.0, "S&D/JIGSAW energy {}", sd / jig);
-        assert!(imp / jig > 10_000.0, "Impatient/JIGSAW energy {}", imp / jig);
+        assert!(
+            imp / jig > 10_000.0,
+            "Impatient/JIGSAW energy {}",
+            imp / jig
+        );
     }
 
     #[test]

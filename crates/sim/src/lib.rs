@@ -36,8 +36,8 @@ pub mod device;
 pub mod hwlut;
 pub mod machine;
 pub mod power;
-pub mod slice3d;
 pub mod rtl;
+pub mod slice3d;
 pub mod trace;
 
 pub use config::JigsawConfig;

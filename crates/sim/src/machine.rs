@@ -345,8 +345,7 @@ impl Jigsaw2d {
                     let mut prod = [[CFx32::ZERO; 8]; 8];
                     for jy in 0..w.min(8) as usize {
                         for jx in 0..w.min(8) as usize {
-                            let wxy =
-                                weights[0][jy].knuth_mul(weights[1][jx], self.cfg.round);
+                            let wxy = weights[0][jy].knuth_mul(weights[1][jx], self.cfg.round);
                             prod[jy][jx] = wide.knuth_mul_w(wxy, self.cfg.round);
                         }
                     }
@@ -630,9 +629,7 @@ mod tests {
     #[test]
     fn quantize_rejects_bad_input() {
         let hw = Jigsaw2d::new(JigsawConfig::small(64)).unwrap();
-        assert!(hw
-            .quantize_inputs(&[[0.0, 0.0]], &[])
-            .is_err());
+        assert!(hw.quantize_inputs(&[[0.0, 0.0]], &[]).is_err());
         assert!(hw
             .quantize_inputs(&[[f64::NAN, 0.0]], &[C64::one()])
             .is_err());
@@ -658,9 +655,7 @@ mod tests {
     #[test]
     fn zero_values_produce_zero_grid() {
         let mut hw = Jigsaw2d::new(JigsawConfig::small(64)).unwrap();
-        let (stream, scale) = hw
-            .quantize_inputs(&[[5.0, 5.0]], &[C64::zeroed()])
-            .unwrap();
+        let (stream, scale) = hw.quantize_inputs(&[[5.0, 5.0]], &[C64::zeroed()]).unwrap();
         assert_eq!(scale, 1.0);
         let run = hw.run(&stream);
         assert!(run.grid.iter().all(|z| *z == CFx32::ZERO));

@@ -148,12 +148,7 @@ impl PowerModel {
 
     /// Energy in joules of a simulated run: static power × runtime plus
     /// per-operation dynamic energy.
-    pub fn energy_joules(
-        &self,
-        cfg: &JigsawConfig,
-        variant: Variant,
-        report: &SimReport,
-    ) -> f64 {
+    pub fn energy_joules(&self, cfg: &JigsawConfig, variant: Variant, report: &SimReport) -> f64 {
         let logic_base = match variant {
             Variant::TwoD => self.logic_base_2d_mw,
             Variant::ThreeDSlice => self.logic_base_3d_mw,
@@ -161,8 +156,7 @@ impl PowerModel {
         let leak = self.sram_leak_mw * cfg.total_accum_bits() as f64 / BITS_8MIB;
         let static_w = (logic_base + leak) * 1e-3;
         let t = report.gridding_seconds();
-        let dyn_j =
-            (self.logic_mac_pj + self.sram_rmw_pj) * 1e-12 * report.ops.interp_macs as f64;
+        let dyn_j = (self.logic_mac_pj + self.sram_rmw_pj) * 1e-12 * report.ops.interp_macs as f64;
         static_w * t + dyn_j
     }
 }

@@ -258,7 +258,9 @@ mod tests {
             s ^= s << 17;
             s as f64 / u64::MAX as f64
         };
-        let coords = (0..m).map(|_| [next() * g, next() * g, next() * g]).collect();
+        let coords = (0..m)
+            .map(|_| [next() * g, next() * g, next() * g])
+            .collect();
         let values = (0..m)
             .map(|_| C64::new(next() * 2.0 - 1.0, next() * 2.0 - 1.0))
             .collect();

@@ -1,0 +1,209 @@
+//! # jigsaw-testkit — self-contained randomized-test harness
+//!
+//! The workspace builds in hermetic environments with no registry access,
+//! so third-party crates (`proptest`, `rand`, `criterion`) are off the
+//! table. This crate provides the two pieces the test suite actually
+//! needs, with zero dependencies:
+//!
+//! * [`Rng`] — a small, fast, *deterministic* PRNG (xoshiro256**), seeded
+//!   explicitly so every failure is reproducible from the printed seed.
+//! * [`run_cases`] / [`cases`] — a property-test driver: run a closure
+//!   over `n` independently-seeded cases and, if one panics, re-raise the
+//!   panic annotated with the case index and seed so the exact failing
+//!   input can be replayed with [`Rng::new`].
+//!
+//! The style mirrors `proptest!` loosely: generators are just methods on
+//! [`Rng`], properties are ordinary `assert!`s.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Deterministic xoshiro256** PRNG.
+///
+/// Not cryptographic; plenty for test-input generation. Passes through a
+/// SplitMix64 seed expansion so nearby seeds give uncorrelated streams.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion (Vigna's reference initialization).
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit value (xoshiro256**).
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit value.
+    #[inline]
+    pub fn u32(&mut self) -> u32 {
+        (self.u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Panics if the range is empty.
+    #[inline]
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (self.u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    #[inline]
+    pub fn i64_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (self.u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniformly choose one element of a non-empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize_range(0, items.len())]
+    }
+
+    /// A boolean with probability `p` of being `true`.
+    #[inline]
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A vector of `n` items drawn from `gen`.
+    pub fn vec<T>(&mut self, n: usize, mut gen: impl FnMut(&mut Self) -> T) -> Vec<T> {
+        (0..n).map(|_| gen(self)).collect()
+    }
+}
+
+/// Derive the per-case seed used by [`run_cases`] for case `i` of a
+/// property named `name`. Exposed so failures can be replayed directly.
+pub fn case_seed(name: &str, i: usize) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Run `n` independently-seeded cases of a property.
+///
+/// On panic, the panic is re-raised after printing the property name, the
+/// failing case index, and the seed (pass it to [`Rng::new`] to replay).
+pub fn run_cases(name: &str, n: usize, mut property: impl FnMut(&mut Rng)) {
+    for i in 0..n {
+        let seed = case_seed(name, i);
+        let mut rng = Rng::new(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property `{name}` failed at case {i}/{n} (replay with Rng::new({seed:#x}))");
+            resume_unwind(e);
+        }
+    }
+}
+
+/// Shorthand for [`run_cases`] with the enclosing function's name supplied
+/// explicitly: `cases!(64, |rng| { ... })` inside `fn my_prop()` runs 64
+/// cases named after the file/line.
+#[macro_export]
+macro_rules! cases {
+    ($n:expr, $body:expr) => {
+        $crate::run_cases(concat!(file!(), ":", line!()), $n, $body)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.u64() == b.u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::new(9);
+        for _ in 0..10_000 {
+            let x = r.usize_range(3, 17);
+            assert!((3..17).contains(&x));
+            let y = r.f64_range(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&y));
+            let z = r.i64_range(-5, 5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn run_cases_covers_all_indices() {
+        let mut seen = 0usize;
+        run_cases("cover", 25, |_| seen += 1);
+        assert_eq!(seen, 25);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        // Mean of 100k uniform draws is 0.5 within ~1%.
+        let mut r = Rng::new(1234);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

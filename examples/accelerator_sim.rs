@@ -44,13 +44,19 @@ fn main() {
 
     let run = hw.run(&stream);
     let r = &run.report;
-    println!("compute cycles : {} (M + 12 = {})", r.compute_cycles, m + 12);
+    println!(
+        "compute cycles : {} (M + 12 = {})",
+        r.compute_cycles,
+        m + 12
+    );
     println!("readout cycles : {} (G²/2)", r.readout_cycles);
-    println!("gridding time  : {:.3} µs @ 1.0 GHz", r.gridding_seconds() * 1e6);
+    println!(
+        "gridding time  : {:.3} µs @ 1.0 GHz",
+        r.gridding_seconds() * 1e6
+    );
     println!(
         "ops: {} select checks, {} LUT reads, {} MACs, {} accumulator RMWs, {} saturations",
-        r.ops.select_checks, r.ops.lut_reads, r.ops.interp_macs, r.ops.accum_rmw,
-        r.ops.saturations
+        r.ops.select_checks, r.ops.lut_reads, r.ops.interp_macs, r.ops.accum_rmw, r.ops.saturations
     );
 
     // Verify the fixed-point grid against the f64 software reference.

@@ -32,15 +32,26 @@ fn main() {
         s ^= s << 17;
         s as f64 / u64::MAX as f64 - 0.5
     };
-    let values: Vec<C64> = (0..coords.len()).map(|_| C64::new(next(), next())).collect();
+    let values: Vec<C64> = (0..coords.len())
+        .map(|_| C64::new(next(), next()))
+        .collect();
     let exact = adjoint_nudft(n, &coords, &values, None);
 
     println!("kernel comparison at N = {n}, W = {w}, σ = 2 (exact weights):\n");
-    println!("{:<28} {:>14} {:>14}", "kernel", "aliasing bound", "measured err");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "kernel", "aliasing bound", "measured err"
+    );
     let kernels = [
         ("Kaiser-Bessel (Beatty β)", KernelKind::Auto.resolve(w, 2.0)),
-        ("Kaiser-Bessel (β = 8)", KernelKind::KaiserBessel { beta: 8.0 }),
-        ("Gaussian (s = W/6)", KernelKind::Gaussian { s: w as f64 / 6.0 }),
+        (
+            "Kaiser-Bessel (β = 8)",
+            KernelKind::KaiserBessel { beta: 8.0 },
+        ),
+        (
+            "Gaussian (s = W/6)",
+            KernelKind::Gaussian { s: w as f64 / 6.0 },
+        ),
         ("cubic B-spline", KernelKind::BSpline),
         ("Hann cosine", KernelKind::Cosine),
         ("windowed sinc", KernelKind::Sinc),

@@ -50,7 +50,10 @@ fn main() {
     };
 
     // 1. Direct adjoint (no compensation).
-    let direct = plan.adjoint(&coords, &data, &engine).expect("adjoint").image;
+    let direct = plan
+        .adjoint(&coords, &data, &engine)
+        .expect("adjoint")
+        .image;
     println!("direct adjoint           : NRMSD {:.2}%", quality(&direct));
 
     // 2. Pipe–Menon density-compensated adjoint.

@@ -36,7 +36,11 @@ fn main() {
     let spokes = (1.2 * core::f64::consts::FRAC_PI_2 * n as f64) as usize;
     let mut coords = traj::radial_2d(spokes, 2 * n, true);
     traj::shuffle(&mut coords, 2024);
-    println!("acquisition: {spokes} spokes × {} samples = {} total", 2 * n, coords.len());
+    println!(
+        "acquisition: {spokes} spokes × {} samples = {} total",
+        2 * n,
+        coords.len()
+    );
 
     // Exact k-space from the analytic ellipse transforms.
     let kspace = phantom.kspace(n, &coords);

@@ -57,8 +57,7 @@ fn main() {
         // Golden-angle spokes are continuous across frames: frame f uses
         // spokes [f·S, (f+1)·S), all from one never-repeating sequence.
         let all = traj::radial_2d((f + 1) * spokes_per_frame, samples_per_spoke, true);
-        let coords: Vec<[f64; 2]> =
-            all[f * spokes_per_frame * samples_per_spoke..].to_vec();
+        let coords: Vec<[f64; 2]> = all[f * spokes_per_frame * samples_per_spoke..].to_vec();
         let t_frame = f as f64 / frames as f64;
         let data = phantom_at(t_frame).kspace(n, &coords);
         let weighted: Vec<C64> = coords
@@ -84,16 +83,18 @@ fn main() {
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let fps = frames as f64 / elapsed;
-    println!(
-        "reconstructed {frames} frames in {elapsed:.2} s → {fps:.1} fps on this host"
-    );
+    println!("reconstructed {frames} frames in {elapsed:.2} s → {fps:.1} fps on this host");
     println!("wrote out/dynamic_frame_0..{}.pgm", frames - 1);
 
     // What the modeled devices would sustain for the same per-frame work.
     let m = total_m / frames;
     let pts = (2 * n) * (2 * n);
     println!("\nprojected frame rates (per-frame NuFFT only, M = {m}):");
-    for p in [Platform::mirt_cpu(), Platform::impatient_gpu(), Platform::slice_dice_gpu()] {
+    for p in [
+        Platform::mirt_cpu(),
+        Platform::impatient_gpu(),
+        Platform::slice_dice_gpu(),
+    ] {
         println!(
             "  {:22} {:>8.1} fps",
             p.name,

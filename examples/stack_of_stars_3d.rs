@@ -6,9 +6,9 @@
 //! cargo run --release --example stack_of_stars_3d
 //! ```
 
+use jigsaw::core::config::GridParams;
 use jigsaw::core::gridding::{Gridder, SliceDiceGridder};
 use jigsaw::core::kernel::KernelKind;
-use jigsaw::core::config::GridParams;
 use jigsaw::core::lut::KernelLut;
 use jigsaw::core::metrics::rel_l2;
 use jigsaw::core::phantom::Phantom3d;

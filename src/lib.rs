@@ -6,6 +6,6 @@
 pub use jigsaw_core as core;
 pub use jigsaw_fft as fft;
 pub use jigsaw_fixed as fixed;
-pub use jigsaw_num as num;
 pub use jigsaw_gpu as gpu;
+pub use jigsaw_num as num;
 pub use jigsaw_sim as sim;

@@ -29,10 +29,7 @@ fn one_dimensional_nufft_matches_nudft() {
     let coords = rand_coords::<1>(200, 1);
     let values = rand_values(200, 2);
     let plan = NufftPlan::<f64, 1>::new(NufftConfig::with_n(n)).unwrap();
-    let img = plan
-        .adjoint(&coords, &values, &ExactGridder)
-        .unwrap()
-        .image;
+    let img = plan.adjoint(&coords, &values, &ExactGridder).unwrap().image;
     let exact = adjoint_nudft(n, &coords, &values, None);
     let err = rel_l2(&img, &exact);
     assert!(err < 1e-4, "1-D adjoint error {err}");
@@ -47,7 +44,10 @@ fn one_dimensional_engines_agree() {
     let coords = rand_coords::<1>(300, 5);
     let values = rand_values(300, 6);
     let plan = NufftPlan::<f64, 1>::new(NufftConfig::with_n(n)).unwrap();
-    let a = plan.adjoint(&coords, &values, &SerialGridder).unwrap().image;
+    let a = plan
+        .adjoint(&coords, &values, &SerialGridder)
+        .unwrap()
+        .image;
     let b = plan
         .adjoint(&coords, &values, &SliceDiceGridder::default())
         .unwrap()

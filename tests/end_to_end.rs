@@ -23,10 +23,7 @@ fn radial_recon_matches_nudft() {
     traj::shuffle(&mut coords, 1);
     let values = Phantom2d::shepp_logan().kspace(n, &coords);
     let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
-    let fast = plan
-        .adjoint(&coords, &values, &ExactGridder)
-        .unwrap()
-        .image;
+    let fast = plan.adjoint(&coords, &values, &ExactGridder).unwrap().image;
     let exact = adjoint_nudft(n, &coords, &values, None);
     let err = rel_l2(&fast, &exact);
     assert!(err < 1e-4, "NuFFT vs NuDFT on phantom data: {err}");
@@ -40,7 +37,10 @@ fn recon_is_engine_invariant() {
     traj::shuffle(&mut coords, 2);
     let values = Phantom2d::shepp_logan().kspace(n, &coords);
     let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
-    let a = plan.adjoint(&coords, &values, &SerialGridder).unwrap().image;
+    let a = plan
+        .adjoint(&coords, &values, &SerialGridder)
+        .unwrap()
+        .image;
     for engine in [
         plan.adjoint(&coords, &values, &BinnedGridder::default())
             .unwrap()
@@ -100,7 +100,10 @@ fn accelerated_pipeline_matches_software() {
     traj::shuffle(&mut coords, 4);
     let values = Phantom2d::shepp_logan().kspace(n, &coords);
     let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
-    let software = plan.adjoint(&coords, &values, &SerialGridder).unwrap().image;
+    let software = plan
+        .adjoint(&coords, &values, &SerialGridder)
+        .unwrap()
+        .image;
 
     let mapped = plan.map_coords(&coords);
     let mut hw = Jigsaw2d::new(JigsawConfig::small(g)).unwrap();
@@ -125,10 +128,7 @@ fn three_d_pipeline() {
 
     // 3-D NuFFT vs NuDFT.
     let plan = NufftPlan::<f64, 3>::new(NufftConfig::with_n(n)).unwrap();
-    let img = plan
-        .adjoint(&coords, &values, &ExactGridder)
-        .unwrap()
-        .image;
+    let img = plan.adjoint(&coords, &values, &ExactGridder).unwrap().image;
     let exact = adjoint_nudft(n, &coords, &values, None);
     let err = rel_l2(&img, &exact);
     assert!(err < 1e-3, "3-D NuFFT vs NuDFT: {err}");
@@ -161,7 +161,10 @@ fn quality_improves_with_table_oversampling() {
         let mut cfg = NufftConfig::with_n(n);
         cfg.table_oversampling = l;
         let plan = NufftPlan::<f64, 2>::new(cfg).unwrap();
-        let img = plan.adjoint(&coords, &values, &SerialGridder).unwrap().image;
+        let img = plan
+            .adjoint(&coords, &values, &SerialGridder)
+            .unwrap()
+            .image;
         let err = rel_l2(&img, &exact);
         assert!(err < last, "L = {l}: err {err} should beat {last}");
         last = err;

@@ -1,6 +1,8 @@
 //! Cross-crate property tests: every gridding engine — serial, naive
 //! output-parallel, binned, Slice-and-Dice in all modes, and the JIGSAW
-//! fixed-point simulator — must compute the *same gridding operator*.
+//! fixed-point simulator — must compute the *same gridding operator*,
+//! whether it runs on legacy scoped threads or the persistent worker
+//! pool, and for any worker count.
 //!
 //! The deterministic f64 engines must agree **bitwise** (they share the
 //! decomposition, the LUT, and the per-point accumulation order); the
@@ -8,6 +10,7 @@
 //! bounds.
 
 use jigsaw::core::config::GridParams;
+use jigsaw::core::engine::ExecBackend;
 use jigsaw::core::gridding::{
     BinnedGridder, Gridder, NaiveOutputGridder, SerialGridder, SliceDiceGridder, SliceDiceMode,
 };
@@ -16,7 +19,7 @@ use jigsaw::core::lut::KernelLut;
 use jigsaw::core::metrics::rel_l2;
 use jigsaw::num::C64;
 use jigsaw::sim::{Jigsaw2d, JigsawConfig};
-use proptest::prelude::*;
+use jigsaw_testkit::{cases, Rng};
 
 fn params(grid: usize, width: usize, l: usize) -> GridParams {
     GridParams {
@@ -28,86 +31,180 @@ fn params(grid: usize, width: usize, l: usize) -> GridParams {
     }
 }
 
-fn arb_samples(
-    grid: usize,
-    max_m: usize,
-) -> impl Strategy<Value = (Vec<[f64; 2]>, Vec<C64>)> {
+/// Draw 1..max_m samples uniformly over the `[0, grid)^2` torus, with a
+/// bias toward the wrap-sensitive border band so every run exercises the
+/// decrement-on-wrap paths.
+fn arb_samples(rng: &mut Rng, grid: usize, max_m: usize) -> (Vec<[f64; 2]>, Vec<C64>) {
     let g = grid as f64;
-    prop::collection::vec(
-        (
-            0.0..g,
-            0.0..g,
-            -1.0f64..1.0,
-            -1.0f64..1.0,
-        ),
-        1..max_m,
-    )
-    .prop_map(|v| {
-        let coords = v.iter().map(|&(x, y, _, _)| [x, y]).collect();
-        let values = v.iter().map(|&(_, _, re, im)| C64::new(re, im)).collect();
-        (coords, values)
-    })
+    let m = rng.usize_range(1, max_m);
+    let mut coords = Vec::with_capacity(m);
+    let mut values = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut c = [0.0; 2];
+        for x in c.iter_mut() {
+            *x = if rng.bool(0.25) {
+                // Border band: within W of either edge.
+                let off = rng.f64_range(0.0, 8.0);
+                if rng.bool(0.5) {
+                    off
+                } else {
+                    (g - off).min(g * (1.0 - f64::EPSILON))
+                }
+            } else {
+                rng.f64_range(0.0, g)
+            };
+        }
+        coords.push(c);
+        values.push(C64::new(rng.f64_range(-1.0, 1.0), rng.f64_range(-1.0, 1.0)));
+    }
+    (coords, values)
 }
 
 fn bits(grid: &[C64]) -> Vec<(u64, u64)> {
-    grid.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect()
+    grid.iter()
+        .map(|z| (z.re.to_bits(), z.im.to_bits()))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn deterministic_engines_agree_bitwise(
-        (coords, values) in arb_samples(32, 120),
-        width in 1usize..=8,
-        l in prop::sample::select(vec![1usize, 4, 32, 64]),
-        threads in 1usize..6,
-    ) {
+/// Every deterministic engine, on either backend, with 1/2/8 workers,
+/// reproduces the serial reference bit-for-bit.
+#[test]
+fn deterministic_engines_agree_bitwise() {
+    cases!(24, |rng| {
+        let (coords, values) = arb_samples(rng, 32, 120);
+        let width = rng.usize_range(1, 9);
+        let l = *rng.choose(&[1usize, 4, 32, 64]);
         let p = params(32, width, l);
         let lut = KernelLut::from_params(&p);
         let npts = 32 * 32;
         let mut reference = vec![C64::zeroed(); npts];
         SerialGridder.grid(&p, &lut, &coords, &values, &mut reference);
-        let engines: Vec<Box<dyn Gridder<f64, 2>>> = vec![
-            Box::new(NaiveOutputGridder),
-            Box::new(BinnedGridder { bin_tile: 8, threads: Some(threads) }),
-            Box::new(BinnedGridder { bin_tile: 16, threads: Some(threads) }),
-            Box::new(SliceDiceGridder { mode: SliceDiceMode::Serial, threads: None }),
-            Box::new(SliceDiceGridder {
-                mode: SliceDiceMode::ColumnParallel,
-                threads: Some(threads),
+        let reference_bits = bits(&reference);
+        for backend in [ExecBackend::Pooled, ExecBackend::Scoped] {
+            for threads in [1usize, 2, 8] {
+                let engines: Vec<Box<dyn Gridder<f64, 2>>> = vec![
+                    Box::new(NaiveOutputGridder {
+                        threads: Some(threads),
+                        backend,
+                    }),
+                    Box::new(BinnedGridder {
+                        bin_tile: 8,
+                        threads: Some(threads),
+                        backend,
+                    }),
+                    Box::new(BinnedGridder {
+                        bin_tile: 16,
+                        threads: Some(threads),
+                        backend,
+                    }),
+                    Box::new(SliceDiceGridder {
+                        mode: SliceDiceMode::Serial,
+                        threads: None,
+                        backend,
+                    }),
+                    Box::new(SliceDiceGridder {
+                        mode: SliceDiceMode::ColumnParallel,
+                        threads: Some(threads),
+                        backend,
+                    }),
+                ];
+                for e in &engines {
+                    let mut out = vec![C64::zeroed(); npts];
+                    e.grid(&p, &lut, &coords, &values, &mut out);
+                    assert_eq!(
+                        bits(&out),
+                        reference_bits,
+                        "engine {} differs ({backend:?}, {threads} threads)",
+                        e.name()
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// The pooled backend is not merely close to the scoped one — it is the
+/// *same function*: bitwise-equal output and identical logical-work
+/// counters for every deterministic engine and worker count.
+#[test]
+fn pooled_backend_is_bitwise_invariant_of_scoped() {
+    cases!(16, |rng| {
+        let (coords, values) = arb_samples(rng, 64, 200);
+        let p = params(64, 6, 32);
+        let lut = KernelLut::from_params(&p);
+        let npts = 64 * 64;
+        let threads = *rng.choose(&[1usize, 2, 8]);
+        type Mk = Box<dyn Fn(ExecBackend) -> Box<dyn Gridder<f64, 2>>>;
+        let mks: Vec<Mk> = vec![
+            Box::new(move |backend| {
+                Box::new(SliceDiceGridder {
+                    mode: SliceDiceMode::ColumnParallel,
+                    threads: Some(threads),
+                    backend,
+                })
+            }),
+            Box::new(move |backend| {
+                Box::new(BinnedGridder {
+                    bin_tile: 8,
+                    threads: Some(threads),
+                    backend,
+                })
+            }),
+            Box::new(move |backend| {
+                Box::new(NaiveOutputGridder {
+                    threads: Some(threads),
+                    backend,
+                })
             }),
         ];
-        for e in &engines {
-            let mut out = vec![C64::zeroed(); npts];
-            e.grid(&p, &lut, &coords, &values, &mut out);
-            prop_assert_eq!(bits(&out), bits(&reference), "engine {} differs", e.name());
+        for mk in &mks {
+            let mut scoped = vec![C64::zeroed(); npts];
+            let mut pooled = vec![C64::zeroed(); npts];
+            let s = mk(ExecBackend::Scoped).grid(&p, &lut, &coords, &values, &mut scoped);
+            let q = mk(ExecBackend::Pooled).grid(&p, &lut, &coords, &values, &mut pooled);
+            assert_eq!(bits(&scoped), bits(&pooled));
+            assert_eq!(s.boundary_checks, q.boundary_checks);
+            assert_eq!(s.kernel_accumulations, q.kernel_accumulations);
+            assert_eq!(s.samples_processed, q.samples_processed);
         }
-    }
+    });
+}
 
-    #[test]
-    fn nondeterministic_engines_agree_within_fp(
-        (coords, values) in arb_samples(32, 120),
-        threads in 2usize..6,
-    ) {
+/// Atomic/reduce block modes are allowed to reorder float adds; they must
+/// still agree with the serial reference to ~f64 rounding, on both
+/// backends.
+#[test]
+fn nondeterministic_engines_agree_within_fp() {
+    cases!(16, |rng| {
+        let (coords, values) = arb_samples(rng, 32, 120);
+        let threads = rng.usize_range(2, 6);
         let p = params(32, 6, 32);
         let lut = KernelLut::from_params(&p);
         let npts = 32 * 32;
         let mut reference = vec![C64::zeroed(); npts];
         SerialGridder.grid(&p, &lut, &coords, &values, &mut reference);
-        for mode in [SliceDiceMode::BlockAtomic, SliceDiceMode::BlockReduce] {
-            let mut out = vec![C64::zeroed(); npts];
-            SliceDiceGridder { mode, threads: Some(threads) }
+        for backend in [ExecBackend::Pooled, ExecBackend::Scoped] {
+            for mode in [SliceDiceMode::BlockAtomic, SliceDiceMode::BlockReduce] {
+                let mut out = vec![C64::zeroed(); npts];
+                SliceDiceGridder {
+                    mode,
+                    threads: Some(threads),
+                    backend,
+                }
                 .grid(&p, &lut, &coords, &values, &mut out);
-            let err = rel_l2(&out, &reference);
-            prop_assert!(err < 1e-12, "mode {mode:?}: err {err}");
+                let err = rel_l2(&out, &reference);
+                assert!(err < 1e-12, "mode {mode:?} ({backend:?}): err {err}");
+            }
         }
-    }
+    });
+}
 
-    #[test]
-    fn jigsaw_sim_tracks_f64_reference(
-        (coords, values) in arb_samples(32, 150),
-    ) {
+/// The fixed-point JIGSAW simulator tracks the f64 reference within its
+/// quantization budget.
+#[test]
+fn jigsaw_sim_tracks_f64_reference() {
+    cases!(12, |rng| {
+        let (coords, values) = arb_samples(rng, 32, 150);
         let p = params(32, 6, 32);
         let lut = KernelLut::from_params(&p);
         let mut reference = vec![C64::zeroed(); 32 * 32];
@@ -115,19 +212,19 @@ proptest! {
         let mut hw = Jigsaw2d::new(JigsawConfig::small(32)).unwrap();
         let (stream, scale) = hw.quantize_inputs(&coords, &values).unwrap();
         let run = hw.run(&stream);
-        prop_assert_eq!(run.report.compute_cycles, coords.len() as u64 + 12);
+        assert_eq!(run.report.compute_cycles, coords.len() as u64 + 12);
         let err = rel_l2(&run.grid_c64(scale), &reference);
         // Q1.15 weights + Q15.16 accumulators: a generous 1 % bound; the
         // typical error is ~1e-4.
-        prop_assert!(err < 1e-2, "fixed-point error {err}");
-    }
+        assert!(err < 1e-2, "fixed-point error {err}");
+    });
+}
 
-    #[test]
-    fn mass_conservation_all_engines(
-        (coords, values) in arb_samples(64, 60),
-    ) {
-        // Total deposited mass = Σ_j v_j · (Σ weights)_x · (Σ weights)_y —
-        // identical across engines; here we just check engine-vs-engine.
+/// Total deposited mass is engine-independent.
+#[test]
+fn mass_conservation_all_engines() {
+    cases!(12, |rng| {
+        let (coords, values) = arb_samples(rng, 64, 60);
         let p = params(64, 6, 32);
         let lut = KernelLut::from_params(&p);
         let total = |engine: &dyn Gridder<f64, 2>| -> C64 {
@@ -138,9 +235,9 @@ proptest! {
         let a = total(&SerialGridder);
         let b = total(&BinnedGridder::default());
         let c = total(&SliceDiceGridder::default());
-        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
-        prop_assert!((a - c).abs() <= 1e-9 * a.abs().max(1.0));
-    }
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        assert!((a - c).abs() <= 1e-9 * a.abs().max(1.0));
+    });
 }
 
 #[test]

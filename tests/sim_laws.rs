@@ -4,39 +4,41 @@
 use jigsaw::num::C64;
 use jigsaw::sim::power::{PowerModel, Variant};
 use jigsaw::sim::{Jigsaw2d, Jigsaw3dSlice, JigsawConfig};
-use proptest::prelude::*;
+use jigsaw_testkit::{cases, Rng};
 
-fn arb_stream(grid: usize, max_m: usize) -> impl Strategy<Value = (Vec<[f64; 2]>, Vec<C64>)> {
+fn arb_stream(rng: &mut Rng, grid: usize, max_m: usize) -> (Vec<[f64; 2]>, Vec<C64>) {
     let g = grid as f64;
-    prop::collection::vec((0.0..g, 0.0..g, -1.0f64..1.0, -1.0f64..1.0), 1..max_m).prop_map(|v| {
-        (
-            v.iter().map(|&(x, y, _, _)| [x, y]).collect(),
-            v.iter().map(|&(_, _, re, im)| C64::new(re, im)).collect(),
-        )
-    })
+    let m = rng.usize_range(1, max_m);
+    let coords = rng.vec(m, |r| [r.f64_range(0.0, g), r.f64_range(0.0, g)]);
+    let values = rng.vec(m, |r| {
+        C64::new(r.f64_range(-1.0, 1.0), r.f64_range(-1.0, 1.0))
+    });
+    (coords, values)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Runtime is M + 12 cycles for EVERY sampling pattern (the paper's
-    /// trajectory-agnostic guarantee), derived by the cycle-accurate
-    /// pipeline and matched bit-for-bit by the functional model.
-    #[test]
-    fn cycle_accurate_equals_functional((coords, values) in arb_stream(32, 80)) {
+/// Runtime is M + 12 cycles for EVERY sampling pattern (the paper's
+/// trajectory-agnostic guarantee), derived by the cycle-accurate
+/// pipeline and matched bit-for-bit by the functional model.
+#[test]
+fn cycle_accurate_equals_functional() {
+    cases!(16, |rng| {
+        let (coords, values) = arb_stream(rng, 32, 80);
         let mut hw = Jigsaw2d::new(JigsawConfig::small(32)).unwrap();
         let (stream, _) = hw.quantize_inputs(&coords, &values).unwrap();
         let fast = hw.run(&stream);
         let slow = hw.run_cycle_accurate(&stream);
-        prop_assert_eq!(slow.report.compute_cycles, stream.len() as u64 + 12);
-        prop_assert_eq!(fast.report.compute_cycles, slow.report.compute_cycles);
-        prop_assert_eq!(fast.grid, slow.grid);
-    }
+        assert_eq!(slow.report.compute_cycles, stream.len() as u64 + 12);
+        assert_eq!(fast.report.compute_cycles, slow.report.compute_cycles);
+        assert_eq!(fast.grid, slow.grid);
+    });
+}
 
-    /// 3-D slice mode: unsorted (M+15)·Nz vs sorted Σ(|bin|+15), with
-    /// identical grids.
-    #[test]
-    fn three_d_cycle_laws(m in 1usize..200) {
+/// 3-D slice mode: unsorted (M+15)·Nz vs sorted Σ(|bin|+15), with
+/// identical grids.
+#[test]
+fn three_d_cycle_laws() {
+    cases!(16, |rng| {
+        let m = rng.usize_range(1, 200);
         let g = 16usize;
         let coords: Vec<[f64; 3]> = (0..m)
             .map(|i| {
@@ -53,36 +55,38 @@ proptest! {
         let (stream, _) = hw.quantize_inputs(&coords, &values).unwrap();
         let unsorted = hw.run(&stream, false);
         let sorted = hw.run(&stream, true);
-        prop_assert_eq!(
-            unsorted.report.compute_cycles,
-            (m as u64 + 15) * g as u64
-        );
+        assert_eq!(unsorted.report.compute_cycles, (m as u64 + 15) * g as u64);
         // Every sample lands in exactly Wz = 6 z-bins.
-        prop_assert_eq!(
-            sorted.report.compute_cycles,
-            m as u64 * 6 + 15 * g as u64
-        );
-        prop_assert_eq!(unsorted.grid, sorted.grid);
-    }
+        assert_eq!(sorted.report.compute_cycles, m as u64 * 6 + 15 * g as u64);
+        assert_eq!(unsorted.grid, sorted.grid);
+    });
+}
 
-    /// Op counts follow the closed-form model for any stream.
-    #[test]
-    fn op_count_model((coords, values) in arb_stream(64, 120)) {
+/// Op counts follow the closed-form model for any stream.
+#[test]
+fn op_count_model() {
+    cases!(16, |rng| {
+        let (coords, values) = arb_stream(rng, 64, 120);
         let mut hw = Jigsaw2d::new(JigsawConfig::small(64)).unwrap();
         let (stream, _) = hw.quantize_inputs(&coords, &values).unwrap();
         let run = hw.run(&stream);
         let m = stream.len() as u64;
-        prop_assert_eq!(run.report.ops.select_checks, m * 64);
-        prop_assert_eq!(run.report.ops.interp_macs, m * 36);
-        prop_assert_eq!(run.report.ops.accum_rmw, m * 36);
-    }
+        assert_eq!(run.report.ops.select_checks, m * 64);
+        assert_eq!(run.report.ops.interp_macs, m * 36);
+        assert_eq!(run.report.ops.accum_rmw, m * 36);
+    });
 }
 
 /// Table II regenerates within 1 % from the calibrated decomposition.
 #[test]
 fn table_ii_regenerates() {
     let rows = PowerModel::calibrated().table_ii();
-    let paper = [(216.86, 12.20), (94.22, 0.42), (104.36, 12.42), (63.62, 0.64)];
+    let paper = [
+        (216.86, 12.20),
+        (94.22, 0.42),
+        (104.36, 12.42),
+        (63.62, 0.64),
+    ];
     for ((_, p, a), (pp, pa)) in rows.iter().zip(paper) {
         assert!((p - pp).abs() / pp < 0.01, "{p} vs {pp}");
         assert!((a - pa).abs() / pa < 0.01, "{a} vs {pa}");
