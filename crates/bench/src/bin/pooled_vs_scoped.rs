@@ -18,7 +18,7 @@
 
 use jigsaw_bench::harness::{fmt_time, BenchGroup, Stats};
 use jigsaw_bench::{EvalImage, HarnessArgs, TrajKind};
-use jigsaw_core::engine::ExecBackend;
+use jigsaw_core::engine::{ExecBackend, WorkerPool};
 use jigsaw_core::gridding::{BinnedGridder, Gridder, SliceDiceGridder, SliceDiceMode};
 use jigsaw_core::{NufftConfig, NufftPlan};
 use jigsaw_num::C64;
@@ -100,8 +100,42 @@ fn engine_dispatch(img: &EvalImage, records: &mut Vec<JsonRecord>) -> (f64, f64)
     (pooled_med, scoped_med)
 }
 
+/// Per-worker utilization of the global pool over one measured region:
+/// `busy_ns_delta / wall_ns` for each worker, reduced to (max, min).
+struct Utilization {
+    max: f64,
+    min: f64,
+    jobs: u64,
+}
+
+fn measure_utilization<R>(mut f: impl FnMut() -> R) -> (R, Utilization) {
+    let pool = WorkerPool::global();
+    let busy_before = pool.worker_busy_ns();
+    let jobs_before: u64 = pool.worker_job_counts().iter().sum();
+    let t0 = std::time::Instant::now();
+    let out = f();
+    let wall_ns = t0.elapsed().as_nanos().max(1) as f64;
+    let busy_after = pool.worker_busy_ns();
+    let jobs_after: u64 = pool.worker_job_counts().iter().sum();
+    let utils: Vec<f64> = busy_after
+        .iter()
+        .zip(&busy_before)
+        .map(|(a, b)| (a - b) as f64 / wall_ns)
+        .collect();
+    let max = utils.iter().cloned().fold(0.0, f64::max);
+    let min = utils.iter().cloned().fold(f64::INFINITY, f64::min);
+    (
+        out,
+        Utilization {
+            max,
+            min: if min.is_finite() { min } else { 0.0 },
+            jobs: jobs_after - jobs_before,
+        },
+    )
+}
+
 /// Batched planned multi-coil adjoint vs a per-coil scoped-spawn loop.
-fn multi_coil(img: &EvalImage, records: &mut Vec<JsonRecord>) -> (f64, f64) {
+fn multi_coil(img: &EvalImage, records: &mut Vec<JsonRecord>) -> ((f64, f64), Utilization) {
     let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(img.n)).unwrap();
     let coords = img.trajectory();
     let base = img.kspace(&coords);
@@ -137,8 +171,12 @@ fn multi_coil(img: &EvalImage, records: &mut Vec<JsonRecord>) -> (f64, f64) {
         plan.adjoint_batch_planned(&traj, &coil_refs).unwrap()
     });
     let traj = plan.plan_trajectory(&coords).unwrap();
-    let replay = group.bench_function("planned_batched_adjoint_warm", || {
-        plan.adjoint_batch_planned(&traj, &coil_refs).unwrap()
+    // Warm replay doubles as the pool-imbalance probe: the always-on
+    // per-worker busy counters give max/min utilization over the region.
+    let (replay, util) = measure_utilization(|| {
+        group.bench_function("planned_batched_adjoint_warm", || {
+            plan.adjoint_batch_planned(&traj, &coil_refs).unwrap()
+        })
     });
     group.finish();
 
@@ -160,7 +198,7 @@ fn multi_coil(img: &EvalImage, records: &mut Vec<JsonRecord>) -> (f64, f64) {
         "planned_batched_adjoint_warm",
         replay,
     );
-    (per_coil.median, batched.median)
+    ((per_coil.median, batched.median), util)
 }
 
 fn write_json(
@@ -169,6 +207,7 @@ fn write_json(
     img: &EvalImage,
     dispatch: (f64, f64),
     coil: (f64, f64),
+    util: &Utilization,
 ) -> std::io::Result<()> {
     let mut s = String::from("{\n");
     s.push_str(&format!(
@@ -201,8 +240,12 @@ fn write_json(
         dispatch.1 / dispatch.0
     ));
     s.push_str(&format!(
-        "  \"batched_over_per_coil_speedup\": {:.4}\n}}\n",
+        "  \"batched_over_per_coil_speedup\": {:.4},\n",
         coil.0 / coil.1
+    ));
+    s.push_str(&format!(
+        "  \"worker_utilization\": {{\"max\": {:.4}, \"min\": {:.4}, \"jobs\": {}}}\n}}\n",
+        util.max, util.min, util.jobs
     ));
     std::fs::write(path, s)
 }
@@ -224,7 +267,7 @@ fn main() {
     println!("=== Pooled vs scoped execution engines ===\n");
     let mut records = Vec::new();
     let dispatch = engine_dispatch(&img, &mut records);
-    let coil = multi_coil(&img, &mut records);
+    let (coil, util) = multi_coil(&img, &mut records);
 
     println!(
         "slice-dice parallel: pooled {} vs scoped {}  ({:.2}x)",
@@ -238,9 +281,15 @@ fn main() {
         fmt_time(coil.0),
         coil.0 / coil.1
     );
+    println!(
+        "pool worker utilization over warm batch: max {:.1}%, min {:.1}% ({} jobs)",
+        util.max * 100.0,
+        util.min * 100.0,
+        util.jobs
+    );
 
     let path = "BENCH_pooled_vs_scoped.json";
-    match write_json(path, &records, &img, dispatch, coil) {
+    match write_json(path, &records, &img, dispatch, coil, &util) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }

@@ -1,0 +1,96 @@
+//! Disabled-telemetry overhead check.
+//!
+//! The telemetry kill switch's contract is that a disabled run costs one
+//! predicted branch per instrumentation site. This bench times the same
+//! slice-and-dice gridding problem with telemetry enabled and disabled
+//! (via `jigsaw_telemetry::set_enabled`) and records the ratio in
+//! `BENCH_telemetry_overhead.json` — the disabled run must stay within a
+//! few percent of the enabled one, and both within noise of the pre-
+//! telemetry baseline.
+//!
+//! Run with `cargo run --release -p jigsaw-bench --bin telemetry_overhead`
+//! (append `--quick`, or set `JIGSAW_BENCH_SAMPLES`, to shrink the run).
+
+use jigsaw_bench::harness::{fmt_time, BenchGroup};
+use jigsaw_bench::{EvalImage, HarnessArgs, TrajKind};
+use jigsaw_core::gridding::{Gridder, SliceDiceGridder};
+use jigsaw_core::{NufftConfig, NufftPlan};
+use jigsaw_num::C64;
+use jigsaw_telemetry as telemetry;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut img = EvalImage {
+        name: "radial256",
+        n: 256,
+        m: 131_072,
+        traj: TrajKind::Radial,
+    };
+    if args.quick_divisor > 1 {
+        println!("[quick mode: M divided by {}]", args.quick_divisor);
+        img.m /= args.quick_divisor;
+    }
+
+    let g = img.grid();
+    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(img.n)).unwrap();
+    let coords_cycles = img.trajectory();
+    let values = img.kspace(&coords_cycles);
+    let mapped = plan.map_coords(&coords_cycles);
+    let params = plan.grid_params();
+    let lut = plan.lut();
+    let engine = SliceDiceGridder::default();
+
+    println!(
+        "=== Telemetry overhead (slice-dice gridding, M = {}) ===\n",
+        img.m
+    );
+    let mut group = BenchGroup::new("telemetry_overhead");
+    group
+        .sample_size(10)
+        .throughput_elements(coords_cycles.len() as u64);
+
+    let mut run = |id: &str, enabled: bool| {
+        telemetry::set_enabled(enabled);
+        let stats = group.bench_function(id, || {
+            let mut out = vec![C64::zeroed(); g * g];
+            engine.grid(params, lut, &mapped, &values, &mut out);
+            out
+        });
+        // Don't let event buffers grow across configs.
+        telemetry::drain_events();
+        telemetry::reset();
+        stats
+    };
+    let enabled = run("gridding_telemetry_on", true);
+    let disabled = run("gridding_telemetry_off", false);
+    telemetry::set_enabled(true);
+    group.finish();
+
+    let ratio = disabled.median / enabled.median;
+    println!(
+        "median: enabled {} vs disabled {}  (disabled/enabled = {:.4})",
+        fmt_time(enabled.median),
+        fmt_time(disabled.median),
+        ratio
+    );
+
+    let json = format!(
+        "{{\n  \"problem\": {{\"n\": {}, \"grid\": {}, \"m\": {}, \"trajectory\": \"radial\"}},\n  \
+         \"enabled_median_seconds\": {:.6e},\n  \"enabled_min_seconds\": {:.6e},\n  \
+         \"disabled_median_seconds\": {:.6e},\n  \"disabled_min_seconds\": {:.6e},\n  \
+         \"disabled_over_enabled\": {:.4}\n}}\n",
+        img.n,
+        g,
+        img.m,
+        enabled.median,
+        enabled.min,
+        disabled.median,
+        disabled.min,
+        ratio
+    );
+    let path = "BENCH_telemetry_overhead.json";
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

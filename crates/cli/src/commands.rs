@@ -17,6 +17,7 @@ use jigsaw_core::{NufftConfig, NufftPlan};
 use jigsaw_num::C64;
 use jigsaw_sim::power::{PowerModel, Variant};
 use jigsaw_sim::{Jigsaw2d, Jigsaw3dSlice, JigsawConfig};
+use jigsaw_telemetry as telemetry;
 use std::io::Write;
 
 /// Top-level usage text.
@@ -39,6 +40,11 @@ COMMANDS:
     gridbench   Time every gridding engine on one problem, on both the
                 pooled and the legacy scoped execution backends
                   --n 256 --m 100000
+    profile     Run a canned radial multi-coil CG-SENSE recon with
+                telemetry forced on and emit a chrome://tracing /
+                Perfetto-loadable trace
+                  --n 256 --coils 8 --cg 2 [--samples N]
+                  --trace-out out/trace.json [--metrics]
     gpustats    GPU §VI-A analysis (L2 hit rate, occupancy, divergence)
                   --grid 1024 --samples 100000
     emit-rtl    Generate the SystemVerilog select unit, weight-SRAM
@@ -47,9 +53,35 @@ COMMANDS:
     info        Print the supported hardware parameter ranges (Table I)
                 and the power/area model (Table II)
     help        Show this message
+
+TELEMETRY (recon, gridbench, profile):
+    --trace-out <path.json>   write buffered spans as Chrome trace_event
+                              JSON (load in chrome://tracing or Perfetto)
+    --metrics                 print the metrics-registry snapshot table
+    JIGSAW_TELEMETRY=0        disable all collection (overhead: one branch)
 ";
 
 type CmdResult = Result<(), String>;
+
+/// Shared `--trace-out <path.json>` / `--metrics` handling: write the
+/// buffered span stream as a chrome trace and/or print the metrics
+/// registry snapshot. Call once at the end of a command.
+fn emit_telemetry(o: &Options) -> CmdResult {
+    let trace_out = o.string("trace-out", "");
+    if !trace_out.is_empty() {
+        if !telemetry::enabled() {
+            eprintln!("warning: telemetry is disabled (JIGSAW_TELEMETRY=0); trace will be empty");
+        }
+        let n = telemetry::export::write_chrome_trace(std::path::Path::new(&trace_out))
+            .map_err(|e| format!("writing {trace_out}: {e}"))?;
+        println!("wrote {n} trace events to {trace_out}");
+    }
+    if o.switch("metrics") {
+        let snap = telemetry::global().snapshot();
+        print!("{}", snap.to_table());
+    }
+    Ok(())
+}
 
 fn write_pgm(path: &str, image: &[C64], n: usize) -> Result<(), String> {
     let mags: Vec<f64> = image.iter().map(|z| z.abs()).collect();
@@ -194,7 +226,7 @@ pub fn recon(o: &Options) -> CmdResult {
     );
     write_pgm(&out, &image, n)?;
     println!("wrote {out}");
-    Ok(())
+    emit_telemetry(o)
 }
 
 /// `jigsaw simulate`
@@ -366,7 +398,76 @@ pub fn gridbench(o: &Options) -> CmdResult {
             stats.duplication_factor()
         );
     }
-    Ok(())
+    emit_telemetry(o)
+}
+
+/// `jigsaw profile` — canned radial multi-coil CG-SENSE reconstruction
+/// with telemetry forced on, touching every instrumented subsystem
+/// (engine dispatch, gridding, FFT, NuFFT phases, CG recon) so the
+/// resulting chrome trace shows the full pipeline with per-worker lanes.
+pub fn profile(o: &Options) -> CmdResult {
+    // Force collection on regardless of JIGSAW_TELEMETRY: profiling is
+    // the explicit point of this command.
+    telemetry::set_enabled(true);
+    telemetry::set_thread_lane("main");
+    let n = o.usize("n", 256)?;
+    let coils = o.usize("coils", 8)?;
+    let cg_iters = o.usize("cg", 2)?;
+    let default_spokes = (1.2 * core::f64::consts::FRAC_PI_2 * n as f64) as usize;
+    let spokes = o.usize("spokes", default_spokes)?;
+
+    let mut coords = traj::radial_2d(spokes, 2 * n, true);
+    traj::shuffle(&mut coords, 7);
+    let cap = o.usize("samples", coords.len())?;
+    coords.truncate(cap);
+    println!(
+        "profiling: {}-coil radial CG-SENSE, N = {n}, M = {}, {cg_iters} CG iterations",
+        coils,
+        coords.len()
+    );
+
+    let t0 = std::time::Instant::now();
+    let residual = {
+        let _root = telemetry::span!("recon.profile", {
+            n: n,
+            coils: coils,
+            m: coords.len()
+        });
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).map_err(|e| e.to_string())?;
+        let maps = CoilMaps::synthetic(n, coils);
+        let truth = Phantom2d::shepp_logan().rasterize_aa(n, 4);
+        let coil_data = sense::acquire(&plan, &maps, &truth, &coords).map_err(|e| e.to_string())?;
+
+        // Planned batched adjoint: one coil per pooled job, so the trace
+        // gets per-worker `jigsaw-worker-*` lanes with coil spans.
+        let traj_plan = plan.plan_trajectory(&coords).map_err(|e| e.to_string())?;
+        let _combined = sense::adjoint_planned(&plan, &maps, &coil_data, &traj_plan)
+            .map_err(|e| e.to_string())?;
+
+        // CG-SENSE: per-iteration spans + residual counter track.
+        let out = sense::cg_sense(
+            &plan,
+            &maps,
+            &coil_data,
+            &coords,
+            &SliceDiceGridder::default(),
+            &CgOptions {
+                max_iterations: cg_iters,
+                tolerance: 1e-8,
+                lambda: 1e-5,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        out.residuals.last().copied().unwrap_or(1.0)
+    };
+    println!(
+        "recon complete in {:.1} ms (final relative residual {residual:.2e})",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    if o.string("trace-out", "").is_empty() && !o.switch("metrics") {
+        eprintln!("hint: pass --trace-out trace.json and/or --metrics to export the profile");
+    }
+    emit_telemetry(o)
 }
 
 /// `jigsaw gpustats`

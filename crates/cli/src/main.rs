@@ -6,6 +6,7 @@
 //! jigsaw simulate  --grid 512 --samples 100000 [--cycle-accurate]
 //! jigsaw simulate3d --grid 32 --samples 20000 [--sorted]
 //! jigsaw gridbench --n 256 --m 100000
+//! jigsaw profile   --n 256 --coils 8 --trace-out out/trace.json [--metrics]
 //! jigsaw info
 //! ```
 
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(&opts),
         "simulate3d" => commands::simulate3d(&opts),
         "gridbench" => commands::gridbench(&opts),
+        "profile" => commands::profile(&opts),
         "gpustats" => commands::gpustats(&opts),
         "emit-rtl" => commands::emit_rtl(&opts),
         "info" => commands::info(),

@@ -36,12 +36,14 @@
 //! thread count, never on pool size or scheduling order, and the caller
 //! merges results in job order.
 
+use jigsaw_telemetry as telemetry;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Execution strategy for the parallel gridding engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -167,6 +169,17 @@ pub struct WorkerPool {
     workers: Vec<WorkerHandle>,
     arenas: Arc<Vec<Mutex<ScratchArena>>>,
     dispatches: AtomicU64,
+    /// Per-worker cumulative busy time (nanoseconds spent inside jobs,
+    /// including arena lock acquisition). Always on — two relaxed atomic
+    /// adds per *job*, not per sample — so imbalance is observable even
+    /// with telemetry disabled.
+    busy_ns: Arc<Vec<AtomicU64>>,
+    /// Per-worker job counts (same lifetime as `busy_ns`).
+    job_counts: Arc<Vec<AtomicU64>>,
+    /// Cached telemetry histogram handles (wired to the global registry;
+    /// recording is gated on `telemetry::enabled()`).
+    wait_hist: Arc<telemetry::Histogram>,
+    run_hist: Arc<telemetry::Histogram>,
 }
 
 impl WorkerPool {
@@ -178,6 +191,10 @@ impl WorkerPool {
                 .map(|_| Mutex::new(ScratchArena::default()))
                 .collect(),
         );
+        let busy_ns: Arc<Vec<AtomicU64>> =
+            Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+        let job_counts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
         let workers = (0..threads)
             .map(|wid| {
                 let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
@@ -185,6 +202,9 @@ impl WorkerPool {
                 let handle = std::thread::Builder::new()
                     .name(format!("jigsaw-worker-{wid}"))
                     .spawn(move || {
+                        // Register this worker's trace lane up front so the
+                        // chrome-trace export shows named per-worker lanes.
+                        telemetry::set_thread_lane(&format!("jigsaw-worker-{wid}"));
                         while let Ok(job) = rx.recv() {
                             let mut arena = arenas[wid].lock().unwrap_or_else(|e| e.into_inner());
                             job(&mut arena);
@@ -201,6 +221,10 @@ impl WorkerPool {
             workers,
             arenas,
             dispatches: AtomicU64::new(0),
+            busy_ns,
+            job_counts,
+            wait_hist: telemetry::global().histogram("engine.job_wait_ns"),
+            run_hist: telemetry::global().histogram("engine.job_run_ns"),
         }
     }
 
@@ -226,6 +250,25 @@ impl WorkerPool {
         self.dispatches.load(Ordering::Relaxed)
     }
 
+    /// Cumulative nanoseconds each worker has spent running jobs since
+    /// pool creation, indexed by worker slot. The spread between the
+    /// busiest and idlest worker is the pool's load imbalance — always
+    /// collected, independent of the telemetry kill switch.
+    pub fn worker_busy_ns(&self) -> Vec<u64> {
+        self.busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of jobs each worker has completed since pool creation.
+    pub fn worker_job_counts(&self) -> Vec<u64> {
+        self.job_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Worker slot that job `j` of an `njobs`-way dispatch runs on.
     #[inline]
     pub fn worker_for(&self, job: usize) -> usize {
@@ -244,15 +287,46 @@ impl WorkerPool {
             return;
         }
         self.dispatches.fetch_add(1, Ordering::Relaxed);
+        let _dispatch_span = telemetry::span!("engine.dispatch", {
+            njobs: njobs,
+            workers: self.workers.len(),
+        });
+        telemetry::record_counter("engine.dispatches", 1);
+        telemetry::record_counter("engine.jobs", njobs as u64);
         let latch = Latch::new(njobs);
         let f = Arc::new(f);
+        let nworkers = self.workers.len();
         for j in 0..njobs {
             let latch = Arc::clone(&latch);
             let f = Arc::clone(&f);
+            let wait_hist = Arc::clone(&self.wait_hist);
+            let run_hist = Arc::clone(&self.run_hist);
+            let busy_ns = Arc::clone(&self.busy_ns);
+            let job_counts = Arc::clone(&self.job_counts);
+            let enqueued_ns = telemetry::now_ns();
             let job: Job = Box::new(move |arena| {
+                let collect = telemetry::enabled();
+                let t0 = Instant::now();
+                let started_ns = telemetry::now_ns();
+                let mut span = telemetry::span!("engine.job", { job: j });
+                if collect {
+                    let wait = started_ns.saturating_sub(enqueued_ns);
+                    wait_hist.record(wait);
+                    span.arg("wait_ns", wait);
+                }
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     f(j, arena);
                 }));
+                drop(span);
+                if collect {
+                    run_hist.record(telemetry::now_ns().saturating_sub(started_ns));
+                }
+                // Always-on utilization accounting (telemetry-independent);
+                // must land *before* the latch so callers observing the
+                // counters after `run` returns see every job.
+                let wid = j % nworkers;
+                busy_ns[wid].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                job_counts[wid].fetch_add(1, Ordering::Relaxed);
                 latch.count_down(result.is_err());
                 if let Err(e) = result {
                     // Preserve the worker; surface the panic on the caller.
@@ -264,7 +338,14 @@ impl WorkerPool {
                 .send(job)
                 .expect("pool worker hung up");
         }
-        if latch.wait() {
+        let panicked = latch.wait();
+        if telemetry::enabled() {
+            telemetry::record_gauge(
+                "engine.scratch_resident_bytes",
+                self.resident_scratch_bytes() as f64,
+            );
+        }
+        if panicked {
             panic!("a worker-pool job panicked (see stderr for the worker's panic message)");
         }
     }
@@ -456,5 +537,34 @@ mod tests {
     fn zero_jobs_is_a_noop() {
         let pool = WorkerPool::new(2);
         pool.run(0, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn worker_busy_counters_accumulate() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.worker_busy_ns(), vec![0, 0]);
+        assert_eq!(pool.worker_job_counts(), vec![0, 0]);
+        pool.run(4, |_, _| {
+            // Enough work that the per-job Instant delta is nonzero.
+            std::hint::black_box((0..200_000u64).map(|x| x.wrapping_mul(x)).sum::<u64>());
+        });
+        let busy = pool.worker_busy_ns();
+        let counts = pool.worker_job_counts();
+        assert_eq!(busy.len(), 2);
+        // Jobs 0..4 round-robin onto 2 workers: two each.
+        assert_eq!(counts, vec![2, 2]);
+        assert!(busy.iter().sum::<u64>() > 0, "busy time must accumulate");
+    }
+
+    #[test]
+    fn dispatch_records_job_histograms_when_enabled() {
+        let pool = WorkerPool::new(2);
+        telemetry::set_enabled(true);
+        let before = pool.run_hist.count();
+        pool.run(6, |_, _| {});
+        // The histograms are global ("engine.job_run_ns"), so concurrent
+        // tests may also record: assert at least this dispatch's jobs.
+        assert!(pool.run_hist.count() - before >= 6);
+        assert!(pool.wait_hist.count() >= 6);
     }
 }

@@ -30,6 +30,7 @@ use crate::engine::{keys, ExecBackend, WorkerPool};
 use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
+use jigsaw_telemetry as telemetry;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -152,10 +153,19 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
         let tile_points = b.pow(D as u32);
         let ntiles = tiles_per_dim.pow(D as u32);
 
+        let _span = telemetry::span!("gridding.binned", {
+            dim: D,
+            m: coords.len(),
+            bin_tile: b,
+        });
         let t0 = Instant::now();
-        let (bins, processed) = self.presort(&dec, coords, tiles_per_dim);
+        let (bins, processed) = {
+            let _presort_span = telemetry::span!("gridding.binned_presort", { m: coords.len() });
+            self.presort(&dec, coords, tiles_per_dim)
+        };
         let presort_seconds = t0.elapsed().as_secs_f64();
 
+        let _pass_span = telemetry::span!("gridding.binned_pass", { ntiles: ntiles });
         let t1 = Instant::now();
         let nthreads = worker_threads(self.threads).min(ntiles.max(1));
         let tiles_per_thread = ntiles.div_ceil(nthreads);
@@ -266,14 +276,17 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
         }
         let gridding_seconds = t1.elapsed().as_secs_f64();
 
-        GridStats {
+        let stats = GridStats {
             samples: coords.len(),
             samples_processed: processed,
             boundary_checks: total_checks,
             kernel_accumulations: total_accums,
             presort_seconds,
             gridding_seconds,
-        }
+            fft_seconds: 0.0,
+        };
+        stats.mirror("binned");
+        stats
     }
 }
 

@@ -18,6 +18,7 @@ use crate::engine::{keys, ExecBackend, WorkerPool};
 use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
+use jigsaw_telemetry as telemetry;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -78,6 +79,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for NaiveOutputGridder {
         out: &mut [Complex<T>],
     ) -> GridStats {
         validate_batch(p, coords, values, out).expect("invalid sample batch");
+        let _span = telemetry::span!("gridding.naive", { dim: D, m: coords.len() });
         let dec = Decomposer::new(p);
         let g = p.grid;
         let start = Instant::now();
@@ -146,14 +148,17 @@ impl<T: Float, const D: usize> Gridder<T, D> for NaiveOutputGridder {
                 }
             }
         }
-        GridStats {
+        let stats = GridStats {
             samples: coords.len(),
             samples_processed: coords.len(),
             boundary_checks: (coords.len() * npoints) as u64,
             kernel_accumulations: total_accums,
             presort_seconds: 0.0,
             gridding_seconds: start.elapsed().as_secs_f64(),
-        }
+            fft_seconds: 0.0,
+        };
+        stats.mirror("naive");
+        stats
     }
 }
 

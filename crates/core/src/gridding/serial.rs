@@ -15,6 +15,7 @@ use crate::decomp::Decomposer;
 use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
+use jigsaw_telemetry as telemetry;
 use std::time::Instant;
 
 /// The serial input-driven gridder.
@@ -35,6 +36,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for SerialGridder {
         out: &mut [Complex<T>],
     ) -> GridStats {
         validate_batch(p, coords, values, out).expect("invalid sample batch");
+        let _span = telemetry::span!("gridding.serial", { dim: D, m: coords.len() });
         let dec = Decomposer::new(p);
         let w = p.width;
         let start = Instant::now();
@@ -43,14 +45,17 @@ impl<T: Float, const D: usize> Gridder<T, D> for SerialGridder {
             scatter_rowmajor(p.grid, w, &wins, v, out);
         }
         let elapsed = start.elapsed().as_secs_f64();
-        GridStats {
+        let stats = GridStats {
             samples: coords.len(),
             samples_processed: coords.len(),
             boundary_checks: 0, // input-driven: windows are computed, not searched
             kernel_accumulations: (coords.len() * w.pow(D as u32)) as u64,
             presort_seconds: 0.0,
             gridding_seconds: elapsed,
-        }
+            fft_seconds: 0.0,
+        };
+        stats.mirror("serial");
+        stats
     }
 }
 
@@ -81,6 +86,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for ExactGridder {
     ) -> GridStats {
         let _ = lut; // exact evaluation ignores the table
         validate_batch(p, coords, values, out).expect("invalid sample batch");
+        let _span = telemetry::span!("gridding.exact", { dim: D, m: coords.len() });
         let w = p.width;
         let g = p.grid as f64;
         let kernel = &p.kernel;
@@ -98,14 +104,17 @@ impl<T: Float, const D: usize> Gridder<T, D> for ExactGridder {
             }
             scatter_rowmajor(p.grid, w, &wins, v, out);
         }
-        GridStats {
+        let stats = GridStats {
             samples: coords.len(),
             samples_processed: coords.len(),
             boundary_checks: 0,
             kernel_accumulations: (coords.len() * w.pow(D as u32)) as u64,
             presort_seconds: 0.0,
             gridding_seconds: start.elapsed().as_secs_f64(),
-        }
+            fft_seconds: 0.0,
+        };
+        stats.mirror("exact");
+        stats
     }
 }
 
@@ -131,6 +140,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for LerpGridder {
         out: &mut [Complex<T>],
     ) -> GridStats {
         validate_batch(p, coords, values, out).expect("invalid sample batch");
+        let _span = telemetry::span!("gridding.lerp", { dim: D, m: coords.len() });
         let w = p.width;
         let g = p.grid as f64;
         let start = Instant::now();
@@ -147,14 +157,17 @@ impl<T: Float, const D: usize> Gridder<T, D> for LerpGridder {
             }
             scatter_rowmajor(p.grid, w, &wins, v, out);
         }
-        GridStats {
+        let stats = GridStats {
             samples: coords.len(),
             samples_processed: coords.len(),
             boundary_checks: 0,
             kernel_accumulations: (coords.len() * w.pow(D as u32)) as u64,
             presort_seconds: 0.0,
             gridding_seconds: start.elapsed().as_secs_f64(),
-        }
+            fft_seconds: 0.0,
+        };
+        stats.mirror("lerp");
+        stats
     }
 }
 

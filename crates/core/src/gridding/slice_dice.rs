@@ -31,6 +31,7 @@ use crate::engine::{keys, ExecBackend, WorkerPool};
 use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
+use jigsaw_telemetry as telemetry;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
@@ -134,8 +135,13 @@ impl<T: AtomicFloat, const D: usize> Gridder<T, D> for SliceDiceGridder {
         out: &mut [Complex<T>],
     ) -> GridStats {
         validate_batch(p, coords, values, out).expect("invalid sample batch");
+        let _span = telemetry::span!("gridding.slice_dice", {
+            dim: D,
+            m: coords.len(),
+            tile: p.tile,
+        });
         let b = self.backend;
-        match self.mode {
+        let stats = match self.mode {
             SliceDiceMode::Serial => grid_columns(p, lut, coords, values, out, 1, b),
             SliceDiceMode::ColumnParallel => {
                 grid_columns(p, lut, coords, values, out, worker_threads(self.threads), b)
@@ -146,7 +152,9 @@ impl<T: AtomicFloat, const D: usize> Gridder<T, D> for SliceDiceGridder {
             SliceDiceMode::BlockReduce => {
                 grid_block_reduce(p, lut, coords, values, out, worker_threads(self.threads), b)
             }
-        }
+        };
+        stats.mirror("slice_dice");
+        stats
     }
 }
 
@@ -348,6 +356,7 @@ fn grid_columns<T: Float, const D: usize>(
         kernel_accumulations: total_accums,
         presort_seconds: 0.0,
         gridding_seconds: start.elapsed().as_secs_f64(),
+        fft_seconds: 0.0,
     }
 }
 
@@ -613,6 +622,7 @@ fn grid_block_atomic<T: AtomicFloat, const D: usize>(
         kernel_accumulations: total_accums,
         presort_seconds: 0.0,
         gridding_seconds: start.elapsed().as_secs_f64(),
+        fft_seconds: 0.0,
     }
 }
 
@@ -740,6 +750,7 @@ fn grid_block_reduce<T: Float, const D: usize>(
         kernel_accumulations: total_accums,
         presort_seconds: 0.0,
         gridding_seconds: start.elapsed().as_secs_f64(),
+        fft_seconds: 0.0,
     }
 }
 

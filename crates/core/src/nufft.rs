@@ -32,6 +32,7 @@ use crate::stats::GridStats;
 use crate::{Error, Result};
 use jigsaw_fft::{Direction, FftNd};
 use jigsaw_num::{Complex, Float};
+use jigsaw_telemetry as telemetry;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -190,11 +191,15 @@ impl<T: Float, const D: usize> PlanInner<T, D> {
             )));
         }
         let t2 = Instant::now();
-        self.fft.process(grid, Direction::Forward);
+        {
+            let _span = telemetry::span!("fft.process", { points: grid.len() });
+            self.fft.process(grid, Direction::Forward);
+        }
         let fft_seconds = t2.elapsed().as_secs_f64();
 
         // Extract ĥ_k = FFT[g][(−k) mod G] with deapodization.
         let t3 = Instant::now();
+        let _apod_span = telemetry::span!("nufft.apod", { n: n, dim: D });
         let mut image = vec![Complex::<T>::zeroed(); n.pow(D as u32)];
         for (flat, o) in image.iter_mut().enumerate() {
             let mut rem = flat;
@@ -332,15 +337,19 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             )));
         }
         Self::check_finite(coords)?;
+        let _span = telemetry::span!("nufft.adjoint", { dim: D, m: coords.len() });
         let g = self.inner.params.grid;
 
         let t0 = Instant::now();
-        let mapped = self.inner.map_coords(coords);
+        let mapped = {
+            let _prep = telemetry::span!("nufft.prep", { m: coords.len() });
+            self.inner.map_coords(coords)
+        };
         let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
         let prep_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let grid_stats = gridder.grid(
+        let mut grid_stats = gridder.grid(
             &self.inner.params,
             &self.inner.lut,
             &mapped,
@@ -352,6 +361,10 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
         let (image, mut timings) = self.inner.finish_adjoint(&mut grid)?;
         timings.prep_seconds = prep_seconds;
         timings.interp_seconds = interp_seconds;
+        // Fold the post-gridding stages into the stats so that
+        // `GridStats::total_seconds` matches the end-to-end wall clock
+        // instead of silently dropping the FFT + apodization time.
+        grid_stats.fft_seconds = timings.fft_seconds + timings.apod_seconds;
         Ok(AdjointOutput {
             image,
             timings,
@@ -373,6 +386,11 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
         gridder: &dyn Gridder<T, D>,
     ) -> Result<Vec<AdjointOutput<T>>> {
         Self::check_finite(coords)?;
+        let _span = telemetry::span!("nufft.adjoint_batch", {
+            dim: D,
+            m: coords.len(),
+            coils: batches.len()
+        });
         let g = self.inner.params.grid;
         let mapped = self.inner.map_coords(coords);
         let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
@@ -387,7 +405,7 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             }
             grid.fill(Complex::zeroed());
             let t1 = Instant::now();
-            let grid_stats = gridder.grid(
+            let mut grid_stats = gridder.grid(
                 &self.inner.params,
                 &self.inner.lut,
                 &mapped,
@@ -397,6 +415,7 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             let interp_seconds = t1.elapsed().as_secs_f64();
             let (image, mut timings) = self.inner.finish_adjoint(&mut grid)?;
             timings.interp_seconds = interp_seconds;
+            grid_stats.fft_seconds = timings.fft_seconds + timings.apod_seconds;
             out.push(AdjointOutput {
                 image,
                 timings,
@@ -430,6 +449,7 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
     /// are bitwise identical to unplanned serial ones.
     pub fn plan_trajectory(&self, coords: &[[f64; D]]) -> Result<PlannedTrajectory<D>> {
         Self::check_finite(coords)?;
+        let _span = telemetry::span!("nufft.plan_trajectory", { dim: D, m: coords.len() });
         let t0 = Instant::now();
         let mapped = self.inner.map_coords(coords);
         let dec = Decomposer::new(&self.inner.params);
@@ -493,12 +513,18 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
         let kernel_accums = (m as u64) * (w as u64).pow(D as u32);
         let njobs = batches.len();
 
+        let _span = telemetry::span!("nufft.adjoint_batch_planned", {
+            dim: D,
+            m: m,
+            coils: njobs
+        });
         let pool = WorkerPool::global();
         let inner = Arc::clone(&self.inner);
         let windows = Arc::clone(&traj.windows);
         let coils: Vec<Arc<[Complex<T>]>> = batches.iter().map(|b| Arc::from(*b)).collect();
         let (tx, rx) = channel();
         pool.run(njobs, move |c, arena| {
+            let _coil_span = telemetry::span!("nufft.coil_adjoint", { coil: c, m: m });
             let values = &coils[c];
             let mut grid = arena.take_vec(keys::COIL_GRID, npoints, Complex::<T>::zeroed());
             let t1 = Instant::now();
@@ -527,6 +553,7 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
                     kernel_accumulations: kernel_accums,
                     presort_seconds: 0.0,
                     gridding_seconds: interp_seconds,
+                    fft_seconds: timings.fft_seconds + timings.apod_seconds,
                 },
             });
         }
@@ -569,18 +596,26 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
         let npoints = g.pow(D as u32);
         let njobs = images.len();
 
+        let _span = telemetry::span!("nufft.forward_batch_planned", {
+            dim: D,
+            images: njobs
+        });
         let pool = WorkerPool::global();
         let inner = Arc::clone(&self.inner);
         let windows = Arc::clone(&traj.windows);
         let imgs: Vec<Arc<[Complex<T>]>> = images.iter().map(|b| Arc::from(*b)).collect();
         let (tx, rx) = channel();
         pool.run(njobs, move |j, arena| {
+            let _img_span = telemetry::span!("nufft.coil_forward", { image: j });
             let mut grid = arena.take_vec(keys::COIL_GRID, npoints, Complex::<T>::zeroed());
             let t0 = Instant::now();
             inner.embed_apodized(&imgs[j], &mut grid);
             let apod_seconds = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            inner.fft.process(&mut grid, Direction::Forward);
+            {
+                let _fft_span = telemetry::span!("fft.process", { points: npoints });
+                inner.fft.process(&mut grid, Direction::Forward);
+            }
             let fft_seconds = t1.elapsed().as_secs_f64();
             let t2 = Instant::now();
             let samples: Vec<Complex<T>> = windows
@@ -642,6 +677,7 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             )));
         }
 
+        let _span = telemetry::span!("nufft.forward", { dim: D, m: coords.len() });
         // Pre-apodize and embed into the zero-padded oversampled grid.
         let t0 = Instant::now();
         let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
@@ -649,7 +685,10 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
         let apod_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        self.inner.fft.process(&mut grid, Direction::Forward);
+        {
+            let _fft_span = telemetry::span!("fft.process", { points: grid.len() });
+            self.inner.fft.process(&mut grid, Direction::Forward);
+        }
         let fft_seconds = t1.elapsed().as_secs_f64();
 
         let t2 = Instant::now();

@@ -24,6 +24,7 @@ use crate::nufft::NufftPlan;
 use crate::toeplitz::ToeplitzOperator;
 use crate::Result;
 use jigsaw_num::C64;
+use jigsaw_telemetry as telemetry;
 
 /// Options for [`cg_reconstruct`].
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +108,10 @@ pub fn cg_solve<const D: usize>(
     rhs: &[C64],
     opts: &CgOptions,
 ) -> Result<CgOutput> {
+    let _span = telemetry::span!("recon.cg_solve", {
+        n: rhs.len(),
+        max_iterations: opts.max_iterations
+    });
     let n = rhs.len();
     let mut x = vec![C64::zeroed(); n];
     let mut r = rhs.to_vec();
@@ -114,7 +119,8 @@ pub fn cg_solve<const D: usize>(
     let r0_norm = dot(&r, &r).re.sqrt().max(1e-300);
     let mut rs_old = dot(&r, &r).re;
     let mut residuals = Vec::with_capacity(opts.max_iterations);
-    for _ in 0..opts.max_iterations {
+    for iter in 0..opts.max_iterations {
+        let _iter_span = telemetry::span!("recon.cg_iteration", { iter: iter });
         let mut ap = op.apply(&p)?;
         if opts.lambda != 0.0 {
             for (a, &pv) in ap.iter_mut().zip(&p) {
@@ -133,6 +139,10 @@ pub fn cg_solve<const D: usize>(
         let rs_new = dot(&r, &r).re;
         let rel = rs_new.sqrt() / r0_norm;
         residuals.push(rel);
+        // Residual time-series: a counter event per iteration (visible as
+        // a chrome-trace counter track) plus a last-value gauge.
+        telemetry::counter_event("recon.cg_residual", rel);
+        telemetry::record_gauge("recon.cg_residual", rel);
         if rel < opts.tolerance {
             break;
         }

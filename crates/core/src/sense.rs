@@ -14,6 +14,7 @@ use crate::nufft::NufftPlan;
 use crate::recon::{CgOptions, CgOutput};
 use crate::{Error, Result};
 use jigsaw_num::C64;
+use jigsaw_telemetry as telemetry;
 
 /// A set of coil sensitivity maps over an `N^2` image (row-major, one
 /// map per coil).
@@ -183,6 +184,11 @@ pub fn cg_sense(
     gridder: &dyn Gridder<f64, 2>,
     opts: &CgOptions,
 ) -> Result<CgOutput> {
+    let _span = telemetry::span!("recon.cg_sense", {
+        coils: maps.coils(),
+        m: coords.len(),
+        max_iterations: opts.max_iterations
+    });
     let rhs = adjoint(plan, maps, data, coords, gridder)?;
     let normal = |x: &[C64]| -> Result<Vec<C64>> {
         let n = maps.n();
@@ -206,7 +212,8 @@ pub fn cg_sense(
     let r0 = dot(&r, &r).re.sqrt().max(1e-300);
     let mut rs_old = dot(&r, &r).re;
     let mut residuals = Vec::new();
-    for _ in 0..opts.max_iterations {
+    for iter in 0..opts.max_iterations {
+        let _iter_span = telemetry::span!("recon.cg_iteration", { iter: iter });
         let mut ap = normal(&p)?;
         if opts.lambda != 0.0 {
             for (a, &pv) in ap.iter_mut().zip(&p) {
@@ -225,6 +232,8 @@ pub fn cg_sense(
         let rs_new = dot(&r, &r).re;
         let rel = rs_new.sqrt() / r0;
         residuals.push(rel);
+        telemetry::counter_event("recon.cg_residual", rel);
+        telemetry::record_gauge("recon.cg_residual", rel);
         if rel < opts.tolerance {
             break;
         }

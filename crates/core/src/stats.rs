@@ -7,6 +7,13 @@
 //! checks with no presort and no duplicates. Every engine reports these
 //! counts so the benches can print the paper's complexity table next to
 //! the measured wall-clock times.
+//!
+//! `GridStats` predates the [`jigsaw_telemetry`] registry; so the two
+//! systems don't drift apart, [`GridStats::mirror`] publishes every
+//! counter into the registry under `grid.<engine>.*` names (counts
+//! exactly, times as nanosecond histogram samples).
+
+use jigsaw_telemetry as telemetry;
 
 /// Counters and timings returned by one gridding invocation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -29,12 +36,18 @@ pub struct GridStats {
     pub presort_seconds: f64,
     /// Seconds spent in the gridding pass proper.
     pub gridding_seconds: f64,
+    /// Seconds spent in the FFT + apodization stages of the surrounding
+    /// NuFFT (zero for a bare gridding call). Populated by the NuFFT plan
+    /// so per-phase times add up to the end-to-end wall clock instead of
+    /// silently dropping the FFT.
+    pub fft_seconds: f64,
 }
 
 impl GridStats {
-    /// Total wall-clock seconds (presort + gridding).
+    /// Total wall-clock seconds across all recorded phases
+    /// (presort + gridding + FFT/apodization).
     pub fn total_seconds(&self) -> f64 {
-        self.presort_seconds + self.gridding_seconds
+        self.presort_seconds + self.gridding_seconds + self.fft_seconds
     }
 
     /// Duplicate sample-processing factor (1.0 = no duplication).
@@ -55,7 +68,39 @@ impl GridStats {
         self.kernel_accumulations += other.kernel_accumulations;
         self.presort_seconds = self.presort_seconds.max(other.presort_seconds);
         self.gridding_seconds = self.gridding_seconds.max(other.gridding_seconds);
+        self.fft_seconds = self.fft_seconds.max(other.fft_seconds);
     }
+
+    /// Mirror these stats into the global telemetry registry under
+    /// `grid.<engine>.*` (no-op when telemetry is disabled). Counts are
+    /// added to counters bit-exactly; phase times are recorded as
+    /// nanosecond samples in histograms.
+    pub fn mirror(&self, engine: &str) {
+        if !telemetry::enabled() {
+            return;
+        }
+        self.mirror_to(telemetry::global(), engine);
+    }
+
+    /// [`GridStats::mirror`] into an explicit registry (testable without
+    /// global state).
+    pub fn mirror_to(&self, registry: &telemetry::Registry, engine: &str) {
+        let c = |metric: &str| registry.counter(&format!("grid.{engine}.{metric}"));
+        c("samples").add(self.samples as u64);
+        c("samples_processed").add(self.samples_processed as u64);
+        c("boundary_checks").add(self.boundary_checks);
+        c("kernel_accumulations").add(self.kernel_accumulations);
+        let h = |metric: &str| registry.histogram(&format!("grid.{engine}.{metric}"));
+        h("presort_ns").record(secs_to_ns(self.presort_seconds));
+        h("gridding_ns").record(secs_to_ns(self.gridding_seconds));
+        if self.fft_seconds > 0.0 {
+            h("fft_ns").record(secs_to_ns(self.fft_seconds));
+        }
+    }
+}
+
+fn secs_to_ns(s: f64) -> u64 {
+    (s.max(0.0) * 1e9).round() as u64
 }
 
 #[cfg(test)]
@@ -83,6 +128,7 @@ mod tests {
             kernel_accumulations: 360,
             presort_seconds: 0.0,
             gridding_seconds: 1.5,
+            fft_seconds: 0.1,
         };
         let b = GridStats {
             samples: 20,
@@ -91,20 +137,71 @@ mod tests {
             kernel_accumulations: 720,
             presort_seconds: 0.0,
             gridding_seconds: 2.0,
+            fft_seconds: 0.3,
         };
         a.merge_parallel(&b);
         assert_eq!(a.samples, 30);
         assert_eq!(a.boundary_checks, 300);
         assert_eq!(a.gridding_seconds, 2.0); // concurrent → max
+        assert_eq!(a.fft_seconds, 0.3);
     }
 
     #[test]
-    fn total_includes_presort() {
+    fn total_includes_every_phase() {
         let s = GridStats {
             presort_seconds: 0.5,
             gridding_seconds: 1.0,
+            fft_seconds: 0.25,
             ..Default::default()
         };
-        assert_eq!(s.total_seconds(), 1.5);
+        assert_eq!(s.total_seconds(), 1.75);
+    }
+
+    #[test]
+    fn mirror_is_bitwise_for_counts() {
+        let s = GridStats {
+            samples: 4096,
+            samples_processed: 5000,
+            boundary_checks: 262_144,
+            kernel_accumulations: 147_456,
+            presort_seconds: 0.001,
+            gridding_seconds: 0.002,
+            fft_seconds: 0.0005,
+        };
+        let reg = telemetry::Registry::new();
+        s.mirror_to(&reg, "binned");
+        s.mirror_to(&reg, "binned"); // counters accumulate across calls
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("grid.binned.samples"), Some(2 * 4096));
+        assert_eq!(snap.counter("grid.binned.samples_processed"), Some(10_000));
+        assert_eq!(
+            snap.counter("grid.binned.boundary_checks"),
+            Some(2 * 262_144)
+        );
+        assert_eq!(
+            snap.counter("grid.binned.kernel_accumulations"),
+            Some(2 * 147_456)
+        );
+        let h = snap.histogram("grid.binned.gridding_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 2 * 2_000_000);
+        assert_eq!(
+            snap.histogram("grid.binned.fft_ns").map(|h| h.sum),
+            Some(2 * 500_000)
+        );
+    }
+
+    #[test]
+    fn mirror_skips_fft_histogram_for_bare_gridding() {
+        let s = GridStats {
+            samples: 1,
+            gridding_seconds: 0.001,
+            ..Default::default()
+        };
+        let reg = telemetry::Registry::new();
+        s.mirror_to(&reg, "naive");
+        let snap = reg.snapshot();
+        assert!(snap.histogram("grid.naive.fft_ns").is_none());
+        assert!(snap.histogram("grid.naive.gridding_ns").is_some());
     }
 }

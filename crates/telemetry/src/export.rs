@@ -1,0 +1,260 @@
+//! Exporters: Chrome `trace_event` JSON (loadable in `chrome://tracing`
+//! and [Perfetto](https://ui.perfetto.dev)) and JSON-lines event dumps.
+//!
+//! All JSON is hand-rolled in the same style as the bench harness — the
+//! build is hermetic, so no serde. Timestamps convert from the internal
+//! nanosecond clock to chrome's microsecond `ts`/`dur` fields with three
+//! decimal places, preserving nanosecond precision.
+
+use crate::span::{ArgValue, Event, EventKind};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn arg_json(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(u) => u.to_string(),
+        ArgValue::I64(i) => i.to_string(),
+        ArgValue::F64(f) => crate::metrics::fmt_f64(*f),
+        ArgValue::Str(s) => format!("\"{}\"", escape_json(s)),
+        ArgValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Microseconds with nanosecond precision, as chrome expects.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn args_obj(args: &[(&'static str, ArgValue)]) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{}\": {}", escape_json(k), arg_json(v));
+    }
+    s.push('}');
+    s
+}
+
+/// Render events (plus thread-lane metadata) as a Chrome `trace_event`
+/// JSON document: `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+///
+/// * lanes become `ph: "M"` `thread_name` metadata records, so Perfetto
+///   shows `jigsaw-worker-0` … lanes instead of bare thread ids;
+/// * spans become `ph: "X"` complete events with `ts`/`dur` in µs;
+/// * counter samples become `ph: "C"` events rendered as time-series.
+pub fn chrome_trace(events: &[Event], lanes: &[(u64, String)]) -> String {
+    let mut s = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            s.push_str(",\n");
+        }
+        *first = false;
+        s.push_str("  ");
+        s.push_str(&line);
+    };
+    for (tid, name) in lanes {
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"name\": \"thread_name\", \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                escape_json(name)
+            ),
+            &mut first,
+        );
+    }
+    for e in events {
+        match &e.kind {
+            EventKind::Span { dur_ns } => push(
+                format!(
+                    "{{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"name\": \"{}\", \
+                     \"cat\": \"{}\", \"ts\": {}, \"dur\": {}, \"args\": {}}}",
+                    e.tid,
+                    escape_json(e.name),
+                    escape_json(e.cat),
+                    us(e.ts_ns),
+                    us(*dur_ns),
+                    args_obj(&e.args)
+                ),
+                &mut first,
+            ),
+            EventKind::Counter { value } => push(
+                format!(
+                    "{{\"ph\": \"C\", \"pid\": 1, \"tid\": {}, \"name\": \"{}\", \
+                     \"cat\": \"{}\", \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+                    e.tid,
+                    escape_json(e.name),
+                    escape_json(e.cat),
+                    us(e.ts_ns),
+                    crate::metrics::fmt_f64(*value)
+                ),
+                &mut first,
+            ),
+        }
+    }
+    s.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    s
+}
+
+/// One JSON object per line, schema
+/// `{"name", "cat", "tid", "ts_ns", "depth", kind fields..., "args"}` —
+/// grep/`jq`-friendly raw dump.
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut s = String::new();
+    for e in events {
+        let kind = match &e.kind {
+            EventKind::Span { dur_ns } => format!("\"kind\": \"span\", \"dur_ns\": {dur_ns}"),
+            EventKind::Counter { value } => format!(
+                "\"kind\": \"counter\", \"value\": {}",
+                crate::metrics::fmt_f64(*value)
+            ),
+        };
+        let _ = writeln!(
+            s,
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"tid\": {}, \"ts_ns\": {}, \"depth\": {}, \
+             {kind}, \"args\": {}}}",
+            escape_json(e.name),
+            escape_json(e.cat),
+            e.tid,
+            e.ts_ns,
+            e.depth,
+            args_obj(&e.args)
+        );
+    }
+    s
+}
+
+/// Drain all buffered events and write them as a chrome trace to `path`
+/// (parent directories created as needed). Returns the number of events
+/// written.
+pub fn write_chrome_trace(path: &Path) -> io::Result<usize> {
+    let events = crate::drain_events();
+    let lanes = crate::lanes();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_trace(&events, &lanes))?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_event(name: &'static str, tid: u64, ts_ns: u64, dur_ns: u64) -> Event {
+        Event {
+            name,
+            cat: crate::category_of(name),
+            tid,
+            ts_ns,
+            depth: 1,
+            kind: EventKind::Span { dur_ns },
+            args: vec![
+                ("m", ArgValue::U64(42)),
+                ("label", ArgValue::Str("x".into())),
+            ],
+        }
+    }
+
+    #[test]
+    fn escapes_json_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_spans_and_counters() {
+        let events = vec![
+            span_event("gridding.scatter", 3, 1_500, 2_000_000),
+            Event {
+                name: "recon.cg_residual",
+                cat: "recon",
+                tid: 1,
+                ts_ns: 5_000,
+                depth: 0,
+                kind: EventKind::Counter { value: 0.125 },
+                args: Vec::new(),
+            },
+        ];
+        let lanes = vec![(1, "main".to_string()), (3, "jigsaw-worker-0".to_string())];
+        let trace = chrome_trace(&events, &lanes);
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"ph\": \"M\""));
+        assert!(trace.contains("\"name\": \"jigsaw-worker-0\""));
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"ts\": 1.500"));
+        assert!(trace.contains("\"dur\": 2000.000"));
+        assert!(trace.contains("\"cat\": \"gridding\""));
+        assert!(trace.contains("\"m\": 42"));
+        assert!(trace.contains("\"ph\": \"C\""));
+        assert!(trace.contains("\"value\": 0.125"));
+        // Valid JSON by the in-repo parser.
+        let doc = crate::json::parse(&trace).expect("chrome trace must be valid JSON");
+        let evs = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+        assert_eq!(evs.len(), 4); // 2 metadata + 1 span + 1 counter
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let events = vec![
+            span_event("fft.process", 1, 10, 20),
+            Event {
+                name: "recon.cg_residual",
+                cat: "recon",
+                tid: 1,
+                ts_ns: 30,
+                depth: 0,
+                kind: EventKind::Counter { value: 1.0 },
+                args: Vec::new(),
+            },
+        ];
+        let out = events_jsonl(&events);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            crate::json::parse(line).expect("each jsonl line parses");
+        }
+        assert!(lines[0].contains("\"dur_ns\": 20"));
+        assert!(lines[1].contains("\"kind\": \"counter\""));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let trace = chrome_trace(&[], &[]);
+        let doc = crate::json::parse(&trace).unwrap();
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(|v| v.as_arr())
+                .map(Vec::len),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! A tiny recursive-descent JSON parser used to *validate* the crate's
+//! own hand-rolled output (golden-file tests, CI smoke checks). It is a
+//! reader, not a writer, and deliberately minimal: full JSON value model,
+//! `f64` numbers, `\uXXXX` escapes (including surrogate pairs), no
+//! streaming.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (JSON numbers map to `f64`).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object (key-sorted map).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document. Trailing whitespace is allowed;
+/// trailing garbage is an error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char,
+                self.pos - 1,
+                got as char
+            )),
+            None => Err(format!("expected '{}' at end of input", b as char)),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Obj(map)),
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos - 1)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos - 1)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err("unpaired surrogate".to_string());
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("invalid low surrogate".to_string());
+                            }
+                            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(cp).ok_or("invalid surrogate pair")?
+                        } else {
+                            char::from_u32(hi).ok_or("invalid \\u escape")?
+                        };
+                        s.push(c);
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                },
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control byte in string at {}", self.pos - 1))
+                }
+                Some(c) => {
+                    // Re-assemble UTF-8 multibyte sequences from raw bytes.
+                    if c < 0x80 {
+                        s.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = if c >= 0xF0 {
+                            4
+                        } else if c >= 0xE0 {
+                            3
+                        } else {
+                            2
+                        };
+                        let end = start + len;
+                        let chunk = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        let text =
+                            std::str::from_utf8(chunk).map_err(|e| format!("bad UTF-8: {e}"))?;
+                        s.push_str(text);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.bump().ok_or("truncated \\u escape")?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| format!("bad hex digit at byte {}", self.pos - 1))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Num(42.0));
+        assert_eq!(parse("-1.5e3").unwrap(), Value::Num(-1500.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = parse(r#"{"a": [1, 2, {"b": null}], "c": {"d": true}}"#).unwrap();
+        let arr = doc.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[2].get("b"), Some(&Value::Null));
+        assert_eq!(
+            doc.get("c").and_then(|c| c.get("d")),
+            Some(&Value::Bool(true))
+        );
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""a\"b\\c\ndA""#).unwrap(),
+            Value::Str("a\"b\\c\ndA".into())
+        );
+        // \uXXXX escapes, including a surrogate pair for 𝄞 (U+1D11E).
+        assert_eq!(
+            parse("\"\\u0041\\ud834\\udd1e\"").unwrap(),
+            Value::Str("A\u{1D11E}".into())
+        );
+        assert!(
+            parse("\"\\ud834x\"").is_err(),
+            "unpaired surrogate rejected"
+        );
+        // Raw multibyte UTF-8 passes through.
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\": 1,}").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Obj(BTreeMap::new()));
+        assert_eq!(parse("[ ]").unwrap(), Value::Arr(vec![]));
+    }
+}

@@ -1,0 +1,447 @@
+//! Spans, events, and the per-thread event buffers.
+//!
+//! Every thread that emits telemetry owns a buffer (`Arc<Mutex<Vec<Event>>>`)
+//! registered in a global table. The emitting thread is the only writer, so
+//! its lock is uncontended except during [`drain_events`] — the hot path is
+//! effectively lock-free. When a thread exits, its remaining events move to
+//! a global retired list so nothing is lost (worker threads of the
+//! persistent pool outlive most dispatches; scoped threads do not).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Hard cap on buffered events per thread; beyond it events are dropped
+/// (counted in [`dropped_events`]) so long unattended runs stay bounded.
+pub const MAX_EVENTS_PER_THREAD: usize = 1 << 18;
+
+/// A structured argument value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+macro_rules! impl_from_arg {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for ArgValue {
+            fn from(v: $t) -> Self { ArgValue::$variant(v as $conv) }
+        })*
+    };
+}
+impl_from_arg!(
+    u64 => U64 as u64, u32 => U64 as u64, u16 => U64 as u64, usize => U64 as u64,
+    i64 => I64 as i64, i32 => I64 as i64,
+    f64 => F64 as f64, f32 => F64 as f64,
+);
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A completed span (chrome `ph: "X"`).
+    Span {
+        /// Wall-clock duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A counter sample (chrome `ph: "C"`) — a named value at an instant,
+    /// rendered by Perfetto as a time-series lane.
+    Counter {
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One telemetry event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Span/counter name (static — telemetry never allocates for names).
+    pub name: &'static str,
+    /// Category (prefix of the name before the first `.`).
+    pub cat: &'static str,
+    /// Telemetry thread id (dense, assigned at first emission per thread).
+    pub tid: u64,
+    /// Start time, nanoseconds since the telemetry epoch.
+    pub ts_ns: u64,
+    /// Span nesting depth on the emitting thread (1 = top level).
+    pub depth: u16,
+    /// Payload.
+    pub kind: EventKind,
+    /// Structured arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+// ---------------------------------------------------------------------------
+// Global thread-buffer registry
+// ---------------------------------------------------------------------------
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+type SharedBuf = Arc<Mutex<Vec<Event>>>;
+
+fn live_bufs() -> &'static Mutex<HashMap<u64, SharedBuf>> {
+    static LIVE: OnceLock<Mutex<HashMap<u64, SharedBuf>>> = OnceLock::new();
+    LIVE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn retired() -> &'static Mutex<Vec<Event>> {
+    static RETIRED: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+    RETIRED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lane_names() -> &'static Mutex<HashMap<u64, String>> {
+    static LANES: OnceLock<Mutex<HashMap<u64, String>>> = OnceLock::new();
+    LANES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+struct ThreadBuf {
+    tid: u64,
+    shared: SharedBuf,
+    depth: Cell<u16>,
+}
+
+impl ThreadBuf {
+    fn register() -> Self {
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let shared: SharedBuf = Arc::new(Mutex::new(Vec::new()));
+        live_bufs()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(tid, Arc::clone(&shared));
+        // Default lane name: the OS thread name when set.
+        if let Some(name) = std::thread::current().name() {
+            lane_names()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(tid, name.to_string());
+        }
+        Self {
+            tid,
+            shared,
+            depth: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        // Thread exit: move leftover events to the retired list so they
+        // survive the thread, and unregister the live buffer.
+        let mut events = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+        if !events.is_empty() {
+            retired()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .append(&mut events);
+        }
+        drop(events);
+        live_bufs()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.tid);
+    }
+}
+
+thread_local! {
+    static TBUF: ThreadBuf = ThreadBuf::register();
+}
+
+/// This thread's telemetry id (assigned on first use).
+pub fn current_tid() -> u64 {
+    TBUF.with(|b| b.tid)
+}
+
+/// Name the calling thread's lane in trace exports (e.g.
+/// `"jigsaw-worker-3"`). Defaults to the OS thread name.
+pub fn set_thread_lane(name: &str) {
+    let tid = current_tid();
+    lane_names()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(tid, name.to_string());
+}
+
+/// All known `(tid, lane name)` pairs, sorted by tid.
+pub fn lanes() -> Vec<(u64, String)> {
+    let mut v: Vec<(u64, String)> = lane_names()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, n)| (*k, n.clone()))
+        .collect();
+    v.sort_unstable_by_key(|(tid, _)| *tid);
+    v
+}
+
+/// Number of events dropped because a thread buffer hit
+/// [`MAX_EVENTS_PER_THREAD`].
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+fn emit(event: Event) {
+    TBUF.with(|b| {
+        let mut buf = b.shared.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() >= MAX_EVENTS_PER_THREAD {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        } else {
+            buf.push(event);
+        }
+    });
+}
+
+/// Record a counter sample (a time-series point in the chrome trace).
+/// No-op when telemetry is disabled.
+pub fn counter_event(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let (tid, depth) = TBUF.with(|b| (b.tid, b.depth.get()));
+    emit(Event {
+        name,
+        cat: crate::category_of(name),
+        tid,
+        ts_ns: crate::now_ns(),
+        depth,
+        kind: EventKind::Counter { value },
+        args: Vec::new(),
+    });
+}
+
+/// Drain every buffered event (live threads and retired ones), sorted by
+/// start time then thread id. Buffers are left empty.
+pub fn drain_events() -> Vec<Event> {
+    let mut out: Vec<Event> = Vec::new();
+    {
+        let mut ret = retired().lock().unwrap_or_else(|e| e.into_inner());
+        out.append(&mut ret);
+    }
+    let bufs: Vec<SharedBuf> = live_bufs()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+        .cloned()
+        .collect();
+    for buf in bufs {
+        let mut b = buf.lock().unwrap_or_else(|e| e.into_inner());
+        out.append(&mut b);
+    }
+    out.sort_by_key(|e| (e.ts_ns, e.tid));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// SpanGuard
+// ---------------------------------------------------------------------------
+
+/// RAII guard returned by [`crate::span!`]: records a completed-span event
+/// when dropped. Inert (a single branch was paid) when telemetry is
+/// disabled.
+#[must_use = "a span guard measures the scope it lives in; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    depth: u16,
+    args: Vec<(&'static str, ArgValue)>,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Open a span. Prefer the [`crate::span!`] macro.
+    #[inline]
+    pub fn begin(name: &'static str, cat: &'static str) -> Self {
+        if !crate::enabled() {
+            return Self {
+                name,
+                cat,
+                start_ns: 0,
+                depth: 0,
+                args: Vec::new(),
+                active: false,
+            };
+        }
+        let depth = TBUF.with(|b| {
+            let d = b.depth.get() + 1;
+            b.depth.set(d);
+            d
+        });
+        Self {
+            name,
+            cat,
+            start_ns: crate::now_ns(),
+            depth,
+            args: Vec::new(),
+            active: true,
+        }
+    }
+
+    /// Attach a structured argument (no-op on an inert guard).
+    #[inline]
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if self.active {
+            self.args.push((key, value.into()));
+        }
+    }
+
+    /// Whether this guard is recording (telemetry was enabled at open).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur_ns = crate::now_ns().saturating_sub(self.start_ns);
+        TBUF.with(|b| b.depth.set(b.depth.get().saturating_sub(1)));
+        emit(Event {
+            name: self.name,
+            cat: self.cat,
+            tid: current_tid(),
+            ts_ns: self.start_ns,
+            depth: self.depth,
+            kind: EventKind::Span { dur_ns },
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(not(feature = "off"))] // the compile-time kill switch makes guards inert
+    fn span_records_nesting_depth_and_order() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        let _ = drain_events();
+        {
+            let _outer = crate::span!("test.outer", { m: 3usize });
+            {
+                let _inner = crate::span!("test.inner");
+            }
+        }
+        let events: Vec<Event> = drain_events()
+            .into_iter()
+            .filter(|e| e.name.starts_with("test."))
+            .collect();
+        assert_eq!(events.len(), 2);
+        let outer = events.iter().find(|e| e.name == "test.outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "test.inner").unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(outer.cat, "test");
+        // Inner nests within outer.
+        let (EventKind::Span { dur_ns: od }, EventKind::Span { dur_ns: id }) =
+            (&outer.kind, &inner.kind)
+        else {
+            panic!("span kinds expected");
+        };
+        assert!(outer.ts_ns <= inner.ts_ns);
+        assert!(inner.ts_ns + id <= outer.ts_ns + od);
+        assert_eq!(outer.args, vec![("m", ArgValue::U64(3))]);
+    }
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(false);
+        {
+            let mut g = crate::span!("test.dead", { k: 1u64 });
+            g.arg("extra", "x");
+            assert!(!g.is_active());
+        }
+        crate::set_enabled(true);
+        let leaked: Vec<Event> = drain_events()
+            .into_iter()
+            .filter(|e| e.name == "test.dead")
+            .collect();
+        assert!(leaked.is_empty());
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn counter_events_capture_values() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        counter_event("test.counterlane", 0.25);
+        counter_event("test.counterlane", 0.125);
+        let vals: Vec<f64> = drain_events()
+            .into_iter()
+            .filter(|e| e.name == "test.counterlane")
+            .map(|e| match e.kind {
+                EventKind::Counter { value } => value,
+                _ => panic!("counter kind expected"),
+            })
+            .collect();
+        assert_eq!(vals, vec![0.25, 0.125]);
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn events_survive_thread_exit() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        let _ = drain_events();
+        std::thread::spawn(|| {
+            let _g = crate::span!("test.ephemeral");
+        })
+        .join()
+        .unwrap();
+        let found = drain_events()
+            .into_iter()
+            .any(|e| e.name == "test.ephemeral");
+        assert!(found, "retired thread's events must be drainable");
+    }
+
+    #[test]
+    fn lane_naming() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        set_thread_lane("unit-test-lane");
+        let tid = current_tid();
+        assert!(lanes()
+            .iter()
+            .any(|(t, n)| *t == tid && n == "unit-test-lane"));
+    }
+
+    #[test]
+    fn arg_value_conversions() {
+        assert_eq!(ArgValue::from(3u32), ArgValue::U64(3));
+        assert_eq!(ArgValue::from(-2i32), ArgValue::I64(-2));
+        assert_eq!(ArgValue::from(0.5f32), ArgValue::F64(0.5));
+        assert_eq!(ArgValue::from("s"), ArgValue::Str("s".into()));
+        assert_eq!(ArgValue::from(true), ArgValue::Bool(true));
+    }
+}

@@ -9,3 +9,4 @@ pub use jigsaw_fixed as fixed;
 pub use jigsaw_gpu as gpu;
 pub use jigsaw_num as num;
 pub use jigsaw_sim as sim;
+pub use jigsaw_telemetry as telemetry;
