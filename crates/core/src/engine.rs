@@ -60,6 +60,10 @@ pub enum ExecBackend {
 /// A boxed job: runs on one worker with access to that worker's arena.
 type Job = Box<dyn FnOnce(&mut ScratchArena) + Send>;
 
+/// One type-erased buffer plus its payload byte count, as stored in a
+/// [`ScratchArena`] slot stack.
+type ErasedBuf = (Box<dyn Any + Send>, usize);
+
 /// Per-worker-slot arena of reusable, type-erased buffers.
 ///
 /// Buffers are keyed by `(key, element type)`; each slot holds a small
@@ -68,7 +72,11 @@ type Job = Box<dyn FnOnce(&mut ScratchArena) + Send>;
 /// *caller* can return merged-out slabs to the worker that produced them.
 #[derive(Default)]
 pub struct ScratchArena {
-    slots: HashMap<(u64, std::any::TypeId), Vec<Box<dyn Any + Send>>>,
+    /// Buffer stacks keyed by `(key, element type)`; each entry carries its
+    /// payload byte count so type-erased take/give (the
+    /// [`jigsaw_fft::exec::BufferArena`] impl) can keep `bytes` exact
+    /// without downcasting.
+    slots: HashMap<(u64, std::any::TypeId), Vec<ErasedBuf>>,
     bytes: usize,
 }
 
@@ -79,11 +87,9 @@ impl ScratchArena {
     pub fn take_vec<T: Clone + Send + 'static>(&mut self, key: u64, len: usize, fill: T) -> Vec<T> {
         let slot = (key, std::any::TypeId::of::<Vec<T>>());
         if let Some(stack) = self.slots.get_mut(&slot) {
-            if let Some(boxed) = stack.pop() {
+            if let Some((boxed, bytes)) = stack.pop() {
                 if let Ok(mut v) = boxed.downcast::<Vec<T>>() {
-                    self.bytes = self
-                        .bytes
-                        .saturating_sub(v.capacity() * std::mem::size_of::<T>());
+                    self.bytes = self.bytes.saturating_sub(bytes);
                     v.clear();
                     v.resize(len, fill);
                     return *v;
@@ -96,8 +102,12 @@ impl ScratchArena {
     /// Return a buffer for future reuse under `key`.
     pub fn give_vec<T: Send + 'static>(&mut self, key: u64, v: Vec<T>) {
         let slot = (key, std::any::TypeId::of::<Vec<T>>());
-        self.bytes += v.capacity() * std::mem::size_of::<T>();
-        self.slots.entry(slot).or_default().push(Box::new(v));
+        let bytes = v.capacity() * std::mem::size_of::<T>();
+        self.bytes += bytes;
+        self.slots
+            .entry(slot)
+            .or_default()
+            .push((Box::new(v), bytes));
     }
 
     /// Approximate resident bytes currently parked in this arena.
@@ -110,6 +120,46 @@ impl ScratchArena {
         self.slots.clear();
         self.bytes = 0;
     }
+}
+
+/// Type-erased recycling interface used by `jigsaw-fft`'s panel jobs.
+///
+/// `jigsaw-fft` sits *below* this crate in the dependency DAG, so it
+/// defines the [`jigsaw_fft::exec::BufferArena`] trait and this crate's
+/// arena implements it. FFT panel scratch thereby cycles through the same
+/// per-worker arenas as gridding scratch, keyed under
+/// [`keys::FFT_PANEL`].
+impl jigsaw_fft::exec::BufferArena for ScratchArena {
+    fn take_any(&mut self, key: u64, ty: std::any::TypeId) -> Option<Box<dyn Any + Send>> {
+        let (buf, bytes) = self.slots.get_mut(&(key, ty))?.pop()?;
+        self.bytes = self.bytes.saturating_sub(bytes);
+        Some(buf)
+    }
+
+    fn give_any(&mut self, key: u64, ty: std::any::TypeId, buf: Box<dyn Any + Send>, bytes: usize) {
+        self.bytes += bytes;
+        self.slots.entry((key, ty)).or_default().push((buf, bytes));
+    }
+}
+
+thread_local! {
+    /// True on pool worker threads; set once at worker startup. Used to
+    /// detect *nested* dispatch — an [`jigsaw_fft::exec::Executor`] call
+    /// made from inside a worker job (e.g. the per-coil FFT inside a
+    /// pooled multi-coil batch). Dispatching back into the pool from a
+    /// worker can deadlock (the nested job may map onto the very worker
+    /// that is blocked waiting on it), so nested work runs inline instead.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Arena backing inline (nested) job execution on a worker thread.
+    /// Thread-local so recycled panel buffers stay warm across the many
+    /// FFT calls a single worker makes during one batch.
+    static NESTED_ARENA: std::cell::RefCell<ScratchArena> =
+        std::cell::RefCell::new(ScratchArena::default());
+}
+
+/// True when the current thread is a [`WorkerPool`] worker.
+pub fn on_worker_thread() -> bool {
+    IN_WORKER.with(|f| f.get())
 }
 
 /// Completion latch for one dispatch.
@@ -205,6 +255,9 @@ impl WorkerPool {
                         // Register this worker's trace lane up front so the
                         // chrome-trace export shows named per-worker lanes.
                         telemetry::set_thread_lane(&format!("jigsaw-worker-{wid}"));
+                        // Mark the thread so nested Executor dispatches from
+                        // inside jobs run inline instead of deadlocking.
+                        IN_WORKER.with(|f| f.set(true));
                         while let Ok(job) = rx.recv() {
                             let mut arena = arenas[wid].lock().unwrap_or_else(|e| e.into_inner());
                             job(&mut arena);
@@ -376,6 +429,87 @@ impl WorkerPool {
     }
 }
 
+/// The persistent pool as an FFT panel-job executor.
+///
+/// This is the bridge that lets a *single* uniform FFT parallelize across
+/// the same workers that grid samples: `FftNd::process_with(pool, ..)`
+/// partitions each axis pass into panel jobs and runs them here. Three
+/// properties matter:
+///
+/// * **Determinism** — the panel partition is computed by the FFT from the
+///   grid shape alone; this executor only decides *where* each job runs,
+///   never what it computes, so output is bitwise identical to serial.
+/// * **Scratch affinity** — job `j` always runs on worker `j % size`, and
+///   [`Executor::restore`](jigsaw_fft::exec::Executor::restore) returns
+///   merged-out panel buffers to that worker's arena, so panel scratch is
+///   allocated once and stays warm across every FFT of a reconstruction.
+/// * **Nested-dispatch safety** — when `execute` is called *from a worker
+///   thread* (a pooled batch job running its per-coil FFT), jobs run
+///   inline on a thread-local arena. [`Executor::concurrency`] also
+///   reports `1` there, so `FftNd` skips parallel orchestration entirely
+///   and takes its serial blocked path — same numbers, no boxing.
+impl jigsaw_fft::exec::Executor for WorkerPool {
+    fn execute(&self, jobs: Vec<jigsaw_fft::exec::Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if on_worker_thread() {
+            NESTED_ARENA.with(|a| {
+                let mut arena = a.borrow_mut();
+                for job in jobs {
+                    job(&mut *arena);
+                }
+            });
+            return;
+        }
+        let njobs = jobs.len();
+        // `WorkerPool::run` takes a shared `Fn`; park each owned FnOnce job
+        // in a mutex slot and let dispatch `j` claim slot `j`.
+        let slots: Arc<Vec<Mutex<Option<jigsaw_fft::exec::Job>>>> =
+            Arc::new(jobs.into_iter().map(|j| Mutex::new(Some(j))).collect());
+        self.run(njobs, move |j, arena| {
+            let job = slots[j].lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(job) = job {
+                job(arena);
+            }
+        });
+    }
+
+    fn concurrency(&self) -> usize {
+        if on_worker_thread() {
+            1
+        } else {
+            // Cap at physical parallelism: a pool oversized for the machine
+            // (say 8 workers on a 1-CPU container) can still *run* jobs,
+            // but reporting the full pool size would push `FftNd` into
+            // parallel orchestration whose snapshot/boxing overhead cannot
+            // be amortized by threads that never run simultaneously.
+            // Reporting the effective concurrency lets callers take the
+            // serial blocked path when that is the faster plan — results
+            // are bitwise identical either way.
+            let hw = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            self.size().min(hw)
+        }
+    }
+
+    fn restore(
+        &self,
+        job: usize,
+        key: u64,
+        ty: std::any::TypeId,
+        buf: Box<dyn Any + Send>,
+        bytes: usize,
+    ) {
+        use jigsaw_fft::exec::BufferArena;
+        self.arenas[self.worker_for(job)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .give_any(key, ty, buf, bytes);
+    }
+}
+
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Close channels, then join.
@@ -406,6 +540,16 @@ pub mod keys {
     pub const NAIVE_CHUNK: u64 = 0x04;
     /// Batched-NuFFT per-coil oversampled grid.
     pub const COIL_GRID: u64 = 0x05;
+    /// N-D FFT panel scratch (defined by `jigsaw-fft`, which owns the
+    /// executor trait; re-exported here so the key space stays auditable
+    /// in one place).
+    pub const FFT_PANEL: u64 = jigsaw_fft::exec::PANEL_KEY;
+    /// Apodization / extraction line scratch for the parallel embed and
+    /// extract passes around the uniform FFT.
+    pub const APOD_LINES: u64 = 0x07;
+    /// Bluestein convolution scratch inside N-D FFT panel jobs (defined by
+    /// `jigsaw-fft`; re-exported like [`FFT_PANEL`]).
+    pub const FFT_WORK: u64 = jigsaw_fft::exec::WORK_KEY;
 }
 
 #[cfg(test)]
@@ -554,6 +698,129 @@ mod tests {
         // Jobs 0..4 round-robin onto 2 workers: two each.
         assert_eq!(counts, vec![2, 2]);
         assert!(busy.iter().sum::<u64>() > 0, "busy time must accumulate");
+    }
+
+    #[test]
+    fn fft_panel_key_matches_fft_crate() {
+        assert_eq!(keys::FFT_PANEL, 0x06);
+        // All keys distinct by inspection; assert anyway.
+        let all = [
+            keys::DICE_COLUMNS,
+            keys::BIN_TILES,
+            keys::PARTIAL_GRID,
+            keys::NAIVE_CHUNK,
+            keys::COIL_GRID,
+            keys::FFT_PANEL,
+            keys::APOD_LINES,
+            keys::FFT_WORK,
+        ];
+        assert_eq!(keys::FFT_WORK, 0x08);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_executes_fft_jobs_with_recycling() {
+        use jigsaw_fft::exec::{give_vec, restore_vec, take_vec, Executor, Job as FftJob};
+        let pool = WorkerPool::new(2);
+        // Reported concurrency is the pool size capped at the machine's
+        // physical parallelism (this may be 1 in a constrained container).
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(Executor::concurrency(&pool), 2.min(hw));
+        let (tx, rx) = channel();
+        let jobs: Vec<FftJob> = (0..4)
+            .map(|j| {
+                let tx = tx.clone();
+                let job: FftJob = Box::new(move |arena| {
+                    let mut v = take_vec::<u64>(arena, keys::FFT_PANEL, 8, 0);
+                    v[0] = j as u64;
+                    tx.send((j, v)).unwrap();
+                });
+                job
+            })
+            .collect();
+        drop(tx);
+        pool.execute(jobs);
+        let mut got: Vec<(usize, Vec<u64>)> = rx.iter().collect();
+        got.sort_by_key(|(j, _)| *j);
+        assert_eq!(got.len(), 4);
+        // Jobs 1 and 3 both ran on worker 1; their buffers stack in its
+        // arena (job 3's restored last, so popped first).
+        let worker1_ptrs: Vec<usize> = [1usize, 3]
+            .iter()
+            .map(|&j| got[j].1.as_ptr() as usize)
+            .collect();
+        for (j, v) in got {
+            assert_eq!(v[0], j as u64);
+            restore_vec(&pool, j, keys::FFT_PANEL, v);
+        }
+        // A fresh dispatch's job 1 (worker 1) reuses a worker-1 panel.
+        let (tx2, rx2) = channel();
+        let job: FftJob = Box::new(move |arena| {
+            let v = take_vec::<u64>(arena, keys::FFT_PANEL, 8, 0);
+            tx2.send(v.as_ptr() as usize).unwrap();
+            give_vec(arena, keys::FFT_PANEL, v);
+        });
+        let noop: FftJob = Box::new(|_| {});
+        pool.execute(vec![noop, job]);
+        let reused = rx2.recv().unwrap();
+        assert!(
+            worker1_ptrs.contains(&reused),
+            "panel buffer must be recycled from worker 1's arena"
+        );
+    }
+
+    #[test]
+    fn nested_execute_from_worker_runs_inline() {
+        use jigsaw_fft::exec::{Executor, Job as FftJob};
+        // A 1-worker pool: if the nested dispatch re-entered the queue it
+        // would deadlock (the only worker is busy waiting on it).
+        let pool = Arc::new(WorkerPool::new(1));
+        let p = Arc::clone(&pool);
+        let (tx, rx) = channel();
+        pool.run(1, move |_, _| {
+            assert!(on_worker_thread());
+            // Inner dispatch must report serial concurrency and run inline.
+            assert_eq!(Executor::concurrency(&*p), 1);
+            let tx2 = tx.clone();
+            let inner: FftJob = Box::new(move |_| tx2.send(42u32).unwrap());
+            p.execute(vec![inner]);
+            tx.send(7).unwrap();
+        });
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got, vec![42, 7], "nested job must complete before outer");
+        assert!(!on_worker_thread());
+    }
+
+    #[test]
+    fn scratch_arena_type_erased_take_give_roundtrip() {
+        use jigsaw_fft::exec::BufferArena;
+        let mut arena = ScratchArena::default();
+        let v = vec![1.5f32; 64];
+        let ptr = v.as_ptr() as usize;
+        let bytes = v.capacity() * std::mem::size_of::<f32>();
+        arena.give_any(11, std::any::TypeId::of::<Vec<f32>>(), Box::new(v), bytes);
+        assert_eq!(arena.resident_bytes(), bytes);
+        let back = arena
+            .take_any(11, std::any::TypeId::of::<Vec<f32>>())
+            .expect("buffer present");
+        let back = back.downcast::<Vec<f32>>().unwrap();
+        assert_eq!(back.as_ptr() as usize, ptr);
+        assert_eq!(arena.resident_bytes(), 0);
+        assert!(arena
+            .take_any(11, std::any::TypeId::of::<Vec<f32>>())
+            .is_none());
+        // Typed and erased paths share the same slots/byte ledger.
+        arena.give_vec(12, vec![0u8; 16]);
+        assert!(arena
+            .take_any(12, std::any::TypeId::of::<Vec<u8>>())
+            .is_some());
+        assert_eq!(arena.resident_bytes(), 0);
     }
 
     #[test]

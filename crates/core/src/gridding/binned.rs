@@ -284,6 +284,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
             presort_seconds,
             gridding_seconds,
             fft_seconds: 0.0,
+            apod_seconds: 0.0,
         };
         stats.mirror("binned");
         stats

@@ -156,6 +156,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for NaiveOutputGridder {
             presort_seconds: 0.0,
             gridding_seconds: start.elapsed().as_secs_f64(),
             fft_seconds: 0.0,
+            apod_seconds: 0.0,
         };
         stats.mirror("naive");
         stats

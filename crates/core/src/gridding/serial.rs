@@ -53,6 +53,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for SerialGridder {
             presort_seconds: 0.0,
             gridding_seconds: elapsed,
             fft_seconds: 0.0,
+            apod_seconds: 0.0,
         };
         stats.mirror("serial");
         stats
@@ -112,6 +113,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for ExactGridder {
             presort_seconds: 0.0,
             gridding_seconds: start.elapsed().as_secs_f64(),
             fft_seconds: 0.0,
+            apod_seconds: 0.0,
         };
         stats.mirror("exact");
         stats
@@ -165,6 +167,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for LerpGridder {
             presort_seconds: 0.0,
             gridding_seconds: start.elapsed().as_secs_f64(),
             fft_seconds: 0.0,
+            apod_seconds: 0.0,
         };
         stats.mirror("lerp");
         stats

@@ -357,6 +357,7 @@ fn grid_columns<T: Float, const D: usize>(
         presort_seconds: 0.0,
         gridding_seconds: start.elapsed().as_secs_f64(),
         fft_seconds: 0.0,
+        apod_seconds: 0.0,
     }
 }
 
@@ -623,6 +624,7 @@ fn grid_block_atomic<T: AtomicFloat, const D: usize>(
         presort_seconds: 0.0,
         gridding_seconds: start.elapsed().as_secs_f64(),
         fft_seconds: 0.0,
+        apod_seconds: 0.0,
     }
 }
 
@@ -751,6 +753,7 @@ fn grid_block_reduce<T: Float, const D: usize>(
         presort_seconds: 0.0,
         gridding_seconds: start.elapsed().as_secs_f64(),
         fft_seconds: 0.0,
+        apod_seconds: 0.0,
     }
 }
 

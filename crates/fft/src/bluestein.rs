@@ -58,18 +58,46 @@ impl<T: Float> Bluestein<T> {
         }
     }
 
+    /// Length of the convolution scratch buffer [`Self::process_with_scratch`]
+    /// requires: the padded power-of-two size `m = next_pow2(2n−1)`.
+    pub fn work_len(&self) -> usize {
+        self.m
+    }
+
     /// In-place transform (no inverse scaling; the caller handles it).
+    ///
+    /// Allocates the length-`m` convolution scratch internally; batched
+    /// callers should use [`Self::process_with_scratch`] to reuse one
+    /// buffer across many rows.
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        let mut work = vec![Complex::<T>::zeroed(); self.m];
+        self.process_with_scratch(data, dir, &mut work);
+    }
+
+    /// In-place transform using caller-provided convolution scratch of
+    /// length [`Self::work_len`]. The scratch contents on entry are
+    /// irrelevant (it is fully overwritten), so one buffer can serve any
+    /// number of rows; results are bitwise identical to [`Self::process`].
     ///
     /// The inverse direction is computed via the conjugation identity
     /// `idft(x) · n = conj(dft(conj(x)))`.
-    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+    ///
+    /// # Panics
+    /// Panics if `work.len() != self.work_len()`.
+    pub fn process_with_scratch(
+        &self,
+        data: &mut [Complex<T>],
+        dir: Direction,
+        work: &mut [Complex<T>],
+    ) {
         debug_assert_eq!(data.len(), self.n);
+        assert_eq!(work.len(), self.m, "scratch must be work_len() long");
         if dir == Direction::Inverse {
             for z in data.iter_mut() {
                 *z = z.conj();
             }
         }
-        self.forward(data);
+        self.forward(data, work);
         if dir == Direction::Inverse {
             for z in data.iter_mut() {
                 *z = z.conj();
@@ -77,16 +105,114 @@ impl<T: Float> Bluestein<T> {
         }
     }
 
-    fn forward(&self, data: &mut [Complex<T>]) {
-        let mut a = vec![Complex::<T>::zeroed(); self.m];
+    /// Split-plane (SoA) batch variant of [`Self::process_with_scratch`]:
+    /// transforms `lanes` signals with element `k` of lane `l` at
+    /// `re[k * lanes + l]` / `im[k * lanes + l]`, using caller scratch of
+    /// `2 * lanes *` [`Self::work_len`] scalars (the first half holds the
+    /// convolution's real plane, the second its imaginary plane).
+    ///
+    /// Every step of the chirp-z pipeline (chirp modulation, the inner
+    /// power-of-two convolution FFTs, spectrum multiply, final chirp
+    /// demodulation) is elementwise across lanes, and each real/imaginary
+    /// expression below mirrors the corresponding `Complex` operator
+    /// (`mul`, `MulAssign`, `scale`, `conj`) term-for-term — so lane `l`
+    /// receives exactly the scalar path's floating-point operations and
+    /// per-lane results are bitwise identical to [`Self::process`].
+    ///
+    /// # Panics
+    /// Panics if `work.len() != 2 * lanes * self.work_len()`.
+    pub fn process_planes_with_scratch(
+        &self,
+        re: &mut [T],
+        im: &mut [T],
+        lanes: usize,
+        dir: Direction,
+        work: &mut [T],
+    ) {
+        debug_assert_eq!(re.len(), self.n * lanes);
+        debug_assert_eq!(im.len(), self.n * lanes);
+        assert_eq!(
+            work.len(),
+            2 * self.m * lanes,
+            "scratch must be 2 * lanes * work_len() scalars long"
+        );
+        let (wre, wim) = work.split_at_mut(self.m * lanes);
+        // conj = (re, −im): the inverse direction only touches the im plane.
+        if dir == Direction::Inverse {
+            for v in im.iter_mut() {
+                *v = -*v;
+            }
+        }
+        // a_j = x_j · c_j per lane (Complex::mul mirror), zero-padded to m.
+        for (j, &c) in self.chirp.iter().enumerate() {
+            let (cr, ci) = (c.re, c.im);
+            let sr = &re[j * lanes..(j + 1) * lanes];
+            let si = &im[j * lanes..(j + 1) * lanes];
+            let dr = &mut wre[j * lanes..(j + 1) * lanes];
+            let di = &mut wim[j * lanes..(j + 1) * lanes];
+            for l in 0..lanes {
+                dr[l] = sr[l] * cr - si[l] * ci;
+                di[l] = sr[l] * ci + si[l] * cr;
+            }
+        }
+        for v in wre[self.n * lanes..].iter_mut() {
+            *v = T::ZERO;
+        }
+        for v in wim[self.n * lanes..].iter_mut() {
+            *v = T::ZERO;
+        }
+        self.inner
+            .process_planes(wre, wim, lanes, Direction::Forward);
+        for (j, &bv) in self.chirp_spectrum.iter().enumerate() {
+            let (br, bi) = (bv.re, bv.im);
+            let ar = &mut wre[j * lanes..(j + 1) * lanes];
+            let ai = &mut wim[j * lanes..(j + 1) * lanes];
+            for l in 0..lanes {
+                // *av *= bv, mirroring Complex::mul exactly.
+                let xr = ar[l] * br - ai[l] * bi;
+                let xi = ar[l] * bi + ai[l] * br;
+                ar[l] = xr;
+                ai[l] = xi;
+            }
+        }
+        self.inner
+            .process_planes(wre, wim, lanes, Direction::Inverse);
+        let scale = T::ONE / T::from_usize(self.m);
+        for (k, &c) in self.chirp.iter().enumerate() {
+            let (cr, ci) = (c.re, c.im);
+            let rr = &wre[k * lanes..(k + 1) * lanes];
+            let ri = &wim[k * lanes..(k + 1) * lanes];
+            let or = &mut re[k * lanes..(k + 1) * lanes];
+            let oi = &mut im[k * lanes..(k + 1) * lanes];
+            for l in 0..lanes {
+                // row.scale(scale) * c, mirroring scale then mul.
+                let sr = rr[l] * scale;
+                let si = ri[l] * scale;
+                or[l] = sr * cr - si * ci;
+                oi[l] = sr * ci + si * cr;
+            }
+        }
+        if dir == Direction::Inverse {
+            for v in im.iter_mut() {
+                *v = -*v;
+            }
+        }
+    }
+
+    fn forward(&self, data: &mut [Complex<T>], a: &mut [Complex<T>]) {
         for (j, (&x, &c)) in data.iter().zip(&self.chirp).enumerate() {
             a[j] = x * c;
         }
-        self.inner.process(&mut a, Direction::Forward);
+        // The convolution input must be zero-padded beyond n; the scratch
+        // may hold a previous row's tail, so clear it explicitly.
+        for z in a[self.n..].iter_mut() {
+            *z = Complex::zeroed();
+        }
+        self.inner.process(a, Direction::Forward);
         for (av, &bv) in a.iter_mut().zip(&self.chirp_spectrum) {
             *av *= bv;
         }
-        self.inner.process(&mut a, Direction::Inverse);
+        self.inner.process(a, Direction::Inverse);
         let scale = T::ONE / T::from_usize(self.m);
         for (k, out) in data.iter_mut().enumerate() {
             *out = a[k].scale(scale) * self.chirp[k];

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bluestein;
+pub mod exec;
 pub mod nd;
 pub mod radix;
 pub mod radix4;
@@ -30,6 +31,7 @@ pub mod shift;
 
 use jigsaw_num::{Complex, Float};
 
+pub use exec::{Executor, SerialExecutor};
 pub use nd::FftNd;
 pub use shift::{fftshift, ifftshift};
 
@@ -105,9 +107,12 @@ impl<T: Float> Fft1d<T> {
         self.n
     }
 
-    /// Always false (length is ≥ 1 by construction).
+    /// Whether the planned length is zero. Consistent with [`Self::len`];
+    /// always `false` in practice because [`Self::new`] rejects `n == 0`,
+    /// but derived from `len` rather than hardcoded so the two can never
+    /// drift apart.
     pub fn is_empty(&self) -> bool {
-        false
+        self.n == 0
     }
 
     /// Transform `data` in place.
@@ -120,13 +125,156 @@ impl<T: Float> Fft1d<T> {
             Algo::Trivial => {}
             Algo::Radix2(r) => r.process(data, dir),
             Algo::Radix4(r) => r.process(data, dir),
-            Algo::Bluestein(b) => b.process(data, dir),
+            Algo::Bluestein(b) => {
+                let mut work = vec![Complex::<T>::zeroed(); b.work_len()];
+                b.process_with_scratch(data, dir, &mut work);
+            }
         }
         if dir == Direction::Inverse {
-            let scale = T::ONE / T::from_usize(self.n);
-            for z in data.iter_mut() {
-                *z = z.scale(scale);
+            self.scale_inverse(data);
+        }
+    }
+
+    /// Transform many contiguous length-`n` rows in place through this one
+    /// plan (one twiddle table, one Bluestein chirp spectrum).
+    ///
+    /// `data` is treated as `data.len() / n` back-to-back rows; each row
+    /// receives exactly the same floating-point operations as a separate
+    /// [`Self::process`] call, so results are bitwise identical to the
+    /// row-at-a-time loop. For Bluestein lengths the convolution scratch is
+    /// allocated once and reused across rows instead of once per row.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of the planned length.
+    pub fn process_many(&self, data: &mut [Complex<T>], dir: Direction) {
+        assert_eq!(
+            data.len() % self.n,
+            0,
+            "batch length must be a multiple of the planned length"
+        );
+        match &self.algo {
+            Algo::Trivial => {}
+            Algo::Radix2(r) => {
+                for row in data.chunks_exact_mut(self.n) {
+                    r.process(row, dir);
+                }
             }
+            Algo::Radix4(r) => {
+                for row in data.chunks_exact_mut(self.n) {
+                    r.process(row, dir);
+                }
+            }
+            Algo::Bluestein(b) => {
+                let mut work = vec![Complex::<T>::zeroed(); b.work_len()];
+                for row in data.chunks_exact_mut(self.n) {
+                    b.process_with_scratch(row, dir, &mut work);
+                }
+            }
+        }
+        if dir == Direction::Inverse {
+            self.scale_inverse(data);
+        }
+    }
+
+    /// Scratch length (in scalars) required by [`Self::process_planes`]
+    /// for a `lanes`-wide batch: `2 · lanes · m` for Bluestein lengths
+    /// (`m = next_pow2(2n−1)`; the factor 2 holds the convolution's real
+    /// and imaginary planes), zero for power-of-two and trivial lengths.
+    pub fn batch_scratch_len(&self, lanes: usize) -> usize {
+        match &self.algo {
+            Algo::Bluestein(b) => 2 * b.work_len() * lanes,
+            _ => 0,
+        }
+    }
+
+    /// Transform `lanes` signals stored as split real/imaginary planes:
+    /// element `k` of lane `l` lives at `re[k * lanes + l]` /
+    /// `im[k * lanes + l]`. `work` is Bluestein convolution scratch of
+    /// exactly [`Self::batch_scratch_len`] scalars (empty for power-of-two
+    /// lengths); batched callers reuse one buffer across panels.
+    ///
+    /// Lane `l` receives exactly the floating-point operations of a
+    /// [`Self::process`] call on that lane alone (every kernel step is
+    /// elementwise across lanes and mirrors `Complex`'s operators
+    /// term-for-term), so per-lane results are **bitwise identical** to the
+    /// scalar path — the invariant the N-D panel passes rely on. The split
+    /// SoA form is the fast path: twiddle loads amortize across lanes and
+    /// the inner loops are independent mul/adds over contiguous memory,
+    /// which the compiler turns into shuffle-free vector code.
+    ///
+    /// # Panics
+    /// Panics if `lanes == 0`, either plane is not `lanes * self.len()`
+    /// scalars, or `work.len() != self.batch_scratch_len(lanes)`.
+    pub fn process_planes(
+        &self,
+        re: &mut [T],
+        im: &mut [T],
+        lanes: usize,
+        dir: Direction,
+        work: &mut [T],
+    ) {
+        assert!(lanes > 0, "need at least one lane");
+        assert_eq!(
+            re.len(),
+            self.n * lanes,
+            "planes must be lanes * planned length"
+        );
+        assert_eq!(
+            im.len(),
+            self.n * lanes,
+            "planes must be lanes * planned length"
+        );
+        match &self.algo {
+            Algo::Trivial => {}
+            Algo::Radix2(r) => r.process_planes(re, im, lanes, dir),
+            Algo::Radix4(r) => r.process_planes(re, im, lanes, dir),
+            Algo::Bluestein(b) => b.process_planes_with_scratch(re, im, lanes, dir, work),
+        }
+        if dir == Direction::Inverse {
+            // Mirrors `Complex::scale` componentwise: (re·s, im·s).
+            let scale = T::ONE / T::from_usize(self.n);
+            for v in re.iter_mut() {
+                *v *= scale;
+            }
+            for v in im.iter_mut() {
+                *v *= scale;
+            }
+        }
+    }
+
+    /// Transform `lanes` *interleaved* signals in place: element `k` of
+    /// lane `l` lives at `data[k * lanes + l]`.
+    ///
+    /// Convenience wrapper around [`Self::process_planes`]: splits the
+    /// interleaved buffer into freshly allocated real/imaginary planes,
+    /// transforms, and merges back. Per-lane results are bitwise identical
+    /// to [`Self::process`] on each lane. Hot callers (the N-D panel
+    /// passes) keep persistent plane buffers and call
+    /// [`Self::process_planes`] directly instead.
+    ///
+    /// # Panics
+    /// Panics if `lanes == 0` or `data.len() != lanes * self.len()`.
+    pub fn process_interleaved(&self, data: &mut [Complex<T>], lanes: usize, dir: Direction) {
+        assert!(lanes > 0, "need at least one lane");
+        assert_eq!(
+            data.len(),
+            self.n * lanes,
+            "buffer must be lanes * planned length"
+        );
+        let mut re: Vec<T> = data.iter().map(|z| z.re).collect();
+        let mut im: Vec<T> = data.iter().map(|z| z.im).collect();
+        let mut work = vec![T::ZERO; self.batch_scratch_len(lanes)];
+        self.process_planes(&mut re, &mut im, lanes, dir, &mut work);
+        for ((z, &r), &i) in data.iter_mut().zip(&re).zip(&im) {
+            *z = Complex::new(r, i);
+        }
+    }
+
+    /// Apply the inverse transform's `1/n` normalization.
+    fn scale_inverse(&self, data: &mut [Complex<T>]) {
+        let scale = T::ONE / T::from_usize(self.n);
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
         }
     }
 }
@@ -311,6 +459,50 @@ mod tests {
             .map(|(a, b)| (*a - *b).abs())
             .fold(0.0f32, f32::max);
         assert!(err < 1e-4, "f32 roundtrip err {err}");
+    }
+
+    #[test]
+    fn interleaved_is_bitwise_per_lane_scalar() {
+        // Covers every kernel class: trivial (1), radix-2 (8, 64),
+        // radix-4 (16, 256), Bluestein (31, 45).
+        for n in [1usize, 8, 16, 31, 45, 64, 256] {
+            let plan = Fft1d::<f64>::new(n);
+            let lanes = 5;
+            let lane_signals: Vec<Vec<C64>> = (0..lanes)
+                .map(|l| rand_signal(n, (n * 31 + l) as u64 + 1))
+                .collect();
+            let mut inter = vec![C64::zeroed(); n * lanes];
+            for (k, row) in inter.chunks_exact_mut(lanes).enumerate() {
+                for (l, slot) in row.iter_mut().enumerate() {
+                    *slot = lane_signals[l][k];
+                }
+            }
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let mut got = inter.clone();
+                plan.process_interleaved(&mut got, lanes, dir);
+                for (l, lane) in lane_signals.iter().enumerate() {
+                    let mut want = lane.clone();
+                    plan.process(&mut want, dir);
+                    for k in 0..n {
+                        let g = got[k * lanes + l];
+                        assert_eq!(
+                            g.re.to_bits(),
+                            want[k].re.to_bits(),
+                            "n={n} lane={l} k={k} {dir:?}: re"
+                        );
+                        assert_eq!(g.im.to_bits(), want[k].im.to_bits(), "n={n} lane={l} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_len_is_zero_for_pow2() {
+        assert_eq!(Fft1d::<f64>::new(64).batch_scratch_len(8), 0);
+        assert_eq!(Fft1d::<f64>::new(1).batch_scratch_len(8), 0);
+        // Bluestein 31 pads to m = next_pow2(61) = 64; two scalar planes.
+        assert_eq!(Fft1d::<f64>::new(31).batch_scratch_len(8), 2 * 64 * 8);
     }
 
     #[test]

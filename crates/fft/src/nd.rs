@@ -4,18 +4,155 @@
 //! axis. Data is stored flat in row-major order (`dims = [d0, d1, ...]`,
 //! with the *last* dimension contiguous), matching the grid layout used by
 //! the gridding engines in `jigsaw-core`.
+//!
+//! # Cache-blocked interleaved panel passes
+//!
+//! A strided axis pass used to walk every line one element at a time —
+//! `d` cache misses per line at large strides. Every axis pass now
+//! processes *panels* of [`PANEL_LINES`] adjacent lines instead, gathered
+//! into **k-major split-plane (SoA)** scratch: element `k` of panel lane
+//! `l` lives at `re[k·lanes + l]` / `im[k·lanes + l]`. For a strided axis
+//! that gather reads `lanes` adjacent grid elements per `k` (one streamed
+//! AoS→SoA split); for the contiguous axis it is a cache-blocked tile
+//! transpose. The panel then runs through
+//! [`crate::Fft1d::process_planes`] — the batched kernel whose twiddle
+//! loads amortize across lanes and whose inner lane loops compile to
+//! shuffle-free vector code — and scatters back the same way. Per-lane
+//! floating-point operations are exactly the scalar 1-D path's, so the
+//! blocked pass is bitwise identical to line-at-a-time processing.
+//!
+//! # Parallel execution
+//!
+//! [`FftNd::process_with`] runs the panel jobs of each axis pass on an
+//! [`Executor`] — `jigsaw-core` implements that trait for its persistent
+//! `WorkerPool`, so one FFT parallelizes across panels. Output is bitwise
+//! identical to [`FftNd::process`] for every executor and worker count:
+//! each line receives exactly the same floating-point operations
+//! regardless of panel grouping or scheduling (lines are independent, the
+//! panel partition depends only on the shape, and there are no atomics and
+//! no merge-order dependence).
 
+use crate::exec::{self, Executor};
 use crate::{Direction, Fft1d};
 use jigsaw_num::{Complex, Float};
+use jigsaw_telemetry as telemetry;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+/// Lines per cache-blocked panel. 32 lines × 16-byte elements = 512-byte
+/// blocked reads/writes per grid row — wide enough to amortize the strided
+/// access, small enough that a `32×d` panel stays cache-resident for every
+/// supported grid size. Fixed (never derived from executor concurrency) so
+/// the panel partition is deterministic.
+pub const PANEL_LINES: usize = 32;
+
+/// `k`-tile depth of the transpose gather/scatter on the contiguous axis:
+/// one tile is `K_TILE × PANEL_LINES` scalars per plane (4 KiB each at
+/// `f64`), small enough that the plane tile and the `lanes` line segments
+/// feeding it all stay L1-resident while the tile fills.
+const K_TILE: usize = 16;
 
 /// A planned multi-dimensional FFT.
 ///
 /// One [`Fft1d`] plan is created per distinct axis length, so a square 2-D
-/// plan stores a single 1-D plan.
+/// plan stores a single 1-D plan. Plans are `Arc`-shared so panel jobs can
+/// carry them onto executor workers.
 pub struct FftNd<T> {
     dims: Vec<usize>,
-    plans: Vec<Fft1d<T>>, // parallel to dims
+    plans: Vec<Arc<Fft1d<T>>>, // parallel to dims
     len: usize,
+}
+
+/// Geometry of one panel job: `lines` lines whose element `(l, k)` lives
+/// at `start + l·line_step + k·elem_step` in the flat array.
+#[derive(Clone, Copy)]
+struct Panel {
+    start: usize,
+    lines: usize,
+    line_step: usize,
+    elem_step: usize,
+}
+
+/// Gather a panel from the AoS grid into k-major split-plane scratch
+/// (`re[k*lanes + l] / im[k*lanes + l] =
+/// src[start + l*line_step + k*elem_step].{re, im}`) — the layout
+/// [`crate::Fft1d::process_planes`] consumes.
+///
+/// For a strided axis (`line_step == 1`: the lines are adjacent elements)
+/// every `k`-row reads `lanes` contiguous grid elements and splits them
+/// into the two planes; for the contiguous axis (`elem_step == 1`) this is
+/// a tile transpose walked line-by-line inside `k`-tiles of [`K_TILE`], so
+/// grid reads stay sequential and the plane tile stays L1-resident
+/// (walking `k`-major outright would read the `lanes` lines at a multi-KiB
+/// power-of-two stride — every access aliasing onto one L1 set).
+fn gather_panel<T: Float>(src: &[Complex<T>], p: &Panel, d: usize, re: &mut [T], im: &mut [T]) {
+    let lanes = p.lines;
+    if p.line_step == 1 {
+        for k in 0..d {
+            let s = p.start + k * p.elem_step;
+            let row = &src[s..s + lanes];
+            let dr = &mut re[k * lanes..(k + 1) * lanes];
+            let di = &mut im[k * lanes..(k + 1) * lanes];
+            for l in 0..lanes {
+                dr[l] = row[l].re;
+                di[l] = row[l].im;
+            }
+        }
+        return;
+    }
+    let mut kb = 0;
+    while kb < d {
+        let ke = (kb + K_TILE).min(d);
+        for l in 0..lanes {
+            let base = p.start + l * p.line_step;
+            for k in kb..ke {
+                let z = src[base + k * p.elem_step];
+                re[k * lanes + l] = z.re;
+                im[k * lanes + l] = z.im;
+            }
+        }
+        kb = ke;
+    }
+}
+
+/// Scatter k-major split-plane panel scratch back into the AoS grid
+/// (inverse of [`gather_panel`], same tiling rationale).
+fn scatter_panel<T: Float>(re: &[T], im: &[T], p: &Panel, d: usize, dst: &mut [Complex<T>]) {
+    let lanes = p.lines;
+    if p.line_step == 1 {
+        for k in 0..d {
+            let s = p.start + k * p.elem_step;
+            let row = &mut dst[s..s + lanes];
+            let sr = &re[k * lanes..(k + 1) * lanes];
+            let si = &im[k * lanes..(k + 1) * lanes];
+            for l in 0..lanes {
+                row[l] = Complex::new(sr[l], si[l]);
+            }
+        }
+        return;
+    }
+    let mut kb = 0;
+    while kb < d {
+        let ke = (kb + K_TILE).min(d);
+        for l in 0..lanes {
+            let base = p.start + l * p.line_step;
+            for k in kb..ke {
+                dst[base + k * p.elem_step] = Complex::new(re[k * lanes + l], im[k * lanes + l]);
+            }
+        }
+        kb = ke;
+    }
+}
+
+/// The per-axis telemetry span (axis index must be a static name).
+fn axis_span(axis: usize, d: usize, panels: usize) -> telemetry::span::SpanGuard {
+    let name = match axis {
+        0 => "fft.axis0",
+        1 => "fft.axis1",
+        2 => "fft.axis2",
+        _ => "fft.axis3",
+    };
+    telemetry::span!(name, { d: d, panels: panels })
 }
 
 impl<T: Float> FftNd<T> {
@@ -26,7 +163,7 @@ impl<T: Float> FftNd<T> {
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "need at least one dimension");
         assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension");
-        let plans = dims.iter().map(|&d| Fft1d::new(d)).collect();
+        let plans = dims.iter().map(|&d| Arc::new(Fft1d::new(d))).collect();
         let len = dims.iter().product();
         Self {
             dims: dims.to_vec(),
@@ -45,47 +182,168 @@ impl<T: Float> FftNd<T> {
         self.len
     }
 
-    /// Always false.
+    /// Whether the planned array has zero elements. Consistent with
+    /// [`Self::len`]; always `false` in practice because [`Self::new`]
+    /// rejects empty and zero-sized shapes, but derived from `len` rather
+    /// than hardcoded so the invariant and the accessor cannot drift.
     pub fn is_empty(&self) -> bool {
-        false
+        self.len == 0
     }
 
-    /// Transform `data` (row-major, shape [`Self::dims`]) in place.
+    /// The panel partition of one axis pass: every line along `axis`
+    /// grouped into blocks of at most [`PANEL_LINES`] adjacent lines.
+    /// Depends only on the shape — never on the executor — so parallel
+    /// and serial execution share one deterministic decomposition.
+    fn panels_for_axis(&self, axis: usize) -> Vec<Panel> {
+        let d = self.dims[axis];
+        let stride: usize = self.dims[axis + 1..].iter().product();
+        let outer: usize = self.dims[..axis].iter().product();
+        let mut panels = Vec::new();
+        if stride == 1 {
+            // Contiguous lines tile the array: block adjacent rows.
+            let nlines = outer;
+            let mut l0 = 0;
+            while l0 < nlines {
+                let b = PANEL_LINES.min(nlines - l0);
+                panels.push(Panel {
+                    start: l0 * d,
+                    lines: b,
+                    line_step: d,
+                    elem_step: 1,
+                });
+                l0 += b;
+            }
+        } else {
+            for o in 0..outer {
+                let base = o * d * stride;
+                let mut i0 = 0;
+                while i0 < stride {
+                    let b = PANEL_LINES.min(stride - i0);
+                    panels.push(Panel {
+                        start: base + i0,
+                        lines: b,
+                        line_step: 1,
+                        elem_step: stride,
+                    });
+                    i0 += b;
+                }
+            }
+        }
+        panels
+    }
+
+    /// Transform `data` (row-major, shape [`Self::dims`]) in place,
+    /// serially on the calling thread with cache-blocked panel passes.
     ///
     /// # Panics
     /// Panics if `data.len()` does not match the planned shape.
     pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
         assert_eq!(data.len(), self.len, "buffer must match planned shape");
-        let nd = self.dims.len();
-        // Stride of axis a in row-major layout: product of dims after a.
-        for axis in 0..nd {
+        let mut re_s: Vec<T> = Vec::new();
+        let mut im_s: Vec<T> = Vec::new();
+        let mut work: Vec<T> = Vec::new();
+        for axis in 0..self.dims.len() {
             let d = self.dims[axis];
             if d == 1 {
                 continue;
             }
-            let stride: usize = self.dims[axis + 1..].iter().product();
             let plan = &self.plans[axis];
-            let mut scratch = vec![Complex::<T>::zeroed(); d];
-            // Iterate over all 1-D lines along `axis`: the set of base
-            // offsets is every index whose coordinate on `axis` is zero.
-            let outer: usize = self.dims[..axis].iter().product();
-            for o in 0..outer {
-                for i in 0..stride {
-                    let base = o * d * stride + i;
-                    if stride == 1 {
-                        // Contiguous line: transform in place.
-                        plan.process(&mut data[base..base + d], dir);
-                    } else {
-                        for (k, s) in scratch.iter_mut().enumerate() {
-                            *s = data[base + k * stride];
-                        }
-                        plan.process(&mut scratch, dir);
-                        for (k, s) in scratch.iter().enumerate() {
-                            data[base + k * stride] = *s;
-                        }
-                    }
-                }
+            let panels = self.panels_for_axis(axis);
+            let _span = axis_span(axis, d, panels.len());
+            let max_lines = panels.iter().map(|p| p.lines).max().unwrap_or(0);
+            re_s.resize(max_lines * d, T::ZERO);
+            im_s.resize(max_lines * d, T::ZERO);
+            for p in &panels {
+                let re = &mut re_s[..p.lines * d];
+                let im = &mut im_s[..p.lines * d];
+                gather_panel(data, p, d, re, im);
+                work.resize(plan.batch_scratch_len(p.lines), T::ZERO);
+                plan.process_planes(re, im, p.lines, dir, &mut work);
+                scatter_panel(re, im, p, d, data);
             }
+        }
+    }
+
+    /// Transform `data` in place, running each axis pass's panel jobs on
+    /// `exec`. Output is **bitwise identical** to [`Self::process`] for
+    /// every executor and worker count (see the module docs for why).
+    ///
+    /// Each pass snapshots the array once (contiguous memcpy), ships
+    /// `Arc`-shared panel jobs to the executor — every job gathers its
+    /// panel from the snapshot into executor-recycled scratch
+    /// ([`exec::PANEL_KEY`]) and runs the batched 1-D FFTs — then the
+    /// caller scatters returned panels back with blocked writes.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the planned shape, or if a
+    /// panel job panicked on the executor.
+    pub fn process_with(&self, exec: &dyn Executor, data: &mut [Complex<T>], dir: Direction) {
+        assert_eq!(data.len(), self.len, "buffer must match planned shape");
+        if exec.concurrency() <= 1 {
+            // Same results; skip the snapshot/boxing overhead entirely.
+            return self.process(data, dir);
+        }
+        let mut snapshot: Vec<Complex<T>> = Vec::with_capacity(self.len);
+        for axis in 0..self.dims.len() {
+            let d = self.dims[axis];
+            if d == 1 {
+                continue;
+            }
+            let panels = self.panels_for_axis(axis);
+            let _span = axis_span(axis, d, panels.len());
+            // One contiguous copy; jobs gather from the shared snapshot in
+            // parallel while the caller owns `data` for the scatter phase.
+            snapshot.clear();
+            snapshot.extend_from_slice(data);
+            let src: Arc<Vec<Complex<T>>> = Arc::new(std::mem::take(&mut snapshot));
+            let plan = Arc::clone(&self.plans[axis]);
+            let (tx, rx) = channel::<(usize, Vec<T>)>();
+            let jobs: Vec<exec::Job> = panels
+                .iter()
+                .enumerate()
+                .map(|(j, &p)| {
+                    let src = Arc::clone(&src);
+                    let plan = Arc::clone(&plan);
+                    let tx = tx.clone();
+                    let job: exec::Job = Box::new(move |arena| {
+                        let _pspan = telemetry::span!("fft.panel", {
+                            axis: axis,
+                            lines: p.lines
+                        });
+                        // One recycled buffer holds both planes: re in the
+                        // first half, im in the second.
+                        let mut panel =
+                            exec::take_vec::<T>(arena, exec::PANEL_KEY, 2 * p.lines * d, T::ZERO);
+                        let (re, im) = panel.split_at_mut(p.lines * d);
+                        gather_panel(&src, &p, d, re, im);
+                        let wl = plan.batch_scratch_len(p.lines);
+                        if wl == 0 {
+                            plan.process_planes(re, im, p.lines, dir, &mut []);
+                        } else {
+                            // Bluestein convolution scratch cycles through
+                            // the worker's arena, never leaving the job.
+                            let mut work = exec::take_vec::<T>(arena, exec::WORK_KEY, wl, T::ZERO);
+                            plan.process_planes(re, im, p.lines, dir, &mut work);
+                            exec::give_vec(arena, exec::WORK_KEY, work);
+                        }
+                        let _ = tx.send((j, panel));
+                    });
+                    job
+                })
+                .collect();
+            drop(tx);
+            exec.execute(jobs);
+            let mut received = 0usize;
+            while let Ok((j, panel)) = rx.recv() {
+                let p = &panels[j];
+                let (re, im) = panel.split_at(p.lines * d);
+                scatter_panel(re, im, p, d, data);
+                exec::restore_vec(exec, j, exec::PANEL_KEY, panel);
+                received += 1;
+            }
+            assert_eq!(received, panels.len(), "a panel job failed to report");
+            // Reclaim the snapshot allocation for the next axis pass.
+            snapshot = Arc::try_unwrap(src).unwrap_or_default();
         }
     }
 }
@@ -93,6 +351,7 @@ impl<T: Float> FftNd<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::SerialExecutor;
     use jigsaw_num::C64;
 
     /// Direct 2-D DFT oracle.
@@ -213,5 +472,70 @@ mod tests {
         let plan = FftNd::<f64>::new(&[4, 4]);
         let mut data = vec![C64::zeroed(); 8];
         plan.process(&mut data, Direction::Forward);
+    }
+
+    #[test]
+    fn is_empty_tracks_len() {
+        let plan = FftNd::<f64>::new(&[4, 4]);
+        assert_eq!(plan.len(), 16);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn panels_cover_every_line_once() {
+        // Every (line) element index must be visited exactly once per axis.
+        let plan = FftNd::<f64>::new(&[6, 48, 5]);
+        for axis in 0..3 {
+            let d = plan.dims[axis];
+            let panels = plan.panels_for_axis(axis);
+            let mut seen = vec![0u32; plan.len()];
+            for p in &panels {
+                for l in 0..p.lines {
+                    for k in 0..d {
+                        seen[p.start + l * p.line_step + k * p.elem_step] += 1;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "axis {axis} coverage");
+        }
+    }
+
+    #[test]
+    fn serial_executor_path_is_bitwise_process() {
+        // process_with(&SerialExecutor) must agree bit-for-bit with process
+        // on a shape exercising panels on both contiguous and strided axes,
+        // including a Bluestein axis length.
+        for dims in [vec![48usize, 40], vec![33, 8, 5]] {
+            let n: usize = dims.iter().product();
+            let x = signal(n);
+            let plan = FftNd::new(&dims);
+            let mut a = x.clone();
+            let mut b = x;
+            plan.process(&mut a, Direction::Forward);
+            plan.process_with(&SerialExecutor::new(), &mut b, Direction::Forward);
+            for (p, q) in a.iter().zip(&b) {
+                assert_eq!(p.re.to_bits(), q.re.to_bits());
+                assert_eq!(p.im.to_bits(), q.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_strided_pass_matches_column_dft() {
+        // Golden strided-axis check at a width that forces multiple panels
+        // (stride 48 > PANEL_LINES): transform axis 0 of a [8, 48] array
+        // and compare every column against the 1-D oracle.
+        let (r, c) = (8usize, 48usize);
+        let x = signal(r * c);
+        let plan = FftNd::new(&[r, 1, c]); // unit dim: axis1 skipped
+        let mut got = x.clone();
+        // Only transform along axis 0 by comparing against per-column DFTs
+        // after undoing the axis-2 pass is fiddly; instead check the full
+        // 2-D result against the separable oracle.
+        plan.process(&mut got, Direction::Forward);
+        let want = dft2(&x, r, c, Direction::Forward);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-9);
+        }
     }
 }

@@ -1,0 +1,228 @@
+//! Parallel N-D FFT correctness: `FftNd::process_with` on a
+//! [`WorkerPool`] must be **bitwise identical** to the serial
+//! `FftNd::process` for every worker count, every axis-length class
+//! (radix-2, radix-4, Bluestein), and every dimensionality — the hard
+//! invariant that makes the pooled FFT a drop-in replacement inside the
+//! NuFFT. Also pins the blocked strided passes against the O(n²) DFT
+//! oracle, so the cache-blocked transpose path is checked for
+//! *correctness*, not just self-consistency.
+
+use jigsaw::core::engine::WorkerPool;
+use jigsaw::fft::{dft, exec, Direction, Executor, FftNd, SerialExecutor};
+use jigsaw::num::{Complex, C64};
+use jigsaw_testkit::{cases, Rng};
+
+fn random_signal(rng: &mut Rng, len: usize) -> Vec<C64> {
+    (0..len)
+        .map(|_| C64::new(rng.f64_range(-1.0, 1.0), rng.f64_range(-1.0, 1.0)))
+        .collect()
+}
+
+/// Wrapper that reports a fixed concurrency while delegating execution to
+/// an inner executor. `WorkerPool` caps its reported concurrency at the
+/// machine's physical parallelism, which on a 1-CPU runner makes
+/// `FftNd::process_with` take its serial fallback — correct, but then the
+/// *parallel dispatch* code (snapshot, panel jobs, channel merge, arena
+/// restore) would go untested. Forcing the reported concurrency ≥ 2 keeps
+/// the dispatch path exercised everywhere; the bitwise invariant must hold
+/// for it on any machine.
+struct ForcedConcurrency<'a> {
+    inner: &'a dyn Executor,
+    concurrency: usize,
+}
+
+impl Executor for ForcedConcurrency<'_> {
+    fn execute(&self, jobs: Vec<exec::Job>) {
+        self.inner.execute(jobs)
+    }
+
+    fn concurrency(&self) -> usize {
+        self.concurrency
+    }
+
+    fn restore(
+        &self,
+        job: usize,
+        key: u64,
+        ty: std::any::TypeId,
+        buf: Box<dyn std::any::Any + Send>,
+        bytes: usize,
+    ) {
+        self.inner.restore(job, key, ty, buf, bytes)
+    }
+}
+
+fn forced(inner: &dyn Executor, concurrency: usize) -> ForcedConcurrency<'_> {
+    ForcedConcurrency { inner, concurrency }
+}
+
+fn assert_bitwise(a: &[C64], b: &[C64], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "{ctx}: re at {i}");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "{ctx}: im at {i}");
+    }
+}
+
+/// Pooled output equals serial output bit-for-bit across worker counts
+/// 1/2/8 for 2-D shapes mixing radix-2 (64), radix-4 (16, 256) and
+/// Bluestein (31, 45) axis lengths, in both directions.
+#[test]
+fn pooled_nd_fft_is_bitwise_serial_across_worker_counts() {
+    let pools: Vec<WorkerPool> = [1, 2, 8].into_iter().map(WorkerPool::new).collect();
+    let shapes: &[&[usize]] = &[
+        &[64, 64],  // radix-2 columns, radix-2 rows
+        &[16, 31],  // radix-4 columns, Bluestein rows
+        &[31, 16],  // Bluestein columns, radix-4 rows
+        &[45, 64],  // Bluestein columns (45 = 9·5), radix-2 rows
+        &[256, 16], // radix-4 both, enough lines for many panels
+    ];
+    cases!(4, |rng| {
+        for &shape in shapes {
+            let plan = FftNd::<f64>::new(shape);
+            let input = random_signal(rng, plan.len());
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let mut want = input.clone();
+                plan.process(&mut want, dir);
+                for pool in &pools {
+                    // As the pool reports itself (may take the serial
+                    // fallback on small machines — must still match)…
+                    let mut got = input.clone();
+                    plan.process_with(pool, &mut got, dir);
+                    assert_bitwise(
+                        &got,
+                        &want,
+                        &format!("shape {shape:?}, {dir:?}, {} workers", pool.size()),
+                    );
+                    // …and with parallel dispatch forced on, so the panel
+                    // job path is exercised regardless of machine size.
+                    let fexec = forced(pool, pool.size().max(2));
+                    let mut got = input.clone();
+                    plan.process_with(&fexec, &mut got, dir);
+                    assert_bitwise(
+                        &got,
+                        &want,
+                        &format!("shape {shape:?}, {dir:?}, {} workers forced", pool.size()),
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// 3-D shapes: middle axes have both inner stride > 1 and multiple outer
+/// blocks, exercising the full panel gather/scatter geometry.
+#[test]
+fn pooled_3d_fft_is_bitwise_serial() {
+    let pool = WorkerPool::new(8);
+    let fexec = forced(&pool, 8);
+    cases!(3, |rng| {
+        for shape in [&[8usize, 12, 10][..], &[5, 33, 8][..], &[16, 16, 16][..]] {
+            let plan = FftNd::<f64>::new(shape);
+            let input = random_signal(rng, plan.len());
+            let mut want = input.clone();
+            plan.process(&mut want, Direction::Forward);
+            let mut got = input.clone();
+            plan.process_with(&fexec, &mut got, Direction::Forward);
+            assert_bitwise(&got, &want, &format!("3-D shape {shape:?}"));
+        }
+    });
+}
+
+/// The `SerialExecutor` path (the dependency-free default) is also
+/// bitwise identical — the `Executor` abstraction itself changes nothing.
+/// Checked both as-is (concurrency 1: the serial fallback) and with
+/// dispatch forced, so the boxed-job path runs even without a pool.
+#[test]
+fn serial_executor_is_bitwise_process() {
+    let exec = SerialExecutor::new();
+    cases!(4, |rng| {
+        let plan = FftNd::<f64>::new(&[48, 31]);
+        let input = random_signal(rng, plan.len());
+        let mut want = input.clone();
+        plan.process(&mut want, Direction::Forward);
+        let mut got = input.clone();
+        plan.process_with(&exec, &mut got, Direction::Forward);
+        assert_bitwise(&got, &want, "serial executor");
+        let fexec = forced(&exec, 3);
+        let mut got = input.clone();
+        plan.process_with(&fexec, &mut got, Direction::Forward);
+        assert_bitwise(&got, &want, "serial executor forced dispatch");
+    });
+}
+
+/// Golden test: the blocked *strided* (column) pass agrees with the
+/// O(n²) DFT oracle applied along axis 0, independently of the serial
+/// row-column implementation it is compared against elsewhere.
+#[test]
+fn blocked_column_pass_matches_dft_oracle() {
+    let pool = WorkerPool::new(4);
+    let fexec = forced(&pool, 4);
+    let (rows, cols) = (20usize, 24); // rows: Bluestein-free, cols span panels
+    let mut rng = Rng::new(0xC01_0ACE);
+    let input = random_signal(&mut rng, rows * cols);
+
+    // Full 2-D pooled transform…
+    let plan = FftNd::<f64>::new(&[rows, cols]);
+    let mut got = input.clone();
+    plan.process_with(&fexec, &mut got, Direction::Forward);
+
+    // …must equal DFT along axis 0 of (DFT along axis 1 of input).
+    let mut rows_done = input.clone();
+    for r in rows_done.chunks_exact_mut(cols) {
+        let out = dft(r, Direction::Forward);
+        r.copy_from_slice(&out);
+    }
+    for c in 0..cols {
+        let col: Vec<C64> = (0..rows).map(|r| rows_done[r * cols + c]).collect();
+        let want = dft(&col, Direction::Forward);
+        for r in 0..rows {
+            let err = (got[r * cols + c] - want[r]).abs();
+            assert!(err < 1e-9, "col {c} row {r}: err {err}");
+        }
+    }
+}
+
+/// Round-trip through the pooled path preserves the signal (inverse
+/// scaling included), for a Bluestein-sized grid.
+#[test]
+fn pooled_roundtrip_restores_input() {
+    let pool = WorkerPool::new(8);
+    let fexec = forced(&pool, 8);
+    cases!(3, |rng| {
+        let plan = FftNd::<f64>::new(&[31, 45]);
+        let input = random_signal(rng, plan.len());
+        let mut data = input.clone();
+        plan.process_with(&fexec, &mut data, Direction::Forward);
+        plan.process_with(&fexec, &mut data, Direction::Inverse);
+        for (i, (a, b)) in data.iter().zip(&input).enumerate() {
+            assert!((*a - *b).abs() < 1e-10, "index {i}");
+        }
+    });
+}
+
+/// f32 pooled output is bitwise serial too (determinism is structural,
+/// not a property of f64 rounding).
+#[test]
+fn pooled_f32_is_bitwise_serial() {
+    let pool = WorkerPool::new(8);
+    let fexec = forced(&pool, 8);
+    let plan = FftNd::<f32>::new(&[33, 40]);
+    let mut rng = Rng::new(0xF32_F32);
+    let input: Vec<Complex<f32>> = (0..plan.len())
+        .map(|_| {
+            Complex::new(
+                rng.f64_range(-1.0, 1.0) as f32,
+                rng.f64_range(-1.0, 1.0) as f32,
+            )
+        })
+        .collect();
+    let mut want = input.clone();
+    plan.process(&mut want, Direction::Forward);
+    let mut got = input.clone();
+    plan.process_with(&fexec, &mut got, Direction::Forward);
+    for (x, y) in got.iter().zip(&want) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits());
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+}
