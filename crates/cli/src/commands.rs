@@ -1,6 +1,8 @@
 //! The `jigsaw` subcommands.
 
 use crate::args::Options;
+use crate::error::CliError;
+use jigsaw_core::budget::RunBudget;
 use jigsaw_core::config::GridParams;
 use jigsaw_core::engine::ExecBackend;
 use jigsaw_core::gridding::{
@@ -33,6 +35,8 @@ COMMANDS:
                   --backend pooled|scoped (parallel execution engine)
                   --coils 1 (>1 = planned multi-coil batch via the worker pool)
                   --cg 0 (CG iterations; 0 = direct adjoint) --out out/recon.pgm
+                  --time-budget-ms 0 (0 = unlimited; CG returns its best
+                  iterate when the wall-clock budget runs out)
     simulate    Run the JIGSAW 2-D accelerator model on a synthetic stream
                   --grid 512 --samples 100000 [--cycle-accurate] [--trace N]
     simulate3d  Run the JIGSAW 3D Slice variant
@@ -59,9 +63,20 @@ TELEMETRY (recon, gridbench, profile):
                               JSON (load in chrome://tracing or Perfetto)
     --metrics                 print the metrics-registry snapshot table
     JIGSAW_TELEMETRY=0        disable all collection (overhead: one branch)
+
+ROBUSTNESS:
+    JIGSAW_FALLBACK=0         disable the automatic serial fallback when a
+                              pooled job fails (failures become hard errors)
+    JIGSAW_FAULTS=site=S,seed=N,rate=F,fires=K
+                              arm deterministic fault injection at a
+                              registered fault point (testing only)
+
+EXIT CODES:
+    0 success · 1 usage · 2 configuration error · 3 data error
+    4 execution error (contained job panic) · 5 budget exhausted
 ";
 
-type CmdResult = Result<(), String>;
+type CmdResult = Result<(), CliError>;
 
 /// Shared `--trace-out <path.json>` / `--metrics` handling: write the
 /// buffered span stream as a chrome trace and/or print the metrics
@@ -73,7 +88,7 @@ fn emit_telemetry(o: &Options) -> CmdResult {
             eprintln!("warning: telemetry is disabled (JIGSAW_TELEMETRY=0); trace will be empty");
         }
         let n = telemetry::export::write_chrome_trace(std::path::Path::new(&trace_out))
-            .map_err(|e| format!("writing {trace_out}: {e}"))?;
+            .map_err(|e| CliError::Data(format!("writing {trace_out}: {e}")))?;
         println!("wrote {n} trace events to {trace_out}");
     }
     if o.switch("metrics") {
@@ -83,17 +98,18 @@ fn emit_telemetry(o: &Options) -> CmdResult {
     Ok(())
 }
 
-fn write_pgm(path: &str, image: &[C64], n: usize) -> Result<(), String> {
+fn write_pgm(path: &str, image: &[C64], n: usize) -> Result<(), CliError> {
     let mags: Vec<f64> = image.iter().map(|z| z.abs()).collect();
     let hi = mags.iter().cloned().fold(0.0, f64::max).max(1e-30);
     let mut buf = format!("P5\n{n} {n}\n255\n").into_bytes();
     buf.extend(mags.iter().map(|m| (m / hi * 255.0).round() as u8));
     if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Data(format!("creating {}: {e}", dir.display())))?;
     }
     std::fs::File::create(path)
         .and_then(|mut f| f.write_all(&buf))
-        .map_err(|e| format!("writing {path}: {e}"))
+        .map_err(|e| CliError::Data(format!("writing {path}: {e}")))
 }
 
 fn backend_by_name(name: &str) -> Result<ExecBackend, String> {
@@ -128,6 +144,12 @@ pub fn recon(o: &Options) -> CmdResult {
     let lambda = o.f64("lambda", 1e-5)?;
     let coils = o.usize("coils", 1)?;
     let out = o.string("out", "out/recon.pgm");
+    let budget_ms = o.usize("time-budget-ms", 0)?;
+    let budget = if budget_ms > 0 {
+        RunBudget::with_time_ms(budget_ms as u64)
+    } else {
+        RunBudget::unlimited()
+    };
     let backend = backend_by_name(&o.string("backend", "pooled"))?;
     let engine = engine_by_name(&o.string("engine", "slice-dice"), backend)?;
 
@@ -140,7 +162,7 @@ pub fn recon(o: &Options) -> CmdResult {
         coords.len()
     );
 
-    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).map_err(|e| e.to_string())?;
+    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n))?;
     let image = if coils > 1 {
         // Multi-coil: modulate the acquisition by synthetic sensitivity
         // maps and reconstruct with the planned batched adjoint — the
@@ -148,7 +170,7 @@ pub fn recon(o: &Options) -> CmdResult {
         // through the persistent worker pool.
         let maps = CoilMaps::synthetic(n, coils);
         let truth = phantom.rasterize_aa(n, 4);
-        let coil_data = sense::acquire(&plan, &maps, &truth, &coords).map_err(|e| e.to_string())?;
+        let coil_data = sense::acquire(&plan, &maps, &truth, &coords)?;
         // Density compensation per coil (same radial ramp as below).
         let weighted: Vec<Vec<C64>> = coil_data
             .iter()
@@ -164,9 +186,8 @@ pub fn recon(o: &Options) -> CmdResult {
             })
             .collect();
         let t0 = std::time::Instant::now();
-        let traj_plan = plan.plan_trajectory(&coords).map_err(|e| e.to_string())?;
-        let combined = sense::adjoint_planned(&plan, &maps, &weighted, &traj_plan)
-            .map_err(|e| e.to_string())?;
+        let traj_plan = plan.plan_trajectory(&coords)?;
+        let combined = sense::adjoint_planned(&plan, &maps, &weighted, &traj_plan)?;
         println!(
             "planned {}-coil adjoint: plan {:.1} ms + batch {:.1} ms",
             coils,
@@ -184,9 +205,7 @@ pub fn recon(o: &Options) -> CmdResult {
                 v.scale(r.max(0.125 / (2.0 * n as f64)))
             })
             .collect();
-        let outp = plan
-            .adjoint(&coords, &weighted, engine.as_ref())
-            .map_err(|e| e.to_string())?;
+        let outp = plan.adjoint(&coords, &weighted, engine.as_ref())?;
         println!(
             "direct adjoint: gridding {:.1} ms ({:.1}% of total)",
             outp.timings.interp_seconds * 1e3,
@@ -204,14 +223,17 @@ pub fn recon(o: &Options) -> CmdResult {
                 max_iterations: cg_iters,
                 tolerance: 1e-8,
                 lambda,
+                budget,
             },
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
         println!(
             "CG: {} iterations, final relative residual {:.2e}",
             cg.residuals.len(),
             cg.residuals.last().copied().unwrap_or(1.0)
         );
+        if !cg.diagnostic.is_clean() {
+            eprintln!("warning: CG stopped early: {}", cg.diagnostic);
+        }
         cg.image
     };
 
@@ -240,7 +262,7 @@ pub fn simulate(o: &Options) -> CmdResult {
         grid,
         ..JigsawConfig::paper_default()
     };
-    let mut hw = Jigsaw2d::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let mut hw = Jigsaw2d::new(cfg.clone())?;
     let coords: Vec<[f64; 2]> = (0..m)
         .map(|i| {
             let t = i as f64;
@@ -251,9 +273,7 @@ pub fn simulate(o: &Options) -> CmdResult {
         })
         .collect();
     let values = vec![C64::new(0.5, -0.25); m];
-    let (stream, _) = hw
-        .quantize_inputs(&coords, &values)
-        .map_err(|e| e.to_string())?;
+    let (stream, _) = hw.quantize_inputs(&coords, &values)?;
 
     if trace_cycles > 0 {
         println!("pipeline trace (first {trace_cycles} cycles):");
@@ -300,7 +320,7 @@ pub fn simulate3d(o: &Options) -> CmdResult {
         grid,
         ..JigsawConfig::paper_default()
     };
-    let mut hw = Jigsaw3dSlice::new(cfg).map_err(|e| e.to_string())?;
+    let mut hw = Jigsaw3dSlice::new(cfg)?;
     let coords: Vec<[f64; 3]> = (0..m)
         .map(|i| {
             let t = i as f64;
@@ -312,9 +332,7 @@ pub fn simulate3d(o: &Options) -> CmdResult {
         })
         .collect();
     let values = vec![C64::new(0.3, 0.1); m];
-    let (stream, _) = hw
-        .quantize_inputs(&coords, &values)
-        .map_err(|e| e.to_string())?;
+    let (stream, _) = hw.quantize_inputs(&coords, &values)?;
     let run = hw.run(&stream, sorted);
     println!(
         "mode            : {}",
@@ -433,16 +451,15 @@ pub fn profile(o: &Options) -> CmdResult {
             coils: coils,
             m: coords.len()
         });
-        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).map_err(|e| e.to_string())?;
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n))?;
         let maps = CoilMaps::synthetic(n, coils);
         let truth = Phantom2d::shepp_logan().rasterize_aa(n, 4);
-        let coil_data = sense::acquire(&plan, &maps, &truth, &coords).map_err(|e| e.to_string())?;
+        let coil_data = sense::acquire(&plan, &maps, &truth, &coords)?;
 
         // Planned batched adjoint: one coil per pooled job, so the trace
         // gets per-worker `jigsaw-worker-*` lanes with coil spans.
-        let traj_plan = plan.plan_trajectory(&coords).map_err(|e| e.to_string())?;
-        let _combined = sense::adjoint_planned(&plan, &maps, &coil_data, &traj_plan)
-            .map_err(|e| e.to_string())?;
+        let traj_plan = plan.plan_trajectory(&coords)?;
+        let _combined = sense::adjoint_planned(&plan, &maps, &coil_data, &traj_plan)?;
 
         // CG-SENSE: per-iteration spans + residual counter track.
         let out = sense::cg_sense(
@@ -455,9 +472,9 @@ pub fn profile(o: &Options) -> CmdResult {
                 max_iterations: cg_iters,
                 tolerance: 1e-8,
                 lambda: 1e-5,
+                budget: Default::default(),
             },
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
         out.residuals.last().copied().unwrap_or(1.0)
     };
     println!(
@@ -522,8 +539,8 @@ pub fn emit_rtl(o: &Options) -> CmdResult {
         table_oversampling: l,
         ..JigsawConfig::paper_default()
     };
-    cfg.validate().map_err(|e| e.to_string())?;
-    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    cfg.validate()?;
+    std::fs::create_dir_all(&dir).map_err(|e| CliError::Data(format!("creating {dir}: {e}")))?;
     let files = [
         ("jigsaw_select.sv", jigsaw_sim::rtl::emit_select_unit(&cfg)),
         (
@@ -537,7 +554,8 @@ pub fn emit_rtl(o: &Options) -> CmdResult {
     ];
     for (name, contents) in files {
         let path = format!("{dir}/{name}");
-        std::fs::write(&path, contents).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(&path, contents)
+            .map_err(|e| CliError::Data(format!("writing {path}: {e}")))?;
         println!("wrote {path}");
     }
     println!(

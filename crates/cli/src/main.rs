@@ -12,7 +12,9 @@
 
 mod args;
 mod commands;
+mod error;
 
+use error::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -24,8 +26,9 @@ fn main() -> ExitCode {
     let opts = match args::Options::parse(rest) {
         Ok(o) => o,
         Err(e) => {
+            let e = CliError::Config(e);
             eprintln!("error: {e}\n\n{}", commands::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(e.exit_code());
         }
     };
     let result = match cmd.as_str() {
@@ -49,8 +52,9 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // One line, one category-specific exit code (see error.rs).
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,0 +1,115 @@
+//! Cooperative run budgets and cancellation.
+//!
+//! Reconstruction is iterative (CG) and chunked (per-coil NuFFT jobs), so
+//! a latency-bounded service needs a way to say "give me the best image
+//! you have by the deadline" without killing threads. [`RunBudget`]
+//! provides that: a wall-clock deadline and/or an externally triggered
+//! cancellation token, *checked cooperatively* between CG iterations and
+//! between per-coil chunks. Exhaustion never corrupts state — the solver
+//! returns its best iterate so far with a
+//! [`crate::recon::CgDiagnostic::BudgetExhausted`] diagnostic, and only
+//! reports [`crate::Error::Budget`] when no usable iterate exists yet.
+//!
+//! The CLI exposes this as `recon --time-budget-ms <ms>`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative wall-clock / cancellation budget. Cheap to clone (the
+/// cancellation flag is shared between clones).
+#[derive(Debug, Clone)]
+pub struct RunBudget {
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl RunBudget {
+    /// A budget that never exhausts (but can still be [`Self::cancel`]ed).
+    pub fn unlimited() -> Self {
+        Self {
+            deadline: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A budget that exhausts `ms` milliseconds from now.
+    pub fn with_time_ms(ms: u64) -> Self {
+        Self {
+            deadline: Some(Instant::now() + Duration::from_millis(ms)),
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Trip the cancellation flag: every clone of this budget reports
+    /// exhausted from now on. Safe to call from another thread.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the deadline has passed or [`Self::cancel`] was called.
+    /// One `Instant::now()` plus one relaxed load — cheap enough for
+    /// per-iteration and per-chunk checks.
+    pub fn exhausted(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Time left before the deadline (`None` when untimed; zero once
+    /// exhausted or cancelled).
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Some(Duration::ZERO);
+        }
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = RunBudget::unlimited();
+        assert!(!b.exhausted());
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_exhausts_immediately() {
+        let b = RunBudget::with_time_ms(0);
+        assert!(b.exhausted());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_is_live_then_counts_down() {
+        let b = RunBudget::with_time_ms(60_000);
+        assert!(!b.exhausted());
+        let rem = b.remaining().expect("timed budget has remaining");
+        assert!(rem > Duration::from_secs(50));
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let a = RunBudget::unlimited();
+        let b = a.clone();
+        assert!(!b.exhausted());
+        a.cancel();
+        assert!(b.exhausted());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+}

@@ -37,6 +37,7 @@
 //! merges results in job order.
 
 use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::faultpoint;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +56,72 @@ pub enum ExecBackend {
     /// Legacy behavior: spawn scoped threads and allocate scratch on every
     /// call. Kept for A/B benchmarking and as a fallback.
     Scoped,
+}
+
+// ---------------------------------------------------------------------------
+// Serial-fallback policy (graceful degradation kill switch)
+// ---------------------------------------------------------------------------
+
+/// 0 = uninitialized, 1 = fallback on, 2 = fallback off.
+static FALLBACK_STATE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Whether a contained pooled-job failure triggers an automatic serial
+/// retry (bitwise-identical output, counted in the `engine.fallbacks`
+/// telemetry metric) instead of surfacing `Error::Execution`. Defaults to
+/// on; disable with `JIGSAW_FALLBACK=0` or [`set_serial_fallback`]. Same
+/// kill-switch pattern as the telemetry crate: one relaxed load + branch.
+#[inline]
+pub fn serial_fallback_enabled() -> bool {
+    match FALLBACK_STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => init_fallback_from_env(),
+    }
+}
+
+#[cold]
+fn init_fallback_from_env() -> bool {
+    let on = telemetry::env_enables(std::env::var("JIGSAW_FALLBACK").ok().as_deref());
+    let want = if on { 1 } else { 2 };
+    let _ = FALLBACK_STATE.compare_exchange(0, want, Ordering::Relaxed, Ordering::Relaxed);
+    FALLBACK_STATE.load(Ordering::Relaxed) == 1
+}
+
+/// Force the serial-fallback policy on or off, overriding the
+/// environment.
+pub fn set_serial_fallback(on: bool) {
+    FALLBACK_STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// A contained worker-pool job failure: the job panicked, the panic was
+/// caught on the worker (which survives, with its poisoned arena buffers
+/// discarded), and the payload was captured here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the failed job within the dispatch.
+    pub job: usize,
+    /// Worker slot the job ran on.
+    pub worker: usize,
+    /// The captured panic payload, rendered as a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} panicked on worker {}: {}",
+            self.job, self.worker, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+impl From<JobFailure> for crate::Error {
+    fn from(f: JobFailure) -> Self {
+        crate::Error::Execution(f.to_string())
+    }
 }
 
 /// A boxed job: runs on one worker with access to that worker's arena.
@@ -171,7 +238,9 @@ struct Latch {
 #[derive(Default)]
 struct LatchState {
     remaining: usize,
-    panicked: bool,
+    /// First contained job failure of the dispatch (first to count down
+    /// wins; later failures are dropped — one diagnostic is enough).
+    failure: Option<JobFailure>,
 }
 
 impl Latch {
@@ -179,27 +248,29 @@ impl Latch {
         Arc::new(Self {
             state: Mutex::new(LatchState {
                 remaining: count,
-                panicked: false,
+                failure: None,
             }),
             cv: Condvar::new(),
         })
     }
 
-    fn count_down(&self, panicked: bool) {
+    fn count_down(&self, failure: Option<JobFailure>) {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         st.remaining -= 1;
-        st.panicked |= panicked;
+        if st.failure.is_none() {
+            st.failure = failure;
+        }
         if st.remaining == 0 {
             self.cv.notify_all();
         }
     }
 
-    fn wait(&self) -> bool {
+    fn wait(&self) -> Option<JobFailure> {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while st.remaining > 0 {
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        st.panicked
+        st.failure.take()
     }
 }
 
@@ -263,7 +334,7 @@ impl WorkerPool {
                             job(&mut arena);
                         }
                     })
-                    .expect("failed to spawn pool worker");
+                    .unwrap_or_else(|e| panic!("failed to spawn pool worker: {e}"));
                 WorkerHandle {
                     tx,
                     handle: Some(handle),
@@ -331,13 +402,28 @@ impl WorkerPool {
     /// Run `njobs` invocations of `f(job_index, arena)` across the pool
     /// and block until all complete. Job `j` runs on worker `j % size`;
     /// jobs beyond the pool size queue behind earlier jobs on the same
-    /// worker. Panics (after all jobs finish) if any job panicked.
+    /// worker. Panics (after all jobs finish) if any job panicked; use
+    /// [`Self::try_run`] to receive the contained failure instead.
     pub fn run<F>(&self, njobs: usize, f: F)
     where
         F: Fn(usize, &mut ScratchArena) + Send + Sync + 'static,
     {
+        if let Err(failure) = self.try_run(njobs, f) {
+            panic!("a worker-pool job panicked ({failure})");
+        }
+    }
+
+    /// Like [`Self::run`], but a panicking job is *contained*: the panic
+    /// is caught on the worker, the worker survives and its (potentially
+    /// half-written) arena buffers are discarded rather than recycled,
+    /// and after every job of the dispatch has finished the first failure
+    /// is returned as a [`JobFailure`]. The pool stays fully usable.
+    pub fn try_run<F>(&self, njobs: usize, f: F) -> Result<(), JobFailure>
+    where
+        F: Fn(usize, &mut ScratchArena) + Send + Sync + 'static,
+    {
         if njobs == 0 {
-            return;
+            return Ok(());
         }
         self.dispatches.fetch_add(1, Ordering::Relaxed);
         let _dispatch_span = telemetry::span!("engine.dispatch", {
@@ -350,7 +436,7 @@ impl WorkerPool {
         let f = Arc::new(f);
         let nworkers = self.workers.len();
         for j in 0..njobs {
-            let latch = Arc::clone(&latch);
+            let job_latch = Arc::clone(&latch);
             let f = Arc::clone(&f);
             let wait_hist = Arc::clone(&self.wait_hist);
             let run_hist = Arc::clone(&self.run_hist);
@@ -368,6 +454,7 @@ impl WorkerPool {
                     span.arg("wait_ns", wait);
                 }
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    faultpoint!(crate::fault::ENGINE_DISPATCH);
                     f(j, arena);
                 }));
                 drop(span);
@@ -380,26 +467,42 @@ impl WorkerPool {
                 let wid = j % nworkers;
                 busy_ns[wid].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 job_counts[wid].fetch_add(1, Ordering::Relaxed);
-                latch.count_down(result.is_err());
-                if let Err(e) = result {
-                    // Preserve the worker; surface the panic on the caller.
-                    drop(e);
-                }
+                let failure = result.err().map(|payload| {
+                    // The job unwound mid-write: any buffer it parked in (or
+                    // left inside) this arena may be in an inconsistent
+                    // state. Discard them all; the slot refills lazily.
+                    arena.clear();
+                    telemetry::record_counter("engine.job_panics", 1);
+                    JobFailure {
+                        job: j,
+                        worker: wid,
+                        message: jigsaw_fft::exec::panic_message(&*payload),
+                    }
+                });
+                job_latch.count_down(failure);
             });
-            self.workers[self.worker_for(j)]
-                .tx
-                .send(job)
-                .expect("pool worker hung up");
+            if let Err(send_err) = self.workers[self.worker_for(j)].tx.send(job) {
+                // The worker thread is gone (it cannot panic — jobs are
+                // contained — so this means the pool is shutting down).
+                // Account the undelivered job so the latch still resolves.
+                drop(send_err);
+                latch.count_down(Some(JobFailure {
+                    job: j,
+                    worker: self.worker_for(j),
+                    message: "pool worker exited; job not delivered".to_string(),
+                }));
+            }
         }
-        let panicked = latch.wait();
+        let failure = latch.wait();
         if telemetry::enabled() {
             telemetry::record_gauge(
                 "engine.scratch_resident_bytes",
                 self.resident_scratch_bytes() as f64,
             );
         }
-        if panicked {
-            panic!("a worker-pool job panicked (see stderr for the worker's panic message)");
+        match failure {
+            Some(f) => Err(f),
+            None => Ok(()),
         }
     }
 
@@ -449,30 +552,46 @@ impl WorkerPool {
 ///   reports `1` there, so `FftNd` skips parallel orchestration entirely
 ///   and takes its serial blocked path — same numbers, no boxing.
 impl jigsaw_fft::exec::Executor for WorkerPool {
-    fn execute(&self, jobs: Vec<jigsaw_fft::exec::Job>) {
+    fn execute(&self, jobs: Vec<jigsaw_fft::exec::Job>) -> Result<(), jigsaw_fft::exec::ExecError> {
         if jobs.is_empty() {
-            return;
+            return Ok(());
         }
         if on_worker_thread() {
-            NESTED_ARENA.with(|a| {
+            return NESTED_ARENA.with(|a| {
                 let mut arena = a.borrow_mut();
-                for job in jobs {
-                    job(&mut *arena);
+                for (j, job) in jobs.into_iter().enumerate() {
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&mut *arena)));
+                    if let Err(payload) = result {
+                        // Same containment as the pooled path: the nested
+                        // arena may hold half-written buffers — discard.
+                        arena.clear();
+                        return Err(jigsaw_fft::exec::ExecError {
+                            job: j,
+                            worker: None,
+                            message: jigsaw_fft::exec::panic_message(&*payload),
+                        });
+                    }
                 }
+                Ok(())
             });
-            return;
         }
         let njobs = jobs.len();
         // `WorkerPool::run` takes a shared `Fn`; park each owned FnOnce job
         // in a mutex slot and let dispatch `j` claim slot `j`.
         let slots: Arc<Vec<Mutex<Option<jigsaw_fft::exec::Job>>>> =
             Arc::new(jobs.into_iter().map(|j| Mutex::new(Some(j))).collect());
-        self.run(njobs, move |j, arena| {
+        self.try_run(njobs, move |j, arena| {
             let job = slots[j].lock().unwrap_or_else(|e| e.into_inner()).take();
             if let Some(job) = job {
                 job(arena);
             }
-        });
+        })
+        .map_err(|f| jigsaw_fft::exec::ExecError {
+            job: f.job,
+            worker: Some(f.worker),
+            message: f.message,
+        })
     }
 
     fn concurrency(&self) -> usize {
@@ -670,6 +789,56 @@ mod tests {
     }
 
     #[test]
+    fn try_run_reports_job_worker_and_payload() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_run(4, |j, _| {
+                if j == 3 {
+                    panic!("kaboom {j}");
+                }
+            })
+            .expect_err("job 3 must fail");
+        assert_eq!(err.job, 3);
+        assert_eq!(err.worker, 3 % 2);
+        assert_eq!(err.message, "kaboom 3");
+        assert!(err.to_string().contains("job 3 panicked on worker 1"));
+        // The same pool completes a clean dispatch afterwards.
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        pool.try_run(6, move |_, _| {
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn panicking_job_discards_poisoned_scratch() {
+        let pool = WorkerPool::new(1);
+        // Park a buffer cleanly so the worker's arena holds resident bytes.
+        pool.try_run(1, |_, arena| {
+            let v = arena.take_vec::<u64>(11, 256, 0);
+            arena.give_vec(11, v);
+        })
+        .unwrap();
+        assert!(pool.resident_scratch_bytes() >= 256 * 8);
+        // A job that panics mid-write on the same worker must clear that
+        // worker's arena: the parked buffer may be half-mutated.
+        let err = pool.try_run(1, |_, arena| {
+            let mut v = arena.take_vec::<u64>(11, 256, 0);
+            v[0] = 1; // simulate a partial write
+            arena.give_vec(11, v);
+            panic!("mid-write");
+        });
+        assert!(err.is_err());
+        assert_eq!(
+            pool.resident_scratch_bytes(),
+            0,
+            "poisoned arena buffers must be discarded"
+        );
+    }
+
+    #[test]
     fn global_pool_is_singleton() {
         let a = WorkerPool::global() as *const _;
         let b = WorkerPool::global() as *const _;
@@ -745,7 +914,7 @@ mod tests {
             })
             .collect();
         drop(tx);
-        pool.execute(jobs);
+        pool.execute(jobs).unwrap();
         let mut got: Vec<(usize, Vec<u64>)> = rx.iter().collect();
         got.sort_by_key(|(j, _)| *j);
         assert_eq!(got.len(), 4);
@@ -767,7 +936,7 @@ mod tests {
             give_vec(arena, keys::FFT_PANEL, v);
         });
         let noop: FftJob = Box::new(|_| {});
-        pool.execute(vec![noop, job]);
+        pool.execute(vec![noop, job]).unwrap();
         let reused = rx2.recv().unwrap();
         assert!(
             worker1_ptrs.contains(&reused),
@@ -789,7 +958,7 @@ mod tests {
             assert_eq!(Executor::concurrency(&*p), 1);
             let tx2 = tx.clone();
             let inner: FftJob = Box::new(move |_| tx2.send(42u32).unwrap());
-            p.execute(vec![inner]);
+            p.execute(vec![inner]).unwrap();
             tx.send(7).unwrap();
         });
         let got: Vec<u32> = rx.try_iter().collect();

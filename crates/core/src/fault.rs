@@ -1,0 +1,86 @@
+//! Fault-injection surface of the reconstruction engine.
+//!
+//! The machinery — the deterministic seeded schedule, the
+//! telemetry-style kill switch, the `faultpoint!` macro — lives in
+//! `jigsaw_testkit::fault` (the only crate below both `jigsaw-fft` and
+//! `jigsaw-core` in the dependency DAG); this module re-exports it and
+//! owns the *registry*: the canonical list of fault points compiled into
+//! the engine, which the chaos suite iterates so no site can be added
+//! without failure-path coverage.
+//!
+//! Arm via [`arm`] in tests (serialize with [`test_guard`] — the switch
+//! is process-global) or the `JIGSAW_FAULTS` environment variable for CLI
+//! smoke runs, e.g.:
+//!
+//! ```text
+//! JIGSAW_FAULTS=site=nufft.coil,seed=7,rate=1,fires=1 jigsaw recon …
+//! ```
+//!
+//! Every site is a single relaxed atomic load + branch when disarmed
+//! (≤ 2 % on the `pooled_vs_scoped` bench; see `BENCH_fault_overhead.json`).
+
+pub use jigsaw_testkit::fault::{
+    arm, disarm, fires, should_fire, test_guard, FaultInjected, FaultPlan,
+};
+
+/// Inside every worker-pool job wrapper ([`crate::engine::WorkerPool`]),
+/// before the job body runs. Fires on a worker thread; contained by the
+/// pool's panic containment.
+pub const ENGINE_DISPATCH: &str = "engine.dispatch";
+
+/// Inside every parallel N-D FFT panel job (`jigsaw_fft::nd`).
+pub const FFT_PANEL: &str = jigsaw_fft::nd::FAULT_PANEL;
+
+/// Inside every pooled gridding chunk job (column chunks, bin tiles,
+/// naive output chunks, block partials).
+pub const GRIDDING_CHUNK: &str = "gridding.chunk";
+
+/// Inside every per-coil job of the batched planned NuFFT paths
+/// ([`crate::nufft::NufftPlan::adjoint_batch_planned`] /
+/// `forward_batch_planned`).
+pub const NUFFT_COIL: &str = "nufft.coil";
+
+/// At the top of every conjugate-gradient iteration
+/// ([`crate::recon::cg_solve`] / [`crate::sense::cg_sense`]). This site
+/// does not panic: it poisons the iteration's residual with a NaN,
+/// exercising the solver's non-finite containment (best-iterate return
+/// with a [`crate::recon::CgDiagnostic::NonFinite`] diagnostic).
+pub const RECON_CG_ITER: &str = "recon.cg_iter";
+
+/// Every registered fault point. `tests/chaos.rs` iterates this list;
+/// keep it in sync with the `faultpoint!` / [`should_fire`] call sites
+/// named above.
+pub const SITES: &[&str] = &[
+    ENGINE_DISPATCH,
+    FFT_PANEL,
+    GRIDDING_CHUNK,
+    NUFFT_COIL,
+    RECON_CG_ITER,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_distinct_and_dotted() {
+        for (i, a) in SITES.iter().enumerate() {
+            assert!(a.contains('.'), "site `{a}` must be category.name");
+            for b in &SITES[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(FFT_PANEL, "fft.panel");
+    }
+
+    #[test]
+    fn armed_plan_targets_only_named_site() {
+        let _lock = test_guard();
+        arm(FaultPlan::once_at(NUFFT_COIL));
+        for site in SITES.iter().filter(|s| **s != NUFFT_COIL) {
+            assert!(!should_fire(site));
+        }
+        assert!(should_fire(NUFFT_COIL));
+        disarm();
+    }
+}

@@ -31,6 +31,7 @@ use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
 use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::faultpoint;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -139,7 +140,9 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
         values: &[Complex<T>],
         out: &mut [Complex<T>],
     ) -> GridStats {
-        validate_batch(p, coords, values, out).expect("invalid sample batch");
+        if let Err(e) = validate_batch(p, coords, values, out) {
+            panic!("invalid sample batch: {e}");
+        }
         assert!(
             self.bin_tile.is_power_of_two()
                 && self.bin_tile >= p.width
@@ -229,12 +232,14 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
                 // Persistent path: each job's tile block comes from (and
                 // returns to) the owning pool worker's scratch arena.
                 let pool = WorkerPool::global();
-                let coords: Arc<[[f64; D]]> = coords.into();
-                let values: Arc<[Complex<T>]> = values.into();
-                let bins = Arc::new(bins);
-                let lut = lut.clone();
+                let coords_shared: Arc<[[f64; D]]> = coords.into();
+                let values_shared: Arc<[Complex<T>]> = values.into();
+                let bins_shared = Arc::new(bins);
+                let lut_shared = lut.clone();
+                let bins_fallback = Arc::clone(&bins_shared);
                 let (tx, rx) = channel();
-                pool.run(njobs, move |tid, arena| {
+                let run = pool.try_run(njobs, move |tid, arena| {
+                    faultpoint!(crate::fault::GRIDDING_CHUNK);
                     let first_tile = tid * tiles_per_thread;
                     let my_tiles = tiles_per_thread.min(ntiles - first_tile);
                     let mut chunk = arena.take_vec(
@@ -244,10 +249,10 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
                     );
                     let (a, c) = binned_tile_worker::<T, D>(
                         &dec,
-                        &lut,
-                        &coords,
-                        &values,
-                        &bins,
+                        &lut_shared,
+                        &coords_shared,
+                        &values_shared,
+                        &bins_shared,
                         b,
                         tiles_per_dim,
                         tile_points,
@@ -257,20 +262,49 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
                     );
                     let _ = tx.send((tid, chunk, a, c));
                 });
-                for _ in 0..njobs {
-                    let (tid, chunk, a, c) = rx.recv().expect("pooled binned job result");
-                    unblock_tile_chunk::<T, D>(
-                        g,
+                if run.is_err() {
+                    // Contained job panic. Tile chunks unblock into `out`
+                    // only in the drain below (never reached), so redo
+                    // every tile in one serial pass — bitwise identical,
+                    // the partition only decides ownership.
+                    telemetry::record_counter("engine.fallbacks", 1);
+                    drop(rx);
+                    let dec = Decomposer::new(p);
+                    let mut blocked = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
+                    let (a, c) = binned_tile_worker::<T, D>(
+                        &dec,
+                        lut,
+                        coords,
+                        values,
+                        &bins_fallback,
                         b,
                         tiles_per_dim,
                         tile_points,
-                        tid * tiles_per_thread,
-                        &chunk,
-                        out,
+                        width,
+                        0,
+                        &mut blocked,
                     );
-                    pool.restore(tid, keys::BIN_TILES, chunk);
-                    total_accums += a;
-                    total_checks += c;
+                    unblock_tile_chunk::<T, D>(g, b, tiles_per_dim, tile_points, 0, &blocked, out);
+                    total_accums = a;
+                    total_checks = c;
+                } else {
+                    for _ in 0..njobs {
+                        let Ok((tid, chunk, a, c)) = rx.recv() else {
+                            unreachable!("pooled binned job result missing after clean run");
+                        };
+                        unblock_tile_chunk::<T, D>(
+                            g,
+                            b,
+                            tiles_per_dim,
+                            tile_points,
+                            tid * tiles_per_thread,
+                            &chunk,
+                            out,
+                        );
+                        pool.restore(tid, keys::BIN_TILES, chunk);
+                        total_accums += a;
+                        total_checks += c;
+                    }
                 }
             }
         }

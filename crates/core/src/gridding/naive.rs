@@ -19,6 +19,7 @@ use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
 use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::faultpoint;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -78,7 +79,9 @@ impl<T: Float, const D: usize> Gridder<T, D> for NaiveOutputGridder {
         values: &[Complex<T>],
         out: &mut [Complex<T>],
     ) -> GridStats {
-        validate_batch(p, coords, values, out).expect("invalid sample batch");
+        if let Err(e) = validate_batch(p, coords, values, out) {
+            panic!("invalid sample batch: {e}");
+        }
         let _span = telemetry::span!("gridding.naive", { dim: D, m: coords.len() });
         let dec = Decomposer::new(p);
         let g = p.grid;
@@ -126,25 +129,53 @@ impl<T: Float, const D: usize> Gridder<T, D> for NaiveOutputGridder {
             }
             ExecBackend::Pooled => {
                 let pool = WorkerPool::global();
-                let quant: Arc<[[u32; D]]> = quant.into();
-                let values: Arc<[Complex<T>]> = values.into();
-                let lut = lut.clone();
+                let quant_shared: Arc<[[u32; D]]> = quant.into();
+                let values_shared: Arc<[Complex<T>]> = values.into();
+                let lut_shared = lut.clone();
+                let quant_fallback = Arc::clone(&quant_shared);
                 let (tx, rx) = channel();
-                pool.run(njobs, move |tid, arena| {
+                let run = pool.try_run(njobs, move |tid, arena| {
+                    faultpoint!(crate::fault::GRIDDING_CHUNK);
                     let lo = tid * points_per_job;
                     let len = points_per_job.min(npoints - lo);
                     let mut chunk = arena.take_vec(keys::NAIVE_CHUNK, len, Complex::<T>::zeroed());
-                    let n = naive_worker::<T, D>(&dec, &lut, g, &quant, &values, lo, &mut chunk);
+                    let n = naive_worker::<T, D>(
+                        &dec,
+                        &lut_shared,
+                        g,
+                        &quant_shared,
+                        &values_shared,
+                        lo,
+                        &mut chunk,
+                    );
                     let _ = tx.send((tid, chunk, n));
                 });
-                for _ in 0..njobs {
-                    let (tid, chunk, n) = rx.recv().expect("pooled naive job result");
-                    let lo = tid * points_per_job;
-                    for (o, &v) in out[lo..lo + chunk.len()].iter_mut().zip(&chunk) {
+                if run.is_err() {
+                    // Contained job panic. Chunks fold into `out` only in
+                    // the drain below (never reached), so recompute every
+                    // grid point in one serial pass — bitwise identical,
+                    // each point's windowed sum is independent.
+                    telemetry::record_counter("engine.fallbacks", 1);
+                    drop(rx);
+                    let dec = Decomposer::new(p);
+                    let mut chunk = vec![Complex::<T>::zeroed(); npoints];
+                    total_accums =
+                        naive_worker::<T, D>(&dec, lut, g, &quant_fallback, values, 0, &mut chunk);
+                    for (o, &v) in out.iter_mut().zip(&chunk) {
                         *o += v;
                     }
-                    pool.restore(tid, keys::NAIVE_CHUNK, chunk);
-                    total_accums += n;
+                } else {
+                    for _ in 0..njobs {
+                        let Ok((tid, chunk, n)) = rx.recv() else {
+                            unreachable!("pooled naive job result missing after clean run");
+                        };
+                        let lo = tid * points_per_job;
+                        for (o, &v) in out[lo..lo + chunk.len()].iter_mut().zip(&chunk) {
+                            *o += v;
+                        }
+                        pool.restore(tid, keys::NAIVE_CHUNK, chunk);
+                        total_accums += n;
+                    }
                 }
             }
         }

@@ -35,7 +35,9 @@ impl<T: Float, const D: usize> Gridder<T, D> for SerialGridder {
         values: &[Complex<T>],
         out: &mut [Complex<T>],
     ) -> GridStats {
-        validate_batch(p, coords, values, out).expect("invalid sample batch");
+        if let Err(e) = validate_batch(p, coords, values, out) {
+            panic!("invalid sample batch: {e}");
+        }
         let _span = telemetry::span!("gridding.serial", { dim: D, m: coords.len() });
         let dec = Decomposer::new(p);
         let w = p.width;
@@ -86,7 +88,9 @@ impl<T: Float, const D: usize> Gridder<T, D> for ExactGridder {
         out: &mut [Complex<T>],
     ) -> GridStats {
         let _ = lut; // exact evaluation ignores the table
-        validate_batch(p, coords, values, out).expect("invalid sample batch");
+        if let Err(e) = validate_batch(p, coords, values, out) {
+            panic!("invalid sample batch: {e}");
+        }
         let _span = telemetry::span!("gridding.exact", { dim: D, m: coords.len() });
         let w = p.width;
         let g = p.grid as f64;
@@ -141,7 +145,9 @@ impl<T: Float, const D: usize> Gridder<T, D> for LerpGridder {
         values: &[Complex<T>],
         out: &mut [Complex<T>],
     ) -> GridStats {
-        validate_batch(p, coords, values, out).expect("invalid sample batch");
+        if let Err(e) = validate_batch(p, coords, values, out) {
+            panic!("invalid sample batch: {e}");
+        }
         let _span = telemetry::span!("gridding.lerp", { dim: D, m: coords.len() });
         let w = p.width;
         let g = p.grid as f64;

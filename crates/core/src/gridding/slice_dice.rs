@@ -32,6 +32,7 @@ use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
 use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::faultpoint;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
@@ -134,7 +135,9 @@ impl<T: AtomicFloat, const D: usize> Gridder<T, D> for SliceDiceGridder {
         values: &[Complex<T>],
         out: &mut [Complex<T>],
     ) -> GridStats {
-        validate_batch(p, coords, values, out).expect("invalid sample batch");
+        if let Err(e) = validate_batch(p, coords, values, out) {
+            panic!("invalid sample batch: {e}");
+        }
         let _span = telemetry::span!("gridding.slice_dice", {
             dim: D,
             m: coords.len(),
@@ -315,11 +318,12 @@ fn grid_columns<T: Float, const D: usize>(
             // Persistent path: jobs run on the global pool, column slabs
             // come from (and return to) the owning worker's scratch arena.
             let pool = WorkerPool::global();
-            let coords: Arc<[[f64; D]]> = coords.into();
-            let values: Arc<[Complex<T>]> = values.into();
-            let lut = lut.clone();
+            let coords_shared: Arc<[[f64; D]]> = coords.into();
+            let values_shared: Arc<[Complex<T>]> = values.into();
+            let lut_shared = lut.clone();
             let (tx, rx) = channel();
-            pool.run(njobs, move |tid, arena| {
+            let run = pool.try_run(njobs, move |tid, arena| {
+                faultpoint!(crate::fault::GRIDDING_CHUNK);
                 let first_col = tid * cols_per_thread;
                 let my_cols = cols_per_thread.min(ncols - first_col);
                 let mut chunk = arena.take_vec(
@@ -328,24 +332,51 @@ fn grid_columns<T: Float, const D: usize>(
                     Complex::<T>::zeroed(),
                 );
                 let (chk, acc) = columns_worker(
-                    &dec, &lut, &coords, &values, t, tiles, col_len, first_col, &mut chunk,
-                );
-                let _ = tx.send((tid, chunk, chk, acc));
-            });
-            for _ in 0..njobs {
-                let (tid, chunk, chk, acc) = rx.recv().expect("pooled column job result");
-                merge_column_chunk::<T, D>(
-                    g,
+                    &dec,
+                    &lut_shared,
+                    &coords_shared,
+                    &values_shared,
                     t,
                     tiles,
                     col_len,
-                    tid * cols_per_thread,
-                    &chunk,
-                    out,
+                    first_col,
+                    &mut chunk,
                 );
-                pool.restore(tid, keys::DICE_COLUMNS, chunk);
-                total_checks += chk;
-                total_accums += acc;
+                let _ = tx.send((tid, chunk, chk, acc));
+            });
+            if run.is_err() {
+                // Contained job panic. The trait surface is infallible and
+                // column chunks merge only in the drain below (never
+                // reached), so `out` is pristine: redo all columns in one
+                // serial pass — bitwise identical, the partition only
+                // decides ownership.
+                telemetry::record_counter("engine.fallbacks", 1);
+                drop(rx);
+                let dec = Decomposer::new(p);
+                let mut dice = vec![Complex::<T>::zeroed(); ncols * col_len];
+                let (chk, acc) =
+                    columns_worker(&dec, lut, coords, values, t, tiles, col_len, 0, &mut dice);
+                merge_column_chunk::<T, D>(g, t, tiles, col_len, 0, &dice, out);
+                total_checks = chk;
+                total_accums = acc;
+            } else {
+                for _ in 0..njobs {
+                    let Ok((tid, chunk, chk, acc)) = rx.recv() else {
+                        unreachable!("pooled column job result missing after clean run");
+                    };
+                    merge_column_chunk::<T, D>(
+                        g,
+                        t,
+                        tiles,
+                        col_len,
+                        tid * cols_per_thread,
+                        &chunk,
+                        out,
+                    );
+                    pool.restore(tid, keys::DICE_COLUMNS, chunk);
+                    total_checks += chk;
+                    total_accums += acc;
+                }
             }
         }
     }
@@ -561,7 +592,7 @@ fn grid_block_atomic<T: AtomicFloat, const D: usize>(
     let nthreads = nthreads.min(m.max(1)).max(1);
     let chunk = m.div_ceil(nthreads);
     let total_accums: u64;
-    let shared = Arc::new(T::alloc_grid(npoints));
+    let mut shared = Arc::new(T::alloc_grid(npoints));
     match backend {
         ExecBackend::Scoped => {
             let mut accums = vec![0u64; nthreads];
@@ -587,20 +618,21 @@ fn grid_block_atomic<T: AtomicFloat, const D: usize>(
         }
         ExecBackend::Pooled => {
             let pool = WorkerPool::global();
-            let coords: Arc<[[f64; D]]> = coords.into();
-            let values: Arc<[Complex<T>]> = values.into();
-            let lut = lut.clone();
+            let coords_shared: Arc<[[f64; D]]> = coords.into();
+            let values_shared: Arc<[Complex<T>]> = values.into();
+            let lut_shared = lut.clone();
             let shared_jobs = Arc::clone(&shared);
             let (tx, rx) = channel();
-            pool.run(nthreads, move |tid, _arena| {
+            let run = pool.try_run(nthreads, move |tid, _arena| {
+                faultpoint!(crate::fault::GRIDDING_CHUNK);
                 let lo = tid * chunk;
                 let hi = ((tid + 1) * chunk).min(m);
                 let n = if lo < hi {
                     block_atomic_worker::<T, D>(
                         &dec,
-                        &lut,
-                        &coords,
-                        &values,
+                        &lut_shared,
+                        &coords_shared,
+                        &values_shared,
                         g,
                         t,
                         lo,
@@ -612,7 +644,19 @@ fn grid_block_atomic<T: AtomicFloat, const D: usize>(
                 };
                 let _ = tx.send(n);
             });
-            total_accums = (0..nthreads).map(|_| rx.recv().unwrap_or(0)).sum();
+            if run.is_err() {
+                // Contained job panic. Surviving jobs accumulated into the
+                // shared atomic grid, so discard it wholesale and redo all
+                // blocks in one serial pass over a fresh grid.
+                telemetry::record_counter("engine.fallbacks", 1);
+                drop(rx);
+                shared = Arc::new(T::alloc_grid(npoints));
+                let dec = Decomposer::new(p);
+                total_accums =
+                    block_atomic_worker::<T, D>(&dec, lut, coords, values, g, t, 0, m, &shared);
+            } else {
+                total_accums = (0..nthreads).map(|_| rx.recv().unwrap_or(0)).sum();
+            }
         }
     }
     T::drain(&shared, out);
@@ -706,20 +750,21 @@ fn grid_block_reduce<T: Float, const D: usize>(
         }
         ExecBackend::Pooled => {
             let pool = WorkerPool::global();
-            let coords: Arc<[[f64; D]]> = coords.into();
-            let values: Arc<[Complex<T>]> = values.into();
-            let lut = lut.clone();
+            let coords_shared: Arc<[[f64; D]]> = coords.into();
+            let values_shared: Arc<[Complex<T>]> = values.into();
+            let lut_shared = lut.clone();
             let (tx, rx) = channel();
-            pool.run(nthreads, move |tid, arena| {
+            let run = pool.try_run(nthreads, move |tid, arena| {
+                faultpoint!(crate::fault::GRIDDING_CHUNK);
                 let lo = tid * chunk;
                 let hi = ((tid + 1) * chunk).min(m);
                 let mut partial =
                     arena.take_vec(keys::PARTIAL_GRID, npoints, Complex::<T>::zeroed());
                 let n = block_reduce_worker::<T, D>(
                     &dec,
-                    &lut,
-                    &coords,
-                    &values,
+                    &lut_shared,
+                    &coords_shared,
+                    &values_shared,
                     g,
                     t,
                     lo,
@@ -728,21 +773,43 @@ fn grid_block_reduce<T: Float, const D: usize>(
                 );
                 let _ = tx.send((tid, partial, n));
             });
-            // Deterministic merge: collect all partials, then fold them in
-            // block (tid) order exactly as the scoped path does.
-            let mut results: Vec<(usize, Vec<Complex<T>>, u64)> = (0..nthreads)
-                .map(|_| rx.recv().expect("pooled reduce job result"))
-                .collect();
-            results.sort_unstable_by_key(|(tid, _, _)| *tid);
-            let mut n = 0u64;
-            for (tid, partial, acc) in results {
+            if run.is_err() {
+                // Contained job panic. Partials merge into `out` only in
+                // the drain below (never reached), so redo the whole
+                // sample range in one serial block.
+                telemetry::record_counter("engine.fallbacks", 1);
+                drop(rx);
+                let dec = Decomposer::new(p);
+                let mut partial = vec![Complex::<T>::zeroed(); npoints];
+                total_accums = block_reduce_worker::<T, D>(
+                    &dec,
+                    lut,
+                    coords,
+                    values,
+                    g,
+                    t,
+                    0,
+                    m,
+                    &mut partial,
+                );
                 for (o, &v) in out.iter_mut().zip(&partial) {
                     *o += v;
                 }
-                pool.restore(tid, keys::PARTIAL_GRID, partial);
-                n += acc;
+            } else {
+                // Deterministic merge: collect all partials, then fold them
+                // in block (tid) order exactly as the scoped path does.
+                let mut results: Vec<(usize, Vec<Complex<T>>, u64)> = rx.iter().collect();
+                results.sort_unstable_by_key(|(tid, _, _)| *tid);
+                let mut n = 0u64;
+                for (tid, partial, acc) in results {
+                    for (o, &v) in out.iter_mut().zip(&partial) {
+                        *o += v;
+                    }
+                    pool.restore(tid, keys::PARTIAL_GRID, partial);
+                    n += acc;
+                }
+                total_accums = n;
             }
-            total_accums = n;
         }
     }
     GridStats {

@@ -44,13 +44,16 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accuracy;
 pub mod apod;
+pub mod budget;
 pub mod config;
 pub mod decomp;
 pub mod density;
 pub mod engine;
+pub mod fault;
 pub mod gridding;
 pub mod interp;
 pub mod kernel;
@@ -71,7 +74,9 @@ pub use kernel::KernelKind;
 pub use lut::KernelLut;
 pub use nufft::{NufftPlan, PlannedTrajectory};
 
-/// Errors reported by configuration validation and data ingestion.
+/// Errors reported by configuration validation, data ingestion, and the
+/// execution engine. See `DESIGN.md` §7 for the full failure-mode
+/// taxonomy (what degrades gracefully vs. what aborts).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// A configuration parameter is outside its supported range.
@@ -79,6 +84,14 @@ pub enum Error {
     /// Sample data is malformed (non-finite coordinate or value, length
     /// mismatch between coordinate and value arrays).
     Data(String),
+    /// A contained execution failure: a job panicked on the worker pool
+    /// (payload and worker id captured in the message) and the serial
+    /// fallback was disabled or impossible. The pool itself survives.
+    Execution(String),
+    /// A [`budget::RunBudget`] was exhausted before any usable result
+    /// existed. (When a partial result exists, operations return it with
+    /// a diagnostic instead of this error.)
+    Budget(String),
 }
 
 impl core::fmt::Display for Error {
@@ -86,6 +99,8 @@ impl core::fmt::Display for Error {
         match self {
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::Data(m) => write!(f, "data error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Budget(m) => write!(f, "budget exhausted: {m}"),
         }
     }
 }

@@ -34,6 +34,7 @@ use jigsaw_fft::exec::{restore_vec, take_vec, Executor, Job as ExecJob};
 use jigsaw_fft::{Direction, FftNd};
 use jigsaw_num::{Complex, Float};
 use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::faultpoint;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -223,15 +224,22 @@ impl<T: Float, const D: usize> PlanInner<T, D> {
     /// mutable reference to `grid` and performs the scatter, so no two
     /// threads ever write the grid. Bitwise identical to the serial pass
     /// for any executor (see [`apod_chunks`]).
+    ///
+    /// If a job panics and [`crate::engine::serial_fallback_enabled`],
+    /// the serial pass recomputes the full output (jobs never touch
+    /// `grid`, so it is still pristine) and `engine.fallbacks` is
+    /// incremented; with the policy disabled the failure surfaces as
+    /// [`Error::Execution`].
     fn embed_apodized_with(
         self: &Arc<Self>,
         exec: &dyn Executor,
         image: &[Complex<T>],
         grid: &mut [Complex<T>],
-    ) {
+    ) -> Result<()> {
         let npix = image.len();
         if exec.concurrency() <= 1 || npix < PARALLEL_APOD_MIN {
-            return self.embed_apodized(image, grid);
+            self.embed_apodized(image, grid);
+            return Ok(());
         }
         let src: Arc<Vec<Complex<T>>> = Arc::new(image.to_vec());
         let chunks = apod_chunks(npix, exec.concurrency());
@@ -258,14 +266,25 @@ impl<T: Float, const D: usize> PlanInner<T, D> {
             })
             .collect();
         drop(tx);
-        exec.execute(jobs);
+        if let Err(e) = exec.execute(jobs) {
+            if !crate::engine::serial_fallback_enabled() {
+                return Err(Error::Execution(e.to_string()));
+            }
+            telemetry::record_counter("engine.fallbacks", 1);
+            drop(rx);
+            self.embed_apodized(image, grid);
+            return Ok(());
+        }
         for _ in 0..chunks.len() {
-            let (j, out) = rx.recv().expect("embed chunk result");
+            let (j, out) = rx
+                .recv()
+                .map_err(|_| Error::Execution("embed chunk result channel closed".into()))?;
             for &(dst, v) in out.iter() {
                 grid[dst] = v;
             }
             restore_vec(exec, j, keys::APOD_LINES, out);
         }
+        Ok(())
     }
 
     /// De-apodized extraction of image pixels `flat0 .. flat0 + out.len()`
@@ -297,17 +316,23 @@ impl<T: Float, const D: usize> PlanInner<T, D> {
     /// `Arc`-shared grid snapshot and return contiguous image chunks the
     /// caller places — bitwise identical to the serial pass for any
     /// executor (see [`apod_chunks`]).
+    ///
+    /// Failure policy matches [`Self::embed_apodized_with`]: jobs read a
+    /// snapshot and never write `image`, so after a contained panic the
+    /// serial pass reproduces the full output bitwise (counted in
+    /// `engine.fallbacks`), or [`Error::Execution`] is returned when the
+    /// fallback policy is disabled.
     fn extract_deapodized(
         self: &Arc<Self>,
         exec: &dyn Executor,
         grid: &[Complex<T>],
-    ) -> Vec<Complex<T>> {
+    ) -> Result<Vec<Complex<T>>> {
         let n = self.cfg.n;
         let npix = n.pow(D as u32);
         let mut image = vec![Complex::<T>::zeroed(); npix];
         if exec.concurrency() <= 1 || npix < PARALLEL_APOD_MIN {
             self.extract_range(grid, 0, &mut image);
-            return image;
+            return Ok(image);
         }
         let src: Arc<Vec<Complex<T>>> = Arc::new(grid.to_vec());
         let chunks = apod_chunks(npix, exec.concurrency());
@@ -329,13 +354,23 @@ impl<T: Float, const D: usize> PlanInner<T, D> {
             })
             .collect();
         drop(tx);
-        exec.execute(jobs);
+        if let Err(e) = exec.execute(jobs) {
+            if !crate::engine::serial_fallback_enabled() {
+                return Err(Error::Execution(e.to_string()));
+            }
+            telemetry::record_counter("engine.fallbacks", 1);
+            drop(rx);
+            self.extract_range(grid, 0, &mut image);
+            return Ok(image);
+        }
         for _ in 0..chunks.len() {
-            let (j, start, out) = rx.recv().expect("extract chunk result");
+            let (j, start, out) = rx
+                .recv()
+                .map_err(|_| Error::Execution("extract chunk result channel closed".into()))?;
             image[start..start + out.len()].copy_from_slice(&out);
             restore_vec(exec, j, keys::APOD_LINES, out);
         }
-        image
+        Ok(image)
     }
 
     /// The adjoint NuFFT's post-gridding stages: uniform FFT over an
@@ -367,7 +402,15 @@ impl<T: Float, const D: usize> PlanInner<T, D> {
         let t2 = Instant::now();
         {
             let _span = telemetry::span!("fft.process", { points: grid.len() });
-            self.fft.process_with(pool, grid, Direction::Forward);
+            if crate::engine::serial_fallback_enabled() {
+                // Per-axis serial retry on contained panics, counted in
+                // `engine.fallbacks` inside the FFT layer.
+                self.fft.process_with(pool, grid, Direction::Forward);
+            } else {
+                self.fft
+                    .try_process_with(pool, grid, Direction::Forward)
+                    .map_err(|e| Error::Execution(e.to_string()))?;
+            }
         }
         let fft_seconds = t2.elapsed().as_secs_f64();
 
@@ -375,7 +418,7 @@ impl<T: Float, const D: usize> PlanInner<T, D> {
         let t3 = Instant::now();
         let image = {
             let _apod_span = telemetry::span!("nufft.apod", { n: n, dim: D });
-            self.extract_deapodized(pool, grid)
+            self.extract_deapodized(pool, grid)?
         };
         let apod_seconds = t3.elapsed().as_secs_f64();
         Ok((
@@ -688,8 +731,9 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
         let windows = Arc::clone(&traj.windows);
         let coils: Vec<Arc<[Complex<T>]>> = batches.iter().map(|b| Arc::from(*b)).collect();
         let (tx, rx) = channel();
-        pool.run(njobs, move |c, arena| {
+        let run = pool.try_run(njobs, move |c, arena| {
             let _coil_span = telemetry::span!("nufft.coil_adjoint", { coil: c, m: m });
+            faultpoint!(crate::fault::NUFFT_COIL);
             let values = &coils[c];
             let mut grid = arena.take_vec(keys::COIL_GRID, npoints, Complex::<T>::zeroed());
             let t1 = Instant::now();
@@ -700,11 +744,25 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             let finished = inner.finish_adjoint(&mut grid);
             let _ = tx.send((c, grid, interp_seconds, finished));
         });
+        if let Err(failure) = run {
+            if !crate::engine::serial_fallback_enabled() {
+                return Err(failure.into());
+            }
+            // A coil job panicked (contained by the pool, which stays
+            // alive; the poisoned worker's scratch was discarded). Coil
+            // outputs are independent and the scatter consumes the cached
+            // windows in sample order, so the serial recompute below is
+            // bitwise identical to an unfaulted pooled run.
+            telemetry::record_counter("engine.fallbacks", 1);
+            drop(rx);
+            return self.adjoint_batch_planned_serial(traj, batches);
+        }
 
         let mut out: Vec<Option<AdjointOutput<T>>> = (0..njobs).map(|_| None).collect();
         for _ in 0..njobs {
-            let (c, grid, interp_seconds, finished) =
-                rx.recv().expect("planned adjoint job result");
+            let (c, grid, interp_seconds, finished) = rx.recv().map_err(|_| {
+                Error::Execution("planned adjoint job result channel closed".into())
+            })?;
             pool.restore(c, keys::COIL_GRID, grid);
             let (image, mut timings) = finished?;
             timings.interp_seconds = interp_seconds;
@@ -723,10 +781,57 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
                 },
             });
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("every coil job reported"))
-            .collect())
+        out.into_iter()
+            .enumerate()
+            .map(|(c, r)| {
+                r.ok_or_else(|| Error::Execution(format!("coil job {c} never reported a result")))
+            })
+            .collect()
+    }
+
+    /// Single-threaded recompute of [`Self::adjoint_batch_planned`] — the
+    /// graceful-degradation path after a pooled coil job fails. Bitwise
+    /// identical to the pooled path: the scatter consumes the cached
+    /// windows in sample order, and every post-gridding stage is bitwise
+    /// invariant across executors.
+    fn adjoint_batch_planned_serial(
+        &self,
+        traj: &PlannedTrajectory<D>,
+        batches: &[&[Complex<T>]],
+    ) -> Result<Vec<AdjointOutput<T>>> {
+        let g = self.inner.params.grid;
+        let w = self.inner.params.width;
+        let npoints = g.pow(D as u32);
+        let m = traj.len();
+        let kernel_accums = (m as u64) * (w as u64).pow(D as u32);
+        let mut grid = vec![Complex::<T>::zeroed(); npoints];
+        let mut out = Vec::with_capacity(batches.len());
+        for (c, values) in batches.iter().enumerate() {
+            let _coil_span = telemetry::span!("nufft.coil_adjoint", { coil: c, m: m });
+            grid.fill(Complex::zeroed());
+            let t1 = Instant::now();
+            for (wins, &v) in traj.windows.iter().zip(values.iter()) {
+                scatter_rowmajor(g, w, wins, v, &mut grid);
+            }
+            let interp_seconds = t1.elapsed().as_secs_f64();
+            let (image, mut timings) = self.inner.finish_adjoint(&mut grid)?;
+            timings.interp_seconds = interp_seconds;
+            out.push(AdjointOutput {
+                image,
+                timings,
+                grid_stats: GridStats {
+                    samples: m,
+                    samples_processed: m,
+                    boundary_checks: 0,
+                    kernel_accumulations: kernel_accums,
+                    presort_seconds: 0.0,
+                    gridding_seconds: interp_seconds,
+                    fft_seconds: timings.fft_seconds,
+                    apod_seconds: timings.apod_seconds,
+                },
+            });
+        }
+        Ok(out)
     }
 
     /// Batched forward NuFFT over a planned trajectory: one image per
@@ -771,8 +876,9 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
         let windows = Arc::clone(&traj.windows);
         let imgs: Vec<Arc<[Complex<T>]>> = images.iter().map(|b| Arc::from(*b)).collect();
         let (tx, rx) = channel();
-        pool.run(njobs, move |j, arena| {
+        let run = pool.try_run(njobs, move |j, arena| {
             let _img_span = telemetry::span!("nufft.coil_forward", { image: j });
+            faultpoint!(crate::fault::NUFFT_COIL);
             let mut grid = arena.take_vec(keys::COIL_GRID, npoints, Complex::<T>::zeroed());
             let t0 = Instant::now();
             inner.embed_apodized(&imgs[j], &mut grid);
@@ -803,17 +909,76 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
                 },
             ));
         });
+        if let Err(failure) = run {
+            if !crate::engine::serial_fallback_enabled() {
+                return Err(failure.into());
+            }
+            telemetry::record_counter("engine.fallbacks", 1);
+            drop(rx);
+            return self.forward_batch_planned_serial(images, traj);
+        }
 
         let mut out: Vec<Option<ForwardOutput<T>>> = (0..njobs).map(|_| None).collect();
         for _ in 0..njobs {
-            let (j, grid, fwd) = rx.recv().expect("planned forward job result");
+            let (j, grid, fwd) = rx.recv().map_err(|_| {
+                Error::Execution("planned forward job result channel closed".into())
+            })?;
             pool.restore(j, keys::COIL_GRID, grid);
             out[j] = Some(fwd);
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("every image job reported"))
-            .collect())
+        out.into_iter()
+            .enumerate()
+            .map(|(j, r)| {
+                r.ok_or_else(|| Error::Execution(format!("image job {j} never reported a result")))
+            })
+            .collect()
+    }
+
+    /// Single-threaded recompute of [`Self::forward_batch_planned`] — the
+    /// graceful-degradation path after a pooled image job fails. Mirrors
+    /// the job body exactly (serial embed, serial FFT, windowed gather in
+    /// sample order), so outputs are bitwise identical to an unfaulted
+    /// pooled run.
+    fn forward_batch_planned_serial(
+        &self,
+        images: &[&[Complex<T>]],
+        traj: &PlannedTrajectory<D>,
+    ) -> Result<Vec<ForwardOutput<T>>> {
+        let g = self.inner.params.grid;
+        let w = self.inner.params.width;
+        let npoints = g.pow(D as u32);
+        let mut grid = vec![Complex::<T>::zeroed(); npoints];
+        let mut out = Vec::with_capacity(images.len());
+        for (j, img) in images.iter().enumerate() {
+            let _img_span = telemetry::span!("nufft.coil_forward", { image: j });
+            grid.fill(Complex::zeroed());
+            let t0 = Instant::now();
+            self.inner.embed_apodized(img, &mut grid);
+            let apod_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            {
+                let _fft_span = telemetry::span!("fft.process", { points: npoints });
+                self.inner.fft.process(&mut grid, Direction::Forward);
+            }
+            let fft_seconds = t1.elapsed().as_secs_f64();
+            let t2 = Instant::now();
+            let samples: Vec<Complex<T>> = traj
+                .windows
+                .iter()
+                .map(|wins| gather_from_windows::<T, D>(&grid, g, w, wins))
+                .collect();
+            let interp_seconds = t2.elapsed().as_secs_f64();
+            out.push(ForwardOutput {
+                samples,
+                timings: StageTimings {
+                    prep_seconds: 0.0,
+                    interp_seconds,
+                    fft_seconds,
+                    apod_seconds,
+                },
+            });
+        }
+        Ok(out)
     }
 
     /// The adjoint NuFFT's post-gridding stages: uniform FFT over an
@@ -850,15 +1015,22 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
         let pool = WorkerPool::global();
         let t0 = Instant::now();
         let mut grid = vec![Complex::<T>::zeroed(); g.pow(D as u32)];
-        self.inner.embed_apodized_with(pool, image, &mut grid);
+        self.inner.embed_apodized_with(pool, image, &mut grid)?;
         let apod_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         {
             let _fft_span = telemetry::span!("fft.process", { points: grid.len() });
-            self.inner
-                .fft
-                .process_with(pool, &mut grid, Direction::Forward);
+            if crate::engine::serial_fallback_enabled() {
+                self.inner
+                    .fft
+                    .process_with(pool, &mut grid, Direction::Forward);
+            } else {
+                self.inner
+                    .fft
+                    .try_process_with(pool, &mut grid, Direction::Forward)
+                    .map_err(|e| Error::Execution(e.to_string()))?;
+            }
         }
         let fft_seconds = t1.elapsed().as_secs_f64();
 

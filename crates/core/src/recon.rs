@@ -19,15 +19,16 @@
 //! [`ToeplitzOperator`] (two FFTs, Impatient's strategy); both paths are
 //! exposed so the trade-off is measurable.
 
+use crate::budget::RunBudget;
 use crate::gridding::Gridder;
 use crate::nufft::NufftPlan;
 use crate::toeplitz::ToeplitzOperator;
-use crate::Result;
+use crate::{Error, Result};
 use jigsaw_num::C64;
 use jigsaw_telemetry as telemetry;
 
 /// Options for [`cg_reconstruct`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CgOptions {
     /// Maximum CG iterations.
     pub max_iterations: usize,
@@ -35,6 +36,10 @@ pub struct CgOptions {
     pub tolerance: f64,
     /// Tikhonov regularization weight λ.
     pub lambda: f64,
+    /// Cooperative wall-clock / cancellation budget, checked between
+    /// iterations (and between per-coil chunks in
+    /// [`crate::sense::cg_sense`]). Defaults to unlimited.
+    pub budget: RunBudget,
 }
 
 impl Default for CgOptions {
@@ -43,7 +48,58 @@ impl Default for CgOptions {
             max_iterations: 20,
             tolerance: 1e-6,
             lambda: 0.0,
+            budget: RunBudget::unlimited(),
         }
+    }
+}
+
+/// Why a CG solve stopped — distinguishes clean convergence from the
+/// contained numerical / budget failure modes (DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgDiagnostic {
+    /// Relative residual dropped below the tolerance.
+    Converged,
+    /// Iteration cap reached without convergence; the last iterate is
+    /// returned.
+    MaxIterations,
+    /// Krylov breakdown: the search-direction curvature `⟨p, Ap⟩`
+    /// underflowed, so no further progress is possible. The last iterate
+    /// is returned.
+    Breakdown,
+    /// A non-finite residual or curvature appeared (NaN/Inf in the data
+    /// or operator). The best *finite* iterate is returned.
+    NonFinite,
+    /// The residual grew far past the best seen — the operator is not
+    /// positive semi-definite or the problem is badly scaled. The best
+    /// iterate is returned.
+    Diverged,
+    /// The [`RunBudget`] was exhausted mid-solve; the best iterate so far
+    /// is returned. (Exhaustion before any iterate exists is reported as
+    /// [`crate::Error::Budget`] instead.)
+    BudgetExhausted,
+}
+
+impl CgDiagnostic {
+    /// Whether the solve ended without a contained failure.
+    pub fn is_clean(self) -> bool {
+        matches!(
+            self,
+            CgDiagnostic::Converged | CgDiagnostic::MaxIterations | CgDiagnostic::Breakdown
+        )
+    }
+}
+
+impl core::fmt::Display for CgDiagnostic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            CgDiagnostic::Converged => "converged",
+            CgDiagnostic::MaxIterations => "max-iterations",
+            CgDiagnostic::Breakdown => "breakdown",
+            CgDiagnostic::NonFinite => "non-finite (best finite iterate returned)",
+            CgDiagnostic::Diverged => "diverged (best iterate returned)",
+            CgDiagnostic::BudgetExhausted => "budget-exhausted (best iterate returned)",
+        };
+        f.write_str(s)
     }
 }
 
@@ -54,6 +110,8 @@ pub struct CgOutput {
     pub image: Vec<C64>,
     /// Relative residual after each iteration.
     pub residuals: Vec<f64>,
+    /// Why the solve stopped.
+    pub diagnostic: CgDiagnostic,
 }
 
 /// How the normal operator is evaluated each iteration.
@@ -99,10 +157,126 @@ fn dot(a: &[C64], b: &[C64]) -> C64 {
     a.iter().zip(b).map(|(x, y)| *x * y.conj()).sum()
 }
 
+/// Residual growth factor past the best seen that declares divergence.
+/// The zero start iterate has relative residual exactly 1, so this also
+/// bounds absolute blow-up on the very first iteration.
+const CG_DIVERGENCE_FACTOR: f64 = 1e4;
+
+/// The shared hardened CG loop: solve `(A + λI) x = rhs` from zero via
+/// `apply`, with best-iterate tracking, non-finite / divergence
+/// containment, deterministic fault injection at
+/// [`crate::fault::RECON_CG_ITER`], and cooperative budget checks between
+/// iterations.
+///
+/// Errors from `apply` propagate — except [`Error::Budget`], which (once
+/// at least one iterate exists) degrades to the best iterate with a
+/// [`CgDiagnostic::BudgetExhausted`] flag. A budget that exhausts before
+/// the first iterate completes is a hard [`Error::Budget`].
+pub(crate) fn cg_loop(
+    mut apply: impl FnMut(&[C64]) -> Result<Vec<C64>>,
+    rhs: &[C64],
+    opts: &CgOptions,
+) -> Result<CgOutput> {
+    let n = rhs.len();
+    let mut x = vec![C64::zeroed(); n];
+    let mut r = rhs.to_vec();
+    let mut p = r.clone();
+    let r0_norm = dot(&r, &r).re.sqrt().max(1e-300);
+    let mut rs_old = dot(&r, &r).re;
+    let mut residuals = Vec::with_capacity(opts.max_iterations);
+    // The zero start iterate: relative residual ‖r₀‖/‖r₀‖ = 1 exactly.
+    let mut best = x.clone();
+    let mut best_rel = 1.0f64;
+    let mut diagnostic = CgDiagnostic::MaxIterations;
+    for iter in 0..opts.max_iterations {
+        if opts.budget.exhausted() {
+            diagnostic = CgDiagnostic::BudgetExhausted;
+            break;
+        }
+        let _iter_span = telemetry::span!("recon.cg_iteration", { iter: iter });
+        let mut ap = match apply(&p) {
+            Ok(v) => v,
+            Err(Error::Budget(_)) if !residuals.is_empty() => {
+                diagnostic = CgDiagnostic::BudgetExhausted;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        if opts.lambda != 0.0 {
+            for (a, &pv) in ap.iter_mut().zip(&p) {
+                *a += pv.scale(opts.lambda);
+            }
+        }
+        let denom = dot(&p, &ap).re;
+        if !denom.is_finite() {
+            diagnostic = CgDiagnostic::NonFinite;
+            break;
+        }
+        if denom.abs() < 1e-300 {
+            diagnostic = CgDiagnostic::Breakdown;
+            break;
+        }
+        let alpha = rs_old / denom;
+        for ((xi, pi), (ri, api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
+            *xi += pi.scale(alpha);
+            *ri -= api.scale(alpha);
+        }
+        let mut rs_new = dot(&r, &r).re;
+        // Deterministic fault injection: poison (don't panic) so the
+        // solver's own non-finite containment is what gets exercised.
+        if crate::fault::should_fire(crate::fault::RECON_CG_ITER) {
+            rs_new = f64::NAN;
+        }
+        let rel = rs_new.sqrt() / r0_norm;
+        residuals.push(rel);
+        // Residual time-series: a counter event per iteration (visible as
+        // a chrome-trace counter track) plus a last-value gauge.
+        telemetry::counter_event("recon.cg_residual", rel);
+        telemetry::record_gauge("recon.cg_residual", rel);
+        if !rel.is_finite() {
+            diagnostic = CgDiagnostic::NonFinite;
+            break;
+        }
+        if rel > best_rel * CG_DIVERGENCE_FACTOR {
+            diagnostic = CgDiagnostic::Diverged;
+            break;
+        }
+        if rel < best_rel {
+            best_rel = rel;
+            best.copy_from_slice(&x);
+        }
+        if rel < opts.tolerance {
+            diagnostic = CgDiagnostic::Converged;
+            break;
+        }
+        let beta = rs_new / rs_old;
+        for (pi, &ri) in p.iter_mut().zip(&r) {
+            *pi = ri + pi.scale(beta);
+        }
+        rs_old = rs_new;
+    }
+    if diagnostic == CgDiagnostic::BudgetExhausted && residuals.is_empty() {
+        return Err(Error::Budget(
+            "run budget exhausted before the first CG iteration".into(),
+        ));
+    }
+    // Clean stops return the last iterate (converged ⇒ it is also the
+    // best); contained failures return the best finite iterate instead of
+    // the possibly-poisoned last one.
+    let image = if diagnostic.is_clean() { x } else { best };
+    Ok(CgOutput {
+        image,
+        residuals,
+        diagnostic,
+    })
+}
+
 /// Solve `(AᴴWA + λI) x = rhs` by conjugate gradients, starting from zero.
 ///
 /// `rhs` must already be `AᴴW b` (compute it with one adjoint NuFFT of
-/// the weighted data).
+/// the weighted data). Numerical failure modes (non-finite values,
+/// divergence) and budget exhaustion are contained: the solve returns its
+/// best iterate with the reason in [`CgOutput::diagnostic`].
 pub fn cg_solve<const D: usize>(
     op: &NormalOp<'_, D>,
     rhs: &[C64],
@@ -112,50 +286,7 @@ pub fn cg_solve<const D: usize>(
         n: rhs.len(),
         max_iterations: opts.max_iterations
     });
-    let n = rhs.len();
-    let mut x = vec![C64::zeroed(); n];
-    let mut r = rhs.to_vec();
-    let mut p = r.clone();
-    let r0_norm = dot(&r, &r).re.sqrt().max(1e-300);
-    let mut rs_old = dot(&r, &r).re;
-    let mut residuals = Vec::with_capacity(opts.max_iterations);
-    for iter in 0..opts.max_iterations {
-        let _iter_span = telemetry::span!("recon.cg_iteration", { iter: iter });
-        let mut ap = op.apply(&p)?;
-        if opts.lambda != 0.0 {
-            for (a, &pv) in ap.iter_mut().zip(&p) {
-                *a += pv.scale(opts.lambda);
-            }
-        }
-        let denom = dot(&p, &ap).re;
-        if denom.abs() < 1e-300 {
-            break;
-        }
-        let alpha = rs_old / denom;
-        for ((xi, pi), (ri, api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
-            *xi += pi.scale(alpha);
-            *ri -= api.scale(alpha);
-        }
-        let rs_new = dot(&r, &r).re;
-        let rel = rs_new.sqrt() / r0_norm;
-        residuals.push(rel);
-        // Residual time-series: a counter event per iteration (visible as
-        // a chrome-trace counter track) plus a last-value gauge.
-        telemetry::counter_event("recon.cg_residual", rel);
-        telemetry::record_gauge("recon.cg_residual", rel);
-        if rel < opts.tolerance {
-            break;
-        }
-        let beta = rs_new / rs_old;
-        for (pi, &ri) in p.iter_mut().zip(&r) {
-            *pi = ri + pi.scale(beta);
-        }
-        rs_old = rs_new;
-    }
-    Ok(CgOutput {
-        image: x,
-        residuals,
-    })
+    cg_loop(|v| op.apply(v), rhs, opts)
 }
 
 /// Convenience wrapper: full CG reconstruction from k-space data.
@@ -213,6 +344,7 @@ mod tests {
                 max_iterations: 30,
                 tolerance: 1e-9,
                 lambda: 0.0,
+                budget: Default::default(),
             },
         )
         .unwrap();
@@ -273,6 +405,7 @@ mod tests {
                 max_iterations: 12,
                 tolerance: 1e-8,
                 lambda: 1e-6,
+                budget: Default::default(),
             },
         )
         .unwrap();
@@ -298,6 +431,7 @@ mod tests {
             max_iterations: 15,
             tolerance: 1e-10,
             lambda: 0.0,
+            budget: Default::default(),
         };
         let via_nufft = cg_solve(
             &NormalOp::Nufft {
@@ -314,5 +448,100 @@ mod tests {
         let via_toeplitz = cg_solve(&NormalOp::Toeplitz(&top), &rhs, &opts).unwrap();
         let err = rel_l2(&via_toeplitz.image, &via_nufft.image);
         assert!(err < 5e-2, "Toeplitz vs NuFFT CG paths: {err}");
+    }
+
+    #[test]
+    fn non_finite_apply_returns_best_iterate() {
+        // apply() yields NaNs: denom goes non-finite on the very first
+        // iteration, so the best iterate is still the zero start.
+        let rhs = vec![C64::from_re(1.0); 4];
+        let out = cg_loop(
+            |p| Ok(vec![C64::new(f64::NAN, 0.0); p.len()]),
+            &rhs,
+            &CgOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.diagnostic, CgDiagnostic::NonFinite);
+        assert!(!out.diagnostic.is_clean());
+        assert!(out.image.iter().all(|z| z.re == 0.0 && z.im == 0.0));
+    }
+
+    #[test]
+    fn diverging_residual_is_contained() {
+        // apply() returns the constant vector [eps, 1] regardless of input.
+        // With rhs = [1, 0]: denom = eps, alpha = 1/eps, the new residual
+        // ~1/eps dwarfs the start residual ⇒ relative residual ~1e8 > the
+        // 1e4 divergence factor on iteration one.
+        let eps = 1e-8;
+        let rhs = vec![C64::from_re(1.0), C64::zeroed()];
+        let out = cg_loop(
+            |_| Ok(vec![C64::from_re(eps), C64::from_re(1.0)]),
+            &rhs,
+            &CgOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.diagnostic, CgDiagnostic::Diverged);
+        // Best iterate is the zero start (rel = 1), not the blown-up x.
+        assert!(out.image.iter().all(|z| z.re == 0.0 && z.im == 0.0));
+        assert_eq!(out.residuals.len(), 1);
+        assert!(out.residuals[0] > CG_DIVERGENCE_FACTOR);
+    }
+
+    #[test]
+    fn exhausted_budget_before_first_iteration_is_a_hard_error() {
+        let rhs = vec![C64::from_re(1.0); 4];
+        let opts = CgOptions {
+            budget: crate::budget::RunBudget::with_time_ms(0),
+            ..Default::default()
+        };
+        let err = cg_loop(|p| Ok(p.to_vec()), &rhs, &opts).unwrap_err();
+        assert!(matches!(err, Error::Budget(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn cancellation_mid_solve_returns_best_partial_iterate() {
+        // Diagonal operator with six distinct eigenvalues: CG needs six
+        // iterations for an exact solve, so cancelling after the second
+        // application leaves a genuinely partial (but improving) iterate.
+        let rhs: Vec<C64> = (0..6).map(|i| C64::from_re(1.0 + i as f64)).collect();
+        let budget = crate::budget::RunBudget::unlimited();
+        let handle = budget.clone();
+        let mut applies = 0usize;
+        let opts = CgOptions {
+            max_iterations: 50,
+            tolerance: 1e-300,
+            lambda: 0.0,
+            budget,
+        };
+        let out = cg_loop(
+            move |p| {
+                applies += 1;
+                if applies == 2 {
+                    handle.cancel();
+                }
+                Ok(p.iter()
+                    .enumerate()
+                    .map(|(i, z)| z.scale(1.0 + i as f64))
+                    .collect())
+            },
+            &rhs,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(out.diagnostic, CgDiagnostic::BudgetExhausted);
+        assert_eq!(out.residuals.len(), 2);
+        // The best iterate improved on the zero start.
+        assert!(out.image.iter().any(|z| z.re != 0.0 || z.im != 0.0));
+        assert!(*out.residuals.last().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn converged_diagnostic_is_clean() {
+        let rhs = vec![C64::from_re(2.0); 3];
+        let out = cg_loop(|p| Ok(p.to_vec()), &rhs, &CgOptions::default()).unwrap();
+        assert_eq!(out.diagnostic, CgDiagnostic::Converged);
+        assert!(out.diagnostic.is_clean());
+        let err = rel_l2(&out.image, &rhs);
+        assert!(err < 1e-12);
     }
 }

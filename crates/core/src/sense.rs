@@ -194,6 +194,15 @@ pub fn cg_sense(
         let n = maps.n();
         let mut acc = vec![C64::zeroed(); n * n];
         for c in 0..maps.coils() {
+            // Cooperative budget check between per-coil chunks: each coil
+            // costs a forward + adjoint NuFFT, the unit of work worth
+            // abandoning mid-iteration. `cg_loop` converts this into a
+            // best-iterate return once an iterate exists.
+            if opts.budget.exhausted() {
+                return Err(Error::Budget(format!(
+                    "run budget exhausted before coil {c} of the normal operator"
+                )));
+            }
             let weighted: Vec<C64> = x.iter().zip(maps.map(c)).map(|(v, s)| *v * *s).collect();
             let fwd = plan.forward(&weighted, coords)?.samples;
             let back = plan.adjoint(coords, &fwd, gridder)?.image;
@@ -203,50 +212,9 @@ pub fn cg_sense(
         }
         Ok(acc)
     };
-    // Inline CG (the operator shape differs from recon::NormalOp).
-    let m = rhs.len();
-    let mut x = vec![C64::zeroed(); m];
-    let mut r = rhs.clone();
-    let mut p = r.clone();
-    let dot = |a: &[C64], b: &[C64]| -> C64 { a.iter().zip(b).map(|(u, v)| *u * v.conj()).sum() };
-    let r0 = dot(&r, &r).re.sqrt().max(1e-300);
-    let mut rs_old = dot(&r, &r).re;
-    let mut residuals = Vec::new();
-    for iter in 0..opts.max_iterations {
-        let _iter_span = telemetry::span!("recon.cg_iteration", { iter: iter });
-        let mut ap = normal(&p)?;
-        if opts.lambda != 0.0 {
-            for (a, &pv) in ap.iter_mut().zip(&p) {
-                *a += pv.scale(opts.lambda);
-            }
-        }
-        let denom = dot(&p, &ap).re;
-        if denom.abs() < 1e-300 {
-            break;
-        }
-        let alpha = rs_old / denom;
-        for ((xi, pi), (ri, api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
-            *xi += pi.scale(alpha);
-            *ri -= api.scale(alpha);
-        }
-        let rs_new = dot(&r, &r).re;
-        let rel = rs_new.sqrt() / r0;
-        residuals.push(rel);
-        telemetry::counter_event("recon.cg_residual", rel);
-        telemetry::record_gauge("recon.cg_residual", rel);
-        if rel < opts.tolerance {
-            break;
-        }
-        let beta = rs_new / rs_old;
-        for (pi, &ri) in p.iter_mut().zip(&r) {
-            *pi = ri + pi.scale(beta);
-        }
-        rs_old = rs_new;
-    }
-    Ok(CgOutput {
-        image: x,
-        residuals,
-    })
+    // Shared hardened CG loop (the operator shape differs from
+    // recon::NormalOp, so it enters as a closure).
+    crate::recon::cg_loop(normal, &rhs, opts)
 }
 
 #[cfg(test)]
@@ -329,6 +297,7 @@ mod tests {
                 max_iterations: 25,
                 tolerance: 1e-9,
                 lambda: 1e-4,
+                budget: Default::default(),
             },
         )
         .unwrap();

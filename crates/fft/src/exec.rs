@@ -43,6 +43,51 @@ use std::sync::Mutex;
 /// A unit of FFT work: owns its inputs, receives a recycling arena.
 pub type Job = Box<dyn FnOnce(&mut dyn BufferArena) + Send>;
 
+/// A contained job failure: some job in an [`Executor::execute`] batch
+/// panicked. The executor catches the panic (its workers — or, for
+/// [`SerialExecutor`], the calling thread — survive), and reports the
+/// first failure here so callers can degrade gracefully instead of
+/// unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Index of the failed job within the submitted batch.
+    pub job: usize,
+    /// The worker that ran the job, when the executor has workers.
+    pub worker: Option<usize>,
+    /// The captured panic payload, rendered as a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.worker {
+            Some(w) => write!(
+                f,
+                "job {} panicked on worker {}: {}",
+                self.job, w, self.message
+            ),
+            None => write!(f, "job {} panicked: {}", self.job, self.message),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Render a caught panic payload as a string: `&str` and `String`
+/// payloads verbatim, [`jigsaw_testkit::fault::FaultInjected`] by site
+/// name, anything else opaquely.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(f) = payload.downcast_ref::<jigsaw_testkit::fault::FaultInjected>() {
+        f.to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Scratch key for N-D FFT panel buffers (`Vec<Complex<T>>`).
 ///
 /// Chosen to extend the `jigsaw_core::engine::keys` space without
@@ -103,7 +148,12 @@ pub fn give_vec<T: Send + 'static>(arena: &mut dyn BufferArena, key: u64, v: Vec
 pub trait Executor: Sync {
     /// Run all `jobs` to completion. Job `j` should run against a stable,
     /// worker-affine [`BufferArena`] so recycled buffers stay warm.
-    fn execute(&self, jobs: Vec<Job>);
+    ///
+    /// A panicking job must be *contained*: the executor stays usable,
+    /// and the first failure is reported as an [`ExecError`] after every
+    /// job in the batch has either run or been discarded. Scratch buffers
+    /// held by a panicking job must be discarded, not recycled.
+    fn execute(&self, jobs: Vec<Job>) -> Result<(), ExecError>;
 
     /// Number of jobs that can make progress simultaneously (≥ 1). Used
     /// only to decide whether parallel orchestration is worth setting up —
@@ -163,11 +213,25 @@ impl SerialExecutor {
 }
 
 impl Executor for SerialExecutor {
-    fn execute(&self, jobs: Vec<Job>) {
-        let mut arena = self.arena.lock().unwrap_or_else(|e| e.into_inner());
-        for job in jobs {
-            job(&mut *arena);
+    fn execute(&self, jobs: Vec<Job>) -> Result<(), ExecError> {
+        for (j, job) in jobs.into_iter().enumerate() {
+            // The arena lock is scoped per job so a panicking job leaves
+            // the executor reusable; its arena is discarded (fresh buffers
+            // on next use) rather than recycled in an unknown state.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut arena = self.arena.lock().unwrap_or_else(|e| e.into_inner());
+                job(&mut *arena);
+            }));
+            if let Err(payload) = result {
+                *self.arena.lock().unwrap_or_else(|e| e.into_inner()) = MapArena::default();
+                return Err(ExecError {
+                    job: j,
+                    worker: None,
+                    message: panic_message(&*payload),
+                });
+            }
         }
+        Ok(())
     }
 
     fn concurrency(&self) -> usize {
@@ -201,9 +265,44 @@ mod tests {
                 job
             })
             .collect();
-        exec.execute(jobs);
+        exec.execute(jobs).unwrap();
         assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3, 4]);
         assert_eq!(exec.concurrency(), 1);
+    }
+
+    #[test]
+    fn serial_executor_contains_job_panics() {
+        let exec = SerialExecutor::new();
+        let ran_after = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = vec![
+            Box::new(|_arena| {}),
+            Box::new(|_arena| panic!("boom in job 1")),
+            Box::new(|_arena| {}),
+        ];
+        let err = exec.execute(jobs).unwrap_err();
+        assert_eq!(err.job, 1);
+        assert_eq!(err.worker, None);
+        assert!(err.message.contains("boom in job 1"), "{err}");
+        assert!(err.to_string().contains("job 1 panicked"));
+        // The executor stays usable after the contained failure.
+        let ra = Arc::clone(&ran_after);
+        exec.execute(vec![Box::new(move |_arena| {
+            ra.store(7, Ordering::SeqCst);
+        })])
+        .unwrap();
+        assert_eq!(ran_after.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn panic_message_renders_known_payloads() {
+        let p: Box<dyn Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(&*p), "static str");
+        let p: Box<dyn Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(&*p), "owned");
+        let p: Box<dyn Any + Send> = Box::new(jigsaw_testkit::fault::FaultInjected { site: "a.b" });
+        assert_eq!(panic_message(&*p), "injected fault at a.b");
+        let p: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(&*p), "non-string panic payload");
     }
 
     #[test]
@@ -243,7 +342,8 @@ mod tests {
         exec.execute(vec![Box::new(move |arena| {
             let v = take_vec::<u32>(arena, 5, 32, 0);
             got2.store(v.as_ptr() as usize, Ordering::SeqCst);
-        })]);
+        })])
+        .unwrap();
         assert_eq!(got.load(Ordering::SeqCst), ptr);
     }
 }

@@ -21,6 +21,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bluestein;
 pub mod exec;
@@ -31,7 +32,7 @@ pub mod shift;
 
 use jigsaw_num::{Complex, Float};
 
-pub use exec::{Executor, SerialExecutor};
+pub use exec::{ExecError, Executor, SerialExecutor};
 pub use nd::FftNd;
 pub use shift::{fftshift, ifftshift};
 

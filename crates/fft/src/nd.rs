@@ -32,12 +32,17 @@
 //! panel partition depends only on the shape, and there are no atomics and
 //! no merge-order dependence).
 
-use crate::exec::{self, Executor};
+use crate::exec::{self, ExecError, Executor};
 use crate::{Direction, Fft1d};
 use jigsaw_num::{Complex, Float};
 use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::faultpoint;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
+
+/// Fault-injection site fired inside every parallel panel job (see
+/// `jigsaw_testkit::fault`). Listed in `jigsaw_core::fault::SITES`.
+pub const FAULT_PANEL: &str = "fft.panel";
 
 /// Lines per cache-blocked panel. 32 lines × 16-byte elements = 512-byte
 /// blocked reads/writes per grid row — wide enough to amortize the strided
@@ -243,24 +248,40 @@ impl<T: Float> FftNd<T> {
         let mut im_s: Vec<T> = Vec::new();
         let mut work: Vec<T> = Vec::new();
         for axis in 0..self.dims.len() {
-            let d = self.dims[axis];
-            if d == 1 {
+            if self.dims[axis] == 1 {
                 continue;
             }
-            let plan = &self.plans[axis];
-            let panels = self.panels_for_axis(axis);
-            let _span = axis_span(axis, d, panels.len());
-            let max_lines = panels.iter().map(|p| p.lines).max().unwrap_or(0);
-            re_s.resize(max_lines * d, T::ZERO);
-            im_s.resize(max_lines * d, T::ZERO);
-            for p in &panels {
-                let re = &mut re_s[..p.lines * d];
-                let im = &mut im_s[..p.lines * d];
-                gather_panel(data, p, d, re, im);
-                work.resize(plan.batch_scratch_len(p.lines), T::ZERO);
-                plan.process_planes(re, im, p.lines, dir, &mut work);
-                scatter_panel(re, im, p, d, data);
-            }
+            self.process_axis_serial(axis, data, dir, &mut re_s, &mut im_s, &mut work);
+        }
+    }
+
+    /// One serial cache-blocked panel pass along `axis`. Shared by
+    /// [`Self::process`] and the per-axis serial fallback of
+    /// [`Self::process_with`], so both produce identical floating-point
+    /// operation sequences.
+    fn process_axis_serial(
+        &self,
+        axis: usize,
+        data: &mut [Complex<T>],
+        dir: Direction,
+        re_s: &mut Vec<T>,
+        im_s: &mut Vec<T>,
+        work: &mut Vec<T>,
+    ) {
+        let d = self.dims[axis];
+        let plan = &self.plans[axis];
+        let panels = self.panels_for_axis(axis);
+        let _span = axis_span(axis, d, panels.len());
+        let max_lines = panels.iter().map(|p| p.lines).max().unwrap_or(0);
+        re_s.resize(max_lines * d, T::ZERO);
+        im_s.resize(max_lines * d, T::ZERO);
+        for p in &panels {
+            let re = &mut re_s[..p.lines * d];
+            let im = &mut im_s[..p.lines * d];
+            gather_panel(data, p, d, re, im);
+            work.resize(plan.batch_scratch_len(p.lines), T::ZERO);
+            plan.process_planes(re, im, p.lines, dir, work);
+            scatter_panel(re, im, p, d, data);
         }
     }
 
@@ -275,22 +296,57 @@ impl<T: Float> FftNd<T> {
     /// caller scatters returned panels back with blocked writes.
     ///
     /// # Panics
-    /// Panics if `data.len()` does not match the planned shape, or if a
-    /// panel job panicked on the executor.
+    /// Panics if `data.len()` does not match the planned shape.
+    ///
+    /// # Failure handling
+    /// A panel job that panics on the executor is contained there (see
+    /// [`Executor::execute`]); this method then re-runs the affected axis
+    /// pass serially on the calling thread — output stays bitwise
+    /// identical — and counts the retry in the `engine.fallbacks`
+    /// telemetry metric. Use [`Self::try_process_with`] to surface the
+    /// failure instead of degrading.
     pub fn process_with(&self, exec: &dyn Executor, data: &mut [Complex<T>], dir: Direction) {
+        // Infallible by construction: every ExecError takes the serial
+        // fallback branch, which cannot fail.
+        let _ = self.run_with(exec, data, dir, true);
+    }
+
+    /// Strict variant of [`Self::process_with`]: a contained panel-job
+    /// failure is returned as an [`ExecError`] instead of triggering the
+    /// serial fallback. On `Err`, axes before the failing one have
+    /// already been transformed in place, so `data` must be treated as
+    /// corrupted and rebuilt by the caller.
+    pub fn try_process_with(
+        &self,
+        exec: &dyn Executor,
+        data: &mut [Complex<T>],
+        dir: Direction,
+    ) -> Result<(), ExecError> {
+        self.run_with(exec, data, dir, false)
+    }
+
+    fn run_with(
+        &self,
+        exec: &dyn Executor,
+        data: &mut [Complex<T>],
+        dir: Direction,
+        fallback: bool,
+    ) -> Result<(), ExecError> {
         assert_eq!(data.len(), self.len, "buffer must match planned shape");
         if exec.concurrency() <= 1 {
             // Same results; skip the snapshot/boxing overhead entirely.
-            return self.process(data, dir);
+            self.process(data, dir);
+            return Ok(());
         }
         let mut snapshot: Vec<Complex<T>> = Vec::with_capacity(self.len);
+        let (mut re_s, mut im_s, mut work) = (Vec::new(), Vec::new(), Vec::new());
         for axis in 0..self.dims.len() {
             let d = self.dims[axis];
             if d == 1 {
                 continue;
             }
             let panels = self.panels_for_axis(axis);
-            let _span = axis_span(axis, d, panels.len());
+            let span = axis_span(axis, d, panels.len());
             // One contiguous copy; jobs gather from the shared snapshot in
             // parallel while the caller owns `data` for the scatter phase.
             snapshot.clear();
@@ -310,6 +366,7 @@ impl<T: Float> FftNd<T> {
                             axis: axis,
                             lines: p.lines
                         });
+                        faultpoint!(FAULT_PANEL);
                         // One recycled buffer holds both planes: re in the
                         // first half, im in the second.
                         let mut panel =
@@ -332,7 +389,21 @@ impl<T: Float> FftNd<T> {
                 })
                 .collect();
             drop(tx);
-            exec.execute(jobs);
+            if let Err(e) = exec.execute(jobs) {
+                if !fallback {
+                    return Err(e);
+                }
+                // Discard whatever the surviving jobs sent — `data` is
+                // untouched for this axis (scatter happens only below) —
+                // and redo the whole pass serially: bitwise-identical
+                // output, counted so operators can see the degradation.
+                telemetry::record_counter("engine.fallbacks", 1);
+                drop(rx);
+                drop(span);
+                self.process_axis_serial(axis, data, dir, &mut re_s, &mut im_s, &mut work);
+                snapshot = Arc::try_unwrap(src).unwrap_or_default();
+                continue;
+            }
             let mut received = 0usize;
             while let Ok((j, panel)) = rx.recv() {
                 let p = &panels[j];
@@ -345,6 +416,7 @@ impl<T: Float> FftNd<T> {
             // Reclaim the snapshot allocation for the next axis pass.
             snapshot = Arc::try_unwrap(src).unwrap_or_default();
         }
+        Ok(())
     }
 }
 

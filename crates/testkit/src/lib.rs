@@ -11,12 +11,17 @@
 //!   over `n` independently-seeded cases and, if one panics, re-raise the
 //!   panic annotated with the case index and seed so the exact failing
 //!   input can be replayed with [`Rng::new`].
+//! * [`fault`] / [`faultpoint!`](crate::faultpoint) — deterministic,
+//!   zero-cost-when-disarmed fault injection for chaos testing the
+//!   execution engine's panic containment and graceful degradation.
 //!
 //! The style mirrors `proptest!` loosely: generators are just methods on
 //! [`Rng`], properties are ordinary `assert!`s.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod fault;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 

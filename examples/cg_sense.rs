@@ -69,6 +69,7 @@ fn main() {
             max_iterations: iters,
             tolerance: 1e-9,
             lambda: 1e-4,
+            budget: Default::default(),
         },
     )
     .expect("cg-sense");

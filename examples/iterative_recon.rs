@@ -74,6 +74,7 @@ fn main() {
         max_iterations: 15,
         tolerance: 1e-8,
         lambda: 1e-5,
+        budget: Default::default(),
     };
     let t0 = Instant::now();
     let via_nufft = cg_solve(

@@ -1,0 +1,315 @@
+//! Chaos suite: every registered fault point is exercised end to end.
+//!
+//! For each site in `jigsaw::core::fault::SITES` this suite verifies the
+//! three robustness contracts of the execution engine:
+//!
+//! 1. **Containment** — with the serial fallback disabled, an injected
+//!    panic surfaces as `Err(Error::Execution(..))`; nothing panics or
+//!    hangs, and the same global pool completes a subsequent clean run.
+//! 2. **Degradation** — with the fallback enabled (the default), the
+//!    same injected panic degrades to a serial retry whose output is
+//!    *bitwise identical* to an unfaulted pooled run, counted in the
+//!    `engine.fallbacks` metric.
+//! 3. **Numerical containment** — the `recon.cg_iter` site poisons a CG
+//!    residual instead of panicking; the solver returns its best iterate
+//!    with a `NonFinite` diagnostic.
+//!
+//! The fault switch and fallback policy are process-global, so every
+//! test serializes on `fault::test_guard()` and restores the fallback
+//! default on drop.
+
+use jigsaw::core::engine::set_serial_fallback;
+use jigsaw::core::fault;
+use jigsaw::core::gridding::SliceDiceGridder;
+use jigsaw::core::recon::{cg_reconstruct, CgDiagnostic, CgOptions};
+use jigsaw::core::{Error, NufftConfig, NufftPlan};
+use jigsaw::fft::exec::Job;
+use jigsaw::fft::{Direction, ExecError, Executor, FftNd, SerialExecutor};
+use jigsaw::num::C64;
+use jigsaw::telemetry;
+use jigsaw_testkit::fault::{arm, disarm, fires, test_guard, FaultPlan};
+
+/// Restores the default robustness policy when a test ends (even by
+/// panic): fault points disarmed, serial fallback enabled.
+struct PolicyGuard;
+
+impl Drop for PolicyGuard {
+    fn drop(&mut self) {
+        disarm();
+        set_serial_fallback(true);
+    }
+}
+
+fn bits_eq(a: &[C64], b: &[C64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+/// A small multi-coil problem: plan, trajectory, and per-coil data.
+fn coil_problem(n: usize, coils: usize) -> (NufftPlan<f64, 2>, Vec<[f64; 2]>, Vec<Vec<C64>>) {
+    let coords = jigsaw::core::traj::radial_2d(12, 2 * n, true);
+    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+    let data: Vec<Vec<C64>> = (0..coils)
+        .map(|c| {
+            coords
+                .iter()
+                .enumerate()
+                .map(|(i, _)| C64::new((i + c) as f64 * 0.01, (c + 1) as f64 * 0.1))
+                .collect()
+        })
+        .collect();
+    (plan, coords, data)
+}
+
+fn run_batch(
+    plan: &NufftPlan<f64, 2>,
+    coords: &[[f64; 2]],
+    data: &[Vec<C64>],
+) -> Result<Vec<Vec<C64>>, Error> {
+    let traj = plan.plan_trajectory(coords)?;
+    let refs: Vec<&[C64]> = data.iter().map(|d| d.as_slice()).collect();
+    Ok(plan
+        .adjoint_batch_planned(&traj, &refs)?
+        .into_iter()
+        .map(|o| o.image)
+        .collect())
+}
+
+/// Contract 1: with the fallback disabled, a fault at each pool-level
+/// site during `adjoint_batch_planned` returns `Err(Error::Execution)`
+/// — and the pool completes a clean identical run immediately after.
+#[test]
+fn strict_mode_surfaces_execution_errors_and_pool_survives() {
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    let (plan, coords, data) = coil_problem(16, 3);
+    let baseline = run_batch(&plan, &coords, &data).unwrap();
+
+    for site in [fault::ENGINE_DISPATCH, fault::NUFFT_COIL] {
+        set_serial_fallback(false);
+        arm(FaultPlan::once_at(site));
+        let err = run_batch(&plan, &coords, &data)
+            .expect_err(&format!("fault at {site} must surface in strict mode"));
+        assert!(
+            matches!(err, Error::Execution(_)),
+            "site {site}: expected Error::Execution, got {err:?}"
+        );
+        assert_eq!(fires(), 1, "site {site} must actually fire");
+        // The pool is not poisoned: a clean run on the same global pool
+        // reproduces the baseline bitwise.
+        disarm();
+        set_serial_fallback(true);
+        let again = run_batch(&plan, &coords, &data).unwrap();
+        for (a, b) in baseline.iter().zip(&again) {
+            assert!(bits_eq(a, b), "site {site}: post-failure run must match");
+        }
+    }
+}
+
+/// Contract 2: with the fallback enabled, a fault at each pool-level
+/// site degrades to a serial retry that is bitwise identical to the
+/// unfaulted pooled run and increments `engine.fallbacks`.
+#[test]
+fn fallback_output_is_bitwise_identical_and_counted() {
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    telemetry::set_enabled(true);
+    let (plan, coords, data) = coil_problem(16, 3);
+    let baseline = run_batch(&plan, &coords, &data).unwrap();
+
+    for site in [fault::ENGINE_DISPATCH, fault::NUFFT_COIL] {
+        let before = telemetry::global()
+            .snapshot()
+            .counter("engine.fallbacks")
+            .unwrap_or(0);
+        arm(FaultPlan::once_at(site));
+        let faulted = run_batch(&plan, &coords, &data)
+            .unwrap_or_else(|e| panic!("site {site}: fallback must absorb the fault: {e}"));
+        assert_eq!(fires(), 1, "site {site} must actually fire");
+        disarm();
+        for (a, b) in baseline.iter().zip(&faulted) {
+            assert!(
+                bits_eq(a, b),
+                "site {site}: serial fallback must be bitwise identical"
+            );
+        }
+        let after = telemetry::global()
+            .snapshot()
+            .counter("engine.fallbacks")
+            .unwrap_or(0);
+        assert!(
+            after > before,
+            "site {site}: engine.fallbacks must increment ({before} → {after})"
+        );
+    }
+}
+
+/// Contract 2 for the pooled gridding engines: a fault in a gridding
+/// chunk job degrades to a bitwise-identical serial regrid.
+#[test]
+fn gridding_chunk_fault_degrades_bitwise() {
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    telemetry::set_enabled(true);
+    let (plan, coords, _) = coil_problem(16, 1);
+    let values: Vec<C64> = coords
+        .iter()
+        .enumerate()
+        .map(|(i, _)| C64::new(0.02 * i as f64, -0.5))
+        .collect();
+    let gridder = SliceDiceGridder::default(); // pooled column-parallel
+    let baseline = plan.adjoint(&coords, &values, &gridder).unwrap().image;
+
+    let before = telemetry::global()
+        .snapshot()
+        .counter("engine.fallbacks")
+        .unwrap_or(0);
+    arm(FaultPlan::once_at(fault::GRIDDING_CHUNK));
+    let faulted = plan.adjoint(&coords, &values, &gridder).unwrap().image;
+    assert_eq!(fires(), 1, "gridding.chunk must actually fire");
+    disarm();
+    assert!(
+        bits_eq(&baseline, &faulted),
+        "gridding fallback must be bitwise identical"
+    );
+    let after = telemetry::global()
+        .snapshot()
+        .counter("engine.fallbacks")
+        .unwrap_or(0);
+    assert!(after > before, "engine.fallbacks must increment");
+}
+
+/// An executor that *reports* concurrency 2 — forcing [`FftNd`] onto its
+/// panel-job orchestration even on a single-CPU machine, where
+/// `WorkerPool::concurrency()` is capped at 1 and the panel path (and
+/// its fault point) would be unreachable — while delegating actual
+/// execution to the contained [`SerialExecutor`].
+struct PanelDriver(SerialExecutor);
+
+impl Executor for PanelDriver {
+    fn execute(&self, jobs: Vec<Job>) -> Result<(), ExecError> {
+        self.0.execute(jobs)
+    }
+
+    fn concurrency(&self) -> usize {
+        2
+    }
+
+    fn restore(
+        &self,
+        job: usize,
+        key: u64,
+        ty: std::any::TypeId,
+        buf: Box<dyn std::any::Any + Send>,
+        bytes: usize,
+    ) {
+        self.0.restore(job, key, ty, buf, bytes);
+    }
+}
+
+/// Contracts 1 + 2 for the FFT panel site, driven through an executor
+/// that keeps the panel-job path live on single-CPU machines.
+#[test]
+fn fft_panel_fault_strict_errors_then_fallback_matches_serial() {
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    telemetry::set_enabled(true);
+    let pool = PanelDriver(SerialExecutor::new());
+    let fft = FftNd::<f64>::new(&[16, 16]);
+    let mut baseline: Vec<C64> = (0..256)
+        .map(|i| C64::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
+        .collect();
+    let original = baseline.clone();
+    fft.process_with(&pool, &mut baseline, Direction::Forward);
+
+    // Strict: the contained panel panic surfaces as an ExecError.
+    arm(FaultPlan::once_at(fault::FFT_PANEL));
+    let mut strict = original.clone();
+    let err = fft
+        .try_process_with(&pool, &mut strict, Direction::Forward)
+        .expect_err("fft.panel fault must surface in strict mode");
+    assert_eq!(fires(), 1, "fft.panel must actually fire");
+    assert!(err.to_string().contains("fft.panel"), "got: {err}");
+    disarm();
+
+    // Degrading: the per-axis serial retry is bitwise identical.
+    let before = telemetry::global()
+        .snapshot()
+        .counter("engine.fallbacks")
+        .unwrap_or(0);
+    arm(FaultPlan::once_at(fault::FFT_PANEL));
+    let mut degraded = original.clone();
+    fft.process_with(&pool, &mut degraded, Direction::Forward);
+    assert_eq!(fires(), 1);
+    disarm();
+    assert!(
+        bits_eq(&baseline, &degraded),
+        "FFT serial retry must be bitwise identical"
+    );
+    let after = telemetry::global()
+        .snapshot()
+        .counter("engine.fallbacks")
+        .unwrap_or(0);
+    assert!(after > before, "engine.fallbacks must increment");
+
+    // The pool survives both faults and still runs clean panel jobs.
+    let mut clean = original;
+    fft.process_with(&pool, &mut clean, Direction::Forward);
+    assert!(bits_eq(&baseline, &clean));
+}
+
+/// Contract 3: the CG-iteration site poisons a residual (no panic); the
+/// solver contains the NaN and reports a `NonFinite` diagnostic with a
+/// finite best iterate.
+#[test]
+fn cg_iteration_fault_degrades_to_nonfinite_diagnostic() {
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    let (plan, coords, _) = coil_problem(16, 1);
+    let data: Vec<C64> = coords
+        .iter()
+        .enumerate()
+        .map(|(i, _)| C64::new(1.0 / (1.0 + i as f64), 0.25))
+        .collect();
+    let opts = CgOptions {
+        max_iterations: 8,
+        tolerance: 1e-12,
+        ..Default::default()
+    };
+    let gridder = SliceDiceGridder::default();
+
+    arm(FaultPlan::once_at(fault::RECON_CG_ITER));
+    let out = cg_reconstruct(&plan, &coords, &data, &[], &gridder, &opts)
+        .expect("poisoned residual must be contained, not returned as Err");
+    assert_eq!(fires(), 1, "recon.cg_iter must actually fire");
+    disarm();
+    assert_eq!(out.diagnostic, CgDiagnostic::NonFinite);
+    assert!(!out.diagnostic.is_clean());
+    assert!(
+        out.image
+            .iter()
+            .all(|z| z.re.is_finite() && z.im.is_finite()),
+        "best iterate must be finite"
+    );
+}
+
+/// Every registered site is covered by a test above; this meta-check
+/// fails when a new fault point is added without chaos coverage.
+#[test]
+fn every_registered_site_is_covered() {
+    let covered = [
+        fault::ENGINE_DISPATCH,
+        fault::NUFFT_COIL,
+        fault::GRIDDING_CHUNK,
+        fault::FFT_PANEL,
+        fault::RECON_CG_ITER,
+    ];
+    for site in fault::SITES {
+        assert!(
+            covered.contains(site),
+            "fault site `{site}` has no chaos-suite coverage"
+        );
+    }
+}

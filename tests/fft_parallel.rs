@@ -32,7 +32,7 @@ struct ForcedConcurrency<'a> {
 }
 
 impl Executor for ForcedConcurrency<'_> {
-    fn execute(&self, jobs: Vec<exec::Job>) {
+    fn execute(&self, jobs: Vec<exec::Job>) -> Result<(), jigsaw::fft::ExecError> {
         self.inner.execute(jobs)
     }
 
