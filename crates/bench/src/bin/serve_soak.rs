@@ -1,0 +1,239 @@
+//! Serving-daemon soak bench: the plan cache under thousands of
+//! mixed-size jobs, the warm-vs-cold latency contract at radial 256²,
+//! and the disarmed fault-point overhead of the serve job path.
+//!
+//! Three measurements, one JSON (`BENCH_serve_soak.json`):
+//!
+//! 1. **Soak** — thousands of jobs drawn from a pool of six
+//!    trajectories across three image sizes, multiplexed onto one
+//!    [`ServeEngine`] whose cache holds the whole pool. Reports p50/p99
+//!    job latency and the cache hit rate (gate: ≥ 95 % on a
+//!    repeated-trajectory workload, with the `serve.cache.hit`
+//!    telemetry counter nonzero).
+//! 2. **Warm vs cold** — the acceptance contract: at radial 256²
+//!    (M = 131 072) a warm-cache job must cost ≤ 0.75× a cold job that
+//!    pays `plan_trajectory` first. Cold samples build a fresh engine
+//!    per iteration; warm samples reuse one primed engine.
+//! 3. **Fault overhead** — the soak loop re-timed with a fault plan
+//!    armed at a site the serve path never hits, bounding the cost of
+//!    the `serve.job`/`serve.cache` instrumentation from above.
+//!
+//! Run with `cargo run --release -p jigsaw-bench --bin serve_soak`
+//! (append `--quick`, or set `JIGSAW_BENCH_SAMPLES`, to shrink the run).
+
+use jigsaw_bench::harness::{fmt_time, BenchGroup};
+use jigsaw_bench::{EvalImage, HarnessArgs, TrajKind};
+use jigsaw_core::budget::RunBudget;
+use jigsaw_core::serve::{JobRequest, Priority, ServeEngine};
+use jigsaw_core::traj;
+use jigsaw_num::C64;
+use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::{fault, Rng};
+use std::time::Instant;
+
+/// One reusable soak problem: a trajectory, its sample values, and the
+/// image size it reconstructs to.
+struct SoakProblem {
+    n: u32,
+    coords: Vec<[f64; 2]>,
+    values: Vec<C64>,
+}
+
+impl SoakProblem {
+    /// Golden-angle radial problem with contents varied by `seed` (the
+    /// shuffle order is part of the trajectory hash, so distinct seeds
+    /// give distinct cache keys even at equal shape).
+    fn radial(n: u32, spokes: usize, seed: u64) -> Self {
+        let mut coords = traj::radial_2d(spokes, 2 * n as usize, true);
+        traj::shuffle(&mut coords, seed);
+        let values = coords
+            .iter()
+            .enumerate()
+            .map(|(i, c)| C64::new(c[0].cos() + i as f64 * 1e-4, c[1].sin()))
+            .collect();
+        Self { n, coords, values }
+    }
+
+    fn request(&self, tag: u64) -> JobRequest {
+        JobRequest {
+            tag,
+            priority: Priority::Normal,
+            n: self.n,
+            budget_ms: 0,
+            coords: self.coords.clone(),
+            values: self.values.clone(),
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run `jobs` soak iterations over `pool` on `engine`, returning sorted
+/// per-job latencies in seconds.
+fn soak(engine: &ServeEngine, pool: &[SoakProblem], jobs: usize, seed: u64) -> Vec<f64> {
+    let budget = RunBudget::unlimited();
+    let mut rng = Rng::new(seed);
+    let mut latencies = Vec::with_capacity(jobs);
+    for tag in 0..jobs {
+        let p = &pool[rng.usize_range(0, pool.len())];
+        let req = p.request(tag as u64);
+        let t0 = Instant::now();
+        let res = engine
+            .execute(&req, &budget)
+            .unwrap_or_else(|e| panic!("soak job {tag} failed: {}", e.message));
+        latencies.push(t0.elapsed().as_secs_f64());
+        assert_eq!(res.n, p.n);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    telemetry::set_enabled(true);
+    fault::disarm();
+
+    // ---- Phase 1: mixed-size soak -------------------------------------
+    // Six trajectories over three sizes; capacity 8 holds them all, so
+    // after the six cold builds every job is a cache hit.
+    let total_jobs = (3000 / args.quick_divisor).max(200);
+    if args.quick_divisor > 1 {
+        println!("[quick mode: job count divided by {}]", args.quick_divisor);
+    }
+    let pool: Vec<SoakProblem> = vec![
+        SoakProblem::radial(32, 12, 101),
+        SoakProblem::radial(32, 16, 203),
+        SoakProblem::radial(48, 12, 307),
+        SoakProblem::radial(48, 20, 409),
+        SoakProblem::radial(64, 16, 511),
+        SoakProblem::radial(64, 24, 613),
+    ];
+    let engine = ServeEngine::new(8);
+    println!(
+        "=== serve soak: {total_jobs} jobs over {} trajectories (n ∈ {{32, 48, 64}}) ===",
+        pool.len()
+    );
+    let t0 = Instant::now();
+    let latencies = soak(&engine, &pool, total_jobs, 77);
+    let wall = t0.elapsed().as_secs_f64();
+    let cache = engine.cache();
+    let (hits, misses, evictions) = (cache.hits(), cache.misses(), cache.evictions());
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let telemetry_hits = telemetry::global()
+        .snapshot()
+        .counter("serve.cache.hit")
+        .unwrap_or(0);
+    println!(
+        "{total_jobs} jobs in {}: p50 {} p99 {}  hit rate {:.4} ({hits} hits / {misses} misses, {evictions} evictions)",
+        fmt_time(wall),
+        fmt_time(p50),
+        fmt_time(p99),
+        hit_rate
+    );
+    assert!(telemetry_hits > 0, "serve.cache.hit must register");
+
+    // ---- Phase 2: warm vs cold at radial 256² -------------------------
+    let mut img = EvalImage {
+        name: "radial256",
+        n: 256,
+        m: 131_072,
+        traj: TrajKind::Radial,
+    };
+    if args.quick_divisor > 1 {
+        img.m /= args.quick_divisor;
+    }
+    let coords = img.trajectory();
+    let values = img.kspace(&coords);
+    let big = JobRequest {
+        tag: 1_000_000,
+        priority: Priority::Normal,
+        n: img.n as u32,
+        budget_ms: 0,
+        coords,
+        values,
+    };
+    let budget = RunBudget::unlimited();
+
+    let mut group = BenchGroup::new("serve_warm_vs_cold");
+    group.sample_size(5).throughput_elements(img.m as u64);
+    // Cold: a fresh engine per iteration pays plan_trajectory every time.
+    let cold = group.bench_function("cold_plan_per_job", || {
+        let fresh = ServeEngine::new(1);
+        fresh.execute(&big, &budget).expect("cold job")
+    });
+    // Warm: one engine, primed before the harness runs, so the warm-up
+    // call and every timed sample are cache hits.
+    let warm_engine = ServeEngine::new(1);
+    let primed = warm_engine.execute(&big, &budget).expect("priming job");
+    assert!(!primed.cache_hit);
+    let warm = group.bench_function("warm_cache_per_job", || {
+        let res = warm_engine.execute(&big, &budget).expect("warm job");
+        assert!(res.cache_hit, "warm samples must hit the cache");
+        res
+    });
+    group.finish();
+    let warm_over_cold = warm.median / cold.median;
+    println!(
+        "radial {0}²: cold {1} vs warm {2}  (warm/cold = {warm_over_cold:.4})",
+        img.n,
+        fmt_time(cold.median),
+        fmt_time(warm.median),
+    );
+
+    // ---- Phase 3: disarmed vs armed-miss overhead ---------------------
+    // The serve path crosses `serve.job` + `serve.cache` every job; time
+    // a warm-job burst disarmed, then with a plan armed at a site the
+    // path never evaluates (full armed slow path, nothing fires).
+    let overhead_engine = ServeEngine::new(8);
+    let burst = (total_jobs / 4).max(50);
+    let mut overhead = BenchGroup::new("serve_fault_overhead");
+    overhead.sample_size(5);
+    fault::disarm();
+    let disarmed = overhead.bench_function("soak_faults_disarmed", || {
+        soak(&overhead_engine, &pool, burst, 19)
+    });
+    fault::arm(fault::FaultPlan::once_at("bench.nonexistent"));
+    let armed_miss = overhead.bench_function("soak_faults_armed_miss", || {
+        soak(&overhead_engine, &pool, burst, 19)
+    });
+    fault::disarm();
+    overhead.finish();
+    let armed_over_disarmed = armed_miss.median / disarmed.median;
+    println!(
+        "soak burst ({burst} jobs): disarmed {} vs armed-miss {}  (armed/disarmed = {armed_over_disarmed:.4})",
+        fmt_time(disarmed.median),
+        fmt_time(armed_miss.median),
+    );
+
+    let json = format!(
+        "{{\n  \"soak\": {{\n    \"jobs\": {total_jobs},\n    \"sizes\": [32, 48, 64],\n    \
+         \"trajectories\": {},\n    \"cache_capacity\": 8,\n    \"hits\": {hits},\n    \
+         \"misses\": {misses},\n    \"evictions\": {evictions},\n    \"hit_rate\": {hit_rate:.6},\n    \
+         \"telemetry_cache_hit_counter\": {telemetry_hits},\n    \
+         \"p50_latency_seconds\": {p50:.6e},\n    \"p99_latency_seconds\": {p99:.6e},\n    \
+         \"wall_seconds\": {wall:.6e}\n  }},\n  \
+         \"warm_vs_cold\": {{\n    \"n\": {},\n    \"m\": {},\n    \"trajectory\": \"radial\",\n    \
+         \"cold_plan_median_seconds\": {:.6e},\n    \"warm_cache_median_seconds\": {:.6e},\n    \
+         \"warm_over_cold\": {warm_over_cold:.4}\n  }},\n  \
+         \"fault_overhead\": {{\n    \"burst_jobs\": {burst},\n    \
+         \"disarmed_median_seconds\": {:.6e},\n    \"armed_miss_median_seconds\": {:.6e},\n    \
+         \"armed_over_disarmed\": {armed_over_disarmed:.4}\n  }}\n}}\n",
+        pool.len(),
+        img.n,
+        img.m,
+        cold.median,
+        warm.median,
+        disarmed.median,
+        armed_miss.median,
+    );
+    let path = "BENCH_serve_soak.json";
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

@@ -14,6 +14,7 @@ use jigsaw_core::metrics::nrmsd_percent;
 use jigsaw_core::phantom::Phantom2d;
 use jigsaw_core::recon::{cg_reconstruct, CgOptions};
 use jigsaw_core::sense::{self, CoilMaps};
+use jigsaw_core::serve::ServeOptions;
 use jigsaw_core::traj;
 use jigsaw_core::{NufftConfig, NufftPlan};
 use jigsaw_num::C64;
@@ -49,6 +50,15 @@ COMMANDS:
                 Perfetto-loadable trace
                   --n 256 --coils 8 --cg 2 [--samples N]
                   --trace-out out/trace.json [--metrics]
+    serve       Run the plan-cached reconstruction daemon (long-lived;
+                exits 0 after a client sends the shutdown frame)
+                  --socket /tmp/jigsaw.sock | --stdio (frames on stdin/stdout)
+                  --cache-capacity 8 (LRU plan-cache bound)
+                  --jobs 2 (executor threads) --default-budget-ms 0
+    request     Client mode: submit synthetic radial jobs to a daemon
+                  --socket /tmp/jigsaw.sock --n 64 --spokes <auto>
+                  --count 1 [--high] [--budget-ms 0] [--tag 1]
+                  [--ping] [--shutdown] (probe / stop the daemon instead)
     gpustats    GPU §VI-A analysis (L2 hit rate, occupancy, divergence)
                   --grid 1024 --samples 100000
     emit-rtl    Generate the SystemVerilog select unit, weight-SRAM
@@ -485,6 +495,121 @@ pub fn profile(o: &Options) -> CmdResult {
         eprintln!("hint: pass --trace-out trace.json and/or --metrics to export the profile");
     }
     emit_telemetry(o)
+}
+
+/// `jigsaw serve` — the long-lived plan-cached reconstruction daemon.
+pub fn serve(o: &Options) -> CmdResult {
+    let opts = ServeOptions {
+        cache_capacity: o.usize("cache-capacity", 8)?,
+        executors: o.usize("jobs", 2)?,
+        default_budget_ms: o.usize("default-budget-ms", 0)? as u64,
+    };
+    if o.switch("stdio") {
+        // stdout carries response frames in this mode; diagnostics go
+        // to stderr only.
+        eprintln!(
+            "jigsaw serve: stdio framing, {} executors, plan cache {} entries",
+            opts.executors, opts.cache_capacity
+        );
+        jigsaw_core::serve::serve_stdio(&opts)?;
+    } else {
+        let sock = o.string("socket", "");
+        if sock.is_empty() {
+            return Err(CliError::Config(
+                "serve needs --socket <path> or --stdio".into(),
+            ));
+        }
+        eprintln!(
+            "jigsaw serve: listening on {sock}, {} executors, plan cache {} entries",
+            opts.executors, opts.cache_capacity
+        );
+        jigsaw_core::serve::serve_unix(std::path::Path::new(&sock), &opts)?;
+    }
+    eprintln!("jigsaw serve: clean shutdown");
+    Ok(())
+}
+
+fn protocol_to_cli(e: jigsaw_core::serve::ProtocolError) -> CliError {
+    CliError::Data(format!("serve protocol: {e}"))
+}
+
+/// `jigsaw request` — client mode: submit synthetic radial jobs to a
+/// running daemon (exercises the wire protocol end to end; also the
+/// demo client for the README).
+pub fn request(o: &Options) -> CmdResult {
+    use jigsaw_core::serve::{Frame, JobRequest, Priority, ServeClient};
+    let sock = o.string("socket", "");
+    if sock.is_empty() {
+        return Err(CliError::Config("request needs --socket <path>".into()));
+    }
+    let mut client = ServeClient::connect(std::path::Path::new(&sock))
+        .map_err(|e| CliError::Data(format!("connecting to {sock}: {e}")))?;
+    client
+        .set_read_timeout(std::time::Duration::from_secs(120))
+        .map_err(|e| CliError::Data(format!("configuring socket: {e}")))?;
+    if o.switch("ping") {
+        client.ping().map_err(protocol_to_cli)?;
+        println!("pong");
+        return Ok(());
+    }
+    if o.switch("shutdown") {
+        client.shutdown().map_err(protocol_to_cli)?;
+        println!("daemon acknowledged shutdown");
+        return Ok(());
+    }
+
+    let n = o.usize("n", 64)?;
+    let default_spokes = (1.2 * core::f64::consts::FRAC_PI_2 * n as f64) as usize;
+    let spokes = o.usize("spokes", default_spokes)?;
+    let count = o.usize("count", 1)?;
+    let budget_ms = o.usize("budget-ms", 0)?;
+    let tag0 = o.usize("tag", 1)? as u64;
+    let priority = if o.switch("high") {
+        Priority::High
+    } else {
+        Priority::Normal
+    };
+    let mut coords = traj::radial_2d(spokes, 2 * n, true);
+    traj::shuffle(&mut coords, 7);
+    let values = Phantom2d::shepp_logan().kspace(n, &coords);
+    for i in 0..count {
+        let req = JobRequest {
+            tag: tag0 + i as u64,
+            priority,
+            n: n as u32,
+            budget_ms: budget_ms as u32,
+            coords: coords.clone(),
+            values: values.clone(),
+        };
+        let t0 = std::time::Instant::now();
+        match client.roundtrip(&req).map_err(protocol_to_cli)? {
+            Frame::Result(res) => {
+                println!(
+                    "job {}: {}² image in {} ({})",
+                    res.tag,
+                    res.n,
+                    fmt_time(t0.elapsed().as_secs_f64()),
+                    if res.cache_hit {
+                        "cache hit"
+                    } else {
+                        "cold plan"
+                    }
+                );
+            }
+            Frame::Error(err) => {
+                use jigsaw_core::serve::ErrorCategory;
+                let msg = format!("job {}: {}", err.tag, err.message);
+                return Err(match err.category {
+                    ErrorCategory::Config => CliError::Config(msg),
+                    ErrorCategory::Data | ErrorCategory::Protocol => CliError::Data(msg),
+                    ErrorCategory::Execution => CliError::Execution(msg),
+                    ErrorCategory::Budget => CliError::Budget(msg),
+                });
+            }
+            other => return Err(CliError::Data(format!("unexpected daemon frame {other:?}"))),
+        }
+    }
+    Ok(())
 }
 
 /// `jigsaw gpustats`

@@ -6,6 +6,8 @@
 //! jigsaw simulate  --grid 512 --samples 100000 [--cycle-accurate]
 //! jigsaw simulate3d --grid 32 --samples 20000 [--sorted]
 //! jigsaw gridbench --n 256 --m 100000
+//! jigsaw serve     --socket /tmp/jigsaw.sock [--cache-capacity 8] [--jobs 2]
+//! jigsaw request   --socket /tmp/jigsaw.sock --n 64 [--count 8] [--high]
 //! jigsaw profile   --n 256 --coils 8 --trace-out out/trace.json [--metrics]
 //! jigsaw info
 //! ```
@@ -37,6 +39,8 @@ fn main() -> ExitCode {
         "simulate3d" => commands::simulate3d(&opts),
         "gridbench" => commands::gridbench(&opts),
         "profile" => commands::profile(&opts),
+        "serve" => commands::serve(&opts),
+        "request" => commands::request(&opts),
         "gpustats" => commands::gpustats(&opts),
         "emit-rtl" => commands::emit_rtl(&opts),
         "info" => commands::info(),

@@ -1,0 +1,352 @@
+//! Black-box protocol contract of the `jigsaw serve` daemon.
+//!
+//! These tests spawn the *real* binary (mirroring `exit_codes.rs`) and
+//! drive the wire protocol end to end over a Unix socket and over
+//! stdin/stdout framing: submit/response round trips, malformed-frame
+//! handling, fault-injected job panics, and clean shutdown with exit 0.
+
+use jigsaw_core::gridding::SerialGridder;
+use jigsaw_core::serve::{ErrorCategory, Frame, JobRequest, Priority, ProtocolError, ServeClient};
+use jigsaw_core::{traj, NufftConfig, NufftPlan};
+use jigsaw_num::C64;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A daemon child that is killed on drop so a failing test can't leak
+/// processes or wedge the suite.
+struct DaemonGuard {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl DaemonGuard {
+    fn spawn(name: &str, extra_env: &[(&str, &str)]) -> Self {
+        let socket = std::env::temp_dir().join(format!(
+            "jigsaw-serve-test-{name}-{}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&socket);
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_jigsaw"));
+        cmd.args(["serve", "--socket"])
+            .arg(&socket)
+            .env_remove("JIGSAW_FAULTS")
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        for (k, v) in extra_env {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn().expect("failed to spawn jigsaw serve");
+        let mut guard = Self {
+            child,
+            socket: socket.clone(),
+        };
+        // Wait for the daemon to bind its socket.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !guard.socket.exists() {
+            assert!(
+                Instant::now() < deadline,
+                "daemon never created {}",
+                guard.socket.display()
+            );
+            if let Ok(Some(status)) = guard.child.try_wait() {
+                panic!("daemon exited early with {status}");
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        guard
+    }
+
+    fn connect(&self) -> ServeClient<std::os::unix::net::UnixStream> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match ServeClient::connect(&self.socket) {
+                Ok(c) => {
+                    c.set_read_timeout(Duration::from_secs(60))
+                        .expect("timeout");
+                    return c;
+                }
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "cannot connect: {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// Wait for exit and return the status code.
+    fn wait(mut self) -> Option<i32> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Ok(Some(status)) = self.child.try_wait() {
+                return status.code();
+            }
+            assert!(Instant::now() < deadline, "daemon did not exit");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn radial_request(tag: u64, n: u32) -> JobRequest {
+    let mut coords = traj::radial_2d(8, 2 * n as usize, true);
+    traj::shuffle(&mut coords, 7);
+    let values: Vec<C64> = coords
+        .iter()
+        .map(|c| C64::new(c[0].cos(), c[1].sin()))
+        .collect();
+    JobRequest {
+        tag,
+        priority: Priority::Normal,
+        n,
+        budget_ms: 0,
+        coords,
+        values,
+    }
+}
+
+#[test]
+fn submit_result_framing_and_clean_shutdown() {
+    let daemon = DaemonGuard::spawn("roundtrip", &[]);
+    let mut client = daemon.connect();
+    client.ping().expect("ping");
+
+    let req = radial_request(7, 24);
+    // Black-box numeric contract: the daemon's answer is bitwise equal
+    // to an in-process cold serial reconstruction.
+    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(24)).expect("plan");
+    let expected = plan
+        .adjoint(&req.coords, &req.values, &SerialGridder)
+        .expect("reference adjoint");
+
+    match client.roundtrip(&req).expect("roundtrip") {
+        Frame::Result(res) => {
+            assert_eq!(res.tag, 7);
+            assert_eq!(res.n, 24);
+            assert!(!res.cache_hit, "first job must be a cold plan");
+            assert_eq!(res.image.len(), expected.image.len());
+            for (a, b) in res.image.iter().zip(&expected.image) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+        other => panic!("expected result frame, got {other:?}"),
+    }
+
+    // Same trajectory again: must be a cache hit with identical bytes.
+    match client.roundtrip(&radial_request(8, 24)).expect("roundtrip") {
+        Frame::Result(res) => {
+            assert_eq!(res.tag, 8);
+            assert!(res.cache_hit, "second identical job must hit the cache");
+            for (a, b) in res.image.iter().zip(&expected.image) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+            }
+        }
+        other => panic!("expected result frame, got {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown ack");
+    assert_eq!(daemon.wait(), Some(0), "clean shutdown must exit 0");
+}
+
+#[test]
+fn malformed_frame_gets_error_frame_and_daemon_survives() {
+    let daemon = DaemonGuard::spawn("malformed", &[]);
+
+    // Write garbage straight to the socket.
+    let mut raw = std::os::unix::net::UnixStream::connect(&daemon.socket).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    raw.write_all(b"GARBAGE-NOT-A-FRAME.............")
+        .expect("write garbage");
+    let mut client = ServeClient::new(&mut raw);
+    match client.recv().expect("error frame") {
+        Frame::Error(e) => {
+            assert_eq!(e.category, ErrorCategory::Protocol);
+            assert_eq!(e.tag, 0);
+        }
+        other => panic!("expected protocol error frame, got {other:?}"),
+    }
+    // The daemon closes the poisoned connection...
+    let mut rest = Vec::new();
+    let n = raw.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection must be closed after a malformed frame");
+
+    // ...but keeps serving fresh connections.
+    let mut client = daemon.connect();
+    client
+        .ping()
+        .expect("daemon must survive a malformed frame");
+    match client.roundtrip(&radial_request(1, 16)).expect("roundtrip") {
+        Frame::Result(res) => assert_eq!(res.tag, 1),
+        other => panic!("expected result frame, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown ack");
+    assert_eq!(daemon.wait(), Some(0));
+}
+
+#[test]
+fn semantic_errors_keep_the_connection_open() {
+    let daemon = DaemonGuard::spawn("semantic", &[]);
+    let mut client = daemon.connect();
+
+    // Non-finite coordinate: a tagged data-category error frame.
+    let mut bad = radial_request(31, 16);
+    bad.coords[0][0] = f64::INFINITY;
+    match client.roundtrip(&bad).expect("roundtrip") {
+        Frame::Error(e) => {
+            assert_eq!(e.tag, 31);
+            assert_eq!(e.category, ErrorCategory::Data);
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // Zero-millisecond budget: refused with a budget error frame.
+    let mut starved = radial_request(32, 16);
+    starved.budget_ms = 1;
+    std::thread::sleep(Duration::from_millis(5));
+    // (budget starts at submit; job of this size cannot finish in 1 ms
+    // when an artificial queue wait is imposed by the sleep above —
+    // accept either outcome but require the tag to round-trip)
+    match client.roundtrip(&starved).expect("roundtrip") {
+        Frame::Error(e) => assert_eq!(e.tag, 32),
+        Frame::Result(r) => assert_eq!(r.tag, 32),
+        other => panic!("unexpected frame {other:?}"),
+    }
+
+    // Same connection still works.
+    match client
+        .roundtrip(&radial_request(33, 16))
+        .expect("roundtrip")
+    {
+        Frame::Result(res) => assert_eq!(res.tag, 33),
+        other => panic!("expected result frame, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown ack");
+    assert_eq!(daemon.wait(), Some(0));
+}
+
+#[test]
+fn injected_job_fault_returns_error_frame_and_daemon_survives() {
+    // Arm exactly one serve.job fire via the environment, as a real
+    // chaos run would: the first job comes back as a structured
+    // execution-error frame, the second succeeds, the daemon exits 0.
+    let daemon = DaemonGuard::spawn(
+        "faulted",
+        &[("JIGSAW_FAULTS", "site=serve.job,seed=7,rate=1,fires=1")],
+    );
+    let mut client = daemon.connect();
+
+    match client
+        .roundtrip(&radial_request(51, 16))
+        .expect("roundtrip")
+    {
+        Frame::Error(e) => {
+            assert_eq!(e.tag, 51);
+            assert_eq!(e.category, ErrorCategory::Execution);
+            assert!(e.message.contains("serve.job"), "{}", e.message);
+        }
+        other => panic!("expected execution error frame, got {other:?}"),
+    }
+
+    match client
+        .roundtrip(&radial_request(52, 16))
+        .expect("roundtrip")
+    {
+        Frame::Result(res) => assert_eq!(res.tag, 52),
+        other => panic!("daemon must survive the fault, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown ack");
+    assert_eq!(daemon.wait(), Some(0));
+}
+
+#[test]
+fn concurrent_clients_each_get_their_own_tagged_results() {
+    let daemon = DaemonGuard::spawn("concurrent", &[]);
+    let mut handles = Vec::new();
+    for c in 0..4u64 {
+        let socket = daemon.socket.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect(&socket).expect("connect");
+            client.set_read_timeout(Duration::from_secs(60)).unwrap();
+            for j in 0..3u64 {
+                let tag = 100 * c + j;
+                let mut req = radial_request(tag, 16);
+                req.priority = if c == 0 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                match client.roundtrip(&req).expect("roundtrip") {
+                    Frame::Result(res) => {
+                        assert_eq!(res.tag, tag, "responses must stay per-connection");
+                        assert_eq!(res.image.len(), 256);
+                    }
+                    other => panic!("expected result frame, got {other:?}"),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let mut client = daemon.connect();
+    client.shutdown().expect("shutdown ack");
+    assert_eq!(daemon.wait(), Some(0));
+}
+
+#[test]
+fn stdio_framing_round_trips_and_exits_zero() {
+    // The socket-free fallback: frames on stdin/stdout.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_jigsaw"))
+        .args(["serve", "--stdio"])
+        .env_remove("JIGSAW_FAULTS")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn jigsaw serve --stdio");
+
+    let req = radial_request(61, 16);
+    {
+        let stdin = child.stdin.as_mut().expect("stdin");
+        stdin
+            .write_all(&jigsaw_core::serve::protocol::encode(&Frame::Ping))
+            .unwrap();
+        stdin
+            .write_all(&jigsaw_core::serve::protocol::encode(&Frame::Submit(
+                req.clone(),
+            )))
+            .unwrap();
+        stdin
+            .write_all(&jigsaw_core::serve::protocol::encode(&Frame::Shutdown))
+            .unwrap();
+        stdin.flush().unwrap();
+    }
+    let out = child.wait_with_output().expect("wait");
+    assert_eq!(out.status.code(), Some(0), "stdio shutdown must exit 0");
+
+    let mut r = std::io::Cursor::new(out.stdout);
+    let mut frames = Vec::new();
+    loop {
+        match jigsaw_core::serve::protocol::read_frame(&mut r) {
+            Ok(f) => frames.push(f),
+            Err(ProtocolError::Eof) => break,
+            Err(e) => panic!("bad frame on stdout: {e}"),
+        }
+    }
+    assert!(frames.contains(&Frame::Pong), "{frames:?}");
+    assert!(
+        frames
+            .iter()
+            .any(|f| matches!(f, Frame::Result(res) if res.tag == 61 && res.image.len() == 256)),
+        "no result frame for the submitted job: {frames:?}"
+    );
+}

@@ -40,6 +40,18 @@ pub const GRIDDING_CHUNK: &str = "gridding.chunk";
 /// `forward_batch_planned`).
 pub const NUFFT_COIL: &str = "nufft.coil";
 
+/// At the top of every serving job body
+/// ([`crate::serve::engine::ServeEngine::execute`]), inside the
+/// per-job `catch_unwind`. A fire becomes a structured execution-error
+/// frame for that client; the daemon, pool, and plan cache survive.
+pub const SERVE_JOB: &str = "serve.job";
+
+/// At the entry of every plan-cache fetch
+/// ([`crate::serve::cache::PlanCache::get_or_build`]), *before* the
+/// cache lock is taken, so an injected panic can never poison or
+/// corrupt the cache.
+pub const SERVE_CACHE: &str = "serve.cache";
+
 /// At the top of every conjugate-gradient iteration
 /// ([`crate::recon::cg_solve`] / [`crate::sense::cg_sense`]). This site
 /// does not panic: it poisons the iteration's residual with a NaN,
@@ -56,6 +68,8 @@ pub const SITES: &[&str] = &[
     GRIDDING_CHUNK,
     NUFFT_COIL,
     RECON_CG_ITER,
+    SERVE_JOB,
+    SERVE_CACHE,
 ];
 
 #[cfg(test)]

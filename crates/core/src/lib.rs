@@ -41,6 +41,10 @@
 //!   with per-worker scratch arenas instead of spawning scoped threads
 //!   per call, amortizing thread and allocation churn across the many
 //!   transforms of a multi-coil reconstruction.
+//! * [`serve`] — the plan-cached serving layer behind `jigsaw serve`: a
+//!   length-prefixed job protocol, a bounded LRU plan cache keyed by
+//!   trajectory contents, and a priority queue of jobs multiplexed onto
+//!   the worker pool with per-job [`budget::RunBudget`] admission.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -64,6 +68,7 @@ pub mod nufft;
 pub mod phantom;
 pub mod recon;
 pub mod sense;
+pub mod serve;
 pub mod stats;
 pub mod toeplitz;
 pub mod traj;

@@ -1,0 +1,397 @@
+//! LRU plan cache keyed by trajectory *contents* and grid geometry.
+//!
+//! Planning — the per-sample quantize → decompose → LUT-lookup pass of
+//! [`NufftPlan::plan_trajectory`] plus the FFT twiddle/apodization setup
+//! of [`NufftPlan::new`] — dominates a one-shot transform (the warm-plan
+//! row of `BENCH_pooled_vs_scoped.json`). A serving daemon sees the same
+//! trajectories over and over (one per pulse sequence), so the cache
+//! keeps the `(plan, planned trajectory)` pair for the most recently
+//! used keys and evicts least-recently-used entries beyond a capacity
+//! bound.
+//!
+//! ## Keying
+//!
+//! The key hashes the **full trajectory contents** — every coordinate's
+//! `f64` bit pattern, not just the sample count — together with every
+//! parameter that shapes the planning output: grid size, kernel width,
+//! table oversampling, tile, oversampling factor, and the resolved
+//! kernel (family + shape parameter bits). Two same-shape trajectories
+//! with different coordinates therefore *never* alias a plan, and two
+//! spellings of the same kernel (`Auto` vs. its resolved Kaiser-Bessel)
+//! share one entry.
+
+use crate::config::NufftConfig;
+use crate::kernel::KernelKind;
+use crate::nufft::{NufftPlan, PlannedTrajectory};
+use crate::Result;
+use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::faultpoint;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything that distinguishes one cached plan from another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanKey {
+    /// Base image size `N`.
+    pub n: usize,
+    /// Oversampled grid size `G`.
+    pub grid: usize,
+    /// Window width `W`.
+    pub width: usize,
+    /// Table oversampling `L`.
+    pub table_oversampling: usize,
+    /// Tile dimension `T`.
+    pub tile: usize,
+    /// `σ` as IEEE-754 bits (bitwise equality, no float comparison).
+    pub sigma_bits: u64,
+    /// Resolved-kernel fingerprint: family discriminant mixed with the
+    /// shape parameter's bit pattern.
+    pub kernel_fp: u64,
+    /// Number of trajectory samples.
+    pub samples: usize,
+    /// FNV-1a hash of every coordinate's bit pattern (see
+    /// [`trajectory_hash`]).
+    pub traj_hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over the sample count and every coordinate's `f64` bit
+/// pattern, in order. This is the stale-plan fix: identical shapes with
+/// different contents hash apart (sample order matters too — planned
+/// scatter replays samples in order, so order is part of identity).
+pub fn trajectory_hash(coords: &[[f64; 2]]) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &(coords.len() as u64).to_le_bytes());
+    for c in coords {
+        h = fnv1a(h, &c[0].to_bits().to_le_bytes());
+        h = fnv1a(h, &c[1].to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Fingerprint of a *resolved* kernel: family discriminant mixed with
+/// the shape parameter's bits (0 for parameterless families).
+pub fn kernel_fingerprint(kernel: &KernelKind) -> u64 {
+    let (disc, param) = match kernel {
+        KernelKind::Auto => (0u64, 0.0),
+        KernelKind::KaiserBessel { beta } => (1, *beta),
+        KernelKind::Gaussian { s } => (2, *s),
+        KernelKind::Triangle => (3, 0.0),
+        KernelKind::Cosine => (4, 0.0),
+        KernelKind::BSpline => (5, 0.0),
+        KernelKind::Sinc => (6, 0.0),
+    };
+    let mut h = fnv1a(FNV_OFFSET, &disc.to_le_bytes());
+    h = fnv1a(h, &param.to_bits().to_le_bytes());
+    h
+}
+
+/// Build the cache key for a configuration + trajectory pair. The kernel
+/// is resolved first, so `Auto` and its explicit Beatty Kaiser-Bessel
+/// land on the same entry.
+pub fn plan_key(cfg: &NufftConfig, coords: &[[f64; 2]]) -> PlanKey {
+    PlanKey {
+        n: cfg.n,
+        grid: cfg.grid_size(),
+        width: cfg.width,
+        table_oversampling: cfg.table_oversampling,
+        tile: cfg.tile,
+        sigma_bits: cfg.sigma.to_bits(),
+        kernel_fp: kernel_fingerprint(&cfg.resolved_kernel()),
+        samples: coords.len(),
+        traj_hash: trajectory_hash(coords),
+    }
+}
+
+/// A cached plan: the `NufftPlan` (LUT, apodization, FFT setup) plus the
+/// planned per-sample window decomposition for one trajectory.
+pub struct CachedPlan {
+    /// The key this entry was stored under.
+    pub key: PlanKey,
+    /// The NuFFT plan (f64, 2-D at serving v1).
+    pub plan: NufftPlan<f64, 2>,
+    /// The precomputed window decomposition.
+    pub traj: PlannedTrajectory<2>,
+}
+
+impl std::fmt::Debug for CachedPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedPlan")
+            .field("key", &self.key)
+            .field("samples", &self.traj.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bounded LRU cache of [`CachedPlan`]s, safe to share across the
+/// daemon's executor threads.
+///
+/// Hit/miss/eviction counts are kept in always-on atomics (exposed via
+/// [`PlanCache::hits`] etc. so admission-control and benches work even
+/// with telemetry disabled) *and* mirrored into the telemetry registry
+/// as `serve.cache.hit` / `serve.cache.miss` / `serve.cache.evict`.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    /// Front = most recently used.
+    entries: Mutex<VecDeque<Arc<CachedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookup hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookup misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The resident keys, most recently used first. (Test/diagnostic
+    /// surface — the LRU property tests compare this against a model.)
+    pub fn keys(&self) -> Vec<PlanKey> {
+        self.lock().iter().map(|e| e.key.clone()).collect()
+    }
+
+    /// Drop every entry (counters are preserved).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Arc<CachedPlan>>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look up `key`, promoting it to most recently used on a hit.
+    /// Counts a hit or a miss.
+    pub fn lookup(&self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
+        let mut entries = self.lock();
+        if let Some(i) = entries.iter().position(|e| &e.key == key) {
+            let Some(entry) = entries.remove(i) else {
+                // Unreachable: `i` came from `position` under the same lock.
+                return None;
+            };
+            entries.push_front(Arc::clone(&entry));
+            drop(entries);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::record_counter("serve.cache.hit", 1);
+            Some(entry)
+        } else {
+            drop(entries);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            telemetry::record_counter("serve.cache.miss", 1);
+            None
+        }
+    }
+
+    /// Insert an entry at the most-recently-used position, evicting the
+    /// least recently used entries beyond capacity. If the key is
+    /// already resident (a racing build on another thread won), the
+    /// resident entry is kept and returned so all callers share one
+    /// canonical plan.
+    pub fn insert(&self, entry: Arc<CachedPlan>) -> Arc<CachedPlan> {
+        let mut evicted = 0u64;
+        let canonical;
+        {
+            let mut entries = self.lock();
+            if let Some(i) = entries.iter().position(|e| e.key == entry.key) {
+                let Some(existing) = entries.remove(i) else {
+                    return entry;
+                };
+                entries.push_front(Arc::clone(&existing));
+                canonical = existing;
+            } else {
+                entries.push_front(Arc::clone(&entry));
+                while entries.len() > self.capacity {
+                    entries.pop_back();
+                    evicted += 1;
+                }
+                canonical = entry;
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            telemetry::record_counter("serve.cache.evict", evicted);
+        }
+        canonical
+    }
+
+    /// The daemon's main seam: return the cached plan for
+    /// `(cfg, coords)`, building (outside the lock) and inserting it on
+    /// a miss. The boolean is `true` on a cache hit.
+    ///
+    /// The `serve.cache` fault point fires *before* any lock is taken,
+    /// so an injected panic here can never poison or corrupt the cache.
+    pub fn get_or_build(
+        &self,
+        cfg: &NufftConfig,
+        coords: &[[f64; 2]],
+    ) -> Result<(Arc<CachedPlan>, bool)> {
+        faultpoint!(crate::fault::SERVE_CACHE);
+        let key = plan_key(cfg, coords);
+        if let Some(hit) = self.lookup(&key) {
+            return Ok((hit, true));
+        }
+        // Build outside the lock: concurrent misses on the same key may
+        // race, but `insert` keeps a single canonical entry.
+        let plan = NufftPlan::<f64, 2>::new(cfg.clone())?;
+        let traj = plan.plan_trajectory(coords)?;
+        let entry = Arc::new(CachedPlan { key, plan, traj });
+        Ok((self.insert(entry), false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(seed: u64, m: usize) -> Vec<[f64; 2]> {
+        crate::traj::random_nd::<2>(m, seed)
+    }
+
+    fn cfg(n: usize) -> NufftConfig {
+        NufftConfig::with_n(n)
+    }
+
+    #[test]
+    fn content_hash_distinguishes_same_shape() {
+        let a = traj(1, 64);
+        let b = traj(2, 64);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(trajectory_hash(&a), trajectory_hash(&b));
+        assert_ne!(plan_key(&cfg(16), &a), plan_key(&cfg(16), &b));
+        // Same contents, same hash.
+        assert_eq!(trajectory_hash(&a), trajectory_hash(&a.clone()));
+    }
+
+    #[test]
+    fn sample_order_is_part_of_identity() {
+        let a = traj(3, 8);
+        let mut rev = a.clone();
+        rev.reverse();
+        assert_ne!(trajectory_hash(&a), trajectory_hash(&rev));
+    }
+
+    #[test]
+    fn auto_kernel_aliases_its_resolution() {
+        let c_auto = cfg(16);
+        let mut c_kb = cfg(16);
+        c_kb.kernel = c_auto.resolved_kernel();
+        let t = traj(4, 32);
+        assert_eq!(plan_key(&c_auto, &t), plan_key(&c_kb, &t));
+        // But a genuinely different kernel keys apart.
+        let mut c_g = cfg(16);
+        c_g.kernel = KernelKind::Gaussian { s: 1.0 };
+        assert_ne!(plan_key(&c_auto, &t), plan_key(&c_g, &t));
+    }
+
+    #[test]
+    fn hit_returns_the_same_plan_and_promotes() {
+        let cache = PlanCache::new(2);
+        let t = traj(5, 16);
+        let (a, hit_a) = cache.get_or_build(&cfg(8), &t).unwrap();
+        assert!(!hit_a);
+        let (b, hit_b) = cache.get_or_build(&cfg(8), &t).unwrap();
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_bounded() {
+        let cache = PlanCache::new(2);
+        // Odd, well-separated seeds: `random_nd` ors the seed with 1,
+        // so consecutive even/odd pairs would alias.
+        let t1 = traj(101, 8);
+        let t2 = traj(201, 8);
+        let t3 = traj(301, 8);
+        let c = cfg(8);
+        cache.get_or_build(&c, &t1).unwrap();
+        cache.get_or_build(&c, &t2).unwrap();
+        // Touch t1 so t2 is LRU.
+        cache.get_or_build(&c, &t1).unwrap();
+        cache.get_or_build(&c, &t3).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let keys = cache.keys();
+        assert_eq!(keys[0].traj_hash, trajectory_hash(&t3));
+        assert_eq!(keys[1].traj_hash, trajectory_hash(&t1));
+        // t2 was evicted: next fetch is a miss.
+        let (_, hit) = cache.get_or_build(&c, &t2).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn racing_insert_keeps_one_canonical_entry() {
+        let cache = PlanCache::new(4);
+        let t = traj(20, 8);
+        let c = cfg(8);
+        let key = plan_key(&c, &t);
+        let build = || {
+            let plan = NufftPlan::<f64, 2>::new(c.clone()).unwrap();
+            let traj = plan.plan_trajectory(&t).unwrap();
+            Arc::new(CachedPlan {
+                key: key.clone(),
+                plan,
+                traj,
+            })
+        };
+        let first = cache.insert(build());
+        let second = cache.insert(build());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_clamped_positive() {
+        assert_eq!(PlanCache::new(0).capacity(), 1);
+    }
+}

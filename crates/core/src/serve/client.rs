@@ -1,0 +1,83 @@
+//! A small synchronous client for the serve protocol, used by the
+//! `jigsaw request` CLI command and the black-box test suite.
+
+use super::protocol::{read_frame, write_frame, Frame, JobRequest, ProtocolError};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// A blocking client over any framed byte stream.
+#[derive(Debug)]
+pub struct ServeClient<S> {
+    stream: S,
+}
+
+impl ServeClient<UnixStream> {
+    /// Connect to a daemon listening on the Unix socket at `path`.
+    pub fn connect(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::new(UnixStream::connect(path)?))
+    }
+
+    /// Bound every receive by `timeout` so a dead daemon cannot hang
+    /// the client forever.
+    pub fn set_read_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+}
+
+impl<S: Read + Write> ServeClient<S> {
+    /// Wrap an already-connected stream.
+    pub fn new(stream: S) -> Self {
+        Self { stream }
+    }
+
+    /// The underlying stream.
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// Send one frame.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ProtocolError> {
+        write_frame(&mut self.stream, frame).map_err(ProtocolError::from)
+    }
+
+    /// Receive the next frame.
+    pub fn recv(&mut self) -> Result<Frame, ProtocolError> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Liveness probe: `Ping`, expect `Pong`.
+    pub fn ping(&mut self) -> Result<(), ProtocolError> {
+        self.send(&Frame::Ping)?;
+        match self.recv()? {
+            Frame::Pong => Ok(()),
+            other => Err(ProtocolError::Malformed(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit a job without waiting for its result.
+    pub fn submit(&mut self, req: &JobRequest) -> Result<(), ProtocolError> {
+        self.send(&Frame::Submit(req.clone()))
+    }
+
+    /// Submit a job and block for the next response frame (a `Result`
+    /// or `Error` frame carrying the request's tag).
+    pub fn roundtrip(&mut self, req: &JobRequest) -> Result<Frame, ProtocolError> {
+        self.submit(req)?;
+        self.recv()
+    }
+
+    /// Ask the daemon to drain and exit; waits for the `Pong` ack.
+    pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
+        self.send(&Frame::Shutdown)?;
+        match self.recv()? {
+            Frame::Pong => Ok(()),
+            other => Err(ProtocolError::Malformed(format!(
+                "expected shutdown ack, got {other:?}"
+            ))),
+        }
+    }
+}

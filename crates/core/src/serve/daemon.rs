@@ -1,0 +1,547 @@
+//! The long-lived `jigsaw serve` daemon: accept loop, two-priority job
+//! queue, and executor threads.
+//!
+//! Transport is either a local Unix socket ([`serve_unix`], one reader
+//! thread per connection) or the process's stdin/stdout
+//! ([`serve_stdio`], the fallback framing for environments without
+//! sockets). Both feed the same [`JobQueue`]; `--jobs` executor threads
+//! pop jobs (high priority first, FIFO within a class), run them through
+//! the shared [`ServeEngine`], and write the tagged response frame back
+//! to the submitting connection.
+//!
+//! ## Shutdown
+//!
+//! A `Shutdown` frame is acknowledged with `Pong`, then the queue is
+//! *closed*: no new jobs are admitted (late submitters get a
+//! protocol-category error frame), executors drain everything already
+//! queued, and the accept loop returns so the process can exit 0. A
+//! client disconnect (EOF) closes only that connection — except in
+//! stdio mode, where stdin EOF is the only possible "client gone"
+//! signal and triggers the same clean drain.
+
+use super::engine::ServeEngine;
+use super::protocol::{
+    read_frame, write_frame, ErrorCategory, ErrorFrame, Frame, JobRequest, ProtocolError,
+};
+use crate::budget::RunBudget;
+use crate::{Error, Result};
+use jigsaw_telemetry as telemetry;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon tuning knobs (the `jigsaw serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Number of executor threads multiplexing jobs onto the worker
+    /// pool.
+    pub executors: usize,
+    /// Default per-job wall-clock budget in milliseconds, applied when a
+    /// request carries `budget_ms = 0`. Zero means unlimited.
+    pub default_budget_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 8,
+            executors: 2,
+            default_budget_ms: 0,
+        }
+    }
+}
+
+/// A writer shared between the connection's reader thread (error
+/// frames) and the executors (results) — frames are written whole under
+/// the lock, so responses never interleave.
+type Reply = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Queued {
+    req: JobRequest,
+    budget: RunBudget,
+    reply: Reply,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    high: VecDeque<Queued>,
+    normal: VecDeque<Queued>,
+    closed: bool,
+}
+
+impl QueueState {
+    fn depth(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+}
+
+/// Two-priority MPMC job queue with a close latch for clean shutdown.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue a job; `Err(job)` if the queue is closed.
+    fn push(&self, job: Queued) -> std::result::Result<(), Queued> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(job);
+        }
+        match job.req.priority {
+            super::protocol::Priority::High => s.high.push_back(job),
+            super::protocol::Priority::Normal => s.normal.push_back(job),
+        }
+        telemetry::record_gauge("serve.queue_depth", s.depth() as f64);
+        drop(s);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available (high priority first) or the
+    /// queue is closed *and* drained (`None`).
+    fn pop(&self) -> Option<Queued> {
+        let mut s = self.lock();
+        loop {
+            if let Some(job) = s.high.pop_front().or_else(|| s.normal.pop_front()) {
+                telemetry::record_gauge("serve.queue_depth", s.depth() as f64);
+                return Some(job);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stop admitting jobs; wake every waiting executor so the drain
+    /// can finish.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// State shared by the accept loop, connection readers, and executors.
+struct Daemon {
+    engine: ServeEngine,
+    queue: JobQueue,
+    stop: AtomicBool,
+    default_budget_ms: u64,
+}
+
+impl Daemon {
+    fn new(opts: &ServeOptions) -> Arc<Self> {
+        Arc::new(Self {
+            engine: ServeEngine::new(opts.cache_capacity),
+            queue: JobQueue::new(),
+            stop: AtomicBool::new(false),
+            default_budget_ms: opts.default_budget_ms,
+        })
+    }
+
+    fn budget_for(&self, req: &JobRequest) -> RunBudget {
+        let ms = if req.budget_ms > 0 {
+            u64::from(req.budget_ms)
+        } else {
+            self.default_budget_ms
+        };
+        if ms > 0 {
+            RunBudget::with_time_ms(ms)
+        } else {
+            RunBudget::unlimited()
+        }
+    }
+
+    fn initiate_shutdown(&self) {
+        self.queue.close();
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+fn send(reply: &Reply, frame: &Frame) {
+    let mut w = reply.lock().unwrap_or_else(|e| e.into_inner());
+    // A vanished client is not a daemon error; drop the frame.
+    let _ = write_frame(&mut **w, frame);
+}
+
+/// One executor thread: pop → execute → reply, until closed and drained.
+fn run_executor(d: &Daemon) {
+    while let Some(job) = d.queue.pop() {
+        telemetry::record_histogram(
+            "serve.queue_wait_ns",
+            job.enqueued.elapsed().as_nanos() as u64,
+        );
+        let frame = match d.engine.execute(&job.req, &job.budget) {
+            Ok(res) => Frame::Result(res),
+            Err(err) => Frame::Error(err),
+        };
+        send(&job.reply, &frame);
+    }
+}
+
+/// Drive one client connection: parse frames off `reader`, answering on
+/// `reply`. Returns when the client disconnects, sends garbage, or
+/// requests shutdown. `shutdown_on_eof` makes a clean EOF initiate
+/// daemon shutdown (stdio mode).
+fn handle_connection<R: Read>(d: &Daemon, mut reader: R, reply: Reply, shutdown_on_eof: bool) {
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Frame::Ping) => send(&reply, &Frame::Pong),
+            Ok(Frame::Submit(req)) => {
+                let budget = d.budget_for(&req);
+                let job = Queued {
+                    req,
+                    budget,
+                    reply: Arc::clone(&reply),
+                    enqueued: Instant::now(),
+                };
+                if let Err(rejected) = d.queue.push(job) {
+                    send(
+                        &reply,
+                        &Frame::Error(ErrorFrame {
+                            tag: rejected.req.tag,
+                            category: ErrorCategory::Protocol,
+                            message: "daemon is shutting down".into(),
+                        }),
+                    );
+                }
+            }
+            Ok(Frame::Shutdown) => {
+                send(&reply, &Frame::Pong);
+                d.initiate_shutdown();
+                return;
+            }
+            Ok(other) => {
+                // Result/Error/Pong are daemon→client frames only.
+                send(
+                    &reply,
+                    &Frame::Error(ErrorFrame {
+                        tag: 0,
+                        category: ErrorCategory::Protocol,
+                        message: format!("unexpected client frame {:?}", frame_name(&other)),
+                    }),
+                );
+            }
+            Err(ProtocolError::Eof) => {
+                if shutdown_on_eof {
+                    d.initiate_shutdown();
+                }
+                return;
+            }
+            Err(ProtocolError::Malformed(m)) => {
+                // The stream position is unreliable after a grammar
+                // violation: report and close this connection. The
+                // daemon itself keeps serving.
+                send(
+                    &reply,
+                    &Frame::Error(ErrorFrame {
+                        tag: 0,
+                        category: ErrorCategory::Protocol,
+                        message: m,
+                    }),
+                );
+                if shutdown_on_eof {
+                    d.initiate_shutdown();
+                }
+                return;
+            }
+            Err(ProtocolError::Io(_)) => {
+                if shutdown_on_eof {
+                    d.initiate_shutdown();
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn frame_name(f: &Frame) -> &'static str {
+    match f {
+        Frame::Submit(_) => "submit",
+        Frame::Result(_) => "result",
+        Frame::Error(_) => "error",
+        Frame::Ping => "ping",
+        Frame::Pong => "pong",
+        Frame::Shutdown => "shutdown",
+    }
+}
+
+fn spawn_executors(d: &Arc<Daemon>, n: usize) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n.max(1))
+        .map(|i| {
+            let d = Arc::clone(d);
+            std::thread::Builder::new()
+                .name(format!("jigsaw-serve-{i}"))
+                .spawn(move || run_executor(&d))
+                .unwrap_or_else(|e| panic!("spawning executor {i}: {e}"))
+        })
+        .collect()
+}
+
+/// Serve on a Unix socket at `path` until a client sends `Shutdown`.
+/// A stale socket file at `path` is replaced.
+pub fn serve_unix(path: &Path, opts: &ServeOptions) -> Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)
+        .map_err(|e| Error::Data(format!("binding {}: {e}", path.display())))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| Error::Data(format!("configuring listener: {e}")))?;
+    let d = Daemon::new(opts);
+    let executors = spawn_executors(&d, opts.executors);
+
+    while !d.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let reader = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(_) => continue,
+                };
+                let reply: Reply = Arc::new(Mutex::new(Box::new(stream)));
+                let d2 = Arc::clone(&d);
+                // Reader threads are detached: they block in read() on
+                // idle clients and die with the process after shutdown.
+                let _ = std::thread::Builder::new()
+                    .name("jigsaw-serve-conn".into())
+                    .spawn(move || handle_connection(&d2, reader, reply, false));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                d.initiate_shutdown();
+                for h in executors {
+                    let _ = h.join();
+                }
+                let _ = std::fs::remove_file(path);
+                return Err(Error::Data(format!("accept failed: {e}")));
+            }
+        }
+    }
+    // Shutdown requested: executors drain the queue, then exit.
+    for h in executors {
+        let _ = h.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Serve on stdin/stdout — the socket-free fallback framing. Returns
+/// after a `Shutdown` frame or stdin EOF, once queued jobs have
+/// drained. All responses go to stdout; diagnostics belong on stderr.
+pub fn serve_stdio(opts: &ServeOptions) -> Result<()> {
+    let d = Daemon::new(opts);
+    let executors = spawn_executors(&d, opts.executors);
+    let reply: Reply = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    handle_connection(&d, std::io::stdin(), reply, true);
+    d.initiate_shutdown();
+    for h in executors {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// In-process variant of [`serve_stdio`] over arbitrary reader/writer
+/// pairs — the daemon loop without any OS transport, used by tests and
+/// available for embedding.
+pub fn serve_stream<R: Read, W: Write + Send + 'static>(
+    reader: R,
+    writer: W,
+    opts: &ServeOptions,
+) -> Result<()> {
+    let d = Daemon::new(opts);
+    let executors = spawn_executors(&d, opts.executors);
+    let reply: Reply = Arc::new(Mutex::new(Box::new(writer)));
+    handle_connection(&d, reader, reply, true);
+    d.initiate_shutdown();
+    for h in executors {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::protocol::{encode, JobResult, Priority};
+    use super::*;
+    use jigsaw_num::C64;
+
+    fn request(tag: u64, priority: Priority) -> JobRequest {
+        let coords = crate::traj::radial_2d(4, 16, true);
+        let values = vec![C64::new(1.0, 0.0); coords.len()];
+        JobRequest {
+            tag,
+            priority,
+            n: 8,
+            budget_ms: 0,
+            coords,
+            values,
+        }
+    }
+
+    /// Collects daemon output frames for assertion.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn run_session(frames: &[Frame], opts: &ServeOptions) -> Vec<Frame> {
+        let mut input = Vec::new();
+        for f in frames {
+            input.extend_from_slice(&encode(f));
+        }
+        let out = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        serve_stream(std::io::Cursor::new(input), out.clone(), opts).expect("serve");
+        let bytes = out.0.lock().unwrap().clone();
+        let mut r = std::io::Cursor::new(bytes);
+        let mut frames = Vec::new();
+        while let Ok(f) = read_frame(&mut r) {
+            frames.push(f);
+        }
+        frames
+    }
+
+    #[test]
+    fn ping_submit_shutdown_session() {
+        let req = request(42, Priority::Normal);
+        let replies = run_session(
+            &[Frame::Ping, Frame::Submit(req), Frame::Shutdown],
+            &ServeOptions::default(),
+        );
+        assert!(replies.contains(&Frame::Pong));
+        let result: Vec<&JobResult> = replies
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Result(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].tag, 42);
+        assert_eq!(result[0].image.len(), 64);
+    }
+
+    #[test]
+    fn eof_drains_queued_jobs_before_returning() {
+        // No explicit Shutdown: stdin just ends. Every submitted job
+        // must still be answered.
+        let frames: Vec<Frame> = (0..6)
+            .map(|i| Frame::Submit(request(i, Priority::Normal)))
+            .collect();
+        let replies = run_session(&frames, &ServeOptions::default());
+        let mut tags: Vec<u64> = replies
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Result(r) => Some(r.tag),
+                _ => None,
+            })
+            .collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn high_priority_jobs_jump_the_queue() {
+        // Single executor: queue order is observable in reply order.
+        // The first job may start before the rest are enqueued, but the
+        // high-priority job must be answered before the *last* normal
+        // one.
+        let opts = ServeOptions {
+            executors: 1,
+            ..Default::default()
+        };
+        let frames = vec![
+            Frame::Submit(request(1, Priority::Normal)),
+            Frame::Submit(request(2, Priority::Normal)),
+            Frame::Submit(request(3, Priority::Normal)),
+            Frame::Submit(request(99, Priority::High)),
+            Frame::Shutdown,
+        ];
+        let replies = run_session(&frames, &opts);
+        let tags: Vec<u64> = replies
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Result(r) => Some(r.tag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tags.len(), 4);
+        let hi = tags.iter().position(|&t| t == 99).unwrap();
+        let last_normal = tags.iter().position(|&t| t == 3).unwrap();
+        assert!(
+            hi < last_normal,
+            "high-priority job answered at {hi}, after normal job at {last_normal}: {tags:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_bytes_get_protocol_error_frame() {
+        let mut input = encode(&Frame::Ping);
+        input.extend_from_slice(b"NOPEnonsense-bytes");
+        let out = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        serve_stream(
+            std::io::Cursor::new(input),
+            out.clone(),
+            &ServeOptions::default(),
+        )
+        .expect("serve");
+        let bytes = out.0.lock().unwrap().clone();
+        let mut r = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Pong);
+        match read_frame(&mut r).unwrap() {
+            Frame::Error(e) => {
+                assert_eq!(e.category, ErrorCategory::Protocol);
+                assert_eq!(e.tag, 0);
+            }
+            other => panic!("expected protocol error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_zero_default_applies_daemon_default() {
+        // default_budget_ms = 1 ns-scale deadline: the job is refused
+        // with a budget error frame (tiny deadline, already expired by
+        // execution time) — or completes if the machine is fast; both
+        // are valid, but the frame must be tagged either way.
+        let opts = ServeOptions {
+            default_budget_ms: 0,
+            ..Default::default()
+        };
+        let replies = run_session(
+            &[Frame::Submit(request(7, Priority::Normal)), Frame::Shutdown],
+            &opts,
+        );
+        assert!(replies.iter().any(|f| matches!(
+            f,
+            Frame::Result(JobResult { tag: 7, .. }) | Frame::Error(ErrorFrame { tag: 7, .. })
+        )));
+    }
+}

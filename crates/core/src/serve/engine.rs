@@ -1,0 +1,246 @@
+//! Job execution for the serving daemon: plan-cache seam, budget
+//! admission, and per-job panic containment.
+//!
+//! [`ServeEngine::execute`] is the single choke point every submitted
+//! job flows through. It wraps the whole job body in `catch_unwind`, so
+//! a panicking job — including one injected at the `serve.job` or
+//! `serve.cache` fault points — becomes a structured
+//! [`ErrorFrame`] for that client while the engine, the plan cache, and
+//! the shared [`WorkerPool`](crate::engine::WorkerPool) all survive for
+//! the next job. Neither fault point fires while a lock is held, so an
+//! injected panic can never poison the cache.
+
+use super::cache::{CachedPlan, PlanCache};
+use super::protocol::{ErrorCategory, ErrorFrame, JobRequest, JobResult, MAX_N};
+use crate::budget::RunBudget;
+use crate::config::NufftConfig;
+use crate::{Error, Result};
+use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::faultpoint;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The daemon's job executor: a plan cache plus the execution policy
+/// (validation, budget admission, panic containment). Shared by
+/// reference across executor threads.
+#[derive(Debug)]
+pub struct ServeEngine {
+    cache: PlanCache,
+}
+
+impl ServeEngine {
+    /// An engine whose plan cache holds at most `cache_capacity` plans.
+    pub fn new(cache_capacity: usize) -> Self {
+        Self {
+            cache: PlanCache::new(cache_capacity),
+        }
+    }
+
+    /// The underlying plan cache (counters, capacity, resident keys).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Run one job to completion. Every failure — validation,
+    /// budget exhaustion, contained panic — comes back as a tagged
+    /// [`ErrorFrame`]; the engine itself never dies.
+    ///
+    /// Records `serve.jobs`, `serve.job_errors`, and the
+    /// `serve.job_latency_ns` histogram.
+    pub fn execute(
+        &self,
+        req: &JobRequest,
+        budget: &RunBudget,
+    ) -> core::result::Result<JobResult, ErrorFrame> {
+        let t0 = Instant::now();
+        telemetry::record_counter("serve.jobs", 1);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.execute_inner(req, budget)));
+        let result = match outcome {
+            Ok(Ok(res)) => Ok(res),
+            Ok(Err(e)) => Err(ErrorFrame {
+                tag: req.tag,
+                category: ErrorCategory::from_error(&e),
+                message: e.to_string(),
+            }),
+            Err(payload) => Err(ErrorFrame {
+                tag: req.tag,
+                category: ErrorCategory::Execution,
+                message: format!(
+                    "job panicked (contained): {}",
+                    jigsaw_fft::exec::panic_message(&*payload)
+                ),
+            }),
+        };
+        if result.is_err() {
+            telemetry::record_counter("serve.job_errors", 1);
+        }
+        telemetry::record_histogram("serve.job_latency_ns", t0.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn execute_inner(&self, req: &JobRequest, budget: &RunBudget) -> Result<JobResult> {
+        let _span = telemetry::span!("serve.job", {
+            tag: req.tag as usize,
+            n: req.n as usize,
+            m: req.coords.len()
+        });
+        faultpoint!(crate::fault::SERVE_JOB);
+        if budget.exhausted() {
+            return Err(Error::Budget(format!(
+                "job {} budget exhausted before execution",
+                req.tag
+            )));
+        }
+        if req.n == 0 || req.n > MAX_N {
+            return Err(Error::Config(format!(
+                "image size n = {} outside serving range [1, {MAX_N}]",
+                req.n
+            )));
+        }
+        if req.coords.is_empty() {
+            return Err(Error::Data("job carries no samples".into()));
+        }
+        if req.coords.len() != req.values.len() {
+            return Err(Error::Data(format!(
+                "coordinate count {} != value count {}",
+                req.coords.len(),
+                req.values.len()
+            )));
+        }
+        let cfg = NufftConfig::with_n(req.n as usize);
+        let (cached, cache_hit) = self.cache.get_or_build(&cfg, &req.coords)?;
+        if budget.exhausted() {
+            // Admission control: planning consumed the deadline and no
+            // usable result exists — refuse rather than start gridding.
+            return Err(Error::Budget(format!(
+                "job {} budget exhausted after planning",
+                req.tag
+            )));
+        }
+        let image = Self::reconstruct(&cached, req)?;
+        Ok(JobResult {
+            tag: req.tag,
+            cache_hit,
+            n: req.n,
+            image,
+        })
+    }
+
+    /// The numeric body: planned batched adjoint on the shared worker
+    /// pool. Bitwise identical to a cold `adjoint(coords, values,
+    /// &SerialGridder)` run by the planned-path invariant, so a cache
+    /// hit and a cache miss produce identical bytes.
+    fn reconstruct(cached: &Arc<CachedPlan>, req: &JobRequest) -> Result<Vec<jigsaw_num::C64>> {
+        let outs = cached
+            .plan
+            .adjoint_batch_planned(&cached.traj, &[&req.values])?;
+        outs.into_iter()
+            .next()
+            .map(|o| o.image)
+            .ok_or_else(|| Error::Execution("planned adjoint returned no image".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gridding::SerialGridder;
+    use crate::traj;
+    use crate::NufftPlan;
+    use jigsaw_num::C64;
+    use jigsaw_testkit::fault;
+
+    fn radial_request(tag: u64, n: u32, seed: u64) -> JobRequest {
+        let mut coords = traj::radial_2d(8, 2 * n as usize, true);
+        traj::shuffle(&mut coords, seed);
+        let values: Vec<C64> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, c)| C64::new(c[0].cos() + i as f64 * 1e-3, c[1].sin()))
+            .collect();
+        JobRequest {
+            tag,
+            priority: super::super::protocol::Priority::Normal,
+            n,
+            budget_ms: 0,
+            coords,
+            values,
+        }
+    }
+
+    #[test]
+    fn result_matches_cold_serial_run_bitwise() {
+        let engine = ServeEngine::new(4);
+        let req = radial_request(1, 16, 7);
+        let res = engine
+            .execute(&req, &RunBudget::unlimited())
+            .expect("job succeeds");
+        assert!(!res.cache_hit);
+        let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(16)).unwrap();
+        let cold = plan
+            .adjoint(&req.coords, &req.values, &SerialGridder)
+            .unwrap();
+        assert_eq!(res.image.len(), cold.image.len());
+        for (a, b) in res.image.iter().zip(&cold.image) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        // Second run: cache hit, still bitwise identical.
+        let res2 = engine.execute(&req, &RunBudget::unlimited()).unwrap();
+        assert!(res2.cache_hit);
+        assert_eq!(res.image, res2.image);
+    }
+
+    #[test]
+    fn validation_failures_are_tagged_error_frames() {
+        let engine = ServeEngine::new(2);
+        let budget = RunBudget::unlimited();
+        let mut bad_n = radial_request(9, 16, 1);
+        bad_n.n = 0;
+        let e = engine.execute(&bad_n, &budget).unwrap_err();
+        assert_eq!(e.tag, 9);
+        assert_eq!(e.category, ErrorCategory::Config);
+
+        let mut mismatch = radial_request(10, 16, 1);
+        mismatch.values.pop();
+        let e = engine.execute(&mismatch, &budget).unwrap_err();
+        assert_eq!(e.tag, 10);
+        assert_eq!(e.category, ErrorCategory::Data);
+
+        let mut nan = radial_request(11, 16, 1);
+        nan.coords[0][0] = f64::NAN;
+        let e = engine.execute(&nan, &budget).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Data);
+    }
+
+    #[test]
+    fn exhausted_budget_is_refused_before_work() {
+        let engine = ServeEngine::new(2);
+        let req = radial_request(5, 16, 2);
+        let e = engine
+            .execute(&req, &RunBudget::with_time_ms(0))
+            .unwrap_err();
+        assert_eq!(e.tag, 5);
+        assert_eq!(e.category, ErrorCategory::Budget);
+        // The refused job must not have touched the cache.
+        assert_eq!(engine.cache().len(), 0);
+    }
+
+    #[test]
+    fn injected_job_panic_is_contained_and_engine_survives() {
+        let _guard = fault::test_guard();
+        let engine = ServeEngine::new(2);
+        let req = radial_request(21, 16, 3);
+        fault::arm(fault::FaultPlan::once_at(crate::fault::SERVE_JOB));
+        let e = engine.execute(&req, &RunBudget::unlimited()).unwrap_err();
+        assert_eq!(e.tag, 21);
+        assert_eq!(e.category, ErrorCategory::Execution);
+        assert!(e.message.contains(crate::fault::SERVE_JOB), "{}", e.message);
+        assert_eq!(fault::fires(), 1);
+        fault::disarm();
+        // Same engine, same request: clean run succeeds.
+        let res = engine.execute(&req, &RunBudget::unlimited()).unwrap();
+        assert_eq!(res.tag, 21);
+    }
+}

@@ -1,0 +1,47 @@
+//! The `jigsaw serve` serving layer: a plan-cached reconstruction
+//! daemon.
+//!
+//! Every one-shot CLI invocation pays the full planning cost —
+//! [`crate::nufft::NufftPlan::plan_trajectory`]'s per-sample window
+//! decomposition plus FFT/apodization setup — even though production
+//! MRI workloads replay the same trajectories continuously (one per
+//! pulse sequence). This module amortizes that cost across a process
+//! lifetime:
+//!
+//! * [`protocol`] — a std-only, length-prefixed binary frame protocol
+//!   over any byte stream (Unix socket or stdin/stdout).
+//! * [`cache`] — a bounded LRU [`cache::PlanCache`] keyed by the full
+//!   trajectory *contents* and grid/kernel geometry.
+//! * [`engine`] — [`engine::ServeEngine`], the per-job execution seam:
+//!   validation, `RunBudget` admission control, cache lookup, the
+//!   planned batched adjoint on the shared worker pool, and
+//!   `catch_unwind` panic containment (a panicking job becomes an error
+//!   frame; the daemon survives).
+//! * [`daemon`] — transports, the two-priority job queue, and the
+//!   executor threads ([`daemon::serve_unix`] / [`daemon::serve_stdio`]).
+//! * [`client`] — a blocking [`client::ServeClient`] for CLI client
+//!   mode and the black-box tests.
+//!
+//! Serving v1 fixes the numeric type to `f64` and the dimensionality to
+//! 2-D (the paper's primary configuration); the frame grammar reserves
+//! a version byte for future widening.
+//!
+//! Telemetry: `serve.cache.{hit,miss,evict}` counters,
+//! `serve.queue_depth` gauge, `serve.jobs` / `serve.job_errors`
+//! counters, and `serve.job_latency_ns` / `serve.queue_wait_ns`
+//! histograms. Fault sites: [`crate::fault::SERVE_JOB`] and
+//! [`crate::fault::SERVE_CACHE`].
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod engine;
+pub mod protocol;
+
+pub use cache::{plan_key, trajectory_hash, CachedPlan, PlanCache, PlanKey};
+pub use client::ServeClient;
+pub use daemon::{serve_stdio, serve_stream, serve_unix, ServeOptions};
+pub use engine::ServeEngine;
+pub use protocol::{
+    ErrorCategory, ErrorFrame, Frame, JobRequest, JobResult, Priority, ProtocolError,
+};

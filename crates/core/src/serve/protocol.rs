@@ -1,0 +1,656 @@
+//! The `jigsaw serve` wire protocol: length-prefixed binary frames.
+//!
+//! The daemon speaks a std-only, little-endian framing over any byte
+//! stream (a local Unix socket, or stdin/stdout in `--stdio` mode). Every
+//! frame is:
+//!
+//! ```text
+//! magic "JGSW" (4) · version u8 · kind u8 · payload_len u32 · payload
+//! ```
+//!
+//! Payload layouts (all integers little-endian, all floats IEEE-754
+//! `f64` bit patterns):
+//!
+//! | kind | frame      | payload                                          |
+//! |------|------------|--------------------------------------------------|
+//! | 1    | `Submit`   | tag u64 · priority u8 · 0 u8 · n u32 · budget_ms u32 · m u32 · m×(kx,ky) f64 · m×(re,im) f64 |
+//! | 2    | `Result`   | tag u64 · cache_hit u8 · 0 u8 · n u32 · n²×(re,im) f64 |
+//! | 3    | `Error`    | tag u64 · category u8 · 0 u8 · msg_len u32 · msg UTF-8 |
+//! | 4    | `Ping`     | (empty)                                          |
+//! | 5    | `Pong`     | (empty)                                          |
+//! | 6    | `Shutdown` | (empty)                                          |
+//!
+//! A frame that violates the grammar (bad magic, unknown version or
+//! kind, length out of bounds, payload shorter than its own counts
+//! claim) decodes to [`ProtocolError::Malformed`]; the daemon answers
+//! with an error frame of category [`ErrorCategory::Protocol`] and
+//! closes the connection, since the stream position is no longer
+//! trustworthy. Semantic problems inside a well-formed `Submit` (bad
+//! `n`, non-finite coordinates, exhausted budget) come back as tagged
+//! error frames on a connection that stays open.
+
+use crate::Error;
+use jigsaw_num::C64;
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"JGSW";
+
+/// Protocol version spoken by this build.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame payload (bytes). Chosen so an `n = 2048`
+/// result image (`n²·16` bytes) fits with headroom while a corrupt
+/// length prefix cannot make the daemon allocate unboundedly.
+pub const MAX_PAYLOAD: u32 = 1 << 27;
+
+/// Largest image size the serving protocol accepts (`Result` frames for
+/// larger `n` would overflow [`MAX_PAYLOAD`]).
+pub const MAX_N: u32 = 2048;
+
+/// Job priority class. High-priority jobs are dequeued before any
+/// normal-priority job, FIFO within a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Default class.
+    Normal,
+    /// Dequeued ahead of every queued [`Priority::Normal`] job.
+    High,
+}
+
+impl Priority {
+    /// Wire encoding.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Priority::Normal => 0,
+            Priority::High => 1,
+        }
+    }
+
+    /// Decode the wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(Priority::Normal),
+            1 => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+/// Failure category carried by an error frame. Mirrors the CLI exit-code
+/// taxonomy (2 config · 3 data · 4 execution · 5 budget) plus a
+/// serving-only `Protocol` category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCategory {
+    /// A configuration parameter is outside its supported range.
+    Config,
+    /// Sample data malformed (non-finite coordinate, length mismatch).
+    Data,
+    /// A contained execution failure (the job panicked; daemon survives).
+    Execution,
+    /// The job's `RunBudget` was exhausted before a usable result.
+    Budget,
+    /// The client's bytes violated the frame grammar.
+    Protocol,
+}
+
+impl ErrorCategory {
+    /// Wire encoding (matches the CLI exit code where one exists).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCategory::Config => 2,
+            ErrorCategory::Data => 3,
+            ErrorCategory::Execution => 4,
+            ErrorCategory::Budget => 5,
+            ErrorCategory::Protocol => 6,
+        }
+    }
+
+    /// Decode the wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            2 => Some(ErrorCategory::Config),
+            3 => Some(ErrorCategory::Data),
+            4 => Some(ErrorCategory::Execution),
+            5 => Some(ErrorCategory::Budget),
+            6 => Some(ErrorCategory::Protocol),
+            _ => None,
+        }
+    }
+
+    /// Classify a core error.
+    pub fn from_error(e: &Error) -> Self {
+        match e {
+            Error::Config(_) => ErrorCategory::Config,
+            Error::Data(_) => ErrorCategory::Data,
+            Error::Execution(_) => ErrorCategory::Execution,
+            Error::Budget(_) => ErrorCategory::Budget,
+        }
+    }
+}
+
+/// A reconstruction job submitted by a client: adjoint NuFFT of `m`
+/// non-uniform samples onto an `n × n` image (f64, 2-D — the serving
+/// layer fixes the scalar type and dimensionality at v1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen correlation tag, echoed in the response.
+    pub tag: u64,
+    /// Queue priority class.
+    pub priority: Priority,
+    /// Image size per dimension (`N`).
+    pub n: u32,
+    /// Per-job wall-clock budget in milliseconds (0 = daemon default).
+    pub budget_ms: u32,
+    /// Non-uniform sample coordinates in cycles.
+    pub coords: Vec<[f64; 2]>,
+    /// Complex sample values, one per coordinate.
+    pub values: Vec<C64>,
+}
+
+/// A completed job: the reconstructed `n × n` image, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The request's correlation tag.
+    pub tag: u64,
+    /// Whether the plan came from the cache (true) or was built cold.
+    pub cache_hit: bool,
+    /// Image size per dimension.
+    pub n: u32,
+    /// Row-major `n²` complex image.
+    pub image: Vec<C64>,
+}
+
+/// A structured failure report for one job (or, with `tag = 0` and
+/// category [`ErrorCategory::Protocol`], for an unparseable frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// The request's correlation tag (0 when no request was decoded).
+    pub tag: u64,
+    /// Failure category.
+    pub category: ErrorCategory,
+    /// One-line human-readable message.
+    pub message: String,
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → daemon: run a job.
+    Submit(JobRequest),
+    /// Daemon → client: job completed.
+    Result(JobResult),
+    /// Daemon → client: job or frame failed.
+    Error(ErrorFrame),
+    /// Liveness probe (client → daemon).
+    Ping,
+    /// Liveness answer, and the acknowledgement of `Shutdown`.
+    Pong,
+    /// Client → daemon: drain queued jobs, then exit cleanly.
+    Shutdown,
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Submit(_) => 1,
+            Frame::Result(_) => 2,
+            Frame::Error(_) => 3,
+            Frame::Ping => 4,
+            Frame::Pong => 5,
+            Frame::Shutdown => 6,
+        }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The stream ended cleanly at a frame boundary.
+    Eof,
+    /// An I/O failure (including EOF mid-frame).
+    Io(String),
+    /// The bytes violate the frame grammar. The stream position is no
+    /// longer trustworthy; the connection should be closed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Eof => write!(f, "end of stream"),
+            ProtocolError::Io(m) => write!(f, "i/o error: {m}"),
+            ProtocolError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Serialize a frame (header + payload) into a fresh byte vector.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Submit(req) => {
+            push_u64(&mut payload, req.tag);
+            payload.push(req.priority.as_u8());
+            payload.push(0);
+            push_u32(&mut payload, req.n);
+            push_u32(&mut payload, req.budget_ms);
+            push_u32(&mut payload, req.coords.len() as u32);
+            for c in &req.coords {
+                push_f64(&mut payload, c[0]);
+                push_f64(&mut payload, c[1]);
+            }
+            for v in &req.values {
+                push_f64(&mut payload, v.re);
+                push_f64(&mut payload, v.im);
+            }
+        }
+        Frame::Result(res) => {
+            push_u64(&mut payload, res.tag);
+            payload.push(u8::from(res.cache_hit));
+            payload.push(0);
+            push_u32(&mut payload, res.n);
+            for z in &res.image {
+                push_f64(&mut payload, z.re);
+                push_f64(&mut payload, z.im);
+            }
+        }
+        Frame::Error(err) => {
+            push_u64(&mut payload, err.tag);
+            payload.push(err.category.as_u8());
+            payload.push(0);
+            push_u32(&mut payload, err.message.len() as u32);
+            payload.extend_from_slice(err.message.as_bytes());
+        }
+        Frame::Ping | Frame::Pong | Frame::Shutdown => {}
+    }
+    let mut out = Vec::with_capacity(10 + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.kind());
+    push_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Write one frame and flush.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode(frame))?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                ProtocolError::Malformed(format!(
+                    "payload truncated: wanted {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Read one frame. [`ProtocolError::Eof`] means the stream ended cleanly
+/// *between* frames; EOF inside a frame is [`ProtocolError::Io`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtocolError> {
+    // Probe one byte so a clean close between frames is distinguishable
+    // from a mid-frame truncation.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(ProtocolError::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let mut header = [0u8; 10];
+    header[0] = first[0];
+    r.read_exact(&mut header[1..])?;
+    if header[..4] != MAGIC {
+        return Err(ProtocolError::Malformed(format!(
+            "bad magic {:02x?}",
+            &header[..4]
+        )));
+    }
+    if header[4] != VERSION {
+        return Err(ProtocolError::Malformed(format!(
+            "unsupported protocol version {}",
+            header[4]
+        )));
+    }
+    let kind = header[5];
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Malformed(format!(
+            "payload length {len} exceeds maximum {MAX_PAYLOAD}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_payload(kind, &payload)
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
+    let mut c = Cursor::new(payload);
+    match kind {
+        1 => {
+            let tag = c.u64()?;
+            let pr = c.u8()?;
+            let priority = Priority::from_u8(pr)
+                .ok_or_else(|| ProtocolError::Malformed(format!("bad priority byte {pr}")))?;
+            let _reserved = c.u8()?;
+            let n = c.u32()?;
+            let budget_ms = c.u32()?;
+            let m = c.u32()? as usize;
+            // Two f64 per coordinate plus two per value: 32 bytes/sample.
+            let expected = 22 + 32 * m as u64;
+            if payload.len() as u64 != expected {
+                return Err(ProtocolError::Malformed(format!(
+                    "submit frame with m = {m} must carry {expected} payload bytes, got {}",
+                    payload.len()
+                )));
+            }
+            let mut coords = Vec::with_capacity(m);
+            for _ in 0..m {
+                coords.push([c.f64()?, c.f64()?]);
+            }
+            let mut values = Vec::with_capacity(m);
+            for _ in 0..m {
+                values.push(C64::new(c.f64()?, c.f64()?));
+            }
+            c.finish()?;
+            Ok(Frame::Submit(JobRequest {
+                tag,
+                priority,
+                n,
+                budget_ms,
+                coords,
+                values,
+            }))
+        }
+        2 => {
+            let tag = c.u64()?;
+            let cache_hit = c.u8()? != 0;
+            let _reserved = c.u8()?;
+            let n = c.u32()?;
+            let pixels = (n as u64) * (n as u64);
+            let expected = 14 + 16 * pixels;
+            if payload.len() as u64 != expected {
+                return Err(ProtocolError::Malformed(format!(
+                    "result frame with n = {n} must carry {expected} payload bytes, got {}",
+                    payload.len()
+                )));
+            }
+            let mut image = Vec::with_capacity(pixels as usize);
+            for _ in 0..pixels {
+                image.push(C64::new(c.f64()?, c.f64()?));
+            }
+            c.finish()?;
+            Ok(Frame::Result(JobResult {
+                tag,
+                cache_hit,
+                n,
+                image,
+            }))
+        }
+        3 => {
+            let tag = c.u64()?;
+            let cat = c.u8()?;
+            let category = ErrorCategory::from_u8(cat)
+                .ok_or_else(|| ProtocolError::Malformed(format!("bad error category {cat}")))?;
+            let _reserved = c.u8()?;
+            let len = c.u32()? as usize;
+            let bytes = c.take(len)?;
+            let message = String::from_utf8(bytes.to_vec())
+                .map_err(|_| ProtocolError::Malformed("error message is not UTF-8".into()))?;
+            c.finish()?;
+            Ok(Frame::Error(ErrorFrame {
+                tag,
+                category,
+                message,
+            }))
+        }
+        4..=6 => {
+            c.finish()?;
+            Ok(match kind {
+                4 => Frame::Ping,
+                5 => Frame::Pong,
+                _ => Frame::Shutdown,
+            })
+        }
+        other => Err(ProtocolError::Malformed(format!(
+            "unknown frame kind {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: &Frame) -> Frame {
+        let bytes = encode(f);
+        let mut r = io::Cursor::new(bytes);
+        let back = read_frame(&mut r).expect("decode");
+        // The stream must now be exactly at EOF.
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::Eof)));
+        back
+    }
+
+    #[test]
+    fn empty_frames_round_trip() {
+        for f in [Frame::Ping, Frame::Pong, Frame::Shutdown] {
+            assert_eq!(round_trip(&f), f);
+        }
+    }
+
+    #[test]
+    fn submit_round_trips_bitwise() {
+        let req = JobRequest {
+            tag: 0xDEAD_BEEF,
+            priority: Priority::High,
+            n: 64,
+            budget_ms: 250,
+            coords: vec![[0.25, -0.5], [f64::MIN_POSITIVE, 31.0]],
+            values: vec![C64::new(1.5, -2.5), C64::new(-0.0, 3.25)],
+        };
+        match round_trip(&Frame::Submit(req.clone())) {
+            Frame::Submit(back) => {
+                assert_eq!(back.tag, req.tag);
+                assert_eq!(back.priority, req.priority);
+                assert_eq!(back.n, req.n);
+                assert_eq!(back.budget_ms, req.budget_ms);
+                // Bitwise, not approximate: the wire carries bit patterns.
+                for (a, b) in back.coords.iter().zip(&req.coords) {
+                    assert_eq!(a[0].to_bits(), b[0].to_bits());
+                    assert_eq!(a[1].to_bits(), b[1].to_bits());
+                }
+                for (a, b) in back.values.iter().zip(&req.values) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    assert_eq!(a.im.to_bits(), b.im.to_bits());
+                }
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_and_error_round_trip() {
+        let res = Frame::Result(JobResult {
+            tag: 7,
+            cache_hit: true,
+            n: 2,
+            image: vec![C64::new(0.0, 1.0); 4],
+        });
+        assert_eq!(round_trip(&res), res);
+        let err = Frame::Error(ErrorFrame {
+            tag: 9,
+            category: ErrorCategory::Budget,
+            message: "deadline blown ×2 µ".into(),
+        });
+        assert_eq!(round_trip(&err), err);
+    }
+
+    #[test]
+    fn bad_magic_is_malformed() {
+        let mut bytes = encode(&Frame::Ping);
+        bytes[0] = b'X';
+        let e = read_frame(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(e, ProtocolError::Malformed(_)), "{e:?}");
+    }
+
+    #[test]
+    fn bad_version_kind_and_length_are_malformed() {
+        let mut v = encode(&Frame::Ping);
+        v[4] = 99;
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(v)),
+            Err(ProtocolError::Malformed(_))
+        ));
+        let mut k = encode(&Frame::Ping);
+        k[5] = 42;
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(k)),
+            Err(ProtocolError::Malformed(_))
+        ));
+        let mut l = encode(&Frame::Ping);
+        l[6..10].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(l)),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_distinguished_from_clean_eof() {
+        let bytes = encode(&Frame::Error(ErrorFrame {
+            tag: 1,
+            category: ErrorCategory::Data,
+            message: "x".repeat(64),
+        }));
+        // Cut mid-frame: an I/O error, not a clean EOF.
+        let cut = &bytes[..bytes.len() - 5];
+        let e = read_frame(&mut io::Cursor::new(cut.to_vec())).unwrap_err();
+        assert!(matches!(e, ProtocolError::Io(_)), "{e:?}");
+        // Empty stream: clean EOF.
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(Vec::new())),
+            Err(ProtocolError::Eof)
+        ));
+    }
+
+    #[test]
+    fn inconsistent_sample_count_is_malformed() {
+        let mut bytes = encode(&Frame::Submit(JobRequest {
+            tag: 1,
+            priority: Priority::Normal,
+            n: 8,
+            budget_ms: 0,
+            coords: vec![[0.0, 0.0]],
+            values: vec![C64::new(0.0, 0.0)],
+        }));
+        // Claim m = 2 without providing the bytes.
+        let m_offset = 10 + 8 + 1 + 1 + 4 + 4;
+        bytes[m_offset..m_offset + 4].copy_from_slice(&2u32.to_le_bytes());
+        let e = read_frame(&mut io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(e, ProtocolError::Malformed(_)), "{e:?}");
+    }
+
+    #[test]
+    fn category_and_priority_codes_are_stable() {
+        assert_eq!(ErrorCategory::Config.as_u8(), 2);
+        assert_eq!(ErrorCategory::Data.as_u8(), 3);
+        assert_eq!(ErrorCategory::Execution.as_u8(), 4);
+        assert_eq!(ErrorCategory::Budget.as_u8(), 5);
+        assert_eq!(ErrorCategory::Protocol.as_u8(), 6);
+        for b in [2u8, 3, 4, 5, 6] {
+            assert_eq!(ErrorCategory::from_u8(b).map(|c| c.as_u8()), Some(b));
+        }
+        assert_eq!(ErrorCategory::from_u8(7), None);
+        assert_eq!(Priority::from_u8(0), Some(Priority::Normal));
+        assert_eq!(Priority::from_u8(1), Some(Priority::High));
+        assert_eq!(Priority::from_u8(2), None);
+        assert_eq!(
+            ErrorCategory::from_error(&Error::Budget("x".into())),
+            ErrorCategory::Budget
+        );
+    }
+}

@@ -295,6 +295,71 @@ fn cg_iteration_fault_degrades_to_nonfinite_diagnostic() {
     );
 }
 
+/// Containment for the serving layer: a panic injected into a job body
+/// (`serve.job`) or into the plan-cache path (`serve.cache`) comes back
+/// as a structured Execution error frame; the engine and its cache
+/// survive, and the next clean run over the *same* engine reproduces an
+/// unfaulted run bitwise. `serve.cache` fires before any cache lock is
+/// taken, so the injected panic can never poison the cache — asserted
+/// by checking the cache still serves hits afterwards.
+#[test]
+fn serve_faults_are_contained_and_cache_is_not_poisoned() {
+    use jigsaw::core::budget::RunBudget;
+    use jigsaw::core::serve::{ErrorCategory, JobRequest, Priority, ServeEngine};
+
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    let (_, coords, data) = coil_problem(16, 1);
+    let req = JobRequest {
+        tag: 77,
+        priority: Priority::Normal,
+        n: 16,
+        budget_ms: 0,
+        coords: coords.clone(),
+        values: data[0].clone(),
+    };
+    let budget = RunBudget::unlimited();
+
+    for site in [fault::SERVE_JOB, fault::SERVE_CACHE] {
+        let engine = ServeEngine::new(4);
+        let baseline = {
+            // Unfaulted reference from a separate engine so the faulted
+            // engine's cache state is not pre-warmed.
+            let fresh = ServeEngine::new(4);
+            fresh.execute(&req, &budget).unwrap().image
+        };
+        arm(FaultPlan::once_at(site));
+        let err = engine
+            .execute(&req, &budget)
+            .expect_err("injected panic must become an error frame");
+        assert_eq!(fires(), 1, "site {site} must actually fire");
+        assert_eq!(err.tag, 77, "site {site}: error frame keeps the job tag");
+        assert_eq!(
+            err.category,
+            ErrorCategory::Execution,
+            "site {site}: contained panic maps to Execution"
+        );
+        assert!(
+            err.message.contains(site),
+            "site {site}: got {}",
+            err.message
+        );
+        disarm();
+
+        // The engine survives: a clean run succeeds and matches the
+        // unfaulted reference bitwise; a second run hits the cache,
+        // proving the fault did not poison it.
+        let clean = engine.execute(&req, &budget).unwrap();
+        assert!(
+            bits_eq(&baseline, &clean.image),
+            "site {site}: post-fault run must match the unfaulted run"
+        );
+        let warm = engine.execute(&req, &budget).unwrap();
+        assert!(warm.cache_hit, "site {site}: cache must still serve hits");
+        assert!(bits_eq(&baseline, &warm.image));
+    }
+}
+
 /// Every registered site is covered by a test above; this meta-check
 /// fails when a new fault point is added without chaos coverage.
 #[test]
@@ -305,6 +370,8 @@ fn every_registered_site_is_covered() {
         fault::GRIDDING_CHUNK,
         fault::FFT_PANEL,
         fault::RECON_CG_ITER,
+        fault::SERVE_JOB,
+        fault::SERVE_CACHE,
     ];
     for site in fault::SITES {
         assert!(

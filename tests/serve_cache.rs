@@ -1,0 +1,278 @@
+//! Serving-layer cache and concurrency properties, tested against the
+//! in-process [`ServeEngine`] (the same object the daemon multiplexes
+//! jobs onto — the transport adds framing, not numerics):
+//!
+//! 1. **Concurrent correctness** — N client threads with overlapping
+//!    trajectories each get results *bitwise identical* to a cold
+//!    single-shot `adjoint(..., &SerialGridder)` run, regardless of
+//!    cache hits, races between plan builders, or eviction pressure.
+//! 2. **LRU discipline** — the plan cache's eviction order and capacity
+//!    bound match a reference model under randomized access traces.
+//! 3. **Hit ≡ miss** — a cache hit returns the same bytes as the cache
+//!    miss that built the plan, including a rebuild after eviction.
+//! 4. **No stale plans** — trajectories with identical shape but
+//!    different contents never alias to the same cache entry
+//!    (regression: the key hashes full trajectory contents, not just
+//!    sample count and config).
+
+use jigsaw::core::budget::RunBudget;
+use jigsaw::core::gridding::SerialGridder;
+use jigsaw::core::serve::{
+    plan_key, trajectory_hash, JobRequest, PlanCache, Priority, ServeEngine,
+};
+use jigsaw::core::{NufftConfig, NufftPlan};
+use jigsaw::num::C64;
+use jigsaw_testkit::{cases, Rng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread;
+
+/// A finite trajectory over the `[0, n)^2` torus plus matching sample
+/// values, drawn deterministically from `seed`. Distinct seeds give
+/// distinct contents (checked where it matters).
+fn problem(n: usize, m: usize, seed: u64) -> (Vec<[f64; 2]>, Vec<C64>) {
+    let mut rng = Rng::new(seed);
+    let g = n as f64;
+    let coords: Vec<[f64; 2]> = (0..m)
+        .map(|_| [rng.f64_range(0.0, g), rng.f64_range(0.0, g)])
+        .collect();
+    let values: Vec<C64> = (0..m)
+        .map(|_| C64::new(rng.f64_range(-1.0, 1.0), rng.f64_range(-1.0, 1.0)))
+        .collect();
+    (coords, values)
+}
+
+fn request(tag: u64, n: usize, coords: &[[f64; 2]], values: &[C64]) -> JobRequest {
+    JobRequest {
+        tag,
+        priority: Priority::Normal,
+        n: n as u32,
+        budget_ms: 0,
+        coords: coords.to_vec(),
+        values: values.to_vec(),
+    }
+}
+
+/// Cold single-shot reference: fresh plan, serial gridder, no cache.
+fn cold_reference(n: usize, coords: &[[f64; 2]], values: &[C64]) -> Vec<C64> {
+    let plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(n)).unwrap();
+    plan.adjoint(coords, values, &SerialGridder).unwrap().image
+}
+
+fn bits_eq(a: &[C64], b: &[C64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+/// Property 1: concurrent clients with overlapping trajectories are
+/// bitwise identical to cold single-shot runs. The cache capacity is
+/// smaller than the trajectory pool, so the trace exercises hits,
+/// misses, racing builds of the same key, and evict-then-rebuild.
+#[test]
+fn concurrent_clients_match_cold_single_shot_bitwise() {
+    const N: usize = 16;
+    const CLIENTS: usize = 6;
+    const JOBS_PER_CLIENT: usize = 4;
+    // Four trajectories shared by all clients; capacity 2 forces churn.
+    let pool: Vec<(Vec<[f64; 2]>, Vec<C64>)> = (0..4).map(|i| problem(N, 60, 1001 + i)).collect();
+    let cold: Vec<Vec<C64>> = pool.iter().map(|(c, v)| cold_reference(N, c, v)).collect();
+
+    let engine = Arc::new(ServeEngine::new(2));
+    let outputs: Vec<Vec<(usize, Vec<C64>)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let engine = Arc::clone(&engine);
+                let pool = &pool;
+                s.spawn(move || {
+                    (0..JOBS_PER_CLIENT)
+                        .map(|j| {
+                            // Stagger the access pattern per client so
+                            // threads race on different keys.
+                            let which = (c + j) % pool.len();
+                            let (coords, values) = &pool[which];
+                            let req = request((c * 100 + j) as u64, N, coords, values);
+                            let res = engine
+                                .execute(&req, &RunBudget::unlimited())
+                                .unwrap_or_else(|e| panic!("client {c} job {j}: {}", e.message));
+                            assert_eq!(res.tag, req.tag, "results must keep their tag");
+                            (which, res.image)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (c, client_results) in outputs.iter().enumerate() {
+        for (j, (which, image)) in client_results.iter().enumerate() {
+            assert!(
+                bits_eq(image, &cold[*which]),
+                "client {c} job {j} (trajectory {which}) diverged from the cold serial run"
+            );
+        }
+    }
+    let cache = engine.cache();
+    assert!(cache.len() <= 2, "capacity bound violated: {}", cache.len());
+    assert!(cache.hits() + cache.misses() >= (CLIENTS * JOBS_PER_CLIENT) as u64);
+}
+
+/// Property 2: the cache's LRU behaviour matches a reference model —
+/// promote on hit, insert at MRU on miss, evict from the LRU end, never
+/// exceed capacity — under randomized access traces.
+#[test]
+fn lru_eviction_order_and_capacity_match_model() {
+    const N: usize = 8;
+    cases!(8, |rng| {
+        let capacity = rng.usize_range(1, 5);
+        let cache = PlanCache::new(capacity);
+        let cfg = NufftConfig::with_n(N);
+        // A pool of distinct trajectories (distinct contents ⇒ distinct
+        // keys), larger than the capacity so evictions must happen.
+        let base = rng.u64();
+        let pool: Vec<Vec<[f64; 2]>> = (0..capacity + 3)
+            .map(|i| problem(N, 12, base.wrapping_add(7919 * i as u64)).0)
+            .collect();
+        let keys: Vec<_> = pool.iter().map(|c| plan_key(&cfg, c)).collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "trajectory pool must have distinct keys");
+            }
+        }
+
+        // Reference model: front = MRU.
+        let mut model: VecDeque<usize> = VecDeque::new();
+        let mut model_evictions = 0u64;
+        let ops = rng.usize_range(10, 30);
+        for _ in 0..ops {
+            let which = rng.usize_range(0, pool.len());
+            let (_, hit) = cache.get_or_build(&cfg, &pool[which]).unwrap();
+            let modelled_hit = model.contains(&which);
+            assert_eq!(
+                hit, modelled_hit,
+                "hit/miss disagrees with model for trajectory {which}"
+            );
+            if let Some(pos) = model.iter().position(|&k| k == which) {
+                model.remove(pos);
+            }
+            model.push_front(which);
+            while model.len() > capacity {
+                model.pop_back();
+                model_evictions += 1;
+            }
+
+            assert!(cache.len() <= capacity, "capacity bound violated");
+            let want: Vec<_> = model.iter().map(|&k| keys[k].clone()).collect();
+            assert_eq!(cache.keys(), want, "MRU→LRU order diverged from model");
+        }
+        assert_eq!(cache.evictions(), model_evictions, "eviction count");
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            ops as u64,
+            "every access is either a hit or a miss"
+        );
+    });
+}
+
+/// Property 3: a cache hit is bitwise identical to the miss that built
+/// the plan — and to a rebuild after the entry was evicted.
+#[test]
+fn cache_hit_output_equals_cache_miss_output_bitwise() {
+    const N: usize = 16;
+    let (coords_a, values_a) = problem(N, 80, 31);
+    let (coords_b, _) = problem(N, 80, 97);
+    let engine = ServeEngine::new(1);
+    let req = request(1, N, &coords_a, &values_a);
+
+    let miss = engine.execute(&req, &RunBudget::unlimited()).unwrap();
+    assert!(!miss.cache_hit);
+    let hit = engine.execute(&req, &RunBudget::unlimited()).unwrap();
+    assert!(hit.cache_hit, "second identical job must hit the cache");
+    assert!(bits_eq(&miss.image, &hit.image), "hit must equal miss");
+
+    // Evict A (capacity 1) by planning B, then rebuild A from scratch.
+    let (_, b_hit) = engine
+        .cache()
+        .get_or_build(&NufftConfig::with_n(N), &coords_b)
+        .unwrap();
+    assert!(!b_hit);
+    let rebuilt = engine.execute(&req, &RunBudget::unlimited()).unwrap();
+    assert!(!rebuilt.cache_hit, "A must have been evicted");
+    assert!(
+        bits_eq(&miss.image, &rebuilt.image),
+        "rebuilt plan must reproduce the original bytes"
+    );
+    assert_eq!(engine.cache().evictions(), 2);
+}
+
+/// Property 4 (stale-plan regression): same-shape, different-content
+/// trajectories never alias. The cache key hashes every coordinate bit,
+/// so changing a single sample — or merely reordering samples — yields
+/// a distinct key and a fresh plan.
+#[test]
+fn same_shape_different_content_trajectories_never_alias() {
+    const N: usize = 16;
+    let cfg = NufftConfig::with_n(N);
+    let (coords, values) = problem(N, 64, 11);
+
+    // One-ULP change in one coordinate: different key.
+    let mut nudged = coords.clone();
+    nudged[40][1] = f64::from_bits(nudged[40][1].to_bits() ^ 1);
+    assert_ne!(trajectory_hash(&coords), trajectory_hash(&nudged));
+    assert_ne!(plan_key(&cfg, &coords), plan_key(&cfg, &nudged));
+
+    // Same multiset of samples, different order: different key (the
+    // planned decomposition is order-dependent).
+    let mut swapped = coords.clone();
+    swapped.swap(0, 1);
+    assert_ne!(trajectory_hash(&coords), trajectory_hash(&swapped));
+
+    // End to end: submitting the nudged trajectory after the original
+    // must be a cache miss and must not reuse the stale plan's output.
+    let engine = ServeEngine::new(4);
+    let original = engine
+        .execute(&request(1, N, &coords, &values), &RunBudget::unlimited())
+        .unwrap();
+    assert!(!original.cache_hit);
+    let nudged_res = engine
+        .execute(&request(2, N, &nudged, &values), &RunBudget::unlimited())
+        .unwrap();
+    assert!(
+        !nudged_res.cache_hit,
+        "different trajectory contents must never hit a stale plan"
+    );
+    assert_eq!(engine.cache().len(), 2, "both plans must be resident");
+    assert!(
+        bits_eq(&nudged_res.image, &cold_reference(N, &nudged, &values)),
+        "nudged trajectory must be gridded with its own plan"
+    );
+    assert!(
+        bits_eq(&original.image, &cold_reference(N, &coords, &values)),
+        "original result must match its own cold run"
+    );
+}
+
+/// `cases!` property: any two trajectories drawn with different
+/// contents get different hashes (smoke-level collision resistance for
+/// the FNV-based key, over small perturbations where it matters).
+#[test]
+fn trajectory_hash_separates_nearby_trajectories() {
+    cases!(16, |rng| {
+        let n = *rng.choose(&[8usize, 16]);
+        let m = rng.usize_range(4, 40);
+        let (coords, _) = problem(n, m, rng.u64());
+        let mut other = coords.clone();
+        let i = rng.usize_range(0, m);
+        let axis = rng.usize_range(0, 2);
+        other[i][axis] = f64::from_bits(other[i][axis].to_bits() ^ (1 << rng.usize_range(0, 52)));
+        if other[i][axis].to_bits() != coords[i][axis].to_bits() {
+            assert_ne!(
+                trajectory_hash(&coords),
+                trajectory_hash(&other),
+                "single-bit perturbation at sample {i} axis {axis} must change the hash"
+            );
+        }
+    });
+}
