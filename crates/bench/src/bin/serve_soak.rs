@@ -9,7 +9,12 @@
 //!    [`ServeEngine`] whose cache holds the whole pool. Reports p50/p99
 //!    job latency and the cache hit rate (gate: ≥ 95 % on a
 //!    repeated-trajectory workload, with the `serve.cache.hit`
-//!    telemetry counter nonzero).
+//!    telemetry counter nonzero). Halfway through, a stats snapshot is
+//!    scraped and round-tripped through the `StatsReply` wire encoding;
+//!    the wire-reported cache hit rate and windowed p50 latency must
+//!    agree with the harness's own independent measurements (relative
+//!    gates: hit rate within 1 %, p50 within 2× — the window's log2
+//!    buckets bound the quantile estimate's resolution).
 //! 2. **Warm vs cold** — the acceptance contract: at radial 256²
 //!    (M = 131 072) a warm-cache job must cost ≤ 0.75× a cold job that
 //!    pays `plan_trajectory` first. Cold samples build a fresh engine
@@ -24,7 +29,7 @@
 use jigsaw_bench::harness::{fmt_time, BenchGroup};
 use jigsaw_bench::{EvalImage, HarnessArgs, TrajKind};
 use jigsaw_core::budget::RunBudget;
-use jigsaw_core::serve::{JobRequest, Priority, ServeEngine};
+use jigsaw_core::serve::{protocol, Frame, JobRequest, Priority, ServeEngine, StatsSnapshot};
 use jigsaw_core::traj;
 use jigsaw_num::C64;
 use jigsaw_telemetry as telemetry;
@@ -71,12 +76,20 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Run `jobs` soak iterations over `pool` on `engine`, returning sorted
-/// per-job latencies in seconds.
-fn soak(engine: &ServeEngine, pool: &[SoakProblem], jobs: usize, seed: u64) -> Vec<f64> {
+/// One soak run: sorted per-job latencies in seconds plus the number of
+/// jobs whose result reported `cache_hit` — the harness's *independent*
+/// hit count, cross-checked against the wire-scraped cache counters.
+struct SoakRun {
+    latencies: Vec<f64>,
+    cache_hits: usize,
+}
+
+/// Run `jobs` soak iterations over `pool` on `engine`.
+fn soak(engine: &ServeEngine, pool: &[SoakProblem], jobs: usize, seed: u64) -> SoakRun {
     let budget = RunBudget::unlimited();
     let mut rng = Rng::new(seed);
     let mut latencies = Vec::with_capacity(jobs);
+    let mut cache_hits = 0;
     for tag in 0..jobs {
         let p = &pool[rng.usize_range(0, pool.len())];
         let req = p.request(tag as u64);
@@ -86,9 +99,25 @@ fn soak(engine: &ServeEngine, pool: &[SoakProblem], jobs: usize, seed: u64) -> V
             .unwrap_or_else(|e| panic!("soak job {tag} failed: {}", e.message));
         latencies.push(t0.elapsed().as_secs_f64());
         assert_eq!(res.n, p.n);
+        cache_hits += res.cache_hit as usize;
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    latencies
+    SoakRun {
+        latencies,
+        cache_hits,
+    }
+}
+
+/// Scrape the engine's stats and round-trip them through the real
+/// `StatsReply` wire encoding, so the numbers checked below are exactly
+/// what a remote `jigsaw request --stats` client would see.
+fn scrape_wire(engine: &ServeEngine) -> StatsSnapshot {
+    let frame = Frame::StatsReply(Box::new(engine.stats_snapshot(0, 0)));
+    let bytes = protocol::encode(&frame);
+    match protocol::read_frame(&mut bytes.as_slice()).expect("stats reply must round-trip") {
+        Frame::StatsReply(s) => *s,
+        other => panic!("stats reply decoded as {other:?}"),
+    }
 }
 
 fn main() {
@@ -116,12 +145,28 @@ fn main() {
         "=== serve soak: {total_jobs} jobs over {} trajectories (n ∈ {{32, 48, 64}}) ===",
         pool.len()
     );
+    let half = total_jobs / 2;
     let t0 = Instant::now();
-    let latencies = soak(&engine, &pool, total_jobs, 77);
+    let first = soak(&engine, &pool, half, 77);
+    // Mid-soak introspection scrape, round-tripped over the wire.
+    let mid = scrape_wire(&engine);
+    assert_eq!(
+        mid.cache.hits + mid.cache.misses,
+        half as u64,
+        "mid-soak scrape must account for every job so far"
+    );
+    let second = soak(&engine, &pool, total_jobs - half, 78);
     let wall = t0.elapsed().as_secs_f64();
     let cache = engine.cache();
     let (hits, misses, evictions) = (cache.hits(), cache.misses(), cache.evictions());
     let hit_rate = hits as f64 / (hits + misses) as f64;
+    let mut latencies: Vec<f64> = first
+        .latencies
+        .iter()
+        .chain(second.latencies.iter())
+        .copied()
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let p50 = percentile(&latencies, 0.50);
     let p99 = percentile(&latencies, 0.99);
     let telemetry_hits = telemetry::global()
@@ -136,6 +181,41 @@ fn main() {
         hit_rate
     );
     assert!(telemetry_hits > 0, "serve.cache.hit must register");
+
+    // ---- Wire stats vs harness cross-check ----------------------------
+    // The final scrape's hit rate must agree with the hit flags the
+    // harness saw on each job result, and its windowed p50 with the
+    // harness-timed p50 — both through the real wire encoding.
+    let fin = scrape_wire(&engine);
+    let harness_hits = first.cache_hits + second.cache_hits;
+    let harness_hit_rate = harness_hits as f64 / total_jobs as f64;
+    let wire_hit_rate = fin.cache.hit_rate();
+    let hit_rate_rel_err = (wire_hit_rate - harness_hit_rate).abs() / harness_hit_rate;
+    // The 60 s latency window may have aged out early samples on a long
+    // run, but the p50 of the surviving (recent, steady-state) samples
+    // must still land within the log2-bucket resolution of the
+    // harness's own p50.
+    let wire_p50 = fin
+        .window("serve.job_latency_ns.60s")
+        .expect("latency window present in wire snapshot")
+        .hist
+        .quantile_estimate(0.5)
+        / 1e9;
+    let p50_ratio = wire_p50 / p50;
+    println!(
+        "wire stats: hit rate {wire_hit_rate:.4} vs harness {harness_hit_rate:.4} \
+         (rel err {hit_rate_rel_err:.2e}); p50 {} vs harness {} (ratio {p50_ratio:.4})",
+        fmt_time(wire_p50),
+        fmt_time(p50),
+    );
+    assert!(
+        hit_rate_rel_err <= 0.01,
+        "wire hit rate must agree with harness within 1%, got rel err {hit_rate_rel_err:.4}"
+    );
+    assert!(
+        (0.5..=2.0).contains(&p50_ratio),
+        "wire p50 must agree with harness within 2x, got ratio {p50_ratio:.4}"
+    );
 
     // ---- Phase 2: warm vs cold at radial 256² -------------------------
     let mut img = EvalImage {
@@ -217,6 +297,16 @@ fn main() {
          \"telemetry_cache_hit_counter\": {telemetry_hits},\n    \
          \"p50_latency_seconds\": {p50:.6e},\n    \"p99_latency_seconds\": {p99:.6e},\n    \
          \"wall_seconds\": {wall:.6e}\n  }},\n  \
+         \"stats_wire\": {{\n    \"mid_scrape_jobs\": {half},\n    \
+         \"mid_hits\": {},\n    \"mid_misses\": {},\n    \
+         \"wire_hit_rate\": {wire_hit_rate:.6},\n    \
+         \"harness_hit_rate\": {harness_hit_rate:.6},\n    \
+         \"hit_rate_rel_err\": {hit_rate_rel_err:.6e},\n    \
+         \"gate_hit_rate_rel_err_max\": 0.01,\n    \
+         \"wire_p50_seconds\": {wire_p50:.6e},\n    \
+         \"harness_p50_seconds\": {p50:.6e},\n    \
+         \"p50_ratio\": {p50_ratio:.4},\n    \
+         \"gate_p50_ratio_range\": [0.5, 2.0]\n  }},\n  \
          \"warm_vs_cold\": {{\n    \"n\": {},\n    \"m\": {},\n    \"trajectory\": \"radial\",\n    \
          \"cold_plan_median_seconds\": {:.6e},\n    \"warm_cache_median_seconds\": {:.6e},\n    \
          \"warm_over_cold\": {warm_over_cold:.4}\n  }},\n  \
@@ -224,6 +314,8 @@ fn main() {
          \"disarmed_median_seconds\": {:.6e},\n    \"armed_miss_median_seconds\": {:.6e},\n    \
          \"armed_over_disarmed\": {armed_over_disarmed:.4}\n  }}\n}}\n",
         pool.len(),
+        mid.cache.hits,
+        mid.cache.misses,
         img.n,
         img.m,
         cold.median,

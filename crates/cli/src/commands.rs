@@ -59,6 +59,13 @@ COMMANDS:
                   --socket /tmp/jigsaw.sock --n 64 --spokes <auto>
                   --count 1 [--high] [--budget-ms 0] [--tag 1]
                   [--ping] [--shutdown] (probe / stop the daemon instead)
+                  [--stats [--format table|json|prom]] (scrape the live
+                  introspection snapshot instead of submitting)
+    top         Poll a daemon's stats on an interval and render a
+                refreshing dashboard (queue, cache, windowed latency,
+                per-worker utilization)
+                  --socket /tmp/jigsaw.sock --interval-ms 1000
+                  --iterations 0 (0 = until interrupted)
     gpustats    GPU §VI-A analysis (L2 hit rate, occupancy, divergence)
                   --grid 1024 --samples 100000
     emit-rtl    Generate the SystemVerilog select unit, weight-SRAM
@@ -92,6 +99,13 @@ type CmdResult = Result<(), CliError>;
 /// buffered span stream as a chrome trace and/or print the metrics
 /// registry snapshot. Call once at the end of a command.
 fn emit_telemetry(o: &Options) -> CmdResult {
+    let dropped = telemetry::sync_dropped_events();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} span event(s) dropped by the ring buffer \
+             (telemetry.dropped_events); trace and metrics are incomplete"
+        );
+    }
     let trace_out = o.string("trace-out", "");
     if !trace_out.is_empty() {
         if !telemetry::enabled() {
@@ -525,6 +539,16 @@ pub fn serve(o: &Options) -> CmdResult {
         );
         jigsaw_core::serve::serve_unix(std::path::Path::new(&sock), &opts)?;
     }
+    // Post-shutdown trace export: spans from every job the daemon ran,
+    // each tagged with its request id (`req` arg), so a trace can be
+    // filtered to one request end-to-end. Diagnostics stay on stderr —
+    // stdout carries response frames in stdio mode.
+    let trace_out = o.string("trace-out", "");
+    if !trace_out.is_empty() {
+        let n = telemetry::export::write_chrome_trace(std::path::Path::new(&trace_out))
+            .map_err(|e| CliError::Data(format!("writing {trace_out}: {e}")))?;
+        eprintln!("jigsaw serve: wrote {n} trace events to {trace_out}");
+    }
     eprintln!("jigsaw serve: clean shutdown");
     Ok(())
 }
@@ -555,6 +579,20 @@ pub fn request(o: &Options) -> CmdResult {
     if o.switch("shutdown") {
         client.shutdown().map_err(protocol_to_cli)?;
         println!("daemon acknowledged shutdown");
+        return Ok(());
+    }
+    if o.switch("stats") {
+        let snap = client.stats().map_err(protocol_to_cli)?;
+        match o.string("format", "table").as_str() {
+            "table" => print!("{}", snap.to_table()),
+            "json" => print!("{}", snap.to_json()),
+            "prom" => print!("{}", snap.to_prometheus()),
+            other => {
+                return Err(CliError::Config(format!(
+                    "unknown stats format `{other}` (table | json | prom)"
+                )))
+            }
+        }
         return Ok(());
     }
 
@@ -610,6 +648,108 @@ pub fn request(o: &Options) -> CmdResult {
         }
     }
     Ok(())
+}
+
+/// One refresh of the `jigsaw top` dashboard, rendered to a string so
+/// the unit tests can pin its shape without a daemon.
+fn render_top(snap: &jigsaw_core::serve::StatsSnapshot, scrape: usize, total: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let progress = if total > 0 {
+        format!(" — scrape {scrape}/{total}")
+    } else {
+        format!(" — scrape {scrape}")
+    };
+    let _ = writeln!(
+        s,
+        "jigsaw top — uptime {}{progress}",
+        fmt_time(snap.uptime_secs())
+    );
+    let _ = writeln!(
+        s,
+        "queue     : {} queued ({} high priority)",
+        snap.queue_depth, snap.queue_high
+    );
+    let _ = writeln!(
+        s,
+        "plan cache: {} hit / {} miss / {} evict  (hit rate {:.1}%, {}/{} resident)",
+        snap.cache.hits,
+        snap.cache.misses,
+        snap.cache.evictions,
+        100.0 * snap.cache.hit_rate(),
+        snap.cache.len,
+        snap.cache.capacity
+    );
+    for (label, name) in [
+        ("latency 60s", "serve.job_latency_ns.60s"),
+        ("wait (norm)", "serve.queue_wait_ns.normal.60s"),
+        ("wait (high)", "serve.queue_wait_ns.high.60s"),
+    ] {
+        if let Some(w) = snap.window(name) {
+            let _ = writeln!(
+                s,
+                "{label}: p50 {}  p99 {}  ({} samples)",
+                fmt_time(w.hist.quantile_estimate(0.5) / 1e9),
+                fmt_time(w.hist.quantile_estimate(0.99) / 1e9),
+                w.hist.count
+            );
+        }
+    }
+    let _ = writeln!(s, "workers   :");
+    for (i, (w, u)) in snap
+        .workers
+        .iter()
+        .zip(snap.worker_utilization())
+        .enumerate()
+    {
+        let filled = (u * 20.0).round() as usize;
+        let _ = writeln!(
+            s,
+            "  {i:>2} [{}{}] {:>5.1}%  ({} jobs)",
+            "#".repeat(filled.min(20)),
+            "-".repeat(20 - filled.min(20)),
+            100.0 * u,
+            w.jobs
+        );
+    }
+    if let Some(e) = snap.flight.last() {
+        let _ = writeln!(s, "last event: {e}");
+    }
+    s
+}
+
+/// `jigsaw top` — poll a daemon's stats on an interval and render a
+/// refreshing terminal dashboard (queue depth, cache hit rate, windowed
+/// latency quantiles, per-worker utilization bars).
+pub fn top(o: &Options) -> CmdResult {
+    use jigsaw_core::serve::ServeClient;
+    let sock = o.string("socket", "");
+    if sock.is_empty() {
+        return Err(CliError::Config("top needs --socket <path>".into()));
+    }
+    let interval = std::time::Duration::from_millis(o.usize("interval-ms", 1000)? as u64);
+    // 0 = poll until the daemon goes away (or ^C).
+    let iterations = o.usize("iterations", 0)?;
+    let mut scrape = 0usize;
+    loop {
+        let mut client = ServeClient::connect(std::path::Path::new(&sock))
+            .map_err(|e| CliError::Data(format!("connecting to {sock}: {e}")))?;
+        client
+            .set_read_timeout(std::time::Duration::from_secs(10))
+            .map_err(|e| CliError::Data(format!("configuring socket: {e}")))?;
+        let snap = client.stats().map_err(protocol_to_cli)?;
+        scrape += 1;
+        if scrape > 1 {
+            // ANSI clear + home: refresh in place on real terminals.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&snap, scrape, iterations));
+        let _ = std::io::stdout().flush();
+        if iterations > 0 && scrape >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// `jigsaw gpustats`
@@ -745,6 +885,52 @@ mod tests {
     #[test]
     fn info_runs() {
         info().unwrap();
+    }
+
+    #[test]
+    fn top_dashboard_renders() {
+        use jigsaw_core::serve::{
+            CacheStats, StatsSnapshot, WindowStats, WorkerStats, STATS_VERSION,
+        };
+        let snap = StatsSnapshot {
+            stats_version: STATS_VERSION,
+            uptime_ns: 2_000_000_000,
+            queue_depth: 3,
+            queue_high: 1,
+            cache: CacheStats {
+                hits: 9,
+                misses: 1,
+                evictions: 0,
+                len: 1,
+                capacity: 8,
+            },
+            workers: vec![WorkerStats {
+                busy_ns: 1_000_000_000,
+                jobs: 10,
+            }],
+            windows: vec![WindowStats {
+                name: "serve.job_latency_ns.60s".into(),
+                window_ns: 60_000_000_000,
+                hist: telemetry::HistogramSnapshot {
+                    count: 4,
+                    sum: 4_000_000,
+                    buckets: vec![(524_288, 1_048_576, 4)],
+                },
+            }],
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            flight: Vec::new(),
+        };
+        let s = render_top(&snap, 2, 5);
+        assert!(s.contains("scrape 2/5"), "{s}");
+        assert!(s.contains("3 queued (1 high priority)"), "{s}");
+        assert!(s.contains("hit rate 90.0%"), "{s}");
+        assert!(s.contains("latency 60s: p50"), "{s}");
+        assert!(
+            s.contains("[##########----------]  50.0%  (10 jobs)"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! jigsaw gridbench --n 256 --m 100000
 //! jigsaw serve     --socket /tmp/jigsaw.sock [--cache-capacity 8] [--jobs 2]
 //! jigsaw request   --socket /tmp/jigsaw.sock --n 64 [--count 8] [--high]
+//! jigsaw request   --socket /tmp/jigsaw.sock --stats [--format table|json|prom]
+//! jigsaw top       --socket /tmp/jigsaw.sock [--interval-ms 1000] [--iterations 0]
 //! jigsaw profile   --n 256 --coils 8 --trace-out out/trace.json [--metrics]
 //! jigsaw info
 //! ```
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         "profile" => commands::profile(&opts),
         "serve" => commands::serve(&opts),
         "request" => commands::request(&opts),
+        "top" => commands::top(&opts),
         "gpustats" => commands::gpustats(&opts),
         "emit-rtl" => commands::emit_rtl(&opts),
         "info" => commands::info(),

@@ -93,6 +93,21 @@ pub fn set_serial_fallback(on: bool) {
     FALLBACK_STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
 }
 
+/// Record one serial-fallback decision: bumps the `engine.fallbacks`
+/// counter and logs a `FallbackTaken` flight-recorder event carrying the
+/// current request id, so a degraded request is attributable after the
+/// fact. `detail` names the path that fell back (e.g. a gridder or the
+/// batched adjoint).
+pub fn note_serial_fallback(detail: &str) {
+    telemetry::record_counter("engine.fallbacks", 1);
+    telemetry::flight::record(
+        telemetry::FlightKind::FallbackTaken,
+        telemetry::current_request_id(),
+        0,
+        detail,
+    );
+}
+
 /// A contained worker-pool job failure: the job panicked, the panic was
 /// caught on the worker (which survives, with its poisoned arena buffers
 /// discarded), and the payload was captured here.
@@ -435,6 +450,9 @@ impl WorkerPool {
         let latch = Latch::new(njobs);
         let f = Arc::new(f);
         let nworkers = self.workers.len();
+        // Captured on the dispatching thread so spans opened on worker
+        // threads inherit the dispatcher's request id.
+        let request_id = telemetry::current_request_id();
         for j in 0..njobs {
             let job_latch = Arc::clone(&latch);
             let f = Arc::clone(&f);
@@ -444,6 +462,7 @@ impl WorkerPool {
             let job_counts = Arc::clone(&self.job_counts);
             let enqueued_ns = telemetry::now_ns();
             let job: Job = Box::new(move |arena| {
+                let _trace = telemetry::RequestScope::enter(request_id);
                 let collect = telemetry::enabled();
                 let t0 = Instant::now();
                 let started_ns = telemetry::now_ns();

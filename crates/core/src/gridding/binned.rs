@@ -267,7 +267,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for BinnedGridder {
                     // only in the drain below (never reached), so redo
                     // every tile in one serial pass — bitwise identical,
                     // the partition only decides ownership.
-                    telemetry::record_counter("engine.fallbacks", 1);
+                    crate::engine::note_serial_fallback("gridding.binned");
                     drop(rx);
                     let dec = Decomposer::new(p);
                     let mut blocked = vec![Complex::<T>::zeroed(); g.pow(D as u32)];

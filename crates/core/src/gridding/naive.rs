@@ -155,7 +155,7 @@ impl<T: Float, const D: usize> Gridder<T, D> for NaiveOutputGridder {
                     // the drain below (never reached), so recompute every
                     // grid point in one serial pass — bitwise identical,
                     // each point's windowed sum is independent.
-                    telemetry::record_counter("engine.fallbacks", 1);
+                    crate::engine::note_serial_fallback("gridding.naive");
                     drop(rx);
                     let dec = Decomposer::new(p);
                     let mut chunk = vec![Complex::<T>::zeroed(); npoints];

@@ -350,7 +350,7 @@ fn grid_columns<T: Float, const D: usize>(
                 // reached), so `out` is pristine: redo all columns in one
                 // serial pass — bitwise identical, the partition only
                 // decides ownership.
-                telemetry::record_counter("engine.fallbacks", 1);
+                crate::engine::note_serial_fallback("gridding.slice_dice.columns");
                 drop(rx);
                 let dec = Decomposer::new(p);
                 let mut dice = vec![Complex::<T>::zeroed(); ncols * col_len];
@@ -648,7 +648,7 @@ fn grid_block_atomic<T: AtomicFloat, const D: usize>(
                 // Contained job panic. Surviving jobs accumulated into the
                 // shared atomic grid, so discard it wholesale and redo all
                 // blocks in one serial pass over a fresh grid.
-                telemetry::record_counter("engine.fallbacks", 1);
+                crate::engine::note_serial_fallback("gridding.slice_dice.atomic");
                 drop(rx);
                 shared = Arc::new(T::alloc_grid(npoints));
                 let dec = Decomposer::new(p);
@@ -777,7 +777,7 @@ fn grid_block_reduce<T: Float, const D: usize>(
                 // Contained job panic. Partials merge into `out` only in
                 // the drain below (never reached), so redo the whole
                 // sample range in one serial block.
-                telemetry::record_counter("engine.fallbacks", 1);
+                crate::engine::note_serial_fallback("gridding.slice_dice.blocks");
                 drop(rx);
                 let dec = Decomposer::new(p);
                 let mut partial = vec![Complex::<T>::zeroed(); npoints];

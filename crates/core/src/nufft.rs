@@ -270,7 +270,7 @@ impl<T: Float, const D: usize> PlanInner<T, D> {
             if !crate::engine::serial_fallback_enabled() {
                 return Err(Error::Execution(e.to_string()));
             }
-            telemetry::record_counter("engine.fallbacks", 1);
+            crate::engine::note_serial_fallback("nufft.embed_apodized");
             drop(rx);
             self.embed_apodized(image, grid);
             return Ok(());
@@ -358,7 +358,7 @@ impl<T: Float, const D: usize> PlanInner<T, D> {
             if !crate::engine::serial_fallback_enabled() {
                 return Err(Error::Execution(e.to_string()));
             }
-            telemetry::record_counter("engine.fallbacks", 1);
+            crate::engine::note_serial_fallback("nufft.extract_deapodized");
             drop(rx);
             self.extract_range(grid, 0, &mut image);
             return Ok(image);
@@ -753,7 +753,7 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             // outputs are independent and the scatter consumes the cached
             // windows in sample order, so the serial recompute below is
             // bitwise identical to an unfaulted pooled run.
-            telemetry::record_counter("engine.fallbacks", 1);
+            crate::engine::note_serial_fallback("nufft.adjoint_batch_planned");
             drop(rx);
             return self.adjoint_batch_planned_serial(traj, batches);
         }
@@ -913,7 +913,7 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             if !crate::engine::serial_fallback_enabled() {
                 return Err(failure.into());
             }
-            telemetry::record_counter("engine.fallbacks", 1);
+            crate::engine::note_serial_fallback("nufft.forward_batch_planned");
             drop(rx);
             return self.forward_batch_planned_serial(images, traj);
         }

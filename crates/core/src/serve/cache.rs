@@ -221,11 +221,23 @@ impl PlanCache {
             drop(entries);
             self.hits.fetch_add(1, Ordering::Relaxed);
             telemetry::record_counter("serve.cache.hit", 1);
+            telemetry::flight::record(
+                telemetry::FlightKind::CacheHit,
+                telemetry::current_request_id(),
+                key.traj_hash,
+                "",
+            );
             Some(entry)
         } else {
             drop(entries);
             self.misses.fetch_add(1, Ordering::Relaxed);
             telemetry::record_counter("serve.cache.miss", 1);
+            telemetry::flight::record(
+                telemetry::FlightKind::CacheMiss,
+                telemetry::current_request_id(),
+                key.traj_hash,
+                "",
+            );
             None
         }
     }
@@ -258,6 +270,12 @@ impl PlanCache {
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
             telemetry::record_counter("serve.cache.evict", evicted);
+            telemetry::flight::record(
+                telemetry::FlightKind::CacheEvict,
+                telemetry::current_request_id(),
+                evicted,
+                &format!("len={}", self.len()),
+            );
         }
         canonical
     }

@@ -70,6 +70,18 @@ impl<S: Read + Write> ServeClient<S> {
         self.recv()
     }
 
+    /// Scrape the daemon's live introspection snapshot:
+    /// `StatsRequest`, expect `StatsReply`.
+    pub fn stats(&mut self) -> Result<Box<super::stats::StatsSnapshot>, ProtocolError> {
+        self.send(&Frame::StatsRequest)?;
+        match self.recv()? {
+            Frame::StatsReply(s) => Ok(s),
+            other => Err(ProtocolError::Malformed(format!(
+                "expected stats reply, got {other:?}"
+            ))),
+        }
+    }
+
     /// Ask the daemon to drain and exit; waits for the `Pong` ack.
     pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
         self.send(&Frame::Shutdown)?;

@@ -30,7 +30,7 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::os::unix::net::UnixListener;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -67,6 +67,9 @@ struct Queued {
     budget: RunBudget,
     reply: Reply,
     enqueued: Instant,
+    /// Trace id threaded through every span the job opens (the client's
+    /// tag when nonzero, else daemon-assigned).
+    request_id: u64,
 }
 
 #[derive(Default)]
@@ -101,6 +104,9 @@ impl JobQueue {
     }
 
     /// Enqueue a job; `Err(job)` if the queue is closed.
+    // The large Err variant is the point: a closed queue hands the job
+    // back to the caller so its reply channel can carry the refusal.
+    #[allow(clippy::result_large_err)]
     fn push(&self, job: Queued) -> std::result::Result<(), Queued> {
         let mut s = self.lock();
         if s.closed {
@@ -146,6 +152,7 @@ struct Daemon {
     queue: JobQueue,
     stop: AtomicBool,
     default_budget_ms: u64,
+    next_request_id: AtomicU64,
 }
 
 impl Daemon {
@@ -155,7 +162,30 @@ impl Daemon {
             queue: JobQueue::new(),
             stop: AtomicBool::new(false),
             default_budget_ms: opts.default_budget_ms,
+            next_request_id: AtomicU64::new(1),
         })
+    }
+
+    /// Trace id for a submission: the client's tag when nonzero (so a
+    /// client can correlate its own traces), else the next value of a
+    /// daemon-wide counter.
+    fn request_id_for(&self, req: &JobRequest) -> u64 {
+        if req.tag != 0 {
+            req.tag
+        } else {
+            self.next_request_id.fetch_add(1, Ordering::Relaxed)
+        }
+    }
+
+    /// Answer a `StatsRequest`: queue depths under the queue's own
+    /// brief lock, then the engine's lock-free snapshot. Runs on the
+    /// connection's reader thread — never queued behind jobs.
+    fn stats(&self) -> super::stats::StatsSnapshot {
+        let (depth, high) = {
+            let s = self.queue.lock();
+            (s.depth() as u32, s.high.len() as u32)
+        };
+        self.engine.stats_snapshot(depth, high)
     }
 
     fn budget_for(&self, req: &JobRequest) -> RunBudget {
@@ -186,11 +216,12 @@ fn send(reply: &Reply, frame: &Frame) {
 /// One executor thread: pop → execute → reply, until closed and drained.
 fn run_executor(d: &Daemon) {
     while let Some(job) = d.queue.pop() {
-        telemetry::record_histogram(
-            "serve.queue_wait_ns",
-            job.enqueued.elapsed().as_nanos() as u64,
-        );
-        let frame = match d.engine.execute(&job.req, &job.budget) {
+        d.engine
+            .note_queue_wait(job.req.priority, job.enqueued.elapsed().as_nanos() as u64);
+        let frame = match d
+            .engine
+            .execute_traced(&job.req, &job.budget, job.request_id)
+        {
             Ok(res) => Frame::Result(res),
             Err(err) => Frame::Error(err),
         };
@@ -208,11 +239,19 @@ fn handle_connection<R: Read>(d: &Daemon, mut reader: R, reply: Reply, shutdown_
             Ok(Frame::Ping) => send(&reply, &Frame::Pong),
             Ok(Frame::Submit(req)) => {
                 let budget = d.budget_for(&req);
+                let request_id = d.request_id_for(&req);
+                telemetry::flight::record(
+                    telemetry::FlightKind::JobAdmitted,
+                    request_id,
+                    req.tag,
+                    &format!("n={} priority={:?}", req.n, req.priority),
+                );
                 let job = Queued {
                     req,
                     budget,
                     reply: Arc::clone(&reply),
                     enqueued: Instant::now(),
+                    request_id,
                 };
                 if let Err(rejected) = d.queue.push(job) {
                     send(
@@ -224,6 +263,11 @@ fn handle_connection<R: Read>(d: &Daemon, mut reader: R, reply: Reply, shutdown_
                         }),
                     );
                 }
+            }
+            Ok(Frame::StatsRequest) => {
+                // Answered inline on the reader thread: a stats scrape
+                // must never queue behind (or block) job execution.
+                send(&reply, &Frame::StatsReply(Box::new(d.stats())));
             }
             Ok(Frame::Shutdown) => {
                 send(&reply, &Frame::Pong);
@@ -282,6 +326,8 @@ fn frame_name(f: &Frame) -> &'static str {
         Frame::Ping => "ping",
         Frame::Pong => "pong",
         Frame::Shutdown => "shutdown",
+        Frame::StatsRequest => "stats_request",
+        Frame::StatsReply(_) => "stats_reply",
     }
 }
 

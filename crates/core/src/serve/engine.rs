@@ -11,7 +11,8 @@
 //! injected panic can never poison the cache.
 
 use super::cache::{CachedPlan, PlanCache};
-use super::protocol::{ErrorCategory, ErrorFrame, JobRequest, JobResult, MAX_N};
+use super::protocol::{ErrorCategory, ErrorFrame, JobRequest, JobResult, Priority, MAX_N};
+use super::stats::{CacheStats, StatsSnapshot, WindowStats, WorkerStats, STATS_VERSION};
 use crate::budget::RunBudget;
 use crate::config::NufftConfig;
 use crate::{Error, Result};
@@ -20,6 +21,7 @@ use jigsaw_testkit::faultpoint;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
+use telemetry::{FlightKind, WindowedHistogram};
 
 /// The daemon's job executor: a plan cache plus the execution policy
 /// (validation, budget admission, panic containment). Shared by
@@ -27,6 +29,10 @@ use std::time::Instant;
 #[derive(Debug)]
 pub struct ServeEngine {
     cache: PlanCache,
+    start: Instant,
+    latency_window: WindowedHistogram,
+    wait_window_normal: WindowedHistogram,
+    wait_window_high: WindowedHistogram,
 }
 
 impl ServeEngine {
@@ -34,6 +40,10 @@ impl ServeEngine {
     pub fn new(cache_capacity: usize) -> Self {
         Self {
             cache: PlanCache::new(cache_capacity),
+            start: Instant::now(),
+            latency_window: WindowedHistogram::last_60s(),
+            wait_window_normal: WindowedHistogram::last_60s(),
+            wait_window_high: WindowedHistogram::last_60s(),
         }
     }
 
@@ -47,36 +57,163 @@ impl ServeEngine {
     /// [`ErrorFrame`]; the engine itself never dies.
     ///
     /// Records `serve.jobs`, `serve.job_errors`, and the
-    /// `serve.job_latency_ns` histogram.
+    /// `serve.job_latency_ns` histogram. Equivalent to
+    /// [`execute_traced`](Self::execute_traced) with the request's tag
+    /// as its trace id.
     pub fn execute(
         &self,
         req: &JobRequest,
         budget: &RunBudget,
     ) -> core::result::Result<JobResult, ErrorFrame> {
+        self.execute_traced(req, budget, req.tag)
+    }
+
+    /// [`execute`](Self::execute) with an explicit request id threaded
+    /// through every span opened below this call (the `req` span arg),
+    /// so a Chrome trace of the daemon can be filtered to one request
+    /// end-to-end. Also feeds the flight recorder: `JobStarted` on
+    /// entry, `JobFinished`/`JobFailed` on exit, `FaultFired` when a
+    /// contained panic carries an injected-fault payload. A contained
+    /// panic additionally dumps the flight-recorder tail to stderr,
+    /// naming the request id.
+    pub fn execute_traced(
+        &self,
+        req: &JobRequest,
+        budget: &RunBudget,
+        request_id: u64,
+    ) -> core::result::Result<JobResult, ErrorFrame> {
+        let _trace = telemetry::RequestScope::enter(request_id);
         let t0 = Instant::now();
         telemetry::record_counter("serve.jobs", 1);
+        telemetry::flight::record(
+            FlightKind::JobStarted,
+            request_id,
+            req.tag,
+            &format!("n={} m={}", req.n, req.coords.len()),
+        );
         let outcome = catch_unwind(AssertUnwindSafe(|| self.execute_inner(req, budget)));
+        let latency_ns = t0.elapsed().as_nanos() as u64;
         let result = match outcome {
-            Ok(Ok(res)) => Ok(res),
-            Ok(Err(e)) => Err(ErrorFrame {
-                tag: req.tag,
-                category: ErrorCategory::from_error(&e),
-                message: e.to_string(),
-            }),
-            Err(payload) => Err(ErrorFrame {
-                tag: req.tag,
-                category: ErrorCategory::Execution,
-                message: format!(
-                    "job panicked (contained): {}",
-                    jigsaw_fft::exec::panic_message(&*payload)
-                ),
-            }),
+            Ok(Ok(res)) => {
+                telemetry::flight::record(
+                    FlightKind::JobFinished,
+                    request_id,
+                    req.tag,
+                    &format!("cache_hit={} latency_ns={latency_ns}", res.cache_hit),
+                );
+                Ok(res)
+            }
+            Ok(Err(e)) => {
+                telemetry::flight::record(
+                    FlightKind::JobFailed,
+                    request_id,
+                    req.tag,
+                    &e.to_string(),
+                );
+                Err(ErrorFrame {
+                    tag: req.tag,
+                    category: ErrorCategory::from_error(&e),
+                    message: e.to_string(),
+                })
+            }
+            Err(payload) => {
+                if let Some(f) = payload.downcast_ref::<jigsaw_testkit::fault::FaultInjected>() {
+                    telemetry::flight::record(FlightKind::FaultFired, request_id, req.tag, f.site);
+                }
+                let msg = jigsaw_fft::exec::panic_message(&*payload);
+                telemetry::flight::record(
+                    FlightKind::JobFailed,
+                    request_id,
+                    req.tag,
+                    &format!("panic: {msg}"),
+                );
+                eprintln!(
+                    "[jigsaw-serve] contained panic in job request_id={request_id} tag={}: {msg}",
+                    req.tag
+                );
+                eprintln!("{}", telemetry::flight::dump_tail(32));
+                Err(ErrorFrame {
+                    tag: req.tag,
+                    category: ErrorCategory::Execution,
+                    message: format!("job panicked (contained): {msg}"),
+                })
+            }
         };
         if result.is_err() {
             telemetry::record_counter("serve.job_errors", 1);
         }
-        telemetry::record_histogram("serve.job_latency_ns", t0.elapsed().as_nanos() as u64);
+        telemetry::record_histogram("serve.job_latency_ns", latency_ns);
+        if telemetry::enabled() {
+            self.latency_window.record(latency_ns);
+        }
         result
+    }
+
+    /// Record a job's queue wait: the `serve.queue_wait_ns` registry
+    /// histogram plus the per-priority 60-second window.
+    pub fn note_queue_wait(&self, priority: Priority, wait_ns: u64) {
+        telemetry::record_histogram("serve.queue_wait_ns", wait_ns);
+        if telemetry::enabled() {
+            match priority {
+                Priority::High => self.wait_window_high.record(wait_ns),
+                Priority::Normal => self.wait_window_normal.record(wait_ns),
+            }
+        }
+    }
+
+    /// Assemble a [`StatsSnapshot`] without blocking job execution:
+    /// registry snapshot (per-series locks), plan-cache atomics,
+    /// always-on worker-pool counters, rolling windows, and the
+    /// flight-recorder tail. Queue depths are the caller's — the daemon
+    /// reads them under its own brief queue lock — so this method never
+    /// touches the queue or the plan build path.
+    pub fn stats_snapshot(&self, queue_depth: u32, queue_high: u32) -> StatsSnapshot {
+        telemetry::sync_dropped_events();
+        let reg = telemetry::global().snapshot();
+        let pool = crate::engine::WorkerPool::global();
+        let workers = pool
+            .worker_busy_ns()
+            .into_iter()
+            .zip(pool.worker_job_counts())
+            .map(|(busy_ns, jobs)| WorkerStats { busy_ns, jobs })
+            .collect();
+        let now = telemetry::now_ns();
+        let windows = vec![
+            WindowStats {
+                name: "serve.job_latency_ns.60s".into(),
+                window_ns: self.latency_window.window_ns(),
+                hist: self.latency_window.snapshot_at(now),
+            },
+            WindowStats {
+                name: "serve.queue_wait_ns.high.60s".into(),
+                window_ns: self.wait_window_high.window_ns(),
+                hist: self.wait_window_high.snapshot_at(now),
+            },
+            WindowStats {
+                name: "serve.queue_wait_ns.normal.60s".into(),
+                window_ns: self.wait_window_normal.window_ns(),
+                hist: self.wait_window_normal.snapshot_at(now),
+            },
+        ];
+        StatsSnapshot {
+            stats_version: STATS_VERSION,
+            uptime_ns: self.start.elapsed().as_nanos() as u64,
+            queue_depth,
+            queue_high,
+            cache: CacheStats {
+                hits: self.cache.hits(),
+                misses: self.cache.misses(),
+                evictions: self.cache.evictions(),
+                len: self.cache.len() as u32,
+                capacity: self.cache.capacity() as u32,
+            },
+            workers,
+            windows,
+            counters: reg.counters,
+            gauges: reg.gauges,
+            histograms: reg.histograms,
+            flight: telemetry::flight::global().tail(64),
+        }
     }
 
     fn execute_inner(&self, req: &JobRequest, budget: &RunBudget) -> Result<JobResult> {

@@ -31,12 +31,21 @@
 //! counters, and `serve.job_latency_ns` / `serve.queue_wait_ns`
 //! histograms. Fault sites: [`crate::fault::SERVE_JOB`] and
 //! [`crate::fault::SERVE_CACHE`].
+//!
+//! Live introspection: [`stats`] defines the versioned
+//! [`stats::StatsSnapshot`] answered over the wire by the
+//! `StatsRequest`/`StatsReply` frame pair (kinds 7/8) — registry
+//! metrics, plan-cache state, queue depth, per-worker utilization,
+//! last-60s latency windows, and the flight-recorder tail — collected
+//! without ever taking the plan-cache build lock or blocking the job
+//! queue.
 
 pub mod cache;
 pub mod client;
 pub mod daemon;
 pub mod engine;
 pub mod protocol;
+pub mod stats;
 
 pub use cache::{plan_key, trajectory_hash, CachedPlan, PlanCache, PlanKey};
 pub use client::ServeClient;
@@ -45,3 +54,4 @@ pub use engine::ServeEngine;
 pub use protocol::{
     ErrorCategory, ErrorFrame, Frame, JobRequest, JobResult, Priority, ProtocolError,
 };
+pub use stats::{CacheStats, StatsSnapshot, WindowStats, WorkerStats, STATS_VERSION};

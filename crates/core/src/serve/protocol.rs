@@ -19,6 +19,23 @@
 //! | 4    | `Ping`     | (empty)                                          |
 //! | 5    | `Pong`     | (empty)                                          |
 //! | 6    | `Shutdown` | (empty)                                          |
+//! | 7    | `StatsRequest` | (empty)                                      |
+//! | 8    | `StatsReply`   | versioned [`StatsSnapshot`] (layout below)   |
+//!
+//! The `StatsReply` payload (strings are `u32` length + UTF-8 bytes;
+//! histograms are `count u64 · sum u64 · nb u32 · nb×(lo u64 · hi u64 ·
+//! c u64)`):
+//!
+//! ```text
+//! stats_version u32 · uptime_ns u64 · queue_depth u32 · queue_high u32
+//! · cache (hits u64 · misses u64 · evictions u64 · len u32 · capacity u32)
+//! · nw u32 · nw×(busy_ns u64 · jobs u64)
+//! · nwin u32 · nwin×(name str · window_ns u64 · hist)
+//! · nc u32 · nc×(name str · value u64)
+//! · ng u32 · ng×(name str · value f64)
+//! · nh u32 · nh×(name str · hist)
+//! · nf u32 · nf×(ts_ns u64 · kind u8 · request_id u64 · tag u64 · detail str)
+//! ```
 //!
 //! A frame that violates the grammar (bad magic, unknown version or
 //! kind, length out of bounds, payload shorter than its own counts
@@ -29,8 +46,10 @@
 //! `n`, non-finite coordinates, exhausted budget) come back as tagged
 //! error frames on a connection that stays open.
 
+use super::stats::{CacheStats, StatsSnapshot, WindowStats, WorkerStats};
 use crate::Error;
 use jigsaw_num::C64;
+use jigsaw_telemetry::{FlightEvent, FlightKind, HistogramSnapshot};
 use std::io::{self, Read, Write};
 
 /// Frame magic: the first four bytes of every frame.
@@ -188,6 +207,12 @@ pub enum Frame {
     Pong,
     /// Client → daemon: drain queued jobs, then exit cleanly.
     Shutdown,
+    /// Client → daemon: send a live introspection snapshot. Answered on
+    /// the connection's reader thread, never queued behind jobs.
+    StatsRequest,
+    /// Daemon → client: the introspection snapshot (boxed — it is an
+    /// order of magnitude larger than every other variant).
+    StatsReply(Box<StatsSnapshot>),
 }
 
 impl Frame {
@@ -199,6 +224,8 @@ impl Frame {
             Frame::Ping => 4,
             Frame::Pong => 5,
             Frame::Shutdown => 6,
+            Frame::StatsRequest => 7,
+            Frame::StatsReply(_) => 8,
         }
     }
 }
@@ -249,6 +276,68 @@ fn push_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    push_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn push_hist(buf: &mut Vec<u8>, h: &HistogramSnapshot) {
+    push_u64(buf, h.count);
+    push_u64(buf, h.sum);
+    push_u32(buf, h.buckets.len() as u32);
+    for &(lo, hi, c) in &h.buckets {
+        push_u64(buf, lo);
+        push_u64(buf, hi);
+        push_u64(buf, c);
+    }
+}
+
+fn push_stats(buf: &mut Vec<u8>, s: &StatsSnapshot) {
+    push_u32(buf, s.stats_version);
+    push_u64(buf, s.uptime_ns);
+    push_u32(buf, s.queue_depth);
+    push_u32(buf, s.queue_high);
+    push_u64(buf, s.cache.hits);
+    push_u64(buf, s.cache.misses);
+    push_u64(buf, s.cache.evictions);
+    push_u32(buf, s.cache.len);
+    push_u32(buf, s.cache.capacity);
+    push_u32(buf, s.workers.len() as u32);
+    for w in &s.workers {
+        push_u64(buf, w.busy_ns);
+        push_u64(buf, w.jobs);
+    }
+    push_u32(buf, s.windows.len() as u32);
+    for w in &s.windows {
+        push_str(buf, &w.name);
+        push_u64(buf, w.window_ns);
+        push_hist(buf, &w.hist);
+    }
+    push_u32(buf, s.counters.len() as u32);
+    for (n, v) in &s.counters {
+        push_str(buf, n);
+        push_u64(buf, *v);
+    }
+    push_u32(buf, s.gauges.len() as u32);
+    for (n, v) in &s.gauges {
+        push_str(buf, n);
+        push_f64(buf, *v);
+    }
+    push_u32(buf, s.histograms.len() as u32);
+    for (n, h) in &s.histograms {
+        push_str(buf, n);
+        push_hist(buf, h);
+    }
+    push_u32(buf, s.flight.len() as u32);
+    for e in &s.flight {
+        push_u64(buf, e.ts_ns);
+        buf.push(e.kind.as_u8());
+        push_u64(buf, e.request_id);
+        push_u64(buf, e.tag);
+        push_str(buf, &e.detail);
+    }
+}
+
 /// Serialize a frame (header + payload) into a fresh byte vector.
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let mut payload = Vec::new();
@@ -286,7 +375,8 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             push_u32(&mut payload, err.message.len() as u32);
             payload.extend_from_slice(err.message.as_bytes());
         }
-        Frame::Ping | Frame::Pong | Frame::Shutdown => {}
+        Frame::StatsReply(s) => push_stats(&mut payload, s),
+        Frame::Ping | Frame::Pong | Frame::Shutdown | Frame::StatsRequest => {}
     }
     let mut out = Vec::with_capacity(10 + payload.len());
     out.extend_from_slice(&MAGIC);
@@ -365,6 +455,137 @@ impl<'a> Cursor<'a> {
             )))
         }
     }
+
+    /// A length-prefixed UTF-8 string, capped at [`MAX_STATS_STR`].
+    fn str_field(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STATS_STR {
+            return Err(ProtocolError::Malformed(format!(
+                "string field of {len} bytes exceeds maximum {MAX_STATS_STR}"
+            )));
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| ProtocolError::Malformed("string field is not UTF-8".into()))
+    }
+
+    /// A list count that must be payable by the remaining bytes at
+    /// `min_item_bytes` each — rejects counts that would force a huge
+    /// allocation before the bounds check catches the truncation.
+    fn count(&mut self, min_item_bytes: usize) -> Result<usize, ProtocolError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_item_bytes) > remaining {
+            return Err(ProtocolError::Malformed(format!(
+                "list of {n} items cannot fit in {remaining} remaining payload bytes"
+            )));
+        }
+        Ok(n)
+    }
+}
+
+/// Cap on any single string inside a `StatsReply` payload.
+const MAX_STATS_STR: usize = 1 << 12;
+
+fn decode_hist(c: &mut Cursor<'_>) -> Result<HistogramSnapshot, ProtocolError> {
+    let count = c.u64()?;
+    let sum = c.u64()?;
+    let nb = c.count(24)?;
+    let mut buckets = Vec::with_capacity(nb);
+    let mut total = 0u64;
+    for _ in 0..nb {
+        let (lo, hi, n) = (c.u64()?, c.u64()?, c.u64()?);
+        if lo >= hi {
+            return Err(ProtocolError::Malformed(format!(
+                "histogram bucket with lo {lo} ≥ hi {hi}"
+            )));
+        }
+        total = total.saturating_add(n);
+        buckets.push((lo, hi, n));
+    }
+    if total > count {
+        return Err(ProtocolError::Malformed(format!(
+            "histogram buckets hold {total} samples but count claims {count}"
+        )));
+    }
+    Ok(HistogramSnapshot {
+        count,
+        sum,
+        buckets,
+    })
+}
+
+fn decode_stats(c: &mut Cursor<'_>) -> Result<StatsSnapshot, ProtocolError> {
+    let stats_version = c.u32()?;
+    let uptime_ns = c.u64()?;
+    let queue_depth = c.u32()?;
+    let queue_high = c.u32()?;
+    let cache = CacheStats {
+        hits: c.u64()?,
+        misses: c.u64()?,
+        evictions: c.u64()?,
+        len: c.u32()?,
+        capacity: c.u32()?,
+    };
+    let nw = c.count(16)?;
+    let mut workers = Vec::with_capacity(nw);
+    for _ in 0..nw {
+        workers.push(WorkerStats {
+            busy_ns: c.u64()?,
+            jobs: c.u64()?,
+        });
+    }
+    let nwin = c.count(32)?;
+    let mut windows = Vec::with_capacity(nwin);
+    for _ in 0..nwin {
+        windows.push(WindowStats {
+            name: c.str_field()?,
+            window_ns: c.u64()?,
+            hist: decode_hist(c)?,
+        });
+    }
+    let nc = c.count(12)?;
+    let mut counters = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        counters.push((c.str_field()?, c.u64()?));
+    }
+    let ng = c.count(12)?;
+    let mut gauges = Vec::with_capacity(ng);
+    for _ in 0..ng {
+        gauges.push((c.str_field()?, c.f64()?));
+    }
+    let nh = c.count(24)?;
+    let mut histograms = Vec::with_capacity(nh);
+    for _ in 0..nh {
+        histograms.push((c.str_field()?, decode_hist(c)?));
+    }
+    let nf = c.count(29)?;
+    let mut flight = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        let ts_ns = c.u64()?;
+        let kb = c.u8()?;
+        let kind = FlightKind::from_u8(kb)
+            .ok_or_else(|| ProtocolError::Malformed(format!("bad flight event kind {kb}")))?;
+        flight.push(FlightEvent {
+            ts_ns,
+            kind,
+            request_id: c.u64()?,
+            tag: c.u64()?,
+            detail: c.str_field()?,
+        });
+    }
+    Ok(StatsSnapshot {
+        stats_version,
+        uptime_ns,
+        queue_depth,
+        queue_high,
+        cache,
+        workers,
+        windows,
+        counters,
+        gauges,
+        histograms,
+        flight,
+    })
 }
 
 /// Read one frame. [`ProtocolError::Eof`] means the stream ended cleanly
@@ -488,13 +709,19 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
                 message,
             }))
         }
-        4..=6 => {
+        4..=7 => {
             c.finish()?;
             Ok(match kind {
                 4 => Frame::Ping,
                 5 => Frame::Pong,
-                _ => Frame::Shutdown,
+                6 => Frame::Shutdown,
+                _ => Frame::StatsRequest,
             })
+        }
+        8 => {
+            let stats = decode_stats(&mut c)?;
+            c.finish()?;
+            Ok(Frame::StatsReply(Box::new(stats)))
         }
         other => Err(ProtocolError::Malformed(format!(
             "unknown frame kind {other}"
@@ -632,6 +859,74 @@ mod tests {
         bytes[m_offset..m_offset + 4].copy_from_slice(&2u32.to_le_bytes());
         let e = read_frame(&mut io::Cursor::new(bytes)).unwrap_err();
         assert!(matches!(e, ProtocolError::Malformed(_)), "{e:?}");
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        assert_eq!(round_trip(&Frame::StatsRequest), Frame::StatsRequest);
+        let reply = Frame::StatsReply(Box::new(super::super::stats::sample_snapshot()));
+        assert_eq!(round_trip(&reply), reply);
+        // An empty snapshot (all vecs empty) must also survive the wire.
+        let empty = Frame::StatsReply(Box::new(StatsSnapshot {
+            stats_version: super::super::stats::STATS_VERSION,
+            uptime_ns: 0,
+            queue_depth: 0,
+            queue_high: 0,
+            cache: CacheStats::default(),
+            workers: Vec::new(),
+            windows: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            flight: Vec::new(),
+        }));
+        assert_eq!(round_trip(&empty), empty);
+    }
+
+    #[test]
+    fn stats_reply_truncation_never_panics() {
+        let bytes = encode(&Frame::StatsReply(Box::new(
+            super::super::stats::sample_snapshot(),
+        )));
+        // Cutting the frame at every byte boundary must yield a clean
+        // error (short header → Io; short payload → Io; inconsistent
+        // interior counts → Malformed), never a panic or a bogus Ok.
+        for cut in 0..bytes.len() {
+            let e = read_frame(&mut io::Cursor::new(bytes[..cut].to_vec())).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    ProtocolError::Io(_) | ProtocolError::Malformed(_) | ProtocolError::Eof
+                ),
+                "cut at {cut}: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_reply_fuzz_decode_is_total() {
+        let bytes = encode(&Frame::StatsReply(Box::new(
+            super::super::stats::sample_snapshot(),
+        )));
+        // Deterministic LCG-driven byte mutations: decode must return
+        // Ok or Err, never panic, and never over-allocate (the count
+        // guards bound Vec capacities by remaining payload bytes).
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state
+        };
+        for _ in 0..2_000 {
+            let mut mutated = bytes.clone();
+            let flips = 1 + (next() % 4) as usize;
+            for _ in 0..flips {
+                let idx = (next() % mutated.len() as u64) as usize;
+                mutated[idx] ^= (next() & 0xFF) as u8;
+            }
+            let _ = read_frame(&mut io::Cursor::new(mutated));
+        }
     }
 
     #[test]

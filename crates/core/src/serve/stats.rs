@@ -1,0 +1,441 @@
+//! The live introspection snapshot carried by a `StatsReply` frame.
+//!
+//! A [`StatsSnapshot`] is everything the daemon knows about itself at
+//! one instant: uptime, queue depths, plan-cache counters, per-worker
+//! utilization, rolling-window latency histograms, the full telemetry
+//! registry, and the flight-recorder tail. Assembly follows the same
+//! consistency discipline as `Registry::snapshot` — each component is
+//! read under its own short lock (or relaxed atomics), never the plan
+//! build path or the job queue's condvar — so scraping a busy daemon
+//! never blocks a submission.
+//!
+//! The snapshot is *versioned* ([`STATS_VERSION`]) and deterministic:
+//! every list is name- or time-ordered, so two encodes of the same
+//! state are byte-identical. Rendering (table / JSON / Prometheus) also
+//! lives here; the wire encoding is in
+//! [`protocol`](crate::serve::protocol) next to the other frame
+//! layouts.
+
+use jigsaw_telemetry as telemetry;
+use telemetry::{FlightEvent, HistogramSnapshot, Snapshot};
+
+/// Version of the stats payload layout. Bump on any field change.
+pub const STATS_VERSION: u32 = 1;
+
+/// One worker slot's always-on utilization counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Cumulative nanoseconds spent running jobs.
+    pub busy_ns: u64,
+    /// Jobs completed.
+    pub jobs: u64,
+}
+
+/// Plan-cache counters (always-on atomics, not telemetry-gated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookup hits since daemon start.
+    pub hits: u64,
+    /// Lookup misses since daemon start.
+    pub misses: u64,
+    /// Evictions since daemon start.
+    pub evictions: u64,
+    /// Resident entries.
+    pub len: u32,
+    /// Capacity bound.
+    pub capacity: u32,
+}
+
+impl CacheStats {
+    /// Hits over lookups, 0.0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A rolling-window histogram with its identity and window length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Metric name, e.g. `serve.job_latency_ns.60s`.
+    pub name: String,
+    /// Window length in nanoseconds.
+    pub window_ns: u64,
+    /// Sum of the live epochs at snapshot time.
+    pub hist: HistogramSnapshot,
+}
+
+/// The full introspection snapshot (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Payload layout version ([`STATS_VERSION`]).
+    pub stats_version: u32,
+    /// Nanoseconds since the serve engine was constructed.
+    pub uptime_ns: u64,
+    /// Jobs queued (both classes) at snapshot time.
+    pub queue_depth: u32,
+    /// High-priority jobs queued at snapshot time.
+    pub queue_high: u32,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// Per-worker utilization, indexed by worker slot.
+    pub workers: Vec<WorkerStats>,
+    /// Rolling-window histograms (job latency, per-priority queue wait).
+    pub windows: Vec<WindowStats>,
+    /// Registry counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Registry gauges, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Registry histograms, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Flight-recorder tail, oldest first.
+    pub flight: Vec<FlightEvent>,
+}
+
+impl StatsSnapshot {
+    /// Uptime in seconds.
+    pub fn uptime_secs(&self) -> f64 {
+        self.uptime_ns as f64 / 1e9
+    }
+
+    /// The window named `name`, if present.
+    pub fn window(&self, name: &str) -> Option<&WindowStats> {
+        self.windows.iter().find(|w| w.name == name)
+    }
+
+    /// Value of a registry counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Per-worker busy fraction of uptime, in `[0, 1]`.
+    pub fn worker_utilization(&self) -> Vec<f64> {
+        let up = self.uptime_ns.max(1) as f64;
+        self.workers
+            .iter()
+            .map(|w| (w.busy_ns as f64 / up).min(1.0))
+            .collect()
+    }
+
+    /// Merge the registry series with the snapshot's derived values
+    /// (queue, cache, uptime, workers, windows) into one
+    /// [`Snapshot`] for the generic exporters. Derived names win over
+    /// same-named registry entries, since the always-on atomics are
+    /// authoritative.
+    pub fn to_metrics_snapshot(&self) -> Snapshot {
+        use std::collections::BTreeMap;
+        let mut counters: BTreeMap<String, u64> = self.counters.iter().cloned().collect();
+        counters.insert("serve.cache.hit".into(), self.cache.hits);
+        counters.insert("serve.cache.miss".into(), self.cache.misses);
+        counters.insert("serve.cache.evict".into(), self.cache.evictions);
+        let mut gauges: BTreeMap<String, f64> = self.gauges.iter().cloned().collect();
+        gauges.insert("serve.uptime_seconds".into(), self.uptime_secs());
+        gauges.insert("serve.queue_depth".into(), f64::from(self.queue_depth));
+        gauges.insert("serve.queue_depth_high".into(), f64::from(self.queue_high));
+        gauges.insert("serve.cache.len".into(), f64::from(self.cache.len));
+        gauges.insert(
+            "serve.cache.capacity".into(),
+            f64::from(self.cache.capacity),
+        );
+        gauges.insert("serve.cache.hit_rate".into(), self.cache.hit_rate());
+        for (i, w) in self.workers.iter().enumerate() {
+            gauges.insert(format!("serve.worker.{i}.busy_ns"), w.busy_ns as f64);
+            gauges.insert(format!("serve.worker.{i}.jobs"), w.jobs as f64);
+        }
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            self.histograms.iter().cloned().collect();
+        for w in &self.windows {
+            histograms.insert(w.name.clone(), w.hist.clone());
+        }
+        Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        }
+    }
+
+    /// Prometheus text exposition of [`Self::to_metrics_snapshot`].
+    pub fn to_prometheus(&self) -> String {
+        telemetry::export::prometheus(&self.to_metrics_snapshot())
+    }
+
+    /// Human-readable dashboard-style summary.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "uptime {:.1}s  queue {} ({} high)  cache {}/{} entries",
+            self.uptime_secs(),
+            self.queue_depth,
+            self.queue_high,
+            self.cache.len,
+            self.cache.capacity,
+        );
+        let _ = writeln!(
+            s,
+            "cache: {} hit / {} miss / {} evict  (hit rate {:.3})",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.hit_rate(),
+        );
+        let utils = self.worker_utilization();
+        for (i, (w, u)) in self.workers.iter().zip(&utils).enumerate() {
+            let _ = writeln!(s, "worker {i}: {:>6.2}% busy  {} jobs", u * 100.0, w.jobs);
+        }
+        for w in &self.windows {
+            let _ = writeln!(
+                s,
+                "{} (last {:.0}s): count {}  p50≈{:.0}  p99≈{:.0}",
+                w.name,
+                w.window_ns as f64 / 1e9,
+                w.hist.count,
+                w.hist.quantile_estimate(0.5),
+                w.hist.quantile_estimate(0.99),
+            );
+        }
+        let registry = Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        };
+        s.push_str(&registry.to_table());
+        if !self.flight.is_empty() {
+            s.push_str("flight tail (oldest first):\n");
+            for e in &self.flight {
+                let _ = writeln!(s, "  {e}");
+            }
+        }
+        s
+    }
+
+    /// Single-object JSON document (hand-rolled; hermetic build).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        use telemetry::export::escape_json;
+        fn hist_json(h: &HistogramSnapshot) -> String {
+            let mut s = format!(
+                "{{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                h.count, h.sum
+            );
+            for (j, (lo, hi, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "[{lo}, {hi}, {c}]");
+            }
+            s.push_str("]}");
+            s
+        }
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"stats_version\": {},", self.stats_version);
+        let _ = writeln!(s, "  \"uptime_ns\": {},", self.uptime_ns);
+        let _ = writeln!(s, "  \"queue_depth\": {},", self.queue_depth);
+        let _ = writeln!(s, "  \"queue_high\": {},", self.queue_high);
+        let _ = writeln!(
+            s,
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"len\": {}, \
+             \"capacity\": {}}},",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.len,
+            self.cache.capacity
+        );
+        s.push_str("  \"workers\": [");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{{\"busy_ns\": {}, \"jobs\": {}}}", w.busy_ns, w.jobs);
+        }
+        s.push_str("],\n  \"windows\": {");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    \"{}\": {{\"window_ns\": {}, \"hist\": {}}}",
+                escape_json(&w.name),
+                w.window_ns,
+                hist_json(&w.hist)
+            );
+        }
+        s.push_str("\n  },\n  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    \"{}\": {v}", escape_json(n));
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    \"{}\": {}", escape_json(n), json_f64(*v));
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        for (i, (n, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    \"{}\": {}", escape_json(n), hist_json(h));
+        }
+        s.push_str("\n  },\n  \"flight\": [");
+        for (i, e) in self.flight.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"ts_ns\": {}, \"kind\": \"{}\", \"request_id\": {}, \"tag\": {}, \
+                 \"detail\": \"{}\"}}",
+                e.ts_ns,
+                e.kind.label(),
+                e.request_id,
+                e.tag,
+                escape_json(&e.detail)
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A fully populated snapshot for unit tests (here and in
+/// `protocol.rs`'s round-trip suite).
+#[cfg(test)]
+pub(crate) fn sample_snapshot() -> StatsSnapshot {
+    use telemetry::FlightKind;
+    StatsSnapshot {
+        stats_version: STATS_VERSION,
+        uptime_ns: 2_000_000_000,
+        queue_depth: 3,
+        queue_high: 1,
+        cache: CacheStats {
+            hits: 90,
+            misses: 10,
+            evictions: 2,
+            len: 4,
+            capacity: 8,
+        },
+        workers: vec![
+            WorkerStats {
+                busy_ns: 1_000_000_000,
+                jobs: 50,
+            },
+            WorkerStats {
+                busy_ns: 500_000_000,
+                jobs: 25,
+            },
+        ],
+        windows: vec![WindowStats {
+            name: "serve.job_latency_ns.60s".into(),
+            window_ns: 60_000_000_000,
+            hist: HistogramSnapshot {
+                count: 5,
+                sum: 1029,
+                buckets: vec![(0, 1, 1), (1, 2, 2), (2, 4, 1), (1024, 2048, 1)],
+            },
+        }],
+        counters: vec![("serve.jobs".into(), 100)],
+        gauges: vec![("serve.queue_depth".into(), 2.0)],
+        histograms: vec![(
+            "serve.job_latency_ns".into(),
+            HistogramSnapshot {
+                count: 100,
+                sum: 123_456,
+                buckets: vec![(1024, 2048, 100)],
+            },
+        )],
+        flight: vec![FlightEvent {
+            ts_ns: 1_000,
+            kind: FlightKind::CacheHit,
+            request_id: 42,
+            tag: 7,
+            detail: "n=64".into(),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatsSnapshot {
+        sample_snapshot()
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = sample();
+        assert!((s.cache.hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert!((s.uptime_secs() - 2.0).abs() < 1e-12);
+        let u = s.worker_utilization();
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 0.25).abs() < 1e-12);
+        assert_eq!(s.counter("serve.jobs"), Some(100));
+        assert_eq!(s.counter("missing"), None);
+        assert!(s.window("serve.job_latency_ns.60s").is_some());
+    }
+
+    #[test]
+    fn metrics_snapshot_merges_derived_over_registry() {
+        let s = sample();
+        let m = s.to_metrics_snapshot();
+        // Derived cache counters present.
+        assert_eq!(m.counter("serve.cache.hit"), Some(90));
+        // Derived gauge wins over the registry's stale queue_depth.
+        assert_eq!(m.gauge("serve.queue_depth"), Some(3.0));
+        assert_eq!(m.gauge("serve.worker.0.jobs"), Some(50.0));
+        // Window histograms ride along.
+        assert!(m.histogram("serve.job_latency_ns.60s").is_some());
+        assert!(m.histogram("serve.job_latency_ns").is_some());
+    }
+
+    #[test]
+    fn prometheus_render_carries_grep_targets() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("serve_cache_hit"), "{text}");
+        assert!(text.contains("serve_job_latency_ns_bucket"), "{text}");
+        assert!(text.contains("serve_queue_depth 3"), "{text}");
+    }
+
+    #[test]
+    fn table_and_json_render() {
+        let s = sample();
+        let table = s.to_table();
+        assert!(table.contains("hit rate 0.900"), "{table}");
+        assert!(table.contains("worker 0"), "{table}");
+        assert!(table.contains("p50"), "{table}");
+        assert!(table.contains("cache_hit"), "{table}");
+        let json = s.to_json();
+        let doc = telemetry::json::parse(&json).expect("stats JSON parses");
+        assert_eq!(doc.get("queue_depth").and_then(|v| v.as_f64()), Some(3.0));
+        let flight = doc.get("flight").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(flight.len(), 1);
+    }
+}

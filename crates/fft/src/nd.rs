@@ -398,6 +398,12 @@ impl<T: Float> FftNd<T> {
                 // and redo the whole pass serially: bitwise-identical
                 // output, counted so operators can see the degradation.
                 telemetry::record_counter("engine.fallbacks", 1);
+                telemetry::flight::record(
+                    telemetry::FlightKind::FallbackTaken,
+                    telemetry::current_request_id(),
+                    axis as u64,
+                    "fft.axis_pass",
+                );
                 drop(rx);
                 drop(span);
                 self.process_axis_serial(axis, data, dir, &mut re_s, &mut im_s, &mut work);

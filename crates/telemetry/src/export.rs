@@ -1,11 +1,13 @@
 //! Exporters: Chrome `trace_event` JSON (loadable in `chrome://tracing`
-//! and [Perfetto](https://ui.perfetto.dev)) and JSON-lines event dumps.
+//! and [Perfetto](https://ui.perfetto.dev)), JSON-lines event dumps, and
+//! Prometheus text exposition for scraping a live daemon.
 //!
 //! All JSON is hand-rolled in the same style as the bench harness — the
 //! build is hermetic, so no serde. Timestamps convert from the internal
 //! nanosecond clock to chrome's microsecond `ts`/`dur` fields with three
 //! decimal places, preserving nanosecond precision.
 
+use crate::metrics::Snapshot;
 use crate::span::{ArgValue, Event, EventKind};
 use std::fmt::Write as _;
 use std::io;
@@ -161,9 +163,95 @@ pub fn write_chrome_trace(path: &Path) -> io::Result<usize> {
     Ok(events.len())
 }
 
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Map a dotted metric name onto the Prometheus name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: dots (and every other invalid byte)
+/// become underscores; a leading digit gains a `_` prefix.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// A float in Prometheus sample syntax (`NaN`/`+Inf`/`-Inf` spellings).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a [`Snapshot`] in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP`/`# TYPE` headers, counters with a `_total`
+/// suffix, gauges verbatim, and histograms as cumulative
+/// `_bucket{le="…"}` series plus `_sum`/`_count`.
+///
+/// Histogram `le` bounds come from the log2 bucket upper edges. Our
+/// buckets are `[lo, hi)` over integers, so `le = hi - 1` is exact;
+/// the saturated top bucket folds into the mandatory `+Inf` bucket.
+pub fn prometheus(snapshot: &Snapshot) -> String {
+    let mut s = String::new();
+    for (name, v) in &snapshot.counters {
+        let p = format!("{}_total", prometheus_name(name));
+        let _ = writeln!(s, "# HELP {p} Counter {}.", escape_prom_help(name));
+        let _ = writeln!(s, "# TYPE {p} counter");
+        let _ = writeln!(s, "{p} {v}");
+    }
+    for (name, v) in &snapshot.gauges {
+        let p = prometheus_name(name);
+        let _ = writeln!(s, "# HELP {p} Gauge {}.", escape_prom_help(name));
+        let _ = writeln!(s, "# TYPE {p} gauge");
+        let _ = writeln!(s, "{p} {}", prom_f64(*v));
+    }
+    for (name, h) in &snapshot.histograms {
+        let p = prometheus_name(name);
+        let _ = writeln!(s, "# HELP {p} Histogram {}.", escape_prom_help(name));
+        let _ = writeln!(s, "# TYPE {p} histogram");
+        let mut cum = 0u64;
+        for &(_lo, hi, c) in &h.buckets {
+            cum += c;
+            if hi == u64::MAX {
+                // The saturated top bucket has no finite upper edge; it
+                // lands in +Inf below.
+                continue;
+            }
+            let _ = writeln!(s, "{p}_bucket{{le=\"{}\"}} {cum}", hi - 1);
+        }
+        let _ = writeln!(s, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(s, "{p}_sum {}", h.sum);
+        let _ = writeln!(s, "{p}_count {}", h.count);
+    }
+    s
+}
+
+/// Help text with exposition-format escapes (`\\` and `\n`).
+fn escape_prom_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::HistogramSnapshot;
 
     fn span_event(name: &'static str, tid: u64, ts_ns: u64, dur_ns: u64) -> Event {
         Event {
@@ -256,5 +344,162 @@ mod tests {
                 .map(Vec::len),
             Some(0)
         );
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![("serve.cache.hit".to_string(), 42)],
+            gauges: vec![("serve.queue_depth".to_string(), 3.0)],
+            histograms: vec![(
+                "serve.job_latency_ns".to_string(),
+                HistogramSnapshot {
+                    count: 5,
+                    sum: 1029,
+                    buckets: vec![(0, 1, 1), (1, 2, 2), (2, 4, 1), (1024, 2048, 1)],
+                },
+            )],
+        }
+    }
+
+    /// Minimal text-exposition (0.0.4) grammar check: every line is a
+    /// `# HELP`/`# TYPE` comment or `name{labels} value`; names follow
+    /// the metric-name grammar; every sample's base name was declared by
+    /// a preceding `# TYPE`; histogram buckets are cumulative.
+    fn validate_prometheus(text: &str) {
+        fn valid_name(n: &str) -> bool {
+            !n.is_empty()
+                && n.chars().enumerate().all(|(i, c)| {
+                    c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+                })
+        }
+        let mut typed: Vec<(String, String)> = Vec::new();
+        let mut last_bucket: Option<(String, u64)> = None;
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut parts = rest.splitn(3, ' ');
+                let keyword = parts.next().unwrap();
+                let name = parts.next().expect("comment names a metric");
+                assert!(matches!(keyword, "HELP" | "TYPE"), "{line}");
+                assert!(valid_name(name), "{line}");
+                if keyword == "TYPE" {
+                    let ty = parts.next().expect("TYPE has a type").to_string();
+                    assert!(matches!(ty.as_str(), "counter" | "gauge" | "histogram"));
+                    typed.push((name.to_string(), ty));
+                }
+                continue;
+            }
+            let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+            let (name, labels) = match name_labels.split_once('{') {
+                Some((n, l)) => (n, Some(l.strip_suffix('}').expect("balanced braces"))),
+                None => (name_labels, None),
+            };
+            assert!(valid_name(name), "{line}");
+            value
+                .parse::<f64>()
+                .or_else(|e| match value {
+                    "+Inf" | "-Inf" | "NaN" => Ok(0.0),
+                    _ => Err(e),
+                })
+                .unwrap_or_else(|_| panic!("unparseable value in {line}"));
+            // The sample must belong to a declared family.
+            let family = typed.iter().find(|(n, ty)| match ty.as_str() {
+                "counter" | "gauge" => name == *n,
+                "histogram" => {
+                    name == format!("{n}_bucket")
+                        || name == format!("{n}_sum")
+                        || name == format!("{n}_count")
+                }
+                _ => false,
+            });
+            let (fam, ty) = family.unwrap_or_else(|| panic!("undeclared sample {line}"));
+            if ty == "histogram" && name == format!("{fam}_bucket") {
+                let le = labels
+                    .and_then(|l| l.strip_prefix("le=\""))
+                    .and_then(|l| l.strip_suffix('"'))
+                    .expect("bucket carries le label");
+                assert!(le == "+Inf" || le.parse::<u64>().is_ok(), "{line}");
+                let cum: u64 = value.parse().unwrap();
+                if let Some((prev_fam, prev_cum)) = &last_bucket {
+                    if prev_fam == fam {
+                        assert!(cum >= *prev_cum, "buckets must be cumulative: {line}");
+                    }
+                }
+                last_bucket = Some((fam.clone(), cum));
+            } else {
+                last_bucket = None;
+            }
+        }
+        assert!(!typed.is_empty(), "exposition declared no metrics");
+    }
+
+    #[test]
+    fn prometheus_golden_output() {
+        let text = prometheus(&sample_snapshot());
+        let expected = "\
+# HELP serve_cache_hit_total Counter serve.cache.hit.
+# TYPE serve_cache_hit_total counter
+serve_cache_hit_total 42
+# HELP serve_queue_depth Gauge serve.queue_depth.
+# TYPE serve_queue_depth gauge
+serve_queue_depth 3
+# HELP serve_job_latency_ns Histogram serve.job_latency_ns.
+# TYPE serve_job_latency_ns histogram
+serve_job_latency_ns_bucket{le=\"0\"} 1
+serve_job_latency_ns_bucket{le=\"1\"} 3
+serve_job_latency_ns_bucket{le=\"3\"} 4
+serve_job_latency_ns_bucket{le=\"2047\"} 5
+serve_job_latency_ns_bucket{le=\"+Inf\"} 5
+serve_job_latency_ns_sum 1029
+serve_job_latency_ns_count 5
+";
+        assert_eq!(text, expected);
+        validate_prometheus(&text);
+    }
+
+    #[test]
+    fn prometheus_handles_edge_values() {
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![
+                ("g.nan".to_string(), f64::NAN),
+                ("g.inf".to_string(), f64::INFINITY),
+                ("7weird name".to_string(), 1.5),
+            ],
+            histograms: vec![(
+                "h.top".to_string(),
+                HistogramSnapshot {
+                    count: 1,
+                    sum: u64::MAX,
+                    buckets: vec![(1 << 63, u64::MAX, 1)],
+                },
+            )],
+        };
+        let text = prometheus(&snap);
+        validate_prometheus(&text);
+        assert!(text.contains("g_nan NaN"));
+        assert!(text.contains("g_inf +Inf"));
+        assert!(text.contains("_7weird_name 1.5"));
+        // The saturated top bucket only appears as +Inf.
+        assert!(text.contains("h_top_bucket{le=\"+Inf\"} 1"));
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX - 1)));
+    }
+
+    #[test]
+    fn prometheus_name_mapping() {
+        assert_eq!(prometheus_name("serve.cache.hit"), "serve_cache_hit");
+        assert_eq!(prometheus_name("already_fine:ok"), "already_fine:ok");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn empty_snapshot_exposes_nothing() {
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        assert!(prometheus(&snap).is_empty());
     }
 }

@@ -1,0 +1,293 @@
+//! Flight recorder: a fixed-capacity ring of structured serve events for
+//! in-flight introspection and postmortem dumps.
+//!
+//! The serving daemon records one [`FlightEvent`] per interesting
+//! transition (job admitted/started/finished/failed, cache hit/miss/
+//! evict, serial fallback taken, fault point fired). The ring keeps the
+//! most recent `capacity` events; the `StatsReply` protocol frame ships
+//! the tail to remote scrapers, and the serve engine dumps it to stderr
+//! when it contains a panicking job — a black box for the crash that
+//! just didn't happen.
+//!
+//! Writers reserve a slot with one `fetch_add` on the cursor and then
+//! take that slot's own mutex, so concurrent writers never contend
+//! unless the ring wraps onto a slot another writer still holds — the
+//! record path is effectively lock-free at serving rates (events are
+//! per-job, not per-sample). While the total number of records is below
+//! capacity, no event is ever lost, concurrency notwithstanding.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default capacity of the process-wide recorder.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// A job entered the daemon queue.
+    JobAdmitted = 1,
+    /// An executor picked the job up.
+    JobStarted = 2,
+    /// The job produced a result.
+    JobFinished = 3,
+    /// The job failed (validation, budget, or contained panic).
+    JobFailed = 4,
+    /// Plan-cache hit.
+    CacheHit = 5,
+    /// Plan-cache miss (a plan build follows).
+    CacheMiss = 6,
+    /// Plan-cache eviction.
+    CacheEvict = 7,
+    /// The engine fell back to the serial path.
+    FallbackTaken = 8,
+    /// An armed fault point fired.
+    FaultFired = 9,
+}
+
+impl FlightKind {
+    /// Wire tag (stable across versions — new kinds append).
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode a wire tag.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => Self::JobAdmitted,
+            2 => Self::JobStarted,
+            3 => Self::JobFinished,
+            4 => Self::JobFailed,
+            5 => Self::CacheHit,
+            6 => Self::CacheMiss,
+            7 => Self::CacheEvict,
+            8 => Self::FallbackTaken,
+            9 => Self::FaultFired,
+            _ => return None,
+        })
+    }
+
+    /// Short lowercase label for dumps and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::JobAdmitted => "job_admitted",
+            Self::JobStarted => "job_started",
+            Self::JobFinished => "job_finished",
+            Self::JobFailed => "job_failed",
+            Self::CacheHit => "cache_hit",
+            Self::CacheMiss => "cache_miss",
+            Self::CacheEvict => "cache_evict",
+            Self::FallbackTaken => "fallback_taken",
+            Self::FaultFired => "fault_fired",
+        }
+    }
+}
+
+/// One recorded transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Nanoseconds since the telemetry epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// The request this event belongs to (0 = none).
+    pub request_id: u64,
+    /// Kind-specific numeric payload (job tag, cache size, …).
+    pub tag: u64,
+    /// Free-form context, e.g. an error message or a fault-site name.
+    pub detail: String,
+}
+
+impl fmt::Display for FlightEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.6}s] {:<14} req={} tag={}",
+            self.ts_ns as f64 / 1e9,
+            self.kind.label(),
+            self.request_id,
+            self.tag
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, " {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// A fixed-capacity ring of [`FlightEvent`]s.
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<(u64, FlightEvent)>>>,
+    cursor: AtomicU64,
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A ring holding the `capacity` most recent events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight ring needs at least one slot");
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (retained or overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Append an event, overwriting the oldest once full.
+    pub fn record(&self, event: FlightEvent) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some((seq, event));
+    }
+
+    /// The most recent `max` events, oldest first (FIFO).
+    pub fn tail(&self, max: usize) -> Vec<FlightEvent> {
+        let mut seen: Vec<(u64, FlightEvent)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        seen.sort_unstable_by_key(|(seq, _)| *seq);
+        if seen.len() > max {
+            seen.drain(..seen.len() - max);
+        }
+        seen.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Discard everything (tests and profiling-run starts).
+    pub fn clear(&self) {
+        for s in &self.slots {
+            *s.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+        self.cursor.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide recorder ([`FLIGHT_CAPACITY`] slots).
+pub fn global() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| FlightRecorder::new(FLIGHT_CAPACITY))
+}
+
+/// Record into the global ring iff telemetry is enabled. `detail` is
+/// only materialized on the enabled path.
+#[inline]
+pub fn record(kind: FlightKind, request_id: u64, tag: u64, detail: &str) {
+    if crate::enabled() {
+        global().record(FlightEvent {
+            ts_ns: crate::now_ns(),
+            kind,
+            request_id,
+            tag,
+            detail: detail.to_string(),
+        });
+    }
+}
+
+/// Render the global ring's tail as a multi-line dump (newest last),
+/// e.g. for a stderr black-box dump after a contained panic.
+pub fn dump_tail(max: usize) -> String {
+    let mut s = String::from("flight recorder tail (oldest first):\n");
+    let tail = global().tail(max);
+    if tail.is_empty() {
+        s.push_str("  (empty)\n");
+    }
+    for e in &tail {
+        s.push_str(&format!("  {e}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> FlightEvent {
+        FlightEvent {
+            ts_ns: seq * 10,
+            kind: FlightKind::JobFinished,
+            request_id: seq,
+            tag: seq,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn ring_is_fifo_and_capacity_bounded() {
+        let r = FlightRecorder::new(4);
+        for i in 0..6 {
+            r.record(ev(i));
+        }
+        let tail = r.tail(10);
+        assert_eq!(tail.len(), 4);
+        let ids: Vec<u64> = tail.iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, vec![2, 3, 4, 5], "oldest two overwritten, FIFO order");
+        assert_eq!(r.recorded(), 6);
+        // tail(max) truncates from the old end.
+        let last2: Vec<u64> = r.tail(2).iter().map(|e| e.request_id).collect();
+        assert_eq!(last2, vec![4, 5]);
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let r = FlightRecorder::new(2);
+        r.record(ev(1));
+        r.clear();
+        assert!(r.tail(10).is_empty());
+        assert_eq!(r.recorded(), 0);
+    }
+
+    #[test]
+    fn kind_round_trips_through_wire_tag() {
+        for k in [
+            FlightKind::JobAdmitted,
+            FlightKind::JobStarted,
+            FlightKind::JobFinished,
+            FlightKind::JobFailed,
+            FlightKind::CacheHit,
+            FlightKind::CacheMiss,
+            FlightKind::CacheEvict,
+            FlightKind::FallbackTaken,
+            FlightKind::FaultFired,
+        ] {
+            assert_eq!(FlightKind::from_u8(k.as_u8()), Some(k));
+            assert!(!k.label().is_empty());
+        }
+        assert_eq!(FlightKind::from_u8(0), None);
+        assert_eq!(FlightKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn display_names_the_request() {
+        let e = FlightEvent {
+            ts_ns: 1_500_000_000,
+            kind: FlightKind::JobFailed,
+            request_id: 77,
+            tag: 9,
+            detail: "injected fault at serve.job".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("job_failed"), "{s}");
+        assert!(s.contains("req=77"), "{s}");
+        assert!(s.contains("injected fault"), "{s}");
+    }
+}

@@ -53,15 +53,19 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod window;
 
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use span::{
-    counter_event, current_tid, drain_events, lanes, set_thread_lane, ArgValue, Event, EventKind,
-    SpanGuard,
+    counter_event, current_request_id, current_tid, drain_events, lanes, set_thread_lane, ArgValue,
+    Event, EventKind, RequestScope, SpanGuard,
 };
+pub use window::WindowedHistogram;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -204,6 +208,22 @@ pub fn record_histogram(name: &str, value: u64) {
 pub fn reset() {
     global().reset();
     let _ = drain_events();
+}
+
+/// Mirror [`span::dropped_events`] into the `telemetry.dropped_events`
+/// registry counter (topping it up to the true total, so repeated calls
+/// are idempotent) and return the total. Call before snapshotting so
+/// ring-buffer overflow is visible in metrics output instead of silent.
+pub fn sync_dropped_events() -> u64 {
+    let dropped = span::dropped_events();
+    if dropped > 0 && enabled() {
+        let c = global().counter("telemetry.dropped_events");
+        let seen = c.get();
+        if dropped > seen {
+            c.add(dropped - seen);
+        }
+    }
+    dropped
 }
 
 /// The category of a span name: the prefix before the first `.`

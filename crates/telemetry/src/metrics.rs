@@ -213,6 +213,29 @@ impl HistogramSnapshot {
         }
         self.buckets.last().map(|b| b.1).unwrap_or(0)
     }
+
+    /// Quantile estimate with within-bucket linear interpolation: the
+    /// sample at fractional rank `q·count` is assumed uniformly placed
+    /// inside its bucket `[lo, hi)`. Tighter than
+    /// [`quantile_upper_bound`](Self::quantile_upper_bound) — log2
+    /// buckets overstate the upper bound by up to 2× — while still
+    /// bracketed by the true bucket: `lo ≤ estimate ≤ hi`.
+    pub fn quantile_estimate(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for &(lo, hi, c) in &self.buckets {
+            let before = seen;
+            seen += c;
+            if seen as f64 >= target {
+                let frac = (target - before as f64) / c as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+        }
+        self.buckets.last().map(|b| b.1 as f64).unwrap_or(0.0)
+    }
 }
 
 /// A named collection of counters, gauges, and histograms.
@@ -497,6 +520,40 @@ mod tests {
         assert_eq!(s.quantile_upper_bound(0.5), 2); // 3rd of 5 samples lands in [1,2)
         assert_eq!(s.quantile_upper_bound(1.0), 2048);
         assert_eq!(s.quantile_upper_bound(0.0), 1);
+    }
+
+    #[test]
+    fn quantiles_pinned_on_hand_built_snapshot() {
+        // 10 samples: 4 in [4,8), 4 in [8,16), 2 in [16,32).
+        let s = HistogramSnapshot {
+            count: 10,
+            sum: 4 * 5 + 4 * 10 + 2 * 20,
+            buckets: vec![(4, 8, 4), (8, 16, 4), (16, 32, 2)],
+        };
+        // Conservative bound: the bucket's upper edge.
+        assert_eq!(s.quantile_upper_bound(0.0), 8);
+        assert_eq!(s.quantile_upper_bound(0.4), 8);
+        assert_eq!(s.quantile_upper_bound(0.5), 16);
+        assert_eq!(s.quantile_upper_bound(0.99), 32);
+        assert_eq!(s.quantile_upper_bound(1.0), 32);
+        // Linear interpolation: rank q·count placed uniformly in-bucket.
+        assert!((s.quantile_estimate(0.0) - 5.0).abs() < 1e-12); // rank 1 of 4 in [4,8)
+        assert!((s.quantile_estimate(0.4) - 8.0).abs() < 1e-12); // rank 4 closes [4,8)
+        assert!((s.quantile_estimate(0.5) - 10.0).abs() < 1e-12); // rank 5: 1/4 into [8,16)
+        assert!((s.quantile_estimate(0.9) - 24.0).abs() < 1e-12); // rank 9: 1/2 into [16,32)
+        assert!((s.quantile_estimate(1.0) - 32.0).abs() < 1e-12);
+        // The estimate never exceeds the conservative bound.
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert!(s.quantile_estimate(q) <= s.quantile_upper_bound(q) as f64);
+        }
+        // Empty snapshot degenerates to zero for both.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile_upper_bound(0.5), 0);
+        assert_eq!(empty.quantile_estimate(0.5), 0.0);
     }
 
     #[test]

@@ -171,6 +171,39 @@ impl Drop for ThreadBuf {
 
 thread_local! {
     static TBUF: ThreadBuf = ThreadBuf::register();
+    static REQUEST_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request id currently attached to this thread (0 = none). Spans
+/// opened while a [`RequestScope`] is live automatically carry a
+/// `req` argument with this value, so a busy daemon's trace can be
+/// filtered to one request end-to-end.
+pub fn current_request_id() -> u64 {
+    REQUEST_ID.with(|c| c.get())
+}
+
+/// RAII request-id scope: while alive, every span this thread opens is
+/// tagged `req = id`. Nesting restores the previous id on drop; the
+/// worker pool re-enters the dispatching thread's scope inside each job
+/// closure, so worker-side spans carry the same id.
+#[must_use = "a request scope tags spans for as long as it lives"]
+pub struct RequestScope {
+    prev: u64,
+}
+
+impl RequestScope {
+    /// Tag this thread's spans with `id` until the scope drops. An id of
+    /// 0 clears the tag (useful for propagating "no request").
+    pub fn enter(id: u64) -> Self {
+        let prev = REQUEST_ID.with(|c| c.replace(id));
+        Self { prev }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|c| c.set(self.prev));
+    }
 }
 
 /// This thread's telemetry id (assigned on first use).
@@ -293,12 +326,18 @@ impl SpanGuard {
             b.depth.set(d);
             d
         });
+        let req = current_request_id();
+        let args = if req != 0 {
+            vec![("req", ArgValue::U64(req))]
+        } else {
+            Vec::new()
+        };
         Self {
             name,
             cat,
             start_ns: crate::now_ns(),
             depth,
-            args: Vec::new(),
+            args,
             active: true,
         }
     }
@@ -434,6 +473,42 @@ mod tests {
         assert!(lanes()
             .iter()
             .any(|(t, n)| *t == tid && n == "unit-test-lane"));
+    }
+
+    #[test]
+    #[cfg(not(feature = "off"))]
+    fn request_scope_tags_spans_and_nests() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        let _ = drain_events();
+        assert_eq!(current_request_id(), 0);
+        {
+            let _outer = RequestScope::enter(7);
+            assert_eq!(current_request_id(), 7);
+            let _a = crate::span!("test.req_a");
+            {
+                let _inner = RequestScope::enter(9);
+                let _b = crate::span!("test.req_b");
+            }
+            assert_eq!(current_request_id(), 7, "inner scope restores on drop");
+        }
+        assert_eq!(current_request_id(), 0);
+        let _untagged = crate::span!("test.req_none");
+        drop(_untagged);
+        let events: Vec<Event> = drain_events()
+            .into_iter()
+            .filter(|e| e.name.starts_with("test.req"))
+            .collect();
+        let req_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.args.clone())
+                .unwrap()
+        };
+        assert_eq!(req_of("test.req_a"), vec![("req", ArgValue::U64(7))]);
+        assert_eq!(req_of("test.req_b"), vec![("req", ArgValue::U64(9))]);
+        assert_eq!(req_of("test.req_none"), vec![]);
     }
 
     #[test]

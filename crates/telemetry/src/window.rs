@@ -1,0 +1,246 @@
+//! Rolling-window histograms: last-60-seconds quantiles instead of
+//! lifetime aggregates.
+//!
+//! A [`WindowedHistogram`] is a ring of epoch slots, each an independent
+//! log2 histogram (same bucket layout as [`Histogram`]). Time is divided
+//! into fixed epochs of `epoch_ns`; recording a sample lands it in the
+//! slot for the current epoch, lazily reclaiming the slot from an
+//! expired epoch via a single compare-exchange. A snapshot sums the
+//! slots whose epoch ids are still inside the window, so old traffic
+//! ages out without any background thread.
+//!
+//! The record path is lock-free and matches [`Histogram::record`]'s cost
+//! within a small constant: one division, one relaxed load, and three
+//! relaxed adds in the steady state (the compare-exchange only runs on
+//! the first sample of each epoch per slot). Samples racing with a slot
+//! rollover on an epoch boundary may be lost — bounded by the number of
+//! concurrently recording threads, once per epoch — which is an accepted
+//! trade for keeping the hot path wait-free. The ring holds
+//! `live_epochs + 2` slots so a snapshot taken while the newest epoch is
+//! being reclaimed still sees every live epoch.
+//!
+//! [`Histogram`]: crate::metrics::Histogram
+
+use crate::metrics::{Histogram, HistogramSnapshot, HIST_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Epoch id meaning "slot never used".
+const EMPTY: u64 = u64::MAX;
+
+struct EpochSlot {
+    /// Which epoch this slot currently accumulates (`EMPTY` = unused).
+    epoch: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl EpochSlot {
+    fn new() -> Self {
+        Self {
+            epoch: AtomicU64::new(EMPTY),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn zero(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    fn add_sample(&self, value: u64) {
+        self.buckets[Histogram::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+}
+
+/// A histogram that only remembers the last `live_epochs × epoch_ns`
+/// nanoseconds of samples.
+///
+/// Deterministic variants [`record_at`](Self::record_at) and
+/// [`snapshot_at`](Self::snapshot_at) take an explicit clock reading so
+/// window semantics are testable without sleeping; [`record`](Self::record)
+/// and [`snapshot`](Self::snapshot) use the process telemetry clock
+/// ([`crate::now_ns`]).
+pub struct WindowedHistogram {
+    epoch_ns: u64,
+    live_epochs: u64,
+    slots: Vec<EpochSlot>,
+}
+
+impl std::fmt::Debug for WindowedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedHistogram")
+            .field("epoch_ns", &self.epoch_ns)
+            .field("live_epochs", &self.live_epochs)
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+impl WindowedHistogram {
+    /// A window of `live_epochs` epochs, each `epoch_ns` long. The ring
+    /// allocates `live_epochs + 2` slots.
+    pub fn new(epoch_ns: u64, live_epochs: usize) -> Self {
+        assert!(epoch_ns > 0, "epoch length must be positive");
+        assert!(live_epochs > 0, "window needs at least one live epoch");
+        Self {
+            epoch_ns,
+            live_epochs: live_epochs as u64,
+            slots: (0..live_epochs + 2).map(|_| EpochSlot::new()).collect(),
+        }
+    }
+
+    /// The conventional serving window: last 60 s as six 10-second
+    /// epochs.
+    pub fn last_60s() -> Self {
+        Self::new(10_000_000_000, 6)
+    }
+
+    /// Window length in nanoseconds (`live_epochs × epoch_ns`).
+    pub fn window_ns(&self) -> u64 {
+        self.epoch_ns * self.live_epochs
+    }
+
+    /// Record `value` as of clock reading `now_ns`.
+    #[inline]
+    pub fn record_at(&self, now_ns: u64, value: u64) {
+        let epoch = now_ns / self.epoch_ns;
+        let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
+        let cur = slot.epoch.load(Ordering::Relaxed);
+        if cur != epoch {
+            if cur != EMPTY && cur > epoch {
+                // A stale recorder raced past a reclaimed slot; its
+                // sample is already outside the window.
+                return;
+            }
+            // Claim the slot for this epoch. The winner zeroes; losers
+            // fall through and record (their adds may race the zeroing
+            // once per epoch — bounded, documented loss).
+            if slot
+                .epoch
+                .compare_exchange(cur, epoch, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                slot.zero();
+            }
+        }
+        slot.add_sample(value);
+    }
+
+    /// Record `value` now (process telemetry clock).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_at(crate::now_ns(), value);
+    }
+
+    /// Sum of the live epochs as of clock reading `now_ns`, in the same
+    /// frozen form as [`Histogram::snapshot`].
+    pub fn snapshot_at(&self, now_ns: u64) -> HistogramSnapshot {
+        let epoch = now_ns / self.epoch_ns;
+        let oldest = epoch.saturating_sub(self.live_epochs - 1);
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for slot in &self.slots {
+            let e = slot.epoch.load(Ordering::Acquire);
+            if e == EMPTY || e < oldest || e > epoch {
+                continue;
+            }
+            for (acc, b) in buckets.iter_mut().zip(&slot.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            count += slot.count.load(Ordering::Relaxed);
+            sum = sum.wrapping_add(slot.sum.load(Ordering::Relaxed));
+        }
+        let buckets = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        }
+    }
+
+    /// Sum of the live epochs as of now (process telemetry clock).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.snapshot_at(crate::now_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_inside_one_epoch_aggregate() {
+        let w = WindowedHistogram::new(100, 4);
+        w.record_at(10, 5);
+        w.record_at(20, 7);
+        w.record_at(99, 5);
+        let s = w.snapshot_at(99);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 17);
+        assert_eq!(s.buckets, vec![(4, 8, 3)]);
+    }
+
+    #[test]
+    fn expired_epochs_age_out() {
+        let w = WindowedHistogram::new(100, 2);
+        w.record_at(0, 1); // epoch 0
+        w.record_at(150, 2); // epoch 1
+                             // Window [epoch 0, epoch 1]: both visible.
+        assert_eq!(w.snapshot_at(199).count, 2);
+        // Window [epoch 1, epoch 2]: epoch 0 expired.
+        let s = w.snapshot_at(250);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 2);
+        // Window [epoch 3, epoch 4]: everything expired.
+        assert_eq!(w.snapshot_at(450).count, 0);
+    }
+
+    #[test]
+    fn slot_reuse_zeroes_old_epoch() {
+        let w = WindowedHistogram::new(100, 2); // 4 slots
+        w.record_at(50, 9); // epoch 0 → slot 0
+        w.record_at(450, 3); // epoch 4 → slot 0 again, must reclaim
+        let s = w.snapshot_at(450);
+        assert_eq!(s.count, 1, "old epoch's samples must not leak");
+        assert_eq!(s.sum, 3);
+    }
+
+    #[test]
+    fn stale_recorder_behind_a_reclaimed_slot_is_dropped() {
+        let w = WindowedHistogram::new(100, 2); // 4 slots
+        w.record_at(450, 3); // epoch 4 occupies slot 0
+        w.record_at(50, 9); // epoch 0 maps to slot 0 but is long expired
+        assert_eq!(w.snapshot_at(450).count, 1);
+    }
+
+    #[test]
+    fn window_length_and_defaults() {
+        let w = WindowedHistogram::new(10, 6);
+        assert_eq!(w.window_ns(), 60);
+        assert_eq!(WindowedHistogram::last_60s().window_ns(), 60_000_000_000);
+    }
+
+    #[test]
+    fn live_clock_path_records() {
+        let w = WindowedHistogram::new(1_000_000_000, 4);
+        w.record(42);
+        assert_eq!(w.snapshot().count, 1);
+    }
+}

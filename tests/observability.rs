@@ -1,0 +1,138 @@
+//! Property tests for the live-introspection substrate: the rolling
+//! [`WindowedHistogram`] (epoch aging, window-sum consistency) and the
+//! fixed-capacity flight-recorder ring (capacity bound, FIFO order,
+//! no loss below capacity under concurrent writers).
+//!
+//! Both structures drive their clocks explicitly here (`record_at` /
+//! `snapshot_at`), so every property is deterministic.
+
+use jigsaw::telemetry::{FlightEvent, FlightKind, FlightRecorder, WindowedHistogram};
+use jigsaw_testkit::cases;
+
+#[test]
+fn window_sum_equals_sum_of_live_epochs() {
+    cases!(64, |rng| {
+        let epoch_ns = rng.usize_range(1_000, 1_000_000) as u64;
+        let live = rng.usize_range(2, 7);
+        let w = WindowedHistogram::new(epoch_ns, live);
+        // Monotonically advancing clock over a random number of epochs.
+        let span_epochs = rng.usize_range(1, 4 * live);
+        let nsamples = rng.usize_range(1, 200);
+        let mut samples: Vec<(u64, u64)> = (0..nsamples)
+            .map(|_| {
+                let t = rng.usize_range(0, span_epochs * epoch_ns as usize) as u64;
+                let v = rng.usize_range(0, 1 << 20) as u64;
+                (t, v)
+            })
+            .collect();
+        samples.sort_unstable();
+        for &(t, v) in &samples {
+            w.record_at(t, v);
+        }
+        let now = samples.last().map(|&(t, _)| t).unwrap_or(0);
+        let snap = w.snapshot_at(now);
+        // A sample is live iff its epoch lies within the last `live`
+        // epochs ending at `now`'s epoch.
+        let cur = now / epoch_ns;
+        let oldest = cur.saturating_sub(live as u64 - 1);
+        let live_samples: Vec<u64> = samples
+            .iter()
+            .filter(|&&(t, _)| (t / epoch_ns) >= oldest)
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(snap.count, live_samples.len() as u64, "window count");
+        assert_eq!(snap.sum, live_samples.iter().sum::<u64>(), "window sum");
+        // Bucket totals must account for every live sample.
+        let bucket_total: u64 = snap.buckets.iter().map(|b| b.2).sum();
+        assert_eq!(bucket_total, snap.count);
+    });
+}
+
+#[test]
+fn expired_epochs_drop_out_of_the_window() {
+    cases!(32, |rng| {
+        let epoch_ns = rng.usize_range(1_000, 100_000) as u64;
+        let live = rng.usize_range(2, 6);
+        let w = WindowedHistogram::new(epoch_ns, live);
+        let v = rng.usize_range(1, 1 << 16) as u64;
+        w.record_at(0, v);
+        // Still visible at the last live epoch...
+        let last_live = (live as u64 - 1) * epoch_ns;
+        assert_eq!(w.snapshot_at(last_live).count, 1);
+        assert_eq!(w.snapshot_at(last_live).sum, v);
+        // ...gone one epoch later, and stays gone arbitrarily far out.
+        assert_eq!(w.snapshot_at(last_live + epoch_ns).count, 0);
+        let far = rng.usize_range(live + 1, 1_000) as u64 * epoch_ns;
+        assert_eq!(w.snapshot_at(far).count, 0);
+    });
+}
+
+fn event(i: u64) -> FlightEvent {
+    FlightEvent {
+        ts_ns: i,
+        kind: FlightKind::JobAdmitted,
+        request_id: i,
+        tag: i,
+        detail: String::new(),
+    }
+}
+
+#[test]
+fn flight_ring_is_capacity_bounded_and_fifo() {
+    cases!(32, |rng| {
+        let capacity = rng.usize_range(1, 64);
+        let total = rng.usize_range(1, 3 * capacity + 1);
+        let ring = FlightRecorder::new(capacity);
+        for i in 0..total as u64 {
+            ring.record(event(i));
+        }
+        assert_eq!(ring.recorded(), total as u64);
+        let tail = ring.tail(capacity);
+        assert_eq!(tail.len(), total.min(capacity), "capacity bound");
+        // Oldest-first: exactly the last `len` events, in record order.
+        let first = total as u64 - tail.len() as u64;
+        for (k, e) in tail.iter().enumerate() {
+            assert_eq!(e.request_id, first + k as u64, "FIFO order");
+        }
+        // A shorter tail takes the newest suffix.
+        let short = ring.tail(tail.len().div_ceil(2));
+        assert_eq!(
+            short.last().map(|e| e.request_id),
+            tail.last().map(|e| e.request_id)
+        );
+    });
+}
+
+#[test]
+fn flight_ring_loses_nothing_below_capacity_under_concurrent_writers() {
+    cases!(16, |rng| {
+        let writers = rng.usize_range(2, 6);
+        let per_writer = rng.usize_range(1, 40);
+        let ring = std::sync::Arc::new(FlightRecorder::new(writers * per_writer));
+        std::thread::scope(|s| {
+            for t in 0..writers as u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..per_writer as u64 {
+                        ring.record(event(t * 1_000 + i));
+                    }
+                });
+            }
+        });
+        let total = writers * per_writer;
+        assert_eq!(ring.recorded(), total as u64);
+        let tail = ring.tail(total);
+        assert_eq!(tail.len(), total, "no loss below capacity");
+        // Every event is present exactly once, and each writer's own
+        // events appear in its program order.
+        for t in 0..writers as u64 {
+            let mine: Vec<u64> = tail
+                .iter()
+                .filter(|e| e.request_id / 1_000 == t)
+                .map(|e| e.request_id % 1_000)
+                .collect();
+            let expect: Vec<u64> = (0..per_writer as u64).collect();
+            assert_eq!(mine, expect, "writer {t} events lost or reordered");
+        }
+    });
+}
