@@ -52,6 +52,15 @@ pub const SERVE_JOB: &str = "serve.job";
 /// corrupt the cache.
 pub const SERVE_CACHE: &str = "serve.cache";
 
+/// Inside every Toeplitz normal-operator build
+/// ([`crate::toeplitz::ToeplitzOperator::build_with_plan`]), after
+/// validation and before the PSF adjoint. A fire is contained by
+/// [`crate::toeplitz::ToeplitzOperator::build_degradable`], which falls
+/// back to the gridded normal operator (counted in
+/// `recon.normal_op_fallbacks`, flight-recorded) when the serial
+/// fallback policy is enabled.
+pub const RECON_NORMAL_OP: &str = "recon.normal_op";
+
 /// At the top of every conjugate-gradient iteration
 /// ([`crate::recon::cg_solve`] / [`crate::sense::cg_sense`]). This site
 /// does not panic: it poisons the iteration's residual with a NaN,
@@ -68,6 +77,7 @@ pub const SITES: &[&str] = &[
     GRIDDING_CHUNK,
     NUFFT_COIL,
     RECON_CG_ITER,
+    RECON_NORMAL_OP,
     SERVE_JOB,
     SERVE_CACHE,
 ];

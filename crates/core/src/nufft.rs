@@ -471,6 +471,17 @@ pub struct NufftPlan<T, const D: usize> {
     inner: Arc<PlanInner<T, D>>,
 }
 
+/// Plans share their immutable state (`cfg`, LUT, apodization, FFT
+/// twiddles) behind an `Arc`, so cloning is `O(1)` — the serve cache
+/// clones one plan into every entry that reuses it.
+impl<T, const D: usize> Clone for NufftPlan<T, D> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
 impl<T: Float, const D: usize> NufftPlan<T, D> {
     /// Plan a transform. Validates the configuration.
     pub fn new(cfg: NufftConfig) -> Result<Self> {

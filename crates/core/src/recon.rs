@@ -26,6 +26,7 @@ use crate::toeplitz::ToeplitzOperator;
 use crate::{Error, Result};
 use jigsaw_num::C64;
 use jigsaw_telemetry as telemetry;
+use std::sync::Arc;
 
 /// Options for [`cg_reconstruct`].
 #[derive(Debug, Clone)]
@@ -114,6 +115,23 @@ pub struct CgOutput {
     pub diagnostic: CgDiagnostic,
 }
 
+/// Which normal-operator evaluation strategy a reconstruction selects —
+/// the seam shared by [`cg_reconstruct_with`] and
+/// [`crate::sense::cg_sense_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NormalOpKind {
+    /// Forward + adjoint NuFFT per iteration (two gridding passes). The
+    /// default until the Toeplitz accuracy gate graduates.
+    #[default]
+    Gridded,
+    /// Precomputed [`ToeplitzOperator`]: one gridding pass at build
+    /// time, two padded FFTs per iteration, zero gridding in the hot
+    /// loop. A failed build degrades back to [`NormalOpKind::Gridded`]
+    /// under the engine's fallback policy (see
+    /// [`ToeplitzOperator::build_degradable`]).
+    Toeplitz,
+}
+
 /// How the normal operator is evaluated each iteration.
 pub enum NormalOp<'a, const D: usize> {
     /// Forward + adjoint NuFFT per iteration (two gridding passes).
@@ -127,8 +145,9 @@ pub enum NormalOp<'a, const D: usize> {
         /// Optional density weights (empty = uniform).
         weights: &'a [f64],
     },
-    /// Precomputed Toeplitz embedding (two FFTs, no gridding).
-    Toeplitz(&'a ToeplitzOperator<D>),
+    /// Precomputed Toeplitz embedding (two FFTs, no gridding). Shared
+    /// (`Arc`) so serve-cached kernels plug in directly.
+    Toeplitz(Arc<ToeplitzOperator<D>>),
 }
 
 impl<const D: usize> NormalOp<'_, D> {
@@ -289,7 +308,8 @@ pub fn cg_solve<const D: usize>(
     cg_loop(|v| op.apply(v), rhs, opts)
 }
 
-/// Convenience wrapper: full CG reconstruction from k-space data.
+/// Convenience wrapper: full CG reconstruction from k-space data with
+/// the gridded normal operator.
 pub fn cg_reconstruct<const D: usize>(
     plan: &NufftPlan<f64, D>,
     coords: &[[f64; D]],
@@ -298,6 +318,32 @@ pub fn cg_reconstruct<const D: usize>(
     gridder: &dyn Gridder<f64, D>,
     opts: &CgOptions,
 ) -> Result<CgOutput> {
+    cg_reconstruct_with(
+        plan,
+        coords,
+        data,
+        weights,
+        gridder,
+        opts,
+        NormalOpKind::Gridded,
+    )
+}
+
+/// Full CG reconstruction with an explicit normal-operator selection.
+///
+/// [`NormalOpKind::Toeplitz`] builds the operator once (one gridding
+/// pass at `2N`) and iterates gridding-free; a degradable build failure
+/// (injected fault, non-finite PSF) falls back to the gridded path under
+/// the engine's serial-fallback policy.
+pub fn cg_reconstruct_with<const D: usize>(
+    plan: &NufftPlan<f64, D>,
+    coords: &[[f64; D]],
+    data: &[C64],
+    weights: &[f64],
+    gridder: &dyn Gridder<f64, D>,
+    opts: &CgOptions,
+    kind: NormalOpKind,
+) -> Result<CgOutput> {
     // rhs = AᴴW b.
     let weighted: Vec<C64> = if weights.is_empty() {
         data.to_vec()
@@ -305,11 +351,20 @@ pub fn cg_reconstruct<const D: usize>(
         data.iter().zip(weights).map(|(d, &w)| d.scale(w)).collect()
     };
     let rhs = plan.adjoint(coords, &weighted, gridder)?.image;
-    let op = NormalOp::Nufft {
-        plan,
-        coords,
-        gridder,
-        weights,
+    let toeplitz = match kind {
+        NormalOpKind::Gridded => None,
+        NormalOpKind::Toeplitz => {
+            ToeplitzOperator::<D>::build_degradable(plan.config(), coords, weights, gridder, None)?
+        }
+    };
+    let op = match toeplitz {
+        Some(t) => NormalOp::Toeplitz(t),
+        None => NormalOp::Nufft {
+            plan,
+            coords,
+            gridder,
+            weights,
+        },
     };
     cg_solve(&op, &rhs, opts)
 }
@@ -416,39 +471,9 @@ mod tests {
         );
     }
 
-    #[test]
-    fn toeplitz_path_matches_nufft_path() {
-        let n = 16;
-        let coords = traj::random_nd::<2>(600, 6);
-        let cfg = NufftConfig::with_n(n);
-        let plan = NufftPlan::<f64, 2>::new(cfg.clone()).unwrap();
-        let truth: Vec<C64> = (0..n * n)
-            .map(|i| C64::new((i as f64 * 0.29).cos(), 0.0))
-            .collect();
-        let data = plan.forward(&truth, &coords).unwrap().samples;
-        let rhs = plan.adjoint(&coords, &data, &ExactGridder).unwrap().image;
-        let opts = CgOptions {
-            max_iterations: 15,
-            tolerance: 1e-10,
-            lambda: 0.0,
-            budget: Default::default(),
-        };
-        let via_nufft = cg_solve(
-            &NormalOp::Nufft {
-                plan: &plan,
-                coords: &coords,
-                gridder: &ExactGridder,
-                weights: &[],
-            },
-            &rhs,
-            &opts,
-        )
-        .unwrap();
-        let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &ExactGridder).unwrap();
-        let via_toeplitz = cg_solve(&NormalOp::Toeplitz(&top), &rhs, &opts).unwrap();
-        let err = rel_l2(&via_toeplitz.image, &via_nufft.image);
-        assert!(err < 5e-2, "Toeplitz vs NuFFT CG paths: {err}");
-    }
+    // `toeplitz_path_matches_nufft_path` graduated into the
+    // `tests/toeplitz.rs` property suite (radial/spiral/random
+    // trajectories, D = 1 and 2, with and without density weights).
 
     #[test]
     fn non_finite_apply_returns_best_iterate() {

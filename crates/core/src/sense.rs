@@ -11,7 +11,8 @@
 
 use crate::gridding::Gridder;
 use crate::nufft::NufftPlan;
-use crate::recon::{CgOptions, CgOutput};
+use crate::recon::{CgOptions, CgOutput, NormalOpKind};
+use crate::toeplitz::ToeplitzOperator;
 use crate::{Error, Result};
 use jigsaw_num::C64;
 use jigsaw_telemetry as telemetry;
@@ -175,7 +176,8 @@ pub fn adjoint_planned(
     Ok(acc)
 }
 
-/// CG-SENSE: solve `(Σ_c S_cᴴ Aᴴ A S_c + λI) x = Σ_c S_cᴴ Aᴴ d_c`.
+/// CG-SENSE: solve `(Σ_c S_cᴴ Aᴴ A S_c + λI) x = Σ_c S_cᴴ Aᴴ d_c` with
+/// the gridded normal operator.
 pub fn cg_sense(
     plan: &NufftPlan<f64, 2>,
     maps: &CoilMaps,
@@ -184,12 +186,73 @@ pub fn cg_sense(
     gridder: &dyn Gridder<f64, 2>,
     opts: &CgOptions,
 ) -> Result<CgOutput> {
+    cg_sense_with(
+        plan,
+        maps,
+        data,
+        coords,
+        gridder,
+        opts,
+        NormalOpKind::Gridded,
+    )
+}
+
+/// CG-SENSE with an explicit normal-operator selection — the same
+/// [`NormalOpKind`] seam as [`crate::recon::cg_reconstruct_with`].
+///
+/// With [`NormalOpKind::Toeplitz`] one shared [`ToeplitzOperator`] is
+/// built up front (a single gridding pass at `2N`) and each CG iteration
+/// applies it to every coil-weighted image through
+/// [`ToeplitzOperator::apply_batch`] — zero gridding in the hot loop. A
+/// degradable build failure falls back to the gridded closure under the
+/// engine's serial-fallback policy.
+pub fn cg_sense_with(
+    plan: &NufftPlan<f64, 2>,
+    maps: &CoilMaps,
+    data: &[Vec<C64>],
+    coords: &[[f64; 2]],
+    gridder: &dyn Gridder<f64, 2>,
+    opts: &CgOptions,
+    kind: NormalOpKind,
+) -> Result<CgOutput> {
     let _span = telemetry::span!("recon.cg_sense", {
         coils: maps.coils(),
         m: coords.len(),
         max_iterations: opts.max_iterations
     });
     let rhs = adjoint(plan, maps, data, coords, gridder)?;
+    let toeplitz = match kind {
+        NormalOpKind::Gridded => None,
+        NormalOpKind::Toeplitz => {
+            ToeplitzOperator::<2>::build_degradable(plan.config(), coords, &[], gridder, None)?
+        }
+    };
+    if let Some(top) = toeplitz {
+        let normal = |x: &[C64]| -> Result<Vec<C64>> {
+            let n = maps.n();
+            // Cooperative budget check per application: the whole batch
+            // is two FFTs per coil, far cheaper than the gridded path's
+            // per-coil NuFFT pair, so one check up front suffices.
+            if opts.budget.exhausted() {
+                return Err(Error::Budget(
+                    "run budget exhausted before the Toeplitz normal operator".into(),
+                ));
+            }
+            let weighted: Vec<Vec<C64>> = (0..maps.coils())
+                .map(|c| x.iter().zip(maps.map(c)).map(|(v, s)| *v * *s).collect())
+                .collect();
+            let refs: Vec<&[C64]> = weighted.iter().map(|w| w.as_slice()).collect();
+            let back = top.apply_batch(&refs)?;
+            let mut acc = vec![C64::zeroed(); n * n];
+            for (c, b) in back.iter().enumerate() {
+                for ((a, v), s) in acc.iter_mut().zip(b).zip(maps.map(c)) {
+                    *a += *v * s.conj();
+                }
+            }
+            Ok(acc)
+        };
+        return crate::recon::cg_loop(normal, &rhs, opts);
+    }
     let normal = |x: &[C64]| -> Result<Vec<C64>> {
         let n = maps.n();
         let mut acc = vec![C64::zeroed(); n * n];

@@ -19,10 +19,20 @@
 //! with different coordinates therefore *never* alias a plan, and two
 //! spellings of the same kernel (`Auto` vs. its resolved Kaiser-Bessel)
 //! share one entry.
+//!
+//! Toeplitz normal-operator kernels are cached in the same LRU (see
+//! [`PlanCache::get_or_build_toeplitz`]): their keys carry the doubled
+//! (`2N`) geometry **plus** an FNV hash of the density weights
+//! ([`weights_hash`], never the [`WEIGHT_INDEPENDENT`] sentinel plan
+//! entries use), so weighted and unweighted kernels — even ones whose
+//! weights differ by a single ULP — never alias each other or a plain
+//! `2N` plan.
 
 use crate::config::NufftConfig;
+use crate::gridding::Gridder;
 use crate::kernel::KernelKind;
 use crate::nufft::{NufftPlan, PlannedTrajectory};
+use crate::toeplitz::ToeplitzOperator;
 use crate::Result;
 use jigsaw_telemetry as telemetry;
 use jigsaw_testkit::faultpoint;
@@ -53,7 +63,17 @@ pub struct PlanKey {
     /// FNV-1a hash of every coordinate's bit pattern (see
     /// [`trajectory_hash`]).
     pub traj_hash: u64,
+    /// Density-weights hash: [`WEIGHT_INDEPENDENT`] (zero) for plan
+    /// entries (planning never depends on weights), [`weights_hash`]
+    /// (never zero) for Toeplitz kernel entries — so a kernel can never
+    /// alias a plan or a differently-weighted kernel.
+    pub weights_hash: u64,
 }
+
+/// The [`PlanKey::weights_hash`] sentinel for entries whose artifact
+/// does not depend on density weights (plans). [`weights_hash`] never
+/// returns it.
+pub const WEIGHT_INDEPENDENT: u64 = 0;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x1000_0000_01b3;
@@ -97,6 +117,20 @@ pub fn kernel_fingerprint(kernel: &KernelKind) -> u64 {
     h
 }
 
+/// FNV-1a over the weight count and every density weight's `f64` bit
+/// pattern, in order — the Toeplitz-kernel analogue of
+/// [`trajectory_hash`]. A 1-ULP perturbation of any weight changes the
+/// hash. Never returns [`WEIGHT_INDEPENDENT`]: the astronomically rare
+/// zero output is remapped to 1 so kernel entries can never alias plan
+/// entries by construction.
+pub fn weights_hash(weights: &[f64]) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &(weights.len() as u64).to_le_bytes());
+    for w in weights {
+        h = fnv1a(h, &w.to_bits().to_le_bytes());
+    }
+    h.max(1)
+}
+
 /// Build the cache key for a configuration + trajectory pair. The kernel
 /// is resolved first, so `Auto` and its explicit Beatty Kaiser-Bessel
 /// land on the same entry.
@@ -111,7 +145,20 @@ pub fn plan_key(cfg: &NufftConfig, coords: &[[f64; 2]]) -> PlanKey {
         kernel_fp: kernel_fingerprint(&cfg.resolved_kernel()),
         samples: coords.len(),
         traj_hash: trajectory_hash(coords),
+        weights_hash: WEIGHT_INDEPENDENT,
     }
+}
+
+/// Build the cache key for a Toeplitz kernel: the geometry of the
+/// *doubled* (`2N`) configuration the kernel's PSF is gridded at, plus
+/// the density-weights hash (empty weights hash to a distinct, nonzero
+/// value — unweighted kernels are still kernels, not plans).
+pub fn toeplitz_key(cfg: &NufftConfig, coords: &[[f64; 2]], weights: &[f64]) -> PlanKey {
+    let mut cfg2 = cfg.clone();
+    cfg2.n = 2 * cfg.n;
+    let mut key = plan_key(&cfg2, coords);
+    key.weights_hash = weights_hash(weights);
+    key
 }
 
 /// A cached plan: the `NufftPlan` (LUT, apodization, FFT setup) plus the
@@ -119,10 +166,14 @@ pub fn plan_key(cfg: &NufftConfig, coords: &[[f64; 2]]) -> PlanKey {
 pub struct CachedPlan {
     /// The key this entry was stored under.
     pub key: PlanKey,
-    /// The NuFFT plan (f64, 2-D at serving v1).
+    /// The NuFFT plan (f64, 2-D at serving v1). For Toeplitz kernel
+    /// entries this is the shared `2N` plan the kernel was built on.
     pub plan: NufftPlan<f64, 2>,
     /// The precomputed window decomposition.
     pub traj: PlannedTrajectory<2>,
+    /// The built Toeplitz normal-operator kernel, for entries created by
+    /// [`PlanCache::get_or_build_toeplitz`]; `None` for plain plans.
+    pub toeplitz: Option<Arc<ToeplitzOperator<2>>>,
 }
 
 impl std::fmt::Debug for CachedPlan {
@@ -300,8 +351,60 @@ impl PlanCache {
         // race, but `insert` keeps a single canonical entry.
         let plan = NufftPlan::<f64, 2>::new(cfg.clone())?;
         let traj = plan.plan_trajectory(coords)?;
-        let entry = Arc::new(CachedPlan { key, plan, traj });
+        let entry = Arc::new(CachedPlan {
+            key,
+            plan,
+            traj,
+            toeplitz: None,
+        });
         Ok((self.insert(entry), false))
+    }
+
+    /// Return the cached Toeplitz normal-operator kernel for
+    /// `(cfg, coords, weights)`, building and inserting it on a miss.
+    /// The boolean is `true` on a cache hit.
+    ///
+    /// A miss first fetches (or builds) the plain `2N` plan entry via
+    /// [`Self::get_or_build`] and hands that prebuilt plan to
+    /// [`ToeplitzOperator::build_with_plan`], so the expensive planning
+    /// work is shared with any direct `2N` jobs and never done twice.
+    /// The kernel entry is keyed by [`toeplitz_key`] — including the
+    /// density-weights hash, so weighted and unweighted kernels on the
+    /// same trajectory occupy distinct entries.
+    pub fn get_or_build_toeplitz(
+        &self,
+        cfg: &NufftConfig,
+        coords: &[[f64; 2]],
+        weights: &[f64],
+        gridder: &dyn Gridder<f64, 2>,
+    ) -> Result<(Arc<ToeplitzOperator<2>>, bool)> {
+        let key = toeplitz_key(cfg, coords, weights);
+        if let Some(hit) = self.lookup(&key) {
+            if let Some(op) = &hit.toeplitz {
+                return Ok((Arc::clone(op), true));
+            }
+        }
+        let mut cfg2 = cfg.clone();
+        cfg2.n = 2 * cfg.n;
+        let (base, _) = self.get_or_build(&cfg2, coords)?;
+        let op = Arc::new(ToeplitzOperator::<2>::build_with_plan(
+            cfg,
+            coords,
+            weights,
+            gridder,
+            Some(&base.plan),
+        )?);
+        let entry = Arc::new(CachedPlan {
+            key,
+            plan: base.plan.clone(),
+            traj: base.traj.clone(),
+            toeplitz: Some(Arc::clone(&op)),
+        });
+        let canonical = self.insert(entry);
+        // A racing build on another thread may have inserted first; the
+        // canonical entry's kernel is the one every caller shares.
+        let op = canonical.toeplitz.clone().unwrap_or(op);
+        Ok((op, false))
     }
 }
 
@@ -400,6 +503,7 @@ mod tests {
                 key: key.clone(),
                 plan,
                 traj,
+                toeplitz: None,
             })
         };
         let first = cache.insert(build());
@@ -411,5 +515,56 @@ mod tests {
     #[test]
     fn capacity_is_clamped_positive() {
         assert_eq!(PlanCache::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn weights_hash_is_content_sensitive_and_never_the_sentinel() {
+        assert_ne!(weights_hash(&[]), WEIGHT_INDEPENDENT);
+        assert_ne!(weights_hash(&[1.0, 2.0]), weights_hash(&[2.0, 1.0]));
+        assert_eq!(weights_hash(&[0.5; 8]), weights_hash(&[0.5; 8]));
+        // A 1-ULP perturbation of one weight changes the hash.
+        let w: Vec<f64> = (0..16).map(|i| 0.25 + i as f64 * 0.125).collect();
+        let mut w2 = w.clone();
+        w2[7] = f64::from_bits(w2[7].to_bits() + 1);
+        assert_ne!(weights_hash(&w), weights_hash(&w2));
+    }
+
+    #[test]
+    fn toeplitz_keys_never_alias_plans_or_other_weights() {
+        let t = traj(9, 24);
+        let c = cfg(8);
+        let mut c2 = c.clone();
+        c2.n = 16;
+        // Unweighted kernel vs the plain 2N plan on the same trajectory:
+        // same geometry, different weights_hash class.
+        assert_ne!(toeplitz_key(&c, &t, &[]), plan_key(&c2, &t));
+        // Weighted vs unweighted kernels key apart.
+        let w = vec![0.75; t.len()];
+        assert_ne!(toeplitz_key(&c, &t, &w), toeplitz_key(&c, &t, &[]));
+        // Same weights, same key.
+        assert_eq!(toeplitz_key(&c, &t, &w), toeplitz_key(&c, &t, &w.clone()));
+    }
+
+    #[test]
+    fn toeplitz_kernels_are_cached_and_shared() {
+        let cache = PlanCache::new(4);
+        let t = traj(11, 24);
+        let c = cfg(8);
+        let g = crate::gridding::SerialGridder;
+        let (a, hit_a) = cache.get_or_build_toeplitz(&c, &t, &[], &g).unwrap();
+        assert!(!hit_a);
+        // The miss also parked the base 2N plan entry.
+        assert_eq!(cache.len(), 2);
+        let (b, hit_b) = cache.get_or_build_toeplitz(&c, &t, &[], &g).unwrap();
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+        // A weighted kernel on the same trajectory is a distinct entry
+        // but reuses the cached 2N plan.
+        let w = vec![1.5; t.len()];
+        let (wk, hit_w) = cache.get_or_build_toeplitz(&c, &t, &w, &g).unwrap();
+        assert!(!hit_w);
+        assert!(!Arc::ptr_eq(&a, &wk));
+        assert_eq!(cache.len(), 3);
     }
 }

@@ -47,7 +47,9 @@ pub mod engine;
 pub mod protocol;
 pub mod stats;
 
-pub use cache::{plan_key, trajectory_hash, CachedPlan, PlanCache, PlanKey};
+pub use cache::{
+    plan_key, toeplitz_key, trajectory_hash, weights_hash, CachedPlan, PlanCache, PlanKey,
+};
 pub use client::ServeClient;
 pub use daemon::{serve_stdio, serve_stream, serve_unix, ServeOptions};
 pub use engine::ServeEngine;

@@ -1,5 +1,5 @@
 //! Toeplitz embedding of the NuFFT normal operator — the strategy behind
-//! the paper's GPU baseline.
+//! the paper's GPU baseline, promoted here to a production fast path.
 //!
 //! Impatient \[10\] is "a gridding-accelerated *Toeplitz-based* strategy":
 //! iterative MRI reconstruction repeatedly applies the normal operator
@@ -14,13 +14,41 @@
 //! with one adjoint NuFFT of the (optionally density-weighted) all-ones
 //! vector at doubled image size, then [`ToeplitzOperator::apply`]
 //! evaluates `AᴴA x` with two FFTs and no gridding at all.
+//!
+//! The hot path is engineered for the CG inner loop:
+//!
+//! * Both `(2N)^d` FFTs run through [`FftNd::process_with`] on the shared
+//!   [`WorkerPool`](crate::engine::WorkerPool), honoring the same serial
+//!   fallback policy as the NuFFT plans (per-axis retry, counted in
+//!   `engine.fallbacks`, strict `Error::Execution` when disabled).
+//! * The `(2N)^d` pad grid is recycled across applications instead of
+//!   reallocated — the operator keeps a small arena of parked buffers.
+//! * The embed/extract index map (image pixel → torus position) is
+//!   precomputed at build time, and [`ToeplitzOperator::apply_batch`]
+//!   amortizes it (and one scratch grid) over all coils of a SENSE
+//!   normal-operator application.
+//!
+//! Build-time robustness: the `recon.normal_op` fault site fires inside
+//! [`ToeplitzOperator::build_with_plan`], and
+//! [`ToeplitzOperator::build_degradable`] contains both injected panics
+//! and a non-finite PSF so reconstructions can fall back to the gridded
+//! normal operator (counted in `recon.normal_op_fallbacks`,
+//! flight-recorded).
 
 use crate::config::NufftConfig;
 use crate::gridding::Gridder;
 use crate::nufft::NufftPlan;
 use crate::{Error, Result};
+use jigsaw_fft::exec::Executor;
 use jigsaw_fft::{Direction, FftNd};
 use jigsaw_num::C64;
+use jigsaw_telemetry as telemetry;
+use jigsaw_testkit::faultpoint;
+use std::sync::{Arc, Mutex};
+
+/// Parked pad grids kept per operator (two covers an apply racing a
+/// batched apply on another serve thread without unbounded growth).
+const MAX_PARKED_GRIDS: usize = 2;
 
 /// A precomputed NuFFT normal operator `x ↦ AᴴA x`.
 pub struct ToeplitzOperator<const D: usize> {
@@ -28,6 +56,31 @@ pub struct ToeplitzOperator<const D: usize> {
     /// FFT of the PSF kernel on the `(2N)^d` torus.
     psf_hat: Vec<C64>,
     fft: FftNd<f64>,
+    /// Torus position of every image pixel (row-major `[N; D]` order),
+    /// shared by the zero-pad embed and the crop extract.
+    embed_idx: Vec<u32>,
+    /// Recycled `(2N)^d` pad grids (see [`MAX_PARKED_GRIDS`]).
+    scratch: Mutex<Vec<Vec<C64>>>,
+}
+
+/// Run one in-place FFT on the given executor, honoring the engine's
+/// serial-fallback policy — the same pattern as the NuFFT plans'
+/// uniform-FFT stage.
+fn fft_on(exec: &dyn Executor, fft: &FftNd<f64>, data: &mut [C64], dir: Direction) -> Result<()> {
+    if crate::engine::serial_fallback_enabled() {
+        // Per-axis serial retry on contained panics, counted in
+        // `engine.fallbacks` inside the FFT layer.
+        fft.process_with(exec, data, dir);
+        Ok(())
+    } else {
+        fft.try_process_with(exec, data, dir)
+            .map_err(|e| Error::Execution(e.to_string()))
+    }
+}
+
+/// Run one in-place FFT over the shared worker pool.
+fn fft_pooled(fft: &FftNd<f64>, data: &mut [C64], dir: Direction) -> Result<()> {
+    fft_on(crate::engine::WorkerPool::global(), fft, data, dir)
 }
 
 impl<const D: usize> ToeplitzOperator<D> {
@@ -41,6 +94,20 @@ impl<const D: usize> ToeplitzOperator<D> {
         weights: &[f64],
         gridder: &dyn Gridder<f64, D>,
     ) -> Result<Self> {
+        Self::build_with_plan(cfg, coords, weights, gridder, None)
+    }
+
+    /// Like [`Self::build`], but reusing a prebuilt NuFFT plan at the
+    /// doubled image size `2N` (its configuration must equal `cfg` with
+    /// `n` doubled) instead of planning one internally and dropping it —
+    /// the serving layer hands one from its plan cache.
+    pub fn build_with_plan(
+        cfg: &NufftConfig,
+        coords: &[[f64; D]],
+        weights: &[f64],
+        gridder: &dyn Gridder<f64, D>,
+        plan2: Option<&NufftPlan<f64, D>>,
+    ) -> Result<Self> {
         if !weights.is_empty() && weights.len() != coords.len() {
             return Err(Error::Data(format!(
                 "weight count {} != coordinate count {}",
@@ -49,20 +116,54 @@ impl<const D: usize> ToeplitzOperator<D> {
             )));
         }
         let n = cfg.n;
+        let _span = telemetry::span!("toeplitz.build", {
+            n: n,
+            dim: D,
+            m: coords.len()
+        });
+        telemetry::record_counter("toeplitz.builds", 1);
+        faultpoint!(crate::fault::RECON_NORMAL_OP);
         // PSF on the doubled lattice: adjoint NuFFT at image size 2N.
         let mut cfg2 = cfg.clone();
         cfg2.n = 2 * n;
-        let plan2 = NufftPlan::<f64, D>::new(cfg2)?;
+        let owned;
+        let plan2 = match plan2 {
+            Some(p) => {
+                if *p.config() != cfg2 {
+                    return Err(Error::Config(format!(
+                        "prebuilt Toeplitz plan has n={}, expected the doubled \
+                         configuration (n={}) of the target image",
+                        p.config().n,
+                        cfg2.n
+                    )));
+                }
+                p
+            }
+            None => {
+                owned = NufftPlan::<f64, D>::new(cfg2)?;
+                &owned
+            }
+        };
         let ones: Vec<C64> = if weights.is_empty() {
             vec![C64::one(); coords.len()]
         } else {
             weights.iter().map(|&w| C64::new(w, 0.0)).collect()
         };
         let psf = plan2.adjoint(coords, &ones, gridder)?.image;
+        if psf.iter().any(|z| !z.re.is_finite() || !z.im.is_finite()) {
+            return Err(Error::Execution(
+                "non-finite PSF from the Toeplitz build adjoint".into(),
+            ));
+        }
         // Rearrange ψ(d), d ∈ [−N, N)^d (index i = d + N) onto the torus
         // (index d mod 2N) and take its FFT once.
         let two_n = 2 * n;
         let npts = two_n.pow(D as u32);
+        if npts > u32::MAX as usize {
+            return Err(Error::Config(format!(
+                "Toeplitz torus of {npts} points exceeds the index range"
+            )));
+        }
         let mut torus = vec![C64::zeroed(); npts];
         for (flat, &v) in psf.iter().enumerate() {
             let mut rem = flat;
@@ -78,12 +179,70 @@ impl<const D: usize> ToeplitzOperator<D> {
             torus[dst] = v;
         }
         let fft = FftNd::new(&[two_n; D]);
-        fft.process(&mut torus, Direction::Forward);
+        fft_pooled(&fft, &mut torus, Direction::Forward)?;
+        // Embed/extract map: pixel index i ↔ k = i − N/2 ∈ [−N/2, N/2),
+        // placed at (k mod 2N) on the torus. Shared by both directions,
+        // computed once here instead of per application.
+        let npix = n.pow(D as u32);
+        let mut embed_idx = Vec::with_capacity(npix);
+        for flat in 0..npix {
+            let mut rem = flat;
+            let mut dst = 0usize;
+            for d in 0..D {
+                let stride = n.pow((D - 1 - d) as u32);
+                let i = (rem / stride) % n;
+                rem %= stride;
+                let k = i as i64 - (n / 2) as i64;
+                dst = dst * two_n + k.rem_euclid(two_n as i64) as usize;
+            }
+            embed_idx.push(dst as u32);
+        }
         Ok(Self {
             n,
             psf_hat: torus,
             fft,
+            embed_idx,
+            scratch: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Build with graceful degradation (the `recon.normal_op` policy): a
+    /// contained panic or non-finite PSF during the build returns
+    /// `Ok(None)` when the engine's serial fallback is enabled — counted
+    /// in `recon.normal_op_fallbacks` and flight-recorded — so the caller
+    /// can fall back to the gridded normal operator. With the fallback
+    /// disabled the failure surfaces as [`Error::Execution`]. Validation
+    /// errors (mismatched weights, bad configuration) propagate either
+    /// way: they are caller bugs, not degradable build failures.
+    pub fn build_degradable(
+        cfg: &NufftConfig,
+        coords: &[[f64; D]],
+        weights: &[f64],
+        gridder: &dyn Gridder<f64, D>,
+        plan2: Option<&NufftPlan<f64, D>>,
+    ) -> Result<Option<Arc<Self>>> {
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Self::build_with_plan(cfg, coords, weights, gridder, plan2)
+        }));
+        let failure = match built {
+            Ok(Ok(op)) => return Ok(Some(Arc::new(op))),
+            Ok(Err(Error::Execution(msg))) => msg,
+            Ok(Err(other)) => return Err(other),
+            Err(payload) => jigsaw_fft::exec::panic_message(&*payload),
+        };
+        if !crate::engine::serial_fallback_enabled() {
+            return Err(Error::Execution(format!(
+                "Toeplitz normal-operator build failed: {failure}"
+            )));
+        }
+        telemetry::record_counter("recon.normal_op_fallbacks", 1);
+        telemetry::flight::record(
+            telemetry::FlightKind::FallbackTaken,
+            telemetry::current_request_id(),
+            0,
+            &format!("toeplitz build → gridded normal op: {failure}"),
+        );
+        Ok(None)
     }
 
     /// Image size `N`.
@@ -94,52 +253,114 @@ impl<const D: usize> ToeplitzOperator<D> {
     /// Apply the normal operator: `out = AᴴA x` for a row-major `[N; D]`
     /// image. Two FFTs on the `(2N)^d` grid, no gridding.
     pub fn apply(&self, x: &[C64]) -> Result<Vec<C64>> {
-        let n = self.n;
-        let two_n = 2 * n;
-        if x.len() != n.pow(D as u32) {
+        self.apply_with(crate::engine::WorkerPool::global(), x)
+    }
+
+    /// Like [`Self::apply`], but running the FFTs on the given executor
+    /// instead of the shared global pool. The FFT's panel partition
+    /// depends only on the grid shape, so the output is bitwise
+    /// identical for every executor and worker count — the bench pins
+    /// pool sizes through this seam to prove it.
+    pub fn apply_with(&self, exec: &dyn Executor, x: &[C64]) -> Result<Vec<C64>> {
+        self.check_image(x)?;
+        let _span = telemetry::span!("toeplitz.apply", { n: self.n, coils: 1usize });
+        telemetry::record_counter("toeplitz.applies", 1);
+        let mut pad = self.take_grid();
+        let mut out = vec![C64::zeroed(); x.len()];
+        let result = self.convolve(exec, x, &mut pad, &mut out);
+        self.give_grid(pad);
+        result.map(|()| out)
+    }
+
+    /// Apply the normal operator to a batch of images (one per coil,
+    /// each row-major `[N; D]`), reusing one pad grid and the shared
+    /// embed/extract map across the whole batch — the per-iteration
+    /// shape of the SENSE normal operator. Output order matches input;
+    /// every image is computed exactly as [`Self::apply`] would
+    /// (bitwise).
+    pub fn apply_batch(&self, xs: &[&[C64]]) -> Result<Vec<Vec<C64>>> {
+        for x in xs {
+            self.check_image(x)?;
+        }
+        let _span = telemetry::span!("toeplitz.apply", { n: self.n, coils: xs.len() });
+        telemetry::record_counter("toeplitz.applies", xs.len() as u64);
+        let exec: &dyn Executor = crate::engine::WorkerPool::global();
+        let mut pad = self.take_grid();
+        let mut outs = Vec::with_capacity(xs.len());
+        let mut failed = None;
+        for x in xs {
+            if !outs.is_empty() {
+                pad.fill(C64::zeroed());
+            }
+            let mut out = vec![C64::zeroed(); x.len()];
+            match self.convolve(exec, x, &mut pad, &mut out) {
+                Ok(()) => outs.push(out),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        self.give_grid(pad);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
+    }
+
+    fn check_image(&self, x: &[C64]) -> Result<()> {
+        if x.len() != self.n.pow(D as u32) {
             return Err(Error::Data(format!(
                 "image has {} pixels, expected {}^{}",
                 x.len(),
-                n,
+                self.n,
                 D
             )));
         }
-        // Zero-pad x: pixel index i ↔ k = i − N/2 ∈ [−N/2, N/2), placed at
-        // (k mod 2N) on the torus.
-        let npts = two_n.pow(D as u32);
-        let mut pad = vec![C64::zeroed(); npts];
-        for (flat, &v) in x.iter().enumerate() {
-            let mut rem = flat;
-            let mut dst = 0usize;
-            for d in 0..D {
-                let stride = n.pow((D - 1 - d) as u32);
-                let i = (rem / stride) % n;
-                rem %= stride;
-                let k = i as i64 - (n / 2) as i64;
-                dst = dst * two_n + k.rem_euclid(two_n as i64) as usize;
-            }
-            pad[dst] = v;
+        Ok(())
+    }
+
+    /// One zero-pad → FFT → multiply → IFFT → crop cycle. `pad` must
+    /// arrive zeroed (the grid arena guarantees it for the first use;
+    /// batch callers re-zero between coils).
+    fn convolve(
+        &self,
+        exec: &dyn Executor,
+        x: &[C64],
+        pad: &mut [C64],
+        out: &mut [C64],
+    ) -> Result<()> {
+        for (&idx, &v) in self.embed_idx.iter().zip(x) {
+            pad[idx as usize] = v;
         }
-        self.fft.process(&mut pad, Direction::Forward);
+        fft_on(exec, &self.fft, pad, Direction::Forward)?;
         for (p, &h) in pad.iter_mut().zip(&self.psf_hat) {
             *p *= h;
         }
-        self.fft.process(&mut pad, Direction::Inverse);
-        // Crop back to [−N/2, N/2)^d.
-        let mut out = vec![C64::zeroed(); n.pow(D as u32)];
-        for (flat, o) in out.iter_mut().enumerate() {
-            let mut rem = flat;
-            let mut src = 0usize;
-            for d in 0..D {
-                let stride = n.pow((D - 1 - d) as u32);
-                let i = (rem / stride) % n;
-                rem %= stride;
-                let k = i as i64 - (n / 2) as i64;
-                src = src * two_n + k.rem_euclid(two_n as i64) as usize;
-            }
-            *o = pad[src];
+        fft_on(exec, &self.fft, pad, Direction::Inverse)?;
+        for (o, &idx) in out.iter_mut().zip(&self.embed_idx) {
+            *o = pad[idx as usize];
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Take a zeroed `(2N)^d` pad grid, recycling a parked one when
+    /// available (arena-style: allocate once, reuse every iteration).
+    fn take_grid(&self) -> Vec<C64> {
+        let parked = self.scratch.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        let mut grid = parked.unwrap_or_default();
+        grid.clear();
+        grid.resize(self.psf_hat.len(), C64::zeroed());
+        grid
+    }
+
+    /// Park a pad grid for the next application (bounded; see
+    /// [`MAX_PARKED_GRIDS`]).
+    fn give_grid(&self, grid: Vec<C64>) {
+        let mut parked = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        if parked.len() < MAX_PARKED_GRIDS {
+            parked.push(grid);
+        }
     }
 }
 
@@ -160,6 +381,13 @@ mod tests {
             s as f64 / u64::MAX as f64 - 0.5
         };
         (0..n * n).map(|_| C64::new(next(), next())).collect()
+    }
+
+    fn bits_eq(a: &[C64], b: &[C64]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
     }
 
     /// Direct normal operator via the NuDFT pair — the exact oracle.
@@ -250,5 +478,117 @@ mod tests {
         assert!(ToeplitzOperator::<2>::build(&cfg, &coords, &[1.0; 3], &SerialGridder).is_err());
         let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &SerialGridder).unwrap();
         assert!(top.apply(&[C64::zeroed(); 7]).is_err());
+        assert!(top
+            .apply_batch(&[&vec![C64::zeroed(); 64][..], &[C64::zeroed(); 7][..]])
+            .is_err());
+    }
+
+    #[test]
+    fn prebuilt_plan_is_bitwise_identical_and_validated() {
+        let n = 12;
+        let coords = traj::random_nd::<2>(150, 13);
+        let cfg = NufftConfig::with_n(n);
+        let mut cfg2 = cfg.clone();
+        cfg2.n = 2 * n;
+        let plan2 = NufftPlan::<f64, 2>::new(cfg2).unwrap();
+        let fresh = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &SerialGridder).unwrap();
+        let reused = ToeplitzOperator::<2>::build_with_plan(
+            &cfg,
+            &coords,
+            &[],
+            &SerialGridder,
+            Some(&plan2),
+        )
+        .unwrap();
+        assert!(bits_eq(&fresh.psf_hat, &reused.psf_hat));
+        let x = test_image(n, 17);
+        assert!(bits_eq(
+            &fresh.apply(&x).unwrap(),
+            &reused.apply(&x).unwrap()
+        ));
+        // A plan at the wrong size (the base N, not 2N) is rejected.
+        let wrong = NufftPlan::<f64, 2>::new(cfg.clone()).unwrap();
+        assert!(matches!(
+            ToeplitzOperator::<2>::build_with_plan(
+                &cfg,
+                &coords,
+                &[],
+                &SerialGridder,
+                Some(&wrong)
+            ),
+            Err(Error::Config(_))
+        ));
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        // Repeated applications recycle the pad grid; outputs must stay
+        // bitwise identical to the first.
+        let n = 8;
+        let coords = traj::random_nd::<2>(80, 21);
+        let cfg = NufftConfig::with_n(n);
+        let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &SerialGridder).unwrap();
+        let x = test_image(n, 4);
+        let first = top.apply(&x).unwrap();
+        for _ in 0..3 {
+            assert!(bits_eq(&first, &top.apply(&x).unwrap()));
+        }
+    }
+
+    #[test]
+    fn apply_batch_matches_per_coil_apply_bitwise() {
+        let n = 8;
+        let coords = traj::random_nd::<2>(90, 25);
+        let cfg = NufftConfig::with_n(n);
+        let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &SerialGridder).unwrap();
+        let coils: Vec<Vec<C64>> = (0..4).map(|c| test_image(n, 30 + c)).collect();
+        let refs: Vec<&[C64]> = coils.iter().map(|c| c.as_slice()).collect();
+        let batch = top.apply_batch(&refs).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (xc, got) in coils.iter().zip(&batch) {
+            assert!(bits_eq(got, &top.apply(xc).unwrap()));
+        }
+    }
+
+    #[test]
+    fn build_counts_into_registry() {
+        let n = 8;
+        let coords = traj::random_nd::<2>(40, 31);
+        let cfg = NufftConfig::with_n(n);
+        telemetry::set_enabled(true);
+        let before = telemetry::global()
+            .snapshot()
+            .counter("toeplitz.builds")
+            .unwrap_or(0);
+        let _ = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &SerialGridder).unwrap();
+        let after = telemetry::global()
+            .snapshot()
+            .counter("toeplitz.builds")
+            .unwrap_or(0);
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn non_finite_psf_degrades_or_propagates() {
+        let _lock = crate::fault::test_guard();
+        let n = 8;
+        let coords = traj::random_nd::<2>(40, 37);
+        let cfg = NufftConfig::with_n(n);
+        // NaN density weights poison the PSF.
+        let weights = vec![f64::NAN; coords.len()];
+        crate::engine::set_serial_fallback(true);
+        let degraded =
+            ToeplitzOperator::<2>::build_degradable(&cfg, &coords, &weights, &SerialGridder, None)
+                .unwrap();
+        assert!(degraded.is_none());
+        crate::engine::set_serial_fallback(false);
+        let strict =
+            ToeplitzOperator::<2>::build_degradable(&cfg, &coords, &weights, &SerialGridder, None);
+        assert!(matches!(strict, Err(Error::Execution(_))));
+        crate::engine::set_serial_fallback(true);
+        // Validation errors are never degraded.
+        let bad =
+            ToeplitzOperator::<2>::build_degradable(&cfg, &coords, &[1.0; 3], &SerialGridder, None);
+        assert!(matches!(bad, Err(Error::Data(_))));
     }
 }

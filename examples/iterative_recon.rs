@@ -98,10 +98,12 @@ fn main() {
 
     // 4. CG with the Toeplitz normal operator (grids once, FFTs after).
     let t1 = Instant::now();
-    let top = ToeplitzOperator::<2>::build(&cfg, &coords, &[], &engine).expect("toeplitz");
+    let top = std::sync::Arc::new(
+        ToeplitzOperator::<2>::build(&cfg, &coords, &[], &engine).expect("toeplitz"),
+    );
     let t_build = t1.elapsed();
     let t2 = Instant::now();
-    let via_toeplitz = cg_solve(&NormalOp::Toeplitz(&top), &rhs, &opts).expect("cg");
+    let via_toeplitz = cg_solve(&NormalOp::Toeplitz(top), &rhs, &opts).expect("cg");
     let t_toep = t2.elapsed();
     println!(
         "CG (Toeplitz operator)   : NRMSD {:.2}% after {} iters in {:.1} ms (+{:.1} ms one-time gridding)",

@@ -21,7 +21,9 @@
 use jigsaw::core::engine::set_serial_fallback;
 use jigsaw::core::fault;
 use jigsaw::core::gridding::SliceDiceGridder;
-use jigsaw::core::recon::{cg_reconstruct, CgDiagnostic, CgOptions};
+use jigsaw::core::recon::{
+    cg_reconstruct, cg_reconstruct_with, CgDiagnostic, CgOptions, NormalOpKind,
+};
 use jigsaw::core::{Error, NufftConfig, NufftPlan};
 use jigsaw::fft::exec::Job;
 use jigsaw::fft::{Direction, ExecError, Executor, FftNd, SerialExecutor};
@@ -360,6 +362,122 @@ fn serve_faults_are_contained_and_cache_is_not_poisoned() {
     }
 }
 
+/// Contract 2 for the Toeplitz normal-operator build (`recon.normal_op`):
+/// with the fallback enabled, a panic injected into the kernel build
+/// degrades the whole reconstruction to the gridded normal operator —
+/// bitwise identical to an explicit `NormalOpKind::Gridded` run — and is
+/// counted in `recon.normal_op_fallbacks`.
+#[test]
+fn normal_op_build_fault_degrades_to_gridded_bitwise() {
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    telemetry::set_enabled(true);
+    let (plan, coords, _) = coil_problem(16, 1);
+    let data: Vec<C64> = coords
+        .iter()
+        .enumerate()
+        .map(|(i, _)| C64::new(1.0 / (1.0 + i as f64), 0.25))
+        .collect();
+    let opts = CgOptions {
+        max_iterations: 6,
+        tolerance: 1e-12,
+        ..Default::default()
+    };
+    let gridder = SliceDiceGridder::default();
+
+    let baseline = cg_reconstruct_with(
+        &plan,
+        &coords,
+        &data,
+        &[],
+        &gridder,
+        &opts,
+        NormalOpKind::Gridded,
+    )
+    .unwrap();
+
+    let before = telemetry::global()
+        .snapshot()
+        .counter("recon.normal_op_fallbacks")
+        .unwrap_or(0);
+    arm(FaultPlan::once_at(fault::RECON_NORMAL_OP));
+    let degraded = cg_reconstruct_with(
+        &plan,
+        &coords,
+        &data,
+        &[],
+        &gridder,
+        &opts,
+        NormalOpKind::Toeplitz,
+    )
+    .expect("build fault must degrade to the gridded path, not error");
+    assert_eq!(fires(), 1, "recon.normal_op must actually fire");
+    disarm();
+    assert!(
+        bits_eq(&baseline.image, &degraded.image),
+        "degraded Toeplitz recon must be bitwise identical to gridded"
+    );
+    let after = telemetry::global()
+        .snapshot()
+        .counter("recon.normal_op_fallbacks")
+        .unwrap_or(0);
+    assert!(
+        after > before,
+        "recon.normal_op_fallbacks must increment ({before} → {after})"
+    );
+}
+
+/// Contract 1 for `recon.normal_op`: with the fallback disabled, the
+/// injected build panic surfaces as `Err(Error::Execution)` — and the
+/// same problem reconstructs cleanly immediately after.
+#[test]
+fn normal_op_build_fault_strict_surfaces_execution_error() {
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    let (plan, coords, _) = coil_problem(16, 1);
+    let data: Vec<C64> = coords
+        .iter()
+        .enumerate()
+        .map(|(i, _)| C64::new(1.0 / (1.0 + i as f64), 0.25))
+        .collect();
+    let opts = CgOptions {
+        max_iterations: 4,
+        tolerance: 1e-12,
+        ..Default::default()
+    };
+    let gridder = SliceDiceGridder::default();
+
+    set_serial_fallback(false);
+    arm(FaultPlan::once_at(fault::RECON_NORMAL_OP));
+    let err = cg_reconstruct_with(
+        &plan,
+        &coords,
+        &data,
+        &[],
+        &gridder,
+        &opts,
+        NormalOpKind::Toeplitz,
+    )
+    .expect_err("strict mode must surface the build fault");
+    assert_eq!(fires(), 1, "recon.normal_op must actually fire");
+    assert!(
+        matches!(err, Error::Execution(_)),
+        "expected Error::Execution, got {err:?}"
+    );
+    disarm();
+    set_serial_fallback(true);
+    cg_reconstruct_with(
+        &plan,
+        &coords,
+        &data,
+        &[],
+        &gridder,
+        &opts,
+        NormalOpKind::Toeplitz,
+    )
+    .expect("clean Toeplitz run must succeed after the fault");
+}
+
 /// Every registered site is covered by a test above; this meta-check
 /// fails when a new fault point is added without chaos coverage.
 #[test]
@@ -370,6 +488,7 @@ fn every_registered_site_is_covered() {
         fault::GRIDDING_CHUNK,
         fault::FFT_PANEL,
         fault::RECON_CG_ITER,
+        fault::RECON_NORMAL_OP,
         fault::SERVE_JOB,
         fault::SERVE_CACHE,
     ];
