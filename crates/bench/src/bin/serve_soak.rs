@@ -1,8 +1,10 @@
 //! Serving-daemon soak bench: the plan cache under thousands of
 //! mixed-size jobs, the warm-vs-cold latency contract at radial 256²,
-//! and the disarmed fault-point overhead of the serve job path.
+//! the disarmed fault-point overhead of the serve job path, bounded
+//! admission under deliberate overload, and the cost of the
+//! cooperative-cancellation checkpoints in the gridding hot loop.
 //!
-//! Three measurements, one JSON (`BENCH_serve_soak.json`):
+//! Five measurements, one JSON (`BENCH_serve_soak.json`):
 //!
 //! 1. **Soak** — thousands of jobs drawn from a pool of six
 //!    trajectories across three image sizes, multiplexed onto one
@@ -22,6 +24,17 @@
 //! 3. **Fault overhead** — the soak loop re-timed with a fault plan
 //!    armed at a site the serve path never hits, bounding the cost of
 //!    the `serve.job`/`serve.cache` instrumentation from above.
+//! 4. **Overload** — a full daemon (over a socketpair) with a tiny
+//!    admission bound, hit with a 4×-oversubscribed pipelined burst.
+//!    Gates: some jobs are shed (`serve.shed.depth` nonzero), every
+//!    submit is answered exactly once, no accepted job's result
+//!    arrives after its budget + 500 ms epsilon, and every refusal
+//!    carries a sane `retry_after_ms` hint.
+//! 5. **Cancel-checkpoint overhead** — one gridding-heavy adjoint
+//!    timed bare (no cancel scope: the checkpoints take the
+//!    one-atomic-load fast path) vs inside an armed-but-never-fired
+//!    [`cancel::CancelScope`]. Gate (enforced in CI from the JSON):
+//!    scoped/bare ≤ 1.05.
 //!
 //! Run with `cargo run --release -p jigsaw-bench --bin serve_soak`
 //! (append `--quick`, or set `JIGSAW_BENCH_SAMPLES`, to shrink the run).
@@ -29,11 +42,15 @@
 use jigsaw_bench::harness::{fmt_time, BenchGroup};
 use jigsaw_bench::{EvalImage, HarnessArgs, TrajKind};
 use jigsaw_core::budget::RunBudget;
-use jigsaw_core::serve::{protocol, Frame, JobRequest, Priority, ServeEngine, StatsSnapshot};
+use jigsaw_core::gridding::SliceDiceGridder;
+use jigsaw_core::serve::{
+    protocol, serve_stream, Frame, JobRequest, Priority, ServeEngine, ServeOptions, StatsSnapshot,
+};
 use jigsaw_core::traj;
+use jigsaw_core::{NufftConfig, NufftPlan};
 use jigsaw_num::C64;
 use jigsaw_telemetry as telemetry;
-use jigsaw_testkit::{fault, Rng};
+use jigsaw_testkit::{cancel, fault, Rng};
 use std::time::Instant;
 
 /// One reusable soak problem: a trajectory, its sample values, and the
@@ -290,6 +307,140 @@ fn main() {
         fmt_time(armed_miss.median),
     );
 
+    // ---- Phase 4: bounded admission under 4× overload -----------------
+    // A real daemon over a socketpair, tiny admission bound, pipelined
+    // burst several times deeper than queue + executors. The daemon
+    // must shed (not queue unboundedly), answer every submit exactly
+    // once, and never deliver an accepted result past its budget plus
+    // a scheduling epsilon.
+    let overload_jobs = (64 / args.quick_divisor).max(16);
+    let overload_budget_ms: u64 = 5_000;
+    let shed_counter = |name: &str| telemetry::global().snapshot().counter(name).unwrap_or(0);
+    let shed_depth_before = shed_counter("serve.shed.depth");
+    let opts = ServeOptions {
+        cache_capacity: 8,
+        executors: 2,
+        default_budget_ms: 0,
+        max_queue_depth: 4,
+        max_queued_bytes: 1 << 30,
+        watchdog_multiple: 8,
+    };
+    let (client, server) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+    let server_reader = server.try_clone().expect("server clone");
+    let daemon = std::thread::spawn(move || {
+        serve_stream(server_reader, server, &opts).expect("overload daemon");
+    });
+    let mut submit_side = client.try_clone().expect("client clone");
+    let collector = std::thread::spawn(move || {
+        // Drain every daemon frame until EOF (daemon closes after the
+        // shutdown drain), stamping arrival times.
+        let mut reader = client;
+        let mut replies = Vec::new();
+        while let Ok(f) = protocol::read_frame(&mut reader) {
+            replies.push((f, Instant::now()));
+        }
+        replies
+    });
+    let overload_pool = SoakProblem::radial(32, 12, 717);
+    let tag_base = 2_000_000u64;
+    let mut submit_at = Vec::with_capacity(overload_jobs);
+    for i in 0..overload_jobs {
+        let mut req = overload_pool.request(tag_base + i as u64);
+        req.budget_ms = overload_budget_ms as u32;
+        submit_at.push(Instant::now());
+        protocol::write_frame(&mut submit_side, &Frame::Submit(req)).expect("submit");
+    }
+    protocol::write_frame(&mut submit_side, &Frame::Shutdown).expect("shutdown");
+    drop(submit_side);
+    let replies = collector.join().expect("collector");
+    daemon.join().expect("daemon thread");
+    let mut accepted_latencies = Vec::new();
+    let mut shed = 0usize;
+    let mut errors = 0usize;
+    for (frame, at) in &replies {
+        match frame {
+            Frame::Result(r) if r.tag >= tag_base => {
+                let i = (r.tag - tag_base) as usize;
+                accepted_latencies.push(at.duration_since(submit_at[i]).as_secs_f64());
+            }
+            Frame::Overloaded(o) if o.tag >= tag_base => {
+                assert!(
+                    o.retry_after_ms >= 25,
+                    "retry hint below the clamp floor: {}",
+                    o.retry_after_ms
+                );
+                shed += 1;
+            }
+            Frame::Error(e) if e.tag >= tag_base => errors += 1,
+            _ => {} // shutdown Pong
+        }
+    }
+    let accepted = accepted_latencies.len();
+    assert_eq!(
+        accepted + shed + errors,
+        overload_jobs,
+        "every submit must be answered exactly once"
+    );
+    assert!(
+        shed > 0,
+        "4× oversubscription must shed, not queue unboundedly"
+    );
+    assert_eq!(errors, 0, "no accepted job may fail under overload");
+    let shed_depth_after = shed_counter("serve.shed.depth");
+    assert!(
+        shed_depth_after > shed_depth_before,
+        "serve.shed.depth must register the refusals"
+    );
+    accepted_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let accepted_p99 = percentile(&accepted_latencies, 0.99);
+    let accepted_p99_max = overload_budget_ms as f64 / 1e3 + 0.5;
+    assert!(
+        accepted_p99 <= accepted_p99_max,
+        "accepted p99 {accepted_p99:.3}s past budget+epsilon {accepted_p99_max:.3}s"
+    );
+    println!(
+        "=== overload: {overload_jobs} pipelined jobs vs depth-4 queue + 2 executors ===\n\
+         accepted {accepted} / shed {shed}  accepted p99 {} (bound {})",
+        fmt_time(accepted_p99),
+        fmt_time(accepted_p99_max),
+    );
+
+    // ---- Phase 5: cancel-checkpoint overhead --------------------------
+    // The gridding hot loop polls `cancel::cancelled()` once per chunk.
+    // Bare run: no scope, so the poll is one relaxed atomic load.
+    // Scoped run: a live (never-fired) CancelScope arms the slow path.
+    let ck_n = 96usize;
+    let ck = SoakProblem::radial(ck_n as u32, 64, 901);
+    let ck_plan = NufftPlan::<f64, 2>::new(NufftConfig::with_n(ck_n)).expect("checkpoint plan");
+    let gridder = SliceDiceGridder::default();
+    let mut ck_group = BenchGroup::new("cancel_checkpoint_overhead");
+    ck_group
+        .sample_size(7)
+        .throughput_elements(ck.coords.len() as u64);
+    let bare = ck_group.bench_function("gridding_no_scope", || {
+        ck_plan
+            .adjoint(&ck.coords, &ck.values, &gridder)
+            .expect("bare adjoint")
+    });
+    let flag = cancel::CancelFlag::new();
+    let scoped = {
+        let _scope = cancel::CancelScope::enter(Some(flag.clone()));
+        ck_group.bench_function("gridding_live_scope", || {
+            ck_plan
+                .adjoint(&ck.coords, &ck.values, &gridder)
+                .expect("scoped adjoint")
+        })
+    };
+    assert!(!flag.is_cancelled());
+    ck_group.finish();
+    let scoped_over_bare = scoped.median / bare.median;
+    println!(
+        "gridding n={ck_n} M={}: bare {} vs live-scope {}  (scoped/bare = {scoped_over_bare:.4})",
+        ck.coords.len(),
+        fmt_time(bare.median),
+        fmt_time(scoped.median),
+    );
+
     let json = format!(
         "{{\n  \"soak\": {{\n    \"jobs\": {total_jobs},\n    \"sizes\": [32, 48, 64],\n    \
          \"trajectories\": {},\n    \"cache_capacity\": 8,\n    \"hits\": {hits},\n    \
@@ -312,7 +463,17 @@ fn main() {
          \"warm_over_cold\": {warm_over_cold:.4}\n  }},\n  \
          \"fault_overhead\": {{\n    \"burst_jobs\": {burst},\n    \
          \"disarmed_median_seconds\": {:.6e},\n    \"armed_miss_median_seconds\": {:.6e},\n    \
-         \"armed_over_disarmed\": {armed_over_disarmed:.4}\n  }}\n}}\n",
+         \"armed_over_disarmed\": {armed_over_disarmed:.4}\n  }},\n  \
+         \"overload\": {{\n    \"jobs\": {overload_jobs},\n    \"max_queue_depth\": 4,\n    \
+         \"executors\": 2,\n    \"budget_ms\": {overload_budget_ms},\n    \
+         \"accepted\": {accepted},\n    \"shed\": {shed},\n    \
+         \"shed_depth_counter_delta\": {},\n    \
+         \"accepted_p99_seconds\": {accepted_p99:.6e},\n    \
+         \"gate_accepted_p99_max_seconds\": {accepted_p99_max:.3}\n  }},\n  \
+         \"cancel_overhead\": {{\n    \"n\": {ck_n},\n    \"m\": {},\n    \
+         \"bare_median_seconds\": {:.6e},\n    \"scoped_median_seconds\": {:.6e},\n    \
+         \"scoped_over_bare\": {scoped_over_bare:.4},\n    \
+         \"gate_scoped_over_bare_max\": 1.05\n  }}\n}}\n",
         pool.len(),
         mid.cache.hits,
         mid.cache.misses,
@@ -322,6 +483,10 @@ fn main() {
         warm.median,
         disarmed.median,
         armed_miss.median,
+        shed_depth_after - shed_depth_before,
+        ck.coords.len(),
+        bare.median,
+        scoped.median,
     );
     let path = "BENCH_serve_soak.json";
     match std::fs::write(path, json) {

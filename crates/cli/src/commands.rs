@@ -58,9 +58,16 @@ COMMANDS:
                   --socket /tmp/jigsaw.sock | --stdio (frames on stdin/stdout)
                   --cache-capacity 8 (LRU plan-cache bound)
                   --jobs 2 (executor threads) --default-budget-ms 0
+                  --max-queue-depth 1024 --max-queued-bytes 1073741824
+                  (bounded admission: normal-priority jobs beyond either
+                  bound are refused with a retry-after hint)
+                  --watchdog-multiple 8 (cancel jobs stuck past this
+                  multiple of their budget)
     request     Client mode: submit synthetic radial jobs to a daemon
                   --socket /tmp/jigsaw.sock --n 64 --spokes <auto>
                   --count 1 [--high] [--budget-ms 0] [--tag 1]
+                  --retries 0 --backoff-ms 50 (resubmit shed jobs with
+                  exponential backoff, honoring the daemon's hint)
                   [--ping] [--shutdown] (probe / stop the daemon instead)
                   [--stats [--format table|json|prom]] (scrape the live
                   introspection snapshot instead of submitting)
@@ -94,6 +101,7 @@ ROBUSTNESS:
 EXIT CODES:
     0 success · 1 usage · 2 configuration error · 3 data error
     4 execution error (contained job panic) · 5 budget exhausted
+    7 daemon overloaded (job shed; retry after the suggested backoff)
 ";
 
 type CmdResult = Result<(), CliError>;
@@ -568,6 +576,9 @@ pub fn serve(o: &Options) -> CmdResult {
         cache_capacity: o.usize("cache-capacity", 8)?,
         executors: o.usize("jobs", 2)?,
         default_budget_ms: o.usize("default-budget-ms", 0)? as u64,
+        max_queue_depth: o.usize("max-queue-depth", 1024)?,
+        max_queued_bytes: o.usize("max-queued-bytes", 1 << 30)?,
+        watchdog_multiple: o.usize("watchdog-multiple", 8)? as u32,
     };
     if o.switch("stdio") {
         // stdout carries response frames in this mode; diagnostics go
@@ -612,7 +623,7 @@ fn protocol_to_cli(e: jigsaw_core::serve::ProtocolError) -> CliError {
 /// running daemon (exercises the wire protocol end to end; also the
 /// demo client for the README).
 pub fn request(o: &Options) -> CmdResult {
-    use jigsaw_core::serve::{Frame, JobRequest, Priority, ServeClient};
+    use jigsaw_core::serve::{Frame, JobRequest, Priority, RetryPolicy, ServeClient};
     let sock = o.string("socket", "");
     if sock.is_empty() {
         return Err(CliError::Config("request needs --socket <path>".into()));
@@ -658,6 +669,11 @@ pub fn request(o: &Options) -> CmdResult {
     } else {
         Priority::Normal
     };
+    let policy = RetryPolicy {
+        retries: o.usize("retries", 0)? as u32,
+        backoff_ms: o.usize("backoff-ms", 50)? as u64,
+        seed: tag0,
+    };
     let mut coords = traj::radial_2d(spokes, 2 * n, true);
     traj::shuffle(&mut coords, 7);
     let values = Phantom2d::shepp_logan().kspace(n, &coords);
@@ -671,7 +687,10 @@ pub fn request(o: &Options) -> CmdResult {
             values: values.clone(),
         };
         let t0 = std::time::Instant::now();
-        match client.roundtrip(&req).map_err(protocol_to_cli)? {
+        match client
+            .roundtrip_with_retry(&req, &policy)
+            .map_err(protocol_to_cli)?
+        {
             Frame::Result(res) => {
                 println!(
                     "job {}: {}² image in {} ({})",
@@ -693,7 +712,17 @@ pub fn request(o: &Options) -> CmdResult {
                     ErrorCategory::Data | ErrorCategory::Protocol => CliError::Data(msg),
                     ErrorCategory::Execution => CliError::Execution(msg),
                     ErrorCategory::Budget => CliError::Budget(msg),
+                    ErrorCategory::Overloaded => CliError::Overloaded(msg),
                 });
+            }
+            Frame::Overloaded(ov) => {
+                return Err(CliError::Overloaded(format!(
+                    "job {}: {} (shed: {}; retry after {} ms)",
+                    ov.tag,
+                    ov.message,
+                    ov.reason.label(),
+                    ov.retry_after_ms
+                )));
             }
             other => return Err(CliError::Data(format!("unexpected daemon frame {other:?}"))),
         }

@@ -3,15 +3,20 @@
 //! Every command failure is classified into one of four categories so
 //! scripts and CI can branch on the exit status without parsing stderr:
 //!
-//! | category  | exit code | meaning                                        |
-//! |-----------|-----------|------------------------------------------------|
-//! | config    | 2         | a flag or parameter is invalid / out of range  |
-//! | data      | 3         | input data malformed or an output file failed  |
-//! | execution | 4         | a contained execution failure (job panicked)   |
-//! | budget    | 5         | run budget exhausted before any usable result  |
+//! | category   | exit code | meaning                                        |
+//! |------------|-----------|------------------------------------------------|
+//! | config     | 2         | a flag or parameter is invalid / out of range  |
+//! | data       | 3         | input data malformed or an output file failed  |
+//! | execution  | 4         | a contained execution failure (job panicked)   |
+//! | budget     | 5         | run budget exhausted before any usable result  |
+//! | overloaded | 7         | the daemon shed the job; retry after backoff   |
 //!
 //! Exit code 1 remains the generic "unknown command / no command" shell
-//! convention; 0 is success.
+//! convention; 0 is success. Code 6 is reserved (it is the wire byte of
+//! the serving protocol's `Protocol` error category, which maps to a
+//! data error here); 7 matches the `Overloaded` wire category, so a
+//! script can treat "daemon busy, try later" differently from a hard
+//! failure.
 
 use std::fmt;
 
@@ -27,6 +32,9 @@ pub enum CliError {
     Execution(String),
     /// A run budget was exhausted before any usable result existed.
     Budget(String),
+    /// The serving daemon refused the job under load; retrying after a
+    /// backoff is expected to succeed.
+    Overloaded(String),
 }
 
 impl CliError {
@@ -37,6 +45,7 @@ impl CliError {
             CliError::Data(_) => 3,
             CliError::Execution(_) => 4,
             CliError::Budget(_) => 5,
+            CliError::Overloaded(_) => 7,
         }
     }
 }
@@ -48,6 +57,7 @@ impl fmt::Display for CliError {
             CliError::Data(m) => write!(f, "data error: {m}"),
             CliError::Execution(m) => write!(f, "execution error: {m}"),
             CliError::Budget(m) => write!(f, "budget exhausted: {m}"),
+            CliError::Overloaded(m) => write!(f, "daemon overloaded: {m}"),
         }
     }
 }
@@ -97,6 +107,7 @@ mod tests {
         assert_eq!(CliError::Data(String::new()).exit_code(), 3);
         assert_eq!(CliError::Execution(String::new()).exit_code(), 4);
         assert_eq!(CliError::Budget(String::new()).exit_code(), 5);
+        assert_eq!(CliError::Overloaded(String::new()).exit_code(), 7);
     }
 
     #[test]

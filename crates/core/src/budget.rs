@@ -10,9 +10,19 @@
 //! [`crate::recon::CgDiagnostic::BudgetExhausted`] diagnostic, and only
 //! reports [`crate::Error::Budget`] when no usable iterate exists yet.
 //!
+//! The cancellation token is a [`jigsaw_testkit::cancel::CancelFlag`],
+//! the same latch the gridding/FFT hot loops poll through
+//! `cancel::cancelled()` checkpoints: entering [`RunBudget::enter_scope`]
+//! before dispatching work lets a `cancel()` — from a client hangup, a
+//! watchdog, or a blown deadline — stop a job within one gridding chunk
+//! or FFT panel instead of one CG iteration. The hot loops never look at
+//! the deadline themselves (an `Instant::now()` per chunk would not be
+//! free); deadline enforcement mid-job comes from the serve watchdog
+//! tripping the flag when the deadline passes.
+//!
 //! The CLI exposes this as `recon --time-budget-ms <ms>`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use jigsaw_testkit::cancel::{CancelFlag, CancelScope};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -21,7 +31,7 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone)]
 pub struct RunBudget {
     deadline: Option<Instant>,
-    cancelled: Arc<AtomicBool>,
+    cancelled: Arc<CancelFlag>,
 }
 
 impl Default for RunBudget {
@@ -35,7 +45,7 @@ impl RunBudget {
     pub fn unlimited() -> Self {
         Self {
             deadline: None,
-            cancelled: Arc::new(AtomicBool::new(false)),
+            cancelled: CancelFlag::new(),
         }
     }
 
@@ -43,21 +53,23 @@ impl RunBudget {
     pub fn with_time_ms(ms: u64) -> Self {
         Self {
             deadline: Some(Instant::now() + Duration::from_millis(ms)),
-            cancelled: Arc::new(AtomicBool::new(false)),
+            cancelled: CancelFlag::new(),
         }
     }
 
     /// Trip the cancellation flag: every clone of this budget reports
-    /// exhausted from now on. Safe to call from another thread.
+    /// exhausted from now on, and any thread inside a scope entered via
+    /// [`Self::enter_scope`] observes it at its next checkpoint. Safe to
+    /// call from another thread.
     pub fn cancel(&self) {
-        self.cancelled.store(true, Ordering::Relaxed);
+        self.cancelled.cancel();
     }
 
     /// Whether the deadline has passed or [`Self::cancel`] was called.
     /// One `Instant::now()` plus one relaxed load — cheap enough for
     /// per-iteration and per-chunk checks.
     pub fn exhausted(&self) -> bool {
-        if self.cancelled.load(Ordering::Relaxed) {
+        if self.cancelled.is_cancelled() {
             return true;
         }
         match self.deadline {
@@ -66,20 +78,41 @@ impl RunBudget {
         }
     }
 
+    /// Whether [`Self::cancel`] was called (ignores the deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.is_cancelled()
+    }
+
     /// Time left before the deadline (`None` when untimed; zero once
     /// exhausted or cancelled).
     pub fn remaining(&self) -> Option<Duration> {
-        if self.cancelled.load(Ordering::Relaxed) {
+        if self.cancelled.is_cancelled() {
             return Some(Duration::ZERO);
         }
         self.deadline
             .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The shared cancellation latch, for watchdogs that must be able to
+    /// trip the budget without holding the whole `RunBudget`.
+    pub fn cancel_flag(&self) -> Arc<CancelFlag> {
+        Arc::clone(&self.cancelled)
+    }
+
+    /// Install this budget's cancellation flag as the calling thread's
+    /// checkpoint context (see [`jigsaw_testkit::cancel`]). Hold the
+    /// returned guard across the dispatch of pooled work: the worker
+    /// pool re-enters the scope inside each job, so every gridding
+    /// chunk / FFT panel / coil batch polls this budget's flag.
+    pub fn enter_scope(&self) -> CancelScope {
+        CancelScope::enter(Some(Arc::clone(&self.cancelled)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jigsaw_testkit::cancel;
 
     #[test]
     fn unlimited_never_exhausts() {
@@ -109,7 +142,34 @@ mod tests {
         let b = a.clone();
         assert!(!b.exhausted());
         a.cancel();
+        assert!(b.is_cancelled());
         assert!(b.exhausted());
         assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn scope_wires_checkpoints_to_the_budget() {
+        let b = RunBudget::unlimited();
+        {
+            let _scope = b.enter_scope();
+            assert!(!cancel::cancelled());
+            b.cancel();
+            assert!(
+                cancel::cancelled(),
+                "checkpoints must observe budget cancellation"
+            );
+        }
+        assert!(!cancel::cancelled(), "context cleared after scope drop");
+    }
+
+    #[test]
+    fn deadline_expiry_does_not_trip_checkpoints_without_watchdog() {
+        // Hot-loop checkpoints poll only the flag; the deadline is
+        // enforced by exhausted() at phase boundaries (or a watchdog
+        // cancelling the flag).
+        let b = RunBudget::with_time_ms(0);
+        let _scope = b.enter_scope();
+        assert!(b.exhausted());
+        assert!(!cancel::cancelled());
     }
 }

@@ -37,7 +37,7 @@
 //! merges results in job order.
 
 use jigsaw_telemetry as telemetry;
-use jigsaw_testkit::faultpoint;
+use jigsaw_testkit::{cancel, faultpoint};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -451,8 +451,10 @@ impl WorkerPool {
         let f = Arc::new(f);
         let nworkers = self.workers.len();
         // Captured on the dispatching thread so spans opened on worker
-        // threads inherit the dispatcher's request id.
+        // threads inherit the dispatcher's request id, and so cancellation
+        // checkpoints inside the jobs poll the dispatcher's budget flag.
         let request_id = telemetry::current_request_id();
+        let cancel_flag = cancel::current();
         for j in 0..njobs {
             let job_latch = Arc::clone(&latch);
             let f = Arc::clone(&f);
@@ -461,8 +463,10 @@ impl WorkerPool {
             let busy_ns = Arc::clone(&self.busy_ns);
             let job_counts = Arc::clone(&self.job_counts);
             let enqueued_ns = telemetry::now_ns();
+            let cancel_flag = cancel_flag.clone();
             let job: Job = Box::new(move |arena| {
                 let _trace = telemetry::RequestScope::enter(request_id);
+                let _cancel = cancel::CancelScope::enter(cancel_flag.clone());
                 let collect = telemetry::enabled();
                 let t0 = Instant::now();
                 let started_ns = telemetry::now_ns();

@@ -61,6 +61,19 @@ pub const SERVE_CACHE: &str = "serve.cache";
 /// fallback policy is enabled.
 pub const RECON_NORMAL_OP: &str = "recon.normal_op";
 
+/// Inside the overload-refusal path of the serving daemon
+/// ([`crate::serve::daemon`]): fired while building the `Overloaded`
+/// frame for a shed job, inside a `catch_unwind`, so an injected panic
+/// degrades to a plain execution-error frame for that client — the
+/// reader thread, queue, and daemon survive.
+pub const SERVE_SHED: &str = "serve.shed";
+
+/// Inside every tick of the stuck-job watchdog thread
+/// ([`crate::serve::daemon`]). Each tick body runs under
+/// `catch_unwind`; an injected panic is counted
+/// (`serve.watchdog.panics`) and the thread keeps ticking.
+pub const SERVE_WATCHDOG: &str = "serve.watchdog";
+
 /// At the top of every conjugate-gradient iteration
 /// ([`crate::recon::cg_solve`] / [`crate::sense::cg_sense`]). This site
 /// does not panic: it poisons the iteration's residual with a NaN,
@@ -80,6 +93,8 @@ pub const SITES: &[&str] = &[
     RECON_NORMAL_OP,
     SERVE_JOB,
     SERVE_CACHE,
+    SERVE_SHED,
+    SERVE_WATCHDOG,
 ];
 
 #[cfg(test)]

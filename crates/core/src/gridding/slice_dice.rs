@@ -32,11 +32,19 @@ use crate::lut::KernelLut;
 use crate::stats::GridStats;
 use jigsaw_num::{Complex, Float};
 use jigsaw_telemetry as telemetry;
-use jigsaw_testkit::faultpoint;
+use jigsaw_testkit::{cancel, faultpoint};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Samples between cooperative-cancellation checkpoints in the gridding
+/// inner loops (power-of-two-minus-one mask). 1024 samples of window
+/// accumulation cost tens of microseconds, so a cancelled job stops well
+/// inside one chunk; the per-sample cost is one predictable mask test
+/// (plus one relaxed load every 1024th sample — see
+/// [`jigsaw_testkit::cancel::cancelled`]).
+pub(crate) const CANCEL_CHECK_MASK: usize = 1023;
 
 /// Execution strategy for [`SliceDiceGridder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -181,7 +189,14 @@ fn columns_worker<T: Float, const D: usize>(
     let my_cols = chunk.len() / col_len;
     let mut n_checks = 0u64;
     let mut n_accums = 0u64;
-    for (c, &v) in coords.iter().zip(values) {
+    for (i, (c, &v)) in coords.iter().zip(values).enumerate() {
+        if i & CANCEL_CHECK_MASK == 0 && cancel::cancelled() {
+            // Cooperative cancellation: stop mid-stream. The partial
+            // column slab is discarded by the budget owner; checkpoints
+            // never panic (a panic would trigger the bitwise serial
+            // *retry* and defeat the cancellation).
+            return (n_checks, n_accums);
+        }
         // Select-unit precomputation, once per sample per dim.
         let sel: [DimSelect; D] = core::array::from_fn(|d| {
             let dd = dec.decompose(dec.quantize(c[d]));
@@ -565,6 +580,9 @@ fn block_atomic_worker<T: AtomicFloat, const D: usize>(
 ) -> u64 {
     let mut n = 0u64;
     for i in lo..hi {
+        if (i - lo) & CANCEL_CHECK_MASK == 0 && cancel::cancelled() {
+            return n; // cancelled: partial grid discarded by the owner
+        }
         let v = values[i];
         n += for_each_window_point(dec, lut, &coords[i], g, t, |idx, wt| {
             T::fetch_add(shared, idx, v.scale(T::from_f64(wt)));
@@ -688,6 +706,9 @@ fn block_reduce_worker<T: Float, const D: usize>(
 ) -> u64 {
     let mut n = 0u64;
     for i in lo..hi {
+        if (i - lo) & CANCEL_CHECK_MASK == 0 && cancel::cancelled() {
+            return n; // cancelled: partial grid discarded by the owner
+        }
         let v = values[i];
         n += for_each_window_point(dec, lut, &coords[i], g, t, |idx, wt| {
             partial[idx] += v.scale(T::from_f64(wt));

@@ -25,6 +25,7 @@ use crate::apod::Apodization;
 use crate::config::{GridParams, NufftConfig};
 use crate::decomp::Decomposer;
 use crate::engine::{keys, WorkerPool};
+use crate::gridding::slice_dice::CANCEL_CHECK_MASK;
 use crate::gridding::{sample_windows, scatter_rowmajor, DimWindow, Gridder};
 use crate::interp::{self, gather_from_windows};
 use crate::lut::KernelLut;
@@ -34,7 +35,7 @@ use jigsaw_fft::exec::{restore_vec, take_vec, Executor, Job as ExecJob};
 use jigsaw_fft::{Direction, FftNd};
 use jigsaw_num::{Complex, Float};
 use jigsaw_telemetry as telemetry;
-use jigsaw_testkit::faultpoint;
+use jigsaw_testkit::{cancel, faultpoint};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -748,11 +749,24 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             let values = &coils[c];
             let mut grid = arena.take_vec(keys::COIL_GRID, npoints, Complex::<T>::zeroed());
             let t1 = Instant::now();
-            for (wins, &v) in windows.iter().zip(values.iter()) {
+            let mut cancelled_early = false;
+            for (i, (wins, &v)) in windows.iter().zip(values.iter()).enumerate() {
+                if i & CANCEL_CHECK_MASK == 0 && cancel::cancelled() {
+                    // Cooperative cancellation: stop scattering mid-coil
+                    // and skip the FFT/de-apodization entirely. The coil
+                    // reports a Budget error instead of a result; the
+                    // partial grid is recycled like any other buffer.
+                    cancelled_early = true;
+                    break;
+                }
                 scatter_rowmajor(g, w, wins, v, &mut grid);
             }
             let interp_seconds = t1.elapsed().as_secs_f64();
-            let finished = inner.finish_adjoint(&mut grid);
+            let finished = if cancelled_early {
+                Err(Error::Budget(format!("coil {c} cancelled mid-gridding")))
+            } else {
+                inner.finish_adjoint(&mut grid)
+            };
             let _ = tx.send((c, grid, interp_seconds, finished));
         });
         if let Err(failure) = run {
@@ -901,15 +915,22 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
             }
             let fft_seconds = t1.elapsed().as_secs_f64();
             let t2 = Instant::now();
-            let samples: Vec<Complex<T>> = windows
-                .iter()
-                .map(|wins| gather_from_windows::<T, D>(&grid, g, w, wins))
-                .collect();
+            let mut samples: Vec<Complex<T>> = Vec::with_capacity(windows.len());
+            let mut cancelled_early = false;
+            for (i, wins) in windows.iter().enumerate() {
+                if i & CANCEL_CHECK_MASK == 0 && cancel::cancelled() {
+                    // Cooperative cancellation mid-gather: report a Budget
+                    // error instead of a truncated sample vector.
+                    cancelled_early = true;
+                    break;
+                }
+                samples.push(gather_from_windows::<T, D>(&grid, g, w, wins));
+            }
             let interp_seconds = t2.elapsed().as_secs_f64();
-            let _ = tx.send((
-                j,
-                grid,
-                ForwardOutput {
+            let result = if cancelled_early {
+                Err(Error::Budget(format!("image {j} cancelled mid-gather")))
+            } else {
+                Ok(ForwardOutput {
                     samples,
                     timings: StageTimings {
                         prep_seconds: 0.0,
@@ -917,8 +938,9 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
                         fft_seconds,
                         apod_seconds,
                     },
-                },
-            ));
+                })
+            };
+            let _ = tx.send((j, grid, result));
         });
         if let Err(failure) = run {
             if !crate::engine::serial_fallback_enabled() {
@@ -935,7 +957,7 @@ impl<T: Float, const D: usize> NufftPlan<T, D> {
                 Error::Execution("planned forward job result channel closed".into())
             })?;
             pool.restore(j, keys::COIL_GRID, grid);
-            out[j] = Some(fwd);
+            out[j] = Some(fwd?);
         }
         out.into_iter()
             .enumerate()

@@ -9,6 +9,23 @@
 //! the shared [`ServeEngine`], and write the tagged response frame back
 //! to the submitting connection.
 //!
+//! ## Overload policy
+//!
+//! Admission is *bounded*: a normal-priority `Submit` that would push
+//! the queue past `max_queue_depth` jobs or `max_queued_bytes` resident
+//! sample/result bytes is refused immediately with an `Overloaded`
+//! frame (kind 9) carrying a `retry_after_ms` back-off hint, rather
+//! than queued behind work it cannot reach in time. High-priority jobs
+//! bypass both bounds, so a high job is never shed while normal jobs
+//! are being admitted. Jobs whose deadline has already expired are
+//! refused at `pop` (before any planning) and swept out of the deep
+//! queue by the watchdog thread, which also cancels the budgets of
+//! running jobs that blow their deadline or exceed
+//! `watchdog_multiple ×` their budget — the gridding/FFT/coil hot
+//! loops observe the cancellation at their next chunk checkpoint.
+//! Shed counts land in `serve.shed.{depth,bytes,expired}` and the
+//! flight recorder (`job_shed`, `watchdog_fired`).
+//!
 //! ## Shutdown
 //!
 //! A `Shutdown` frame is acknowledged with `Pong`, then the queue is
@@ -21,18 +38,32 @@
 
 use super::engine::ServeEngine;
 use super::protocol::{
-    read_frame, write_frame, ErrorCategory, ErrorFrame, Frame, JobRequest, ProtocolError,
+    read_frame, write_frame, ErrorCategory, ErrorFrame, Frame, JobRequest, OverloadFrame,
+    ProtocolError, ShedReason,
 };
 use crate::budget::RunBudget;
 use crate::{Error, Result};
 use jigsaw_telemetry as telemetry;
-use std::collections::VecDeque;
+use jigsaw_testkit::faultpoint;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::os::unix::net::UnixListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Daemon-assigned request ids live in this reserved namespace (high
+/// bit set), so they can never collide with a client-chosen tag — the
+/// wire rejects nothing, but the daemon re-assigns any tag that strays
+/// into the reserved range.
+pub const DAEMON_ID_BIT: u64 = 1 << 63;
+
+/// Watchdog cadence: deadline sweeps and stuck-job checks run at this
+/// period, so mid-job deadline enforcement lags the wall clock by at
+/// most one tick.
+const WATCHDOG_TICK_MS: u64 = 25;
 
 /// Daemon tuning knobs (the `jigsaw serve` flags).
 #[derive(Debug, Clone)]
@@ -45,6 +76,17 @@ pub struct ServeOptions {
     /// Default per-job wall-clock budget in milliseconds, applied when a
     /// request carries `budget_ms = 0`. Zero means unlimited.
     pub default_budget_ms: u64,
+    /// Admission bound: a normal-priority submit is refused with an
+    /// `Overloaded` frame once the queue holds this many jobs.
+    pub max_queue_depth: usize,
+    /// Admission bound: a normal-priority submit is refused once the
+    /// queued jobs' approximate resident bytes
+    /// ([`JobRequest::approx_bytes`]) would exceed this.
+    pub max_queued_bytes: usize,
+    /// Stuck-job backstop: the watchdog cancels any budgeted job still
+    /// running after `watchdog_multiple ×` its budget (unlimited jobs
+    /// are never watchdog-cancelled).
+    pub watchdog_multiple: u32,
 }
 
 impl Default for ServeOptions {
@@ -53,6 +95,9 @@ impl Default for ServeOptions {
             cache_capacity: 8,
             executors: 2,
             default_budget_ms: 0,
+            max_queue_depth: 1024,
+            max_queued_bytes: 1 << 30,
+            watchdog_multiple: 8,
         }
     }
 }
@@ -68,14 +113,32 @@ struct Queued {
     reply: Reply,
     enqueued: Instant,
     /// Trace id threaded through every span the job opens (the client's
-    /// tag when nonzero, else daemon-assigned).
+    /// tag when valid, else daemon-assigned — see [`DAEMON_ID_BIT`]).
     request_id: u64,
+    /// Cached [`JobRequest::approx_bytes`], charged to the queue's
+    /// byte ledger while the job waits.
+    bytes: usize,
+    /// Effective budget in milliseconds after the daemon default is
+    /// applied (0 = unlimited) — the watchdog's stuck-job reference.
+    budget_ms: u64,
+}
+
+/// Why [`JobQueue::push`] handed the job back instead of queuing it.
+enum Refusal {
+    /// The daemon is shutting down.
+    Closed,
+    /// The queue already holds `max_queue_depth` jobs.
+    Depth,
+    /// Admitting the job would exceed `max_queued_bytes`.
+    Bytes,
 }
 
 #[derive(Default)]
 struct QueueState {
     high: VecDeque<Queued>,
     normal: VecDeque<Queued>,
+    /// Sum of `bytes` across both queues.
+    queued_bytes: usize,
     closed: bool,
 }
 
@@ -83,9 +146,27 @@ impl QueueState {
     fn depth(&self) -> usize {
         self.high.len() + self.normal.len()
     }
+
+    fn record_gauges(&self) {
+        telemetry::record_gauge("serve.queue_depth", self.depth() as f64);
+        telemetry::record_gauge("serve.queued_bytes", self.queued_bytes as f64);
+    }
 }
 
-/// Two-priority MPMC job queue with a close latch for clean shutdown.
+/// One [`JobQueue::pop_one`] outcome.
+enum Popped {
+    /// A live job: run it.
+    Job(Queued),
+    /// The job's deadline expired while it queued: refuse it without
+    /// planning (the caller sheds it with
+    /// [`ShedReason::DeadlineExpired`]) and pop again.
+    Expired(Queued),
+    /// Closed and drained: the executor exits.
+    Closed,
+}
+
+/// Two-priority MPMC job queue with bounded admission and a close latch
+/// for clean shutdown.
 struct JobQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
@@ -103,39 +184,94 @@ impl JobQueue {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Enqueue a job; `Err(job)` if the queue is closed.
-    // The large Err variant is the point: a closed queue hands the job
-    // back to the caller so its reply channel can carry the refusal.
+    /// Enqueue a job, bounding normal-priority admission by depth and
+    /// bytes; `Err` hands the job back with the refusal reason so the
+    /// caller's reply channel can carry it. High-priority jobs bypass
+    /// the bounds (only `Closed` can refuse them), so a high job is
+    /// never shed while normals are admitted.
+    // The large Err variant is the point: a refused job goes back to
+    // the caller so its reply channel can carry the refusal.
     #[allow(clippy::result_large_err)]
-    fn push(&self, job: Queued) -> std::result::Result<(), Queued> {
+    fn push(
+        &self,
+        job: Queued,
+        max_depth: usize,
+        max_bytes: usize,
+    ) -> std::result::Result<(), (Queued, Refusal)> {
         let mut s = self.lock();
         if s.closed {
-            return Err(job);
+            return Err((job, Refusal::Closed));
         }
-        match job.req.priority {
-            super::protocol::Priority::High => s.high.push_back(job),
-            super::protocol::Priority::Normal => s.normal.push_back(job),
+        let high = matches!(job.req.priority, super::protocol::Priority::High);
+        if !high {
+            if s.depth() >= max_depth {
+                return Err((job, Refusal::Depth));
+            }
+            if s.queued_bytes.saturating_add(job.bytes) > max_bytes {
+                return Err((job, Refusal::Bytes));
+            }
         }
-        telemetry::record_gauge("serve.queue_depth", s.depth() as f64);
+        s.queued_bytes = s.queued_bytes.saturating_add(job.bytes);
+        if high {
+            s.high.push_back(job);
+        } else {
+            s.normal.push_back(job);
+        }
+        s.record_gauges();
         drop(s);
         self.cv.notify_one();
         Ok(())
     }
 
-    /// Block until a job is available (high priority first) or the
-    /// queue is closed *and* drained (`None`).
-    fn pop(&self) -> Option<Queued> {
+    /// Block until a job is available (high priority first, FIFO within
+    /// a class) or the queue is closed *and* drained. A popped job whose
+    /// budget is already exhausted comes back as [`Popped::Expired`] so
+    /// the caller can refuse it before any planning happens.
+    fn pop_one(&self) -> Popped {
         let mut s = self.lock();
         loop {
             if let Some(job) = s.high.pop_front().or_else(|| s.normal.pop_front()) {
-                telemetry::record_gauge("serve.queue_depth", s.depth() as f64);
-                return Some(job);
+                s.queued_bytes = s.queued_bytes.saturating_sub(job.bytes);
+                s.record_gauges();
+                return if job.budget.exhausted() {
+                    Popped::Expired(job)
+                } else {
+                    Popped::Job(job)
+                };
             }
             if s.closed {
-                return None;
+                return Popped::Closed;
             }
             s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Remove every queued job whose budget is already exhausted — the
+    /// watchdog's periodic sweep, so a deep-queued expired job gets its
+    /// refusal *now* instead of when an executor finally reaches it.
+    fn sweep_expired(&self) -> Vec<Queued> {
+        let mut out = Vec::new();
+        let mut freed = 0usize;
+        let mut guard = self.lock();
+        let s = &mut *guard;
+        for dq in [&mut s.high, &mut s.normal] {
+            let mut i = 0;
+            while i < dq.len() {
+                if dq[i].budget.exhausted() {
+                    if let Some(job) = dq.remove(i) {
+                        freed += job.bytes;
+                        out.push(job);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if !out.is_empty() {
+            s.queued_bytes = s.queued_bytes.saturating_sub(freed);
+            s.record_gauges();
+        }
+        out
     }
 
     /// Stop admitting jobs; wake every waiting executor so the drain
@@ -146,13 +282,29 @@ impl JobQueue {
     }
 }
 
-/// State shared by the accept loop, connection readers, and executors.
+/// A running job, registered by its executor for the watchdog.
+struct InFlight {
+    budget: RunBudget,
+    started: Instant,
+    /// Effective budget in milliseconds (0 = unlimited, never
+    /// watchdog-cancelled).
+    budget_ms: u64,
+    tag: u64,
+}
+
+/// State shared by the accept loop, connection readers, executors, and
+/// the watchdog.
 struct Daemon {
     engine: ServeEngine,
     queue: JobQueue,
     stop: AtomicBool,
     default_budget_ms: u64,
     next_request_id: AtomicU64,
+    max_queue_depth: usize,
+    max_queued_bytes: usize,
+    watchdog_multiple: u32,
+    executors: usize,
+    inflight: Mutex<HashMap<u64, InFlight>>,
 }
 
 impl Daemon {
@@ -163,18 +315,99 @@ impl Daemon {
             stop: AtomicBool::new(false),
             default_budget_ms: opts.default_budget_ms,
             next_request_id: AtomicU64::new(1),
+            max_queue_depth: opts.max_queue_depth,
+            max_queued_bytes: opts.max_queued_bytes,
+            watchdog_multiple: opts.watchdog_multiple,
+            executors: opts.executors.max(1),
+            inflight: Mutex::new(HashMap::new()),
         })
     }
 
-    /// Trace id for a submission: the client's tag when nonzero (so a
-    /// client can correlate its own traces), else the next value of a
-    /// daemon-wide counter.
+    /// Trace id for a submission: the client's tag when it is nonzero
+    /// and outside the daemon's reserved namespace (so a client can
+    /// correlate its own traces), else a daemon-assigned id with
+    /// [`DAEMON_ID_BIT`] set. The namespacing means two clients — one
+    /// silent (tag 0) and one whose tags happen to collide with the
+    /// counter — can never alias each other's traces.
     fn request_id_for(&self, req: &JobRequest) -> u64 {
-        if req.tag != 0 {
+        if req.tag != 0 && req.tag & DAEMON_ID_BIT == 0 {
             req.tag
         } else {
-            self.next_request_id.fetch_add(1, Ordering::Relaxed)
+            self.next_request_id.fetch_add(1, Ordering::Relaxed) | DAEMON_ID_BIT
         }
+    }
+
+    /// Admit or refuse one submission. Refusals reply immediately:
+    /// `Overloaded` (with a back-off hint) for queue bounds, a
+    /// protocol-category error when shutting down.
+    fn admit(&self, job: Queued) {
+        let request_id = job.request_id;
+        let tag = job.req.tag;
+        let detail = format!("n={} priority={:?}", job.req.n, job.req.priority);
+        match self
+            .queue
+            .push(job, self.max_queue_depth, self.max_queued_bytes)
+        {
+            Ok(()) => {
+                telemetry::flight::record(
+                    telemetry::FlightKind::JobAdmitted,
+                    request_id,
+                    tag,
+                    &detail,
+                );
+            }
+            Err((job, Refusal::Closed)) => send(
+                &job.reply,
+                &Frame::Error(ErrorFrame {
+                    tag,
+                    category: ErrorCategory::Protocol,
+                    message: "daemon is shutting down".into(),
+                }),
+                request_id,
+                tag,
+            ),
+            Err((job, Refusal::Depth)) => self.shed(job, ShedReason::QueueDepth),
+            Err((job, Refusal::Bytes)) => self.shed(job, ShedReason::QueueBytes),
+        }
+    }
+
+    /// Refuse a job with an `Overloaded` frame: count it
+    /// (`serve.shed.{depth,bytes,expired}`), flight-record it, and
+    /// reply with the back-off hint. The frame build runs under
+    /// `catch_unwind` (the `serve.shed` fault point fires inside), so
+    /// an injected panic degrades to a plain execution-error frame and
+    /// the calling thread — reader or watchdog — survives.
+    fn shed(&self, job: Queued, reason: ShedReason) {
+        telemetry::record_counter(&format!("serve.shed.{}", reason.label()), 1);
+        telemetry::flight::record(
+            telemetry::FlightKind::JobShed,
+            job.request_id,
+            job.req.tag,
+            reason.label(),
+        );
+        let tag = job.req.tag;
+        let depth = self.queue.lock().depth() as u32;
+        let retry_after_ms = self.engine.estimated_retry_after_ms(depth, self.executors);
+        let frame = catch_unwind(AssertUnwindSafe(|| {
+            faultpoint!(crate::fault::SERVE_SHED);
+            Frame::Overloaded(OverloadFrame {
+                tag,
+                reason,
+                retry_after_ms,
+                message: format!(
+                    "job {tag} shed ({}): retry in ≥{retry_after_ms} ms",
+                    reason.label()
+                ),
+            })
+        }));
+        let frame = frame.unwrap_or_else(|_| {
+            Frame::Error(ErrorFrame {
+                tag,
+                category: ErrorCategory::Execution,
+                message: "internal panic while shedding job (contained)".into(),
+            })
+        });
+        send(&job.reply, &frame, job.request_id, tag);
     }
 
     /// Answer a `StatsRequest`: queue depths under the queue's own
@@ -188,12 +421,18 @@ impl Daemon {
         self.engine.stats_snapshot(depth, high)
     }
 
-    fn budget_for(&self, req: &JobRequest) -> RunBudget {
-        let ms = if req.budget_ms > 0 {
+    /// The effective per-job budget in milliseconds after the daemon
+    /// default is applied (0 = unlimited).
+    fn effective_budget_ms(&self, req: &JobRequest) -> u64 {
+        if req.budget_ms > 0 {
             u64::from(req.budget_ms)
         } else {
             self.default_budget_ms
-        };
+        }
+    }
+
+    fn budget_for(&self, req: &JobRequest) -> RunBudget {
+        let ms = self.effective_budget_ms(req);
         if ms > 0 {
             RunBudget::with_time_ms(ms)
         } else {
@@ -207,17 +446,47 @@ impl Daemon {
     }
 }
 
-fn send(reply: &Reply, frame: &Frame) {
+/// Write a reply frame. A vanished client is not a daemon error, but it
+/// must be *diagnosable*: a failed write bumps `serve.replies_dropped`
+/// and flight-records `reply_dropped`, so `jigsaw top` shows where the
+/// answers went.
+fn send(reply: &Reply, frame: &Frame, request_id: u64, tag: u64) {
     let mut w = reply.lock().unwrap_or_else(|e| e.into_inner());
-    // A vanished client is not a daemon error; drop the frame.
-    let _ = write_frame(&mut **w, frame);
+    if write_frame(&mut **w, frame).is_err() {
+        telemetry::record_counter("serve.replies_dropped", 1);
+        telemetry::flight::record(
+            telemetry::FlightKind::ReplyDropped,
+            request_id,
+            tag,
+            frame_name(frame),
+        );
+    }
 }
 
-/// One executor thread: pop → execute → reply, until closed and drained.
+/// One executor thread: pop → execute → reply, until closed and
+/// drained. Expired jobs are refused without planning; live jobs are
+/// registered with the watchdog for the duration of their run.
 fn run_executor(d: &Daemon) {
-    while let Some(job) = d.queue.pop() {
+    loop {
+        let job = match d.queue.pop_one() {
+            Popped::Job(job) => job,
+            Popped::Expired(job) => {
+                d.shed(job, ShedReason::DeadlineExpired);
+                continue;
+            }
+            Popped::Closed => return,
+        };
         d.engine
             .note_queue_wait(job.req.priority, job.enqueued.elapsed().as_nanos() as u64);
+        d.inflight.lock().unwrap_or_else(|e| e.into_inner()).insert(
+            job.request_id,
+            InFlight {
+                budget: job.budget.clone(),
+                started: Instant::now(),
+                budget_ms: job.budget_ms,
+                tag: job.req.tag,
+            },
+        );
         let frame = match d
             .engine
             .execute_traced(&job.req, &job.budget, job.request_id)
@@ -225,8 +494,69 @@ fn run_executor(d: &Daemon) {
             Ok(res) => Frame::Result(res),
             Err(err) => Frame::Error(err),
         };
-        send(&job.reply, &frame);
+        d.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&job.request_id);
+        send(&job.reply, &frame, job.request_id, job.req.tag);
     }
+}
+
+/// One watchdog tick: sweep expired jobs out of the queue and cancel
+/// the budgets of running jobs that blew their deadline or exceeded
+/// `watchdog_multiple ×` their budget. The body runs under
+/// `catch_unwind` (the `serve.watchdog` fault point fires inside); a
+/// panic is counted in `serve.watchdog.panics` and the thread keeps
+/// ticking.
+fn watchdog_tick(d: &Daemon) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        faultpoint!(crate::fault::SERVE_WATCHDOG);
+        for job in d.queue.sweep_expired() {
+            d.shed(job, ShedReason::DeadlineExpired);
+        }
+        let inflight = d.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        for (request_id, f) in inflight.iter() {
+            if f.budget.is_cancelled() {
+                continue;
+            }
+            let deadline_blown = f.budget.exhausted();
+            let stuck = f.budget_ms > 0
+                && f.started.elapsed()
+                    >= Duration::from_millis(
+                        f.budget_ms.saturating_mul(u64::from(d.watchdog_multiple)),
+                    );
+            if deadline_blown || stuck {
+                f.budget.cancel();
+                telemetry::record_counter("serve.watchdog.cancels", 1);
+                telemetry::flight::record(
+                    telemetry::FlightKind::WatchdogFired,
+                    *request_id,
+                    f.tag,
+                    if stuck {
+                        "stuck: exceeded watchdog multiple of budget"
+                    } else {
+                        "deadline passed mid-job; budget cancelled"
+                    },
+                );
+            }
+        }
+    }));
+    if outcome.is_err() {
+        telemetry::record_counter("serve.watchdog.panics", 1);
+    }
+}
+
+fn spawn_watchdog(d: &Arc<Daemon>) -> std::thread::JoinHandle<()> {
+    let d = Arc::clone(d);
+    std::thread::Builder::new()
+        .name("jigsaw-serve-watchdog".into())
+        .spawn(move || {
+            while !d.stop.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(WATCHDOG_TICK_MS));
+                watchdog_tick(&d);
+            }
+        })
+        .unwrap_or_else(|e| panic!("spawning watchdog: {e}"))
 }
 
 /// Drive one client connection: parse frames off `reader`, answering on
@@ -236,46 +566,35 @@ fn run_executor(d: &Daemon) {
 fn handle_connection<R: Read>(d: &Daemon, mut reader: R, reply: Reply, shutdown_on_eof: bool) {
     loop {
         match read_frame(&mut reader) {
-            Ok(Frame::Ping) => send(&reply, &Frame::Pong),
+            Ok(Frame::Ping) => send(&reply, &Frame::Pong, 0, 0),
             Ok(Frame::Submit(req)) => {
                 let budget = d.budget_for(&req);
                 let request_id = d.request_id_for(&req);
-                telemetry::flight::record(
-                    telemetry::FlightKind::JobAdmitted,
-                    request_id,
-                    req.tag,
-                    &format!("n={} priority={:?}", req.n, req.priority),
-                );
-                let job = Queued {
+                let bytes = req.approx_bytes();
+                let budget_ms = d.effective_budget_ms(&req);
+                d.admit(Queued {
                     req,
                     budget,
                     reply: Arc::clone(&reply),
                     enqueued: Instant::now(),
                     request_id,
-                };
-                if let Err(rejected) = d.queue.push(job) {
-                    send(
-                        &reply,
-                        &Frame::Error(ErrorFrame {
-                            tag: rejected.req.tag,
-                            category: ErrorCategory::Protocol,
-                            message: "daemon is shutting down".into(),
-                        }),
-                    );
-                }
+                    bytes,
+                    budget_ms,
+                });
             }
             Ok(Frame::StatsRequest) => {
                 // Answered inline on the reader thread: a stats scrape
                 // must never queue behind (or block) job execution.
-                send(&reply, &Frame::StatsReply(Box::new(d.stats())));
+                send(&reply, &Frame::StatsReply(Box::new(d.stats())), 0, 0);
             }
             Ok(Frame::Shutdown) => {
-                send(&reply, &Frame::Pong);
+                send(&reply, &Frame::Pong, 0, 0);
                 d.initiate_shutdown();
                 return;
             }
             Ok(other) => {
-                // Result/Error/Pong are daemon→client frames only.
+                // Result/Error/Pong/Overloaded are daemon→client frames
+                // only.
                 send(
                     &reply,
                     &Frame::Error(ErrorFrame {
@@ -283,6 +602,8 @@ fn handle_connection<R: Read>(d: &Daemon, mut reader: R, reply: Reply, shutdown_
                         category: ErrorCategory::Protocol,
                         message: format!("unexpected client frame {:?}", frame_name(&other)),
                     }),
+                    0,
+                    0,
                 );
             }
             Err(ProtocolError::Eof) => {
@@ -302,6 +623,8 @@ fn handle_connection<R: Read>(d: &Daemon, mut reader: R, reply: Reply, shutdown_
                         category: ErrorCategory::Protocol,
                         message: m,
                     }),
+                    0,
+                    0,
                 );
                 if shutdown_on_eof {
                     d.initiate_shutdown();
@@ -328,6 +651,7 @@ fn frame_name(f: &Frame) -> &'static str {
         Frame::Shutdown => "shutdown",
         Frame::StatsRequest => "stats_request",
         Frame::StatsReply(_) => "stats_reply",
+        Frame::Overloaded(_) => "overloaded",
     }
 }
 
@@ -354,6 +678,7 @@ pub fn serve_unix(path: &Path, opts: &ServeOptions) -> Result<()> {
         .map_err(|e| Error::Data(format!("configuring listener: {e}")))?;
     let d = Daemon::new(opts);
     let executors = spawn_executors(&d, opts.executors);
+    let watchdog = spawn_watchdog(&d);
 
     while !d.stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -379,6 +704,7 @@ pub fn serve_unix(path: &Path, opts: &ServeOptions) -> Result<()> {
                 for h in executors {
                     let _ = h.join();
                 }
+                let _ = watchdog.join();
                 let _ = std::fs::remove_file(path);
                 return Err(Error::Data(format!("accept failed: {e}")));
             }
@@ -388,6 +714,7 @@ pub fn serve_unix(path: &Path, opts: &ServeOptions) -> Result<()> {
     for h in executors {
         let _ = h.join();
     }
+    let _ = watchdog.join();
     let _ = std::fs::remove_file(path);
     Ok(())
 }
@@ -398,12 +725,14 @@ pub fn serve_unix(path: &Path, opts: &ServeOptions) -> Result<()> {
 pub fn serve_stdio(opts: &ServeOptions) -> Result<()> {
     let d = Daemon::new(opts);
     let executors = spawn_executors(&d, opts.executors);
+    let watchdog = spawn_watchdog(&d);
     let reply: Reply = Arc::new(Mutex::new(Box::new(std::io::stdout())));
     handle_connection(&d, std::io::stdin(), reply, true);
     d.initiate_shutdown();
     for h in executors {
         let _ = h.join();
     }
+    let _ = watchdog.join();
     Ok(())
 }
 
@@ -417,12 +746,14 @@ pub fn serve_stream<R: Read, W: Write + Send + 'static>(
 ) -> Result<()> {
     let d = Daemon::new(opts);
     let executors = spawn_executors(&d, opts.executors);
+    let watchdog = spawn_watchdog(&d);
     let reply: Reply = Arc::new(Mutex::new(Box::new(writer)));
     handle_connection(&d, reader, reply, true);
     d.initiate_shutdown();
     for h in executors {
         let _ = h.join();
     }
+    let _ = watchdog.join();
     Ok(())
 }
 
@@ -569,6 +900,310 @@ mod tests {
             }
             other => panic!("expected protocol error frame, got {other:?}"),
         }
+    }
+
+    fn queued(tag: u64, priority: Priority, budget: RunBudget, out: &SharedBuf) -> Queued {
+        let req = request(tag, priority);
+        let bytes = req.approx_bytes();
+        Queued {
+            req,
+            budget,
+            reply: Arc::new(Mutex::new(Box::new(out.clone()))),
+            enqueued: Instant::now(),
+            request_id: tag | DAEMON_ID_BIT,
+            bytes,
+            budget_ms: 0,
+        }
+    }
+
+    fn empty_buf() -> SharedBuf {
+        SharedBuf(Arc::new(Mutex::new(Vec::new())))
+    }
+
+    #[test]
+    fn daemon_assigned_request_ids_are_namespaced() {
+        let d = Daemon::new(&ServeOptions::default());
+        // Tag 0: daemon-assigned, high bit set, distinct per submit.
+        let zero = request(0, Priority::Normal);
+        let id1 = d.request_id_for(&zero);
+        let id2 = d.request_id_for(&zero);
+        assert_ne!(id1 & DAEMON_ID_BIT, 0);
+        assert_ne!(id2 & DAEMON_ID_BIT, 0);
+        assert_ne!(id1, id2);
+        // A client tag that strays into the reserved namespace is
+        // re-assigned instead of aliasing daemon-assigned ids.
+        let strayed = request(DAEMON_ID_BIT | 7, Priority::Normal);
+        let id3 = d.request_id_for(&strayed);
+        assert_ne!(id3, DAEMON_ID_BIT | 7);
+        assert_ne!(id3 & DAEMON_ID_BIT, 0);
+        // An ordinary nonzero tag is used verbatim.
+        assert_eq!(d.request_id_for(&request(42, Priority::Normal)), 42);
+    }
+
+    #[test]
+    fn property_bounds_never_shed_high_and_preserve_fifo() {
+        jigsaw_testkit::cases!(24, |rng| {
+            let q = JobQueue::new();
+            let max_depth = rng.usize_range(1, 6);
+            let out = empty_buf();
+            let mut expect_high = Vec::new();
+            let mut expect_normal = Vec::new();
+            let n_jobs = rng.usize_range(1, 20);
+            for i in 0..n_jobs {
+                let tag = i as u64 + 1;
+                let high = rng.bool(0.4);
+                let pr = if high {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                let job = queued(tag, pr, RunBudget::unlimited(), &out);
+                match q.push(job, max_depth, usize::MAX) {
+                    Ok(()) => {
+                        if high {
+                            expect_high.push(tag);
+                        } else {
+                            expect_normal.push(tag);
+                        }
+                    }
+                    Err((job, Refusal::Depth)) => {
+                        assert!(
+                            !matches!(job.req.priority, Priority::High),
+                            "high-priority job {tag} shed by the depth bound"
+                        );
+                    }
+                    Err(_) => panic!("unexpected refusal for job {tag}"),
+                }
+            }
+            // Drain: high first, FIFO within each class, shedding
+            // notwithstanding.
+            q.close();
+            let mut drained = Vec::new();
+            loop {
+                match q.pop_one() {
+                    Popped::Job(j) => drained.push(j.req.tag),
+                    Popped::Expired(j) => panic!("unlimited job {} expired", j.req.tag),
+                    Popped::Closed => break,
+                }
+            }
+            let mut expected = expect_high;
+            expected.extend_from_slice(&expect_normal);
+            assert_eq!(drained, expected);
+        });
+    }
+
+    #[test]
+    fn property_byte_ledger_bounds_normal_admission() {
+        jigsaw_testkit::cases!(16, |rng| {
+            let q = JobQueue::new();
+            let out = empty_buf();
+            let per_job = request(1, Priority::Normal).approx_bytes();
+            let cap_jobs = rng.usize_range(1, 5);
+            let max_bytes = per_job * cap_jobs;
+            let mut admitted = 0usize;
+            for i in 0..8 {
+                let job = queued(i + 1, Priority::Normal, RunBudget::unlimited(), &out);
+                match q.push(job, usize::MAX, max_bytes) {
+                    Ok(()) => admitted += 1,
+                    Err((_, Refusal::Bytes)) => {}
+                    Err(_) => panic!("unexpected refusal"),
+                }
+            }
+            assert_eq!(
+                admitted,
+                cap_jobs.min(8),
+                "ledger admits exactly the byte budget"
+            );
+            // High priority bypasses the byte bound even when full.
+            let high = queued(99, Priority::High, RunBudget::unlimited(), &out);
+            assert!(q.push(high, usize::MAX, max_bytes).is_ok());
+        });
+    }
+
+    #[test]
+    fn expired_jobs_are_swept_and_popped_as_expired() {
+        let q = JobQueue::new();
+        let out = empty_buf();
+        q.push(
+            queued(1, Priority::Normal, RunBudget::with_time_ms(0), &out),
+            16,
+            usize::MAX,
+        )
+        .unwrap_or_else(|_| panic!("push refused"));
+        q.push(
+            queued(2, Priority::Normal, RunBudget::unlimited(), &out),
+            16,
+            usize::MAX,
+        )
+        .unwrap_or_else(|_| panic!("push refused"));
+        // The sweep pulls only the expired job, deep-queue position
+        // notwithstanding.
+        let swept = q.sweep_expired();
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].req.tag, 1);
+        // The live job still pops normally.
+        q.close();
+        match q.pop_one() {
+            Popped::Job(j) => assert_eq!(j.req.tag, 2),
+            _ => panic!("live job must pop as Job"),
+        }
+        assert!(matches!(q.pop_one(), Popped::Closed));
+        // pop_one itself also classifies expired jobs.
+        let q2 = JobQueue::new();
+        q2.push(
+            queued(3, Priority::Normal, RunBudget::with_time_ms(0), &out),
+            16,
+            usize::MAX,
+        )
+        .unwrap_or_else(|_| panic!("push refused"));
+        q2.close();
+        assert!(matches!(q2.pop_one(), Popped::Expired(_)));
+    }
+
+    #[test]
+    fn zero_depth_bound_sheds_normal_but_admits_high() {
+        let opts = ServeOptions {
+            max_queue_depth: 0,
+            executors: 1,
+            ..Default::default()
+        };
+        let replies = run_session(
+            &[
+                Frame::Submit(request(1, Priority::Normal)),
+                Frame::Submit(request(2, Priority::High)),
+                Frame::Shutdown,
+            ],
+            &opts,
+        );
+        let shed: Vec<&OverloadFrame> = replies
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Overloaded(o) => Some(o),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shed.len(), 1, "normal job shed exactly once: {replies:?}");
+        assert_eq!(shed[0].tag, 1);
+        assert_eq!(shed[0].reason, ShedReason::QueueDepth);
+        assert!(shed[0].retry_after_ms >= 25);
+        assert!(replies
+            .iter()
+            .any(|f| matches!(f, Frame::Result(JobResult { tag: 2, .. }))));
+    }
+
+    #[test]
+    fn zero_byte_bound_sheds_normal_with_bytes_reason() {
+        let opts = ServeOptions {
+            max_queued_bytes: 0,
+            executors: 1,
+            ..Default::default()
+        };
+        let replies = run_session(
+            &[Frame::Submit(request(5, Priority::Normal)), Frame::Shutdown],
+            &opts,
+        );
+        assert!(
+            replies.iter().any(|f| matches!(
+                f,
+                Frame::Overloaded(OverloadFrame {
+                    tag: 5,
+                    reason: ShedReason::QueueBytes,
+                    ..
+                })
+            )),
+            "{replies:?}"
+        );
+    }
+
+    #[test]
+    fn watchdog_cancels_blown_and_stuck_jobs_but_not_unlimited() {
+        let d = Daemon::new(&ServeOptions::default());
+        let blown = RunBudget::with_time_ms(0);
+        let stuck = RunBudget::unlimited();
+        let unlimited = RunBudget::unlimited();
+        let backdated = Instant::now() - Duration::from_millis(500);
+        let mut inflight = d.inflight.lock().unwrap();
+        inflight.insert(
+            DAEMON_ID_BIT | 1,
+            InFlight {
+                budget: blown.clone(),
+                started: Instant::now(),
+                budget_ms: 1,
+                tag: 1,
+            },
+        );
+        inflight.insert(
+            DAEMON_ID_BIT | 2,
+            InFlight {
+                budget: stuck.clone(),
+                started: backdated,
+                budget_ms: 1,
+                tag: 2,
+            },
+        );
+        inflight.insert(
+            DAEMON_ID_BIT | 3,
+            InFlight {
+                budget: unlimited.clone(),
+                started: backdated,
+                budget_ms: 0,
+                tag: 3,
+            },
+        );
+        drop(inflight);
+        watchdog_tick(&d);
+        assert!(blown.is_cancelled(), "deadline-blown job cancelled");
+        assert!(
+            stuck.is_cancelled(),
+            "stuck job cancelled past the multiple"
+        );
+        assert!(
+            !unlimited.is_cancelled(),
+            "unlimited jobs are never watchdog-cancelled"
+        );
+        // A second tick is idempotent: already-cancelled jobs are
+        // skipped, not re-fired.
+        watchdog_tick(&d);
+    }
+
+    /// A client that vanished: every write fails.
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "client gone",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dropped_replies_are_counted_and_flight_recorded() {
+        telemetry::set_enabled(true);
+        let counter_value = || {
+            telemetry::global()
+                .snapshot()
+                .counters
+                .iter()
+                .find(|(n, _)| n == "serve.replies_dropped")
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let before = counter_value();
+        let reply: Reply = Arc::new(Mutex::new(Box::new(FailingWriter)));
+        send(&reply, &Frame::Pong, DAEMON_ID_BIT | 77, 9);
+        assert_eq!(counter_value(), before + 1);
+        let tail = telemetry::flight::global().tail(telemetry::flight::FLIGHT_CAPACITY);
+        assert!(
+            tail.iter()
+                .any(|e| e.kind == telemetry::FlightKind::ReplyDropped
+                    && e.request_id == DAEMON_ID_BIT | 77),
+            "reply_dropped event missing from flight tail"
+        );
     }
 
     #[test]

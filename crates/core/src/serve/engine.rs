@@ -255,13 +255,49 @@ impl ServeEngine {
                 req.tag
             )));
         }
-        let image = Self::reconstruct(&cached, req)?;
+        let image = {
+            // Arm the cooperative checkpoints in the gridding / FFT /
+            // per-coil hot loops for the duration of the numeric body:
+            // if the watchdog cancels this budget, the loops bail at
+            // the next chunk boundary and the partial result is
+            // discarded here.
+            let _scope = budget.enter_scope();
+            Self::reconstruct(&cached, req)?
+        };
+        if budget.is_cancelled() || budget.exhausted() {
+            // The deadline passed (or the watchdog fired) after the
+            // last checkpoint but before we could reply: a late result
+            // is as useless to the client as no result. Discard it so
+            // accepted jobs never complete past their deadline by more
+            // than one chunk epsilon.
+            return Err(Error::Budget(format!(
+                "job {} deadline passed during reconstruction; partial result discarded",
+                req.tag
+            )));
+        }
         Ok(JobResult {
             tag: req.tag,
             cache_hit,
             n: req.n,
             image,
         })
+    }
+
+    /// The back-off hint carried by an `Overloaded` refusal: estimated
+    /// queue drain time — the last-60s median job latency times the
+    /// number of queued jobs per executor — clamped to `[25, 30000]` ms.
+    /// A cold daemon (empty latency window) suggests a flat 100 ms.
+    pub fn estimated_retry_after_ms(&self, queue_depth: u32, executors: usize) -> u32 {
+        let hist = self.latency_window.snapshot_at(telemetry::now_ns());
+        if hist.count == 0 {
+            return 100;
+        }
+        let p50_ns = hist.quantile_estimate(0.5);
+        let waves = (queue_depth as u64)
+            .div_ceil(executors.max(1) as u64)
+            .max(1);
+        let est_ms = (p50_ns * waves as f64 / 1e6).ceil() as u64;
+        est_ms.clamp(25, 30_000) as u32
     }
 
     /// The numeric body: planned batched adjoint on the shared worker
@@ -362,6 +398,44 @@ mod tests {
         assert_eq!(e.category, ErrorCategory::Budget);
         // The refused job must not have touched the cache.
         assert_eq!(engine.cache().len(), 0);
+    }
+
+    #[test]
+    fn watchdog_style_cancellation_stops_a_job_mid_run() {
+        let engine = ServeEngine::new(2);
+        // A large job (256² grid, thousands of samples) so the numeric
+        // body is comfortably longer than the cancellation delay.
+        let req = radial_request(41, 256, 5);
+        let budget = RunBudget::unlimited();
+        let flag = budget.cancel_flag();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            flag.cancel();
+        });
+        let e = engine.execute(&req, &budget).unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(e.tag, 41);
+        assert_eq!(e.category, ErrorCategory::Budget);
+        // Same engine afterwards: a fresh budget runs the job cleanly —
+        // cancellation left no poisoned state behind.
+        let small = radial_request(42, 16, 6);
+        let res = engine.execute(&small, &RunBudget::unlimited()).unwrap();
+        assert_eq!(res.tag, 42);
+    }
+
+    #[test]
+    fn retry_hint_is_clamped_and_defaults_when_cold() {
+        let engine = ServeEngine::new(2);
+        // Cold engine: empty latency window → flat default.
+        assert_eq!(engine.estimated_retry_after_ms(10, 2), 100);
+        // Warm the window with a real job, then check the clamp bounds.
+        telemetry::set_enabled(true);
+        let req = radial_request(51, 16, 7);
+        engine.execute(&req, &RunBudget::unlimited()).unwrap();
+        let hint = engine.estimated_retry_after_ms(1, 2);
+        assert!((25..=30_000).contains(&hint), "hint {hint} out of clamp");
+        // A pathological queue depth still clamps at the ceiling.
+        assert_eq!(engine.estimated_retry_after_ms(u32::MAX, 1), 30_000);
     }
 
     #[test]

@@ -27,10 +27,20 @@
 //! a version byte for future widening.
 //!
 //! Telemetry: `serve.cache.{hit,miss,evict}` counters,
-//! `serve.queue_depth` gauge, `serve.jobs` / `serve.job_errors`
+//! `serve.queue_depth` / `serve.queued_bytes` gauges, `serve.jobs` /
+//! `serve.job_errors` / `serve.shed.{depth,bytes,expired}` /
+//! `serve.replies_dropped` / `serve.watchdog.{cancels,panics}`
 //! counters, and `serve.job_latency_ns` / `serve.queue_wait_ns`
-//! histograms. Fault sites: [`crate::fault::SERVE_JOB`] and
-//! [`crate::fault::SERVE_CACHE`].
+//! histograms. Fault sites: [`crate::fault::SERVE_JOB`],
+//! [`crate::fault::SERVE_CACHE`], [`crate::fault::SERVE_SHED`], and
+//! [`crate::fault::SERVE_WATCHDOG`].
+//!
+//! Overload resilience: admission is bounded
+//! ([`ServeOptions::max_queue_depth`] / `max_queued_bytes`), refused
+//! jobs get an [`protocol::OverloadFrame`] with a `retry_after_ms`
+//! hint, expired jobs are swept before planning, and a watchdog thread
+//! cancels blown or stuck budgets so the gridding/FFT hot loops bail at
+//! their next cooperative checkpoint (see [`crate::budget`]).
 //!
 //! Live introspection: [`stats`] defines the versioned
 //! [`stats::StatsSnapshot`] answered over the wire by the
@@ -50,10 +60,11 @@ pub mod stats;
 pub use cache::{
     plan_key, toeplitz_key, trajectory_hash, weights_hash, CachedPlan, PlanCache, PlanKey,
 };
-pub use client::ServeClient;
-pub use daemon::{serve_stdio, serve_stream, serve_unix, ServeOptions};
+pub use client::{RetryPolicy, ServeClient};
+pub use daemon::{serve_stdio, serve_stream, serve_unix, ServeOptions, DAEMON_ID_BIT};
 pub use engine::ServeEngine;
 pub use protocol::{
-    ErrorCategory, ErrorFrame, Frame, JobRequest, JobResult, Priority, ProtocolError,
+    ErrorCategory, ErrorFrame, Frame, JobRequest, JobResult, OverloadFrame, Priority,
+    ProtocolError, ShedReason,
 };
 pub use stats::{CacheStats, StatsSnapshot, WindowStats, WorkerStats, STATS_VERSION};

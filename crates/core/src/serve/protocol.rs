@@ -21,6 +21,7 @@
 //! | 6    | `Shutdown` | (empty)                                          |
 //! | 7    | `StatsRequest` | (empty)                                      |
 //! | 8    | `StatsReply`   | versioned [`StatsSnapshot`] (layout below)   |
+//! | 9    | `Overloaded`   | tag u64 · reason u8 · 0 u8 · retry_after_ms u32 · msg_len u32 · msg UTF-8 |
 //!
 //! The `StatsReply` payload (strings are `u32` length + UTF-8 bytes;
 //! histograms are `count u64 · sum u64 · nb u32 · nb×(lo u64 · hi u64 ·
@@ -111,6 +112,10 @@ pub enum ErrorCategory {
     Budget,
     /// The client's bytes violated the frame grammar.
     Protocol,
+    /// The daemon refused the job under load (see [`OverloadFrame`] —
+    /// dedicated frame kind 9 carries the structured refusal; this
+    /// category exists so clients and the CLI can classify it).
+    Overloaded,
 }
 
 impl ErrorCategory {
@@ -122,6 +127,7 @@ impl ErrorCategory {
             ErrorCategory::Execution => 4,
             ErrorCategory::Budget => 5,
             ErrorCategory::Protocol => 6,
+            ErrorCategory::Overloaded => 7,
         }
     }
 
@@ -133,6 +139,7 @@ impl ErrorCategory {
             4 => Some(ErrorCategory::Execution),
             5 => Some(ErrorCategory::Budget),
             6 => Some(ErrorCategory::Protocol),
+            7 => Some(ErrorCategory::Overloaded),
             _ => None,
         }
     }
@@ -167,6 +174,17 @@ pub struct JobRequest {
     pub values: Vec<C64>,
 }
 
+impl JobRequest {
+    /// Rough resident cost of holding this job queued: the sample
+    /// arrays (32 bytes per sample) plus the `n²` complex image (16
+    /// bytes per pixel) an executor will allocate to answer it. Used by
+    /// the daemon's `max_queued_bytes` admission ledger.
+    pub fn approx_bytes(&self) -> usize {
+        32 * self.coords.len().max(self.values.len())
+            + 16 * (self.n as usize).saturating_mul(self.n as usize)
+    }
+}
+
 /// A completed job: the reconstructed `n × n` image, row-major.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
@@ -178,6 +196,66 @@ pub struct JobResult {
     pub n: u32,
     /// Row-major `n²` complex image.
     pub image: Vec<C64>,
+}
+
+/// Why an overloaded daemon refused a job without running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The queue already held `max_queue_depth` normal-priority jobs.
+    QueueDepth,
+    /// Admitting the job would push queued sample bytes past
+    /// `max_queued_bytes`.
+    QueueBytes,
+    /// The job's deadline had already expired before an executor could
+    /// start it (swept from the queue or refused at `pop`).
+    DeadlineExpired,
+}
+
+impl ShedReason {
+    /// Wire encoding.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ShedReason::QueueDepth => 1,
+            ShedReason::QueueBytes => 2,
+            ShedReason::DeadlineExpired => 3,
+        }
+    }
+
+    /// Decode the wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ShedReason::QueueDepth),
+            2 => Some(ShedReason::QueueBytes),
+            3 => Some(ShedReason::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase label for counters and dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueDepth => "depth",
+            ShedReason::QueueBytes => "bytes",
+            ShedReason::DeadlineExpired => "expired",
+        }
+    }
+}
+
+/// Daemon → client: the job was refused without running because the
+/// daemon is overloaded (bounded queue full, or the deadline already
+/// expired in queue). `retry_after_ms` is the daemon's estimate of when
+/// capacity will free up; a well-behaved client backs off at least that
+/// long before resubmitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverloadFrame {
+    /// The request's correlation tag.
+    pub tag: u64,
+    /// Why the job was shed.
+    pub reason: ShedReason,
+    /// Suggested client back-off before resubmitting, in milliseconds.
+    pub retry_after_ms: u32,
+    /// One-line human-readable message.
+    pub message: String,
 }
 
 /// A structured failure report for one job (or, with `tag = 0` and
@@ -213,6 +291,8 @@ pub enum Frame {
     /// Daemon → client: the introspection snapshot (boxed — it is an
     /// order of magnitude larger than every other variant).
     StatsReply(Box<StatsSnapshot>),
+    /// Daemon → client: job refused under load; retry after the hint.
+    Overloaded(OverloadFrame),
 }
 
 impl Frame {
@@ -226,6 +306,7 @@ impl Frame {
             Frame::Shutdown => 6,
             Frame::StatsRequest => 7,
             Frame::StatsReply(_) => 8,
+            Frame::Overloaded(_) => 9,
         }
     }
 }
@@ -376,6 +457,14 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             payload.extend_from_slice(err.message.as_bytes());
         }
         Frame::StatsReply(s) => push_stats(&mut payload, s),
+        Frame::Overloaded(o) => {
+            push_u64(&mut payload, o.tag);
+            payload.push(o.reason.as_u8());
+            payload.push(0);
+            push_u32(&mut payload, o.retry_after_ms);
+            push_u32(&mut payload, o.message.len() as u32);
+            payload.extend_from_slice(o.message.as_bytes());
+        }
         Frame::Ping | Frame::Pong | Frame::Shutdown | Frame::StatsRequest => {}
     }
     let mut out = Vec::with_capacity(10 + payload.len());
@@ -723,6 +812,25 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
             c.finish()?;
             Ok(Frame::StatsReply(Box::new(stats)))
         }
+        9 => {
+            let tag = c.u64()?;
+            let rb = c.u8()?;
+            let reason = ShedReason::from_u8(rb)
+                .ok_or_else(|| ProtocolError::Malformed(format!("bad shed reason {rb}")))?;
+            let _reserved = c.u8()?;
+            let retry_after_ms = c.u32()?;
+            let len = c.u32()? as usize;
+            let bytes = c.take(len)?;
+            let message = String::from_utf8(bytes.to_vec())
+                .map_err(|_| ProtocolError::Malformed("overload message is not UTF-8".into()))?;
+            c.finish()?;
+            Ok(Frame::Overloaded(OverloadFrame {
+                tag,
+                reason,
+                retry_after_ms,
+                message,
+            }))
+        }
         other => Err(ProtocolError::Malformed(format!(
             "unknown frame kind {other}"
         ))),
@@ -794,6 +902,91 @@ mod tests {
             message: "deadline blown ×2 µ".into(),
         });
         assert_eq!(round_trip(&err), err);
+    }
+
+    #[test]
+    fn overloaded_round_trips_retry_hint_bitwise() {
+        for reason in [
+            ShedReason::QueueDepth,
+            ShedReason::QueueBytes,
+            ShedReason::DeadlineExpired,
+        ] {
+            for retry_after_ms in [0u32, 1, 25, 100, 29_999, u32::MAX] {
+                let f = Frame::Overloaded(OverloadFrame {
+                    tag: 0x8000_0000_0000_0001,
+                    reason,
+                    retry_after_ms,
+                    message: "queue full: 1024 jobs deep µ".into(),
+                });
+                match round_trip(&f) {
+                    Frame::Overloaded(back) => {
+                        assert_eq!(back.reason, reason);
+                        // Bitwise: the hint must survive the wire exactly.
+                        assert_eq!(
+                            back.retry_after_ms.to_le_bytes(),
+                            retry_after_ms.to_le_bytes()
+                        );
+                        assert_eq!(Frame::Overloaded(back), f);
+                    }
+                    other => panic!("wrong frame {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overloaded_truncation_and_bad_reason_never_panic() {
+        let bytes = encode(&Frame::Overloaded(OverloadFrame {
+            tag: 42,
+            reason: ShedReason::QueueBytes,
+            retry_after_ms: 250,
+            message: "x".repeat(48),
+        }));
+        // Cut at every byte boundary: clean error, never a panic.
+        for cut in 0..bytes.len() {
+            let e = read_frame(&mut io::Cursor::new(bytes[..cut].to_vec())).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    ProtocolError::Io(_) | ProtocolError::Malformed(_) | ProtocolError::Eof
+                ),
+                "cut at {cut}: {e:?}"
+            );
+        }
+        // An unknown reason byte is Malformed, not a panic: the decoder
+        // stays total as new reasons append.
+        let mut bad = bytes.clone();
+        bad[10 + 8] = 0xEE;
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(bad)),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn overloaded_fuzz_decode_is_total() {
+        let bytes = encode(&Frame::Overloaded(OverloadFrame {
+            tag: 7,
+            reason: ShedReason::DeadlineExpired,
+            retry_after_ms: 1_000,
+            message: "deadline expired 12ms before pop".into(),
+        }));
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state
+        };
+        for _ in 0..2_000 {
+            let mut mutated = bytes.clone();
+            let flips = 1 + (next() % 4) as usize;
+            for _ in 0..flips {
+                let idx = (next() % mutated.len() as u64) as usize;
+                mutated[idx] ^= (next() & 0xFF) as u8;
+            }
+            let _ = read_frame(&mut io::Cursor::new(mutated));
+        }
     }
 
     #[test]
@@ -936,10 +1129,21 @@ mod tests {
         assert_eq!(ErrorCategory::Execution.as_u8(), 4);
         assert_eq!(ErrorCategory::Budget.as_u8(), 5);
         assert_eq!(ErrorCategory::Protocol.as_u8(), 6);
-        for b in [2u8, 3, 4, 5, 6] {
+        assert_eq!(ErrorCategory::Overloaded.as_u8(), 7);
+        for b in [2u8, 3, 4, 5, 6, 7] {
             assert_eq!(ErrorCategory::from_u8(b).map(|c| c.as_u8()), Some(b));
         }
-        assert_eq!(ErrorCategory::from_u8(7), None);
+        assert_eq!(ErrorCategory::from_u8(8), None);
+        for r in [
+            ShedReason::QueueDepth,
+            ShedReason::QueueBytes,
+            ShedReason::DeadlineExpired,
+        ] {
+            assert_eq!(ShedReason::from_u8(r.as_u8()), Some(r));
+            assert!(!r.label().is_empty());
+        }
+        assert_eq!(ShedReason::from_u8(0), None);
+        assert_eq!(ShedReason::from_u8(4), None);
         assert_eq!(Priority::from_u8(0), Some(Priority::Normal));
         assert_eq!(Priority::from_u8(1), Some(Priority::High));
         assert_eq!(Priority::from_u8(2), None);

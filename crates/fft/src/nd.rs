@@ -36,7 +36,7 @@ use crate::exec::{self, ExecError, Executor};
 use crate::{Direction, Fft1d};
 use jigsaw_num::{Complex, Float};
 use jigsaw_telemetry as telemetry;
-use jigsaw_testkit::faultpoint;
+use jigsaw_testkit::{cancel, faultpoint};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 
@@ -276,6 +276,12 @@ impl<T: Float> FftNd<T> {
         re_s.resize(max_lines * d, T::ZERO);
         im_s.resize(max_lines * d, T::ZERO);
         for p in &panels {
+            if cancel::cancelled() {
+                // Cooperative cancellation: stop between panels. `data` is
+                // left partially transformed; the budget owner that tripped
+                // the flag discards it (see `jigsaw_testkit::cancel`).
+                return;
+            }
             let re = &mut re_s[..p.lines * d];
             let im = &mut im_s[..p.lines * d];
             gather_panel(data, p, d, re, im);
@@ -345,6 +351,12 @@ impl<T: Float> FftNd<T> {
             if d == 1 {
                 continue;
             }
+            if cancel::cancelled() {
+                // Cancelled between axis passes: skip the remaining work.
+                // `data` stays partially transformed and is discarded by
+                // whoever tripped the budget flag.
+                return Ok(());
+            }
             let panels = self.panels_for_axis(axis);
             let span = axis_span(axis, d, panels.len());
             // One contiguous copy; jobs gather from the shared snapshot in
@@ -371,6 +383,14 @@ impl<T: Float> FftNd<T> {
                         // first half, im in the second.
                         let mut panel =
                             exec::take_vec::<T>(arena, exec::PANEL_KEY, 2 * p.lines * d, T::ZERO);
+                        if cancel::cancelled() {
+                            // Cancelled: skip the gather + batched FFTs, but
+                            // still report the (stale-content) panel so the
+                            // caller's completion accounting holds. The
+                            // scattered garbage is discarded with the job.
+                            let _ = tx.send((j, panel));
+                            return;
+                        }
                         let (re, im) = panel.split_at_mut(p.lines * d);
                         gather_panel(&src, &p, d, re, im);
                         let wl = plan.batch_scratch_len(p.lines);

@@ -45,6 +45,13 @@ pub enum FlightKind {
     FallbackTaken = 8,
     /// An armed fault point fired.
     FaultFired = 9,
+    /// An overloaded daemon refused a job (queue bounds or an
+    /// already-expired deadline).
+    JobShed = 10,
+    /// The stuck-job watchdog cancelled a job's budget.
+    WatchdogFired = 11,
+    /// A reply frame could not be written back (client vanished).
+    ReplyDropped = 12,
 }
 
 impl FlightKind {
@@ -65,6 +72,9 @@ impl FlightKind {
             7 => Self::CacheEvict,
             8 => Self::FallbackTaken,
             9 => Self::FaultFired,
+            10 => Self::JobShed,
+            11 => Self::WatchdogFired,
+            12 => Self::ReplyDropped,
             _ => return None,
         })
     }
@@ -81,6 +91,9 @@ impl FlightKind {
             Self::CacheEvict => "cache_evict",
             Self::FallbackTaken => "fallback_taken",
             Self::FaultFired => "fault_fired",
+            Self::JobShed => "job_shed",
+            Self::WatchdogFired => "watchdog_fired",
+            Self::ReplyDropped => "reply_dropped",
         }
     }
 }
@@ -268,6 +281,9 @@ mod tests {
             FlightKind::CacheEvict,
             FlightKind::FallbackTaken,
             FlightKind::FaultFired,
+            FlightKind::JobShed,
+            FlightKind::WatchdogFired,
+            FlightKind::ReplyDropped,
         ] {
             assert_eq!(FlightKind::from_u8(k.as_u8()), Some(k));
             assert!(!k.label().is_empty());

@@ -1,0 +1,193 @@
+//! Cooperative cancellation checkpoints for hot loops.
+//!
+//! A long NuFFT/gridding pass must be stoppable *mid-flight* — a serve
+//! job whose deadline was blown (or whose client gave up) should stop
+//! within one chunk of work, not one CG iteration. This module provides
+//! the primitive both `jigsaw-fft` and `jigsaw-core` poll, with the
+//! same cost discipline as [`crate::fault`]'s `faultpoint!`:
+//!
+//! * [`CancelFlag`] — an `Arc`-shared latch. The owner (a run budget, a
+//!   watchdog) calls [`CancelFlag::cancel`]; workers only ever read it.
+//! * [`CancelScope`] — an RAII guard installing a flag as the calling
+//!   thread's *current* cancellation context. Dispatch layers capture
+//!   [`current`] on the submitting thread and re-enter the scope inside
+//!   each worker-job closure, exactly like request-id tracing.
+//! * [`cancelled`] — the checkpoint. When **no** scope is live anywhere
+//!   in the process (every non-serving workload), it is one relaxed
+//!   atomic load and a predicted branch. With a scope installed it adds
+//!   a thread-local read and one more relaxed load per call — still
+//!   nanoseconds against a multi-microsecond chunk of gridding.
+//!
+//! Checkpoints must **never panic**: a panicking pooled job triggers
+//! the engine's bitwise-identical serial *retry*, which would defeat
+//! cancellation. Hot loops instead `return` early, leaving partially
+//! written scratch that the budget's owner discards after observing the
+//! cancellation. Non-cancelled runs are untouched — the checkpoint is
+//! read-only — so bitwise-identity guarantees are preserved.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of live [`CancelScope`]s process-wide. The fast-path gate:
+/// zero means no thread can possibly observe a cancellation, so
+/// [`cancelled`] returns after one relaxed load.
+static ACTIVE_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The calling thread's current cancellation flag, if any.
+    static CURRENT: RefCell<Option<Arc<CancelFlag>>> = const { RefCell::new(None) };
+}
+
+/// A shared one-way cancellation latch. Cloning the `Arc` shares the
+/// latch; once cancelled it stays cancelled.
+#[derive(Debug, Default)]
+pub struct CancelFlag {
+    cancelled: AtomicBool,
+}
+
+impl CancelFlag {
+    /// A fresh, un-cancelled flag.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Latch the flag. Idempotent; visible to every holder.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Self::cancel`] has been called.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard installing `flag` as the calling thread's cancellation
+/// context for [`cancelled`] checkpoints. Restores the previous context
+/// (scopes nest) on drop.
+pub struct CancelScope {
+    prev: Option<Arc<CancelFlag>>,
+    installed: bool,
+}
+
+impl CancelScope {
+    /// Enter a scope. `None` installs "no context" (checkpoints see no
+    /// flag), which still restores the outer context on drop — dispatch
+    /// layers pass [`current`]'s capture through verbatim, so a worker
+    /// thread ends up with exactly the submitting thread's context.
+    pub fn enter(flag: Option<Arc<CancelFlag>>) -> Self {
+        let installed = flag.is_some();
+        if installed {
+            ACTIVE_SCOPES.fetch_add(1, Ordering::Relaxed);
+        }
+        let prev = CURRENT.with(|c| c.replace(flag));
+        Self { prev, installed }
+    }
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.replace(self.prev.take()));
+        if self.installed {
+            ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The calling thread's current cancellation flag, for re-entry on a
+/// worker thread (capture on the dispatching thread, pass into the job
+/// closure, [`CancelScope::enter`] inside it).
+pub fn current() -> Option<Arc<CancelFlag>> {
+    if ACTIVE_SCOPES.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// The checkpoint: `true` iff the calling thread is inside a
+/// [`CancelScope`] whose flag has been cancelled. One relaxed load when
+/// no scope is live anywhere in the process (see module docs).
+#[inline]
+pub fn cancelled() -> bool {
+    if ACTIVE_SCOPES.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    cancelled_slow()
+}
+
+#[cold]
+fn cancelled_slow() -> bool {
+    CURRENT.with(|c| c.borrow().as_ref().is_some_and(|flag| flag.is_cancelled()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_scope_is_never_cancelled() {
+        assert!(!cancelled());
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn scope_exposes_flag_and_latches() {
+        let flag = CancelFlag::new();
+        let scope = CancelScope::enter(Some(Arc::clone(&flag)));
+        assert!(!cancelled(), "fresh flag must not read cancelled");
+        assert!(
+            Arc::ptr_eq(&current().expect("flag installed"), &flag),
+            "current() must hand back the installed flag"
+        );
+        flag.cancel();
+        assert!(cancelled());
+        assert!(flag.is_cancelled());
+        drop(scope);
+        assert!(!cancelled(), "scope exit must clear the context");
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = CancelFlag::new();
+        let inner = CancelFlag::new();
+        let _a = CancelScope::enter(Some(Arc::clone(&outer)));
+        outer.cancel();
+        assert!(cancelled());
+        {
+            let _b = CancelScope::enter(Some(Arc::clone(&inner)));
+            assert!(!cancelled(), "inner scope shadows the cancelled outer");
+            {
+                let _c = CancelScope::enter(None);
+                assert!(!cancelled(), "None scope means no context");
+                assert!(current().is_none());
+            }
+            assert!(!cancelled());
+        }
+        assert!(cancelled(), "outer context restored after inner drops");
+    }
+
+    #[test]
+    fn flag_is_shared_across_threads() {
+        let flag = CancelFlag::new();
+        let worker_flag = current(); // no scope on this thread
+        assert!(worker_flag.is_none());
+        let _scope = CancelScope::enter(Some(Arc::clone(&flag)));
+        let captured = current();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let _scope = CancelScope::enter(captured);
+            // Report the first read before the main thread may cancel.
+            tx.send(cancelled()).expect("main thread alive");
+            // Spin until the main thread cancels.
+            while !cancelled() {
+                std::thread::yield_now();
+            }
+        });
+        let before = rx.recv().expect("worker reports first read");
+        assert!(!before, "must start un-cancelled");
+        flag.cancel();
+        handle.join().expect("worker");
+    }
+}

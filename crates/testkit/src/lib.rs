@@ -14,6 +14,10 @@
 //! * [`fault`] / [`faultpoint!`](crate::faultpoint) — deterministic,
 //!   zero-cost-when-disarmed fault injection for chaos testing the
 //!   execution engine's panic containment and graceful degradation.
+//! * [`cancel`] — cooperative cancellation checkpoints polled by the
+//!   gridding/FFT hot loops (one relaxed load when no scope is live),
+//!   shared here because both `jigsaw-fft` and `jigsaw-core` sit above
+//!   this crate.
 //!
 //! The style mirrors `proptest!` loosely: generators are just methods on
 //! [`Rng`], properties are ordinary `assert!`s.
@@ -21,6 +25,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod fault;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

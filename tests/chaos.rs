@@ -478,6 +478,214 @@ fn normal_op_build_fault_strict_surfaces_execution_error() {
     .expect("clean Toeplitz run must succeed after the fault");
 }
 
+/// Containment for the shed path (`serve.shed`): a panic injected while
+/// the daemon builds an `Overloaded` refusal frame degrades to a plain
+/// execution-error frame — the reader thread survives, and the same
+/// daemon still serves the next (high-priority) job in the session.
+#[test]
+fn serve_shed_fault_degrades_to_error_frame_and_daemon_survives() {
+    use jigsaw::core::serve::protocol::{encode, read_frame};
+    use jigsaw::core::serve::{
+        serve_stream, ErrorCategory, Frame, JobRequest, Priority, ServeOptions,
+    };
+
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    telemetry::set_enabled(true);
+    let coords = jigsaw::core::traj::radial_2d(4, 16, true);
+    let values: Vec<C64> = vec![C64::new(1.0, 0.0); coords.len()];
+    let req = |tag: u64, priority: Priority| JobRequest {
+        tag,
+        priority,
+        n: 8,
+        budget_ms: 0,
+        coords: coords.clone(),
+        values: values.clone(),
+    };
+
+    // Depth bound 0: the normal submit is shed deterministically; with
+    // the fault armed, the refusal-frame build panics inside the
+    // daemon's catch_unwind.
+    let shed_before = telemetry::global()
+        .snapshot()
+        .counter("serve.shed.depth")
+        .unwrap_or(0);
+    arm(FaultPlan::once_at(fault::SERVE_SHED));
+    let mut input = Vec::new();
+    input.extend_from_slice(&encode(&Frame::Submit(req(1, Priority::Normal))));
+    input.extend_from_slice(&encode(&Frame::Submit(req(2, Priority::High))));
+    input.extend_from_slice(&encode(&Frame::Shutdown));
+    let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    serve_stream(
+        std::io::Cursor::new(input),
+        SharedOut(std::sync::Arc::clone(&out)),
+        &ServeOptions {
+            max_queue_depth: 0,
+            executors: 1,
+            ..Default::default()
+        },
+    )
+    .expect("daemon must exit cleanly despite the shed-path panic");
+    assert_eq!(fires(), 1, "serve.shed must actually fire");
+    disarm();
+
+    let bytes = out.lock().unwrap().clone();
+    let mut r = std::io::Cursor::new(bytes);
+    let mut replies = Vec::new();
+    while let Ok(f) = read_frame(&mut r) {
+        replies.push(f);
+    }
+    // The shed job's refusal degraded to a contained execution error
+    // (not a panic, not silence) …
+    assert!(
+        replies.iter().any(|f| matches!(
+            f,
+            Frame::Error(e) if e.tag == 1
+                && e.category == ErrorCategory::Execution
+                && e.message.contains("contained")
+        )),
+        "expected contained shed-path error frame, got {replies:?}"
+    );
+    // … the shed was still counted before the fault fired …
+    let shed_after = telemetry::global()
+        .snapshot()
+        .counter("serve.shed.depth")
+        .unwrap_or(0);
+    assert!(
+        shed_after > shed_before,
+        "serve.shed.depth must increment ({shed_before} → {shed_after})"
+    );
+    // … and the daemon survived to answer the high-priority job.
+    assert!(
+        replies
+            .iter()
+            .any(|f| matches!(f, Frame::Result(res) if res.tag == 2)),
+        "daemon must keep serving after the contained panic: {replies:?}"
+    );
+}
+
+/// Reader whose frames arrive in timed bursts, keeping a `serve_stream`
+/// session alive long enough for the 25 ms watchdog tick to fire.
+struct PacedReader {
+    segments: std::collections::VecDeque<(std::time::Duration, Vec<u8>)>,
+    current: std::io::Cursor<Vec<u8>>,
+}
+
+impl std::io::Read for PacedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            let n = std::io::Read::read(&mut self.current, buf)?;
+            if n > 0 {
+                return Ok(n);
+            }
+            match self.segments.pop_front() {
+                Some((delay, bytes)) => {
+                    std::thread::sleep(delay);
+                    self.current = std::io::Cursor::new(bytes);
+                }
+                None => return Ok(0),
+            }
+        }
+    }
+}
+
+/// Containment for the watchdog (`serve.watchdog`): a panic injected
+/// into a watchdog tick is caught, counted in `serve.watchdog.panics`,
+/// and the daemon keeps serving — a job submitted *after* the poisoned
+/// tick still gets its result.
+#[test]
+fn serve_watchdog_panic_is_counted_and_daemon_keeps_serving() {
+    use jigsaw::core::serve::protocol::{encode, read_frame};
+    use jigsaw::core::serve::{serve_stream, Frame, JobRequest, Priority, ServeOptions};
+
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    telemetry::set_enabled(true);
+    let coords = jigsaw::core::traj::radial_2d(4, 16, true);
+    let values: Vec<C64> = vec![C64::new(1.0, 0.0); coords.len()];
+    let req = JobRequest {
+        tag: 8,
+        priority: Priority::Normal,
+        n: 8,
+        budget_ms: 0,
+        coords,
+        values,
+    };
+
+    let panics_before = telemetry::global()
+        .snapshot()
+        .counter("serve.watchdog.panics")
+        .unwrap_or(0);
+    arm(FaultPlan::once_at(fault::SERVE_WATCHDOG));
+    // Segment 1: ping immediately. Segment 2 arrives after 120 ms —
+    // several watchdog ticks, so the armed fault fires mid-session —
+    // then submits a job and shuts down.
+    let mut late = Vec::new();
+    late.extend_from_slice(&encode(&Frame::Submit(req)));
+    late.extend_from_slice(&encode(&Frame::Shutdown));
+    let reader = PacedReader {
+        segments: std::collections::VecDeque::from([
+            (std::time::Duration::ZERO, encode(&Frame::Ping)),
+            (std::time::Duration::from_millis(120), late),
+        ]),
+        current: std::io::Cursor::new(Vec::new()),
+    };
+    let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    serve_stream(
+        reader,
+        SharedOut(std::sync::Arc::clone(&out)),
+        &ServeOptions {
+            executors: 1,
+            ..Default::default()
+        },
+    )
+    .expect("daemon must exit cleanly despite the watchdog panic");
+    assert_eq!(fires(), 1, "serve.watchdog must actually fire");
+    disarm();
+
+    let panics_after = telemetry::global()
+        .snapshot()
+        .counter("serve.watchdog.panics")
+        .unwrap_or(0);
+    assert!(
+        panics_after > panics_before,
+        "serve.watchdog.panics must increment ({panics_before} → {panics_after})"
+    );
+    let bytes = out.lock().unwrap().clone();
+    let mut r = std::io::Cursor::new(bytes);
+    let mut replies = Vec::new();
+    while let Ok(f) = read_frame(&mut r) {
+        replies.push(f);
+    }
+    assert!(replies.contains(&Frame::Pong));
+    assert!(
+        replies
+            .iter()
+            .any(|f| matches!(f, Frame::Result(res) if res.tag == 8)),
+        "job submitted after the poisoned tick must still complete: {replies:?}"
+    );
+}
+
 /// Every registered site is covered by a test above; this meta-check
 /// fails when a new fault point is added without chaos coverage.
 #[test]
@@ -491,6 +699,8 @@ fn every_registered_site_is_covered() {
         fault::RECON_NORMAL_OP,
         fault::SERVE_JOB,
         fault::SERVE_CACHE,
+        fault::SERVE_SHED,
+        fault::SERVE_WATCHDOG,
     ];
     for site in fault::SITES {
         assert!(
