@@ -4,7 +4,7 @@
 //! admission under deliberate overload, and the cost of the
 //! cooperative-cancellation checkpoints in the gridding hot loop.
 //!
-//! Five measurements, one JSON (`BENCH_serve_soak.json`):
+//! Six measurements, one JSON (`BENCH_serve_soak.json`):
 //!
 //! 1. **Soak** — thousands of jobs drawn from a pool of six
 //!    trajectories across three image sizes, multiplexed onto one
@@ -35,6 +35,14 @@
 //!    one-atomic-load fast path) vs inside an armed-but-never-fired
 //!    [`cancel::CancelScope`]. Gate (enforced in CI from the JSON):
 //!    scoped/bare ≤ 1.05.
+//! 6. **Restart** — the durable-lifecycle contract, at two levels.
+//!    Engine level: a primed engine snapshots its plan cache; a fresh
+//!    engine restored from that snapshot must serve the same radial
+//!    256² job as a cache hit, with post-restart warm/cold latency
+//!    ≤ 0.75 (gate enforced in CI from the JSON). Wire level: a full
+//!    daemon lifetime is warmed and drained (`Drain` frame → snapshot
+//!    on exit), then a second lifetime boots from the snapshot — every
+//!    job in its first burst must report `cache_hit`.
 //!
 //! Run with `cargo run --release -p jigsaw-bench --bin serve_soak`
 //! (append `--quick`, or set `JIGSAW_BENCH_SAMPLES`, to shrink the run).
@@ -320,10 +328,8 @@ fn main() {
     let opts = ServeOptions {
         cache_capacity: 8,
         executors: 2,
-        default_budget_ms: 0,
         max_queue_depth: 4,
-        max_queued_bytes: 1 << 30,
-        watchdog_multiple: 8,
+        ..Default::default()
     };
     let (client, server) = std::os::unix::net::UnixStream::pair().expect("socketpair");
     let server_reader = server.try_clone().expect("server clone");
@@ -441,6 +447,123 @@ fn main() {
         fmt_time(scoped.median),
     );
 
+    // ---- Phase 6: drain → snapshot → warm restart ---------------------
+    // Engine level: a primed engine persists its plan cache; a fresh
+    // engine restored from the snapshot must serve the same radial 256²
+    // job as a cache hit, at warm (not cold) latency. The snapshot load
+    // happens once, outside the timed region — it is boot cost, not
+    // request cost; the gate is about post-restart *request* latency.
+    let snap_path =
+        std::env::temp_dir().join(format!("jigsaw-soak-restart-{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snap_path);
+    let snapshot_entries = {
+        let first_life = ServeEngine::new(1);
+        first_life.execute(&big, &budget).expect("priming job");
+        first_life
+            .cache()
+            .save_snapshot(&snap_path)
+            .expect("save snapshot")
+    };
+    let restarted = ServeEngine::new(1);
+    let (restored, restore_skipped) = restarted
+        .cache()
+        .load_snapshot(&snap_path, &jigsaw_core::gridding::SerialGridder)
+        .expect("load snapshot");
+    assert_eq!(restore_skipped, 0, "undamaged snapshot must restore fully");
+    assert!(restored >= 1, "snapshot must carry the primed plan");
+    let mut restart_group = BenchGroup::new("serve_restart");
+    restart_group
+        .sample_size(5)
+        .throughput_elements(img.m as u64);
+    let restart_warm = restart_group.bench_function("warm_restart_request", || {
+        let res = restarted.execute(&big, &budget).expect("restarted job");
+        assert!(res.cache_hit, "post-restart request must hit the cache");
+        res
+    });
+    restart_group.finish();
+    let restart_over_cold = restart_warm.median / cold.median;
+    println!(
+        "restart: {snapshot_entries}-entry snapshot, {restored} restored; \
+         post-restart {} vs cold {}  (warm/cold = {restart_over_cold:.4})",
+        fmt_time(restart_warm.median),
+        fmt_time(cold.median),
+    );
+
+    // Wire level: lifetime 1 warms a real daemon with the soak pool and
+    // drains it (snapshotting on exit); lifetime 2 boots from the
+    // snapshot and replays the pool — its entire first burst must hit.
+    let run_lifetime = |frames: Vec<Frame>, opts: &ServeOptions| -> Vec<Frame> {
+        let (client, server) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        let server_reader = server.try_clone().expect("server clone");
+        let opts = opts.clone();
+        let daemon = std::thread::spawn(move || {
+            serve_stream(server_reader, server, &opts).expect("restart daemon");
+        });
+        let mut submit_side = client.try_clone().expect("client clone");
+        let collector = std::thread::spawn(move || {
+            let mut reader = client;
+            let mut replies = Vec::new();
+            while let Ok(f) = protocol::read_frame(&mut reader) {
+                replies.push(f);
+            }
+            replies
+        });
+        for f in &frames {
+            protocol::write_frame(&mut submit_side, f).expect("lifetime frame");
+        }
+        // Half-close the submit direction so a Drain-terminated session sees
+        // EOF: dropping this clone alone would not, because the collector
+        // thread still holds another clone of the same socket.
+        submit_side
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close submit side");
+        drop(submit_side);
+        let replies = collector.join().expect("collector");
+        daemon.join().expect("daemon thread");
+        replies
+    };
+    let wire_snap = std::env::temp_dir().join(format!(
+        "jigsaw-soak-restart-wire-{}.snap",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&wire_snap);
+    let wire_opts = ServeOptions {
+        snapshot_path: Some(wire_snap.clone()),
+        ..Default::default()
+    };
+    let tag_base = 3_000_000u64;
+    let warm_frames: Vec<Frame> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Frame::Submit(p.request(tag_base + i as u64)))
+        .chain(std::iter::once(Frame::Drain))
+        .collect();
+    run_lifetime(warm_frames, &wire_opts);
+    assert!(wire_snap.exists(), "drain must write the wire snapshot");
+    let burst_frames: Vec<Frame> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Frame::Submit(p.request(tag_base + 100 + i as u64)))
+        .chain(std::iter::once(Frame::Shutdown))
+        .collect();
+    let burst_replies = run_lifetime(burst_frames, &wire_opts);
+    let first_burst_jobs = pool.len();
+    let first_burst_hits = burst_replies
+        .iter()
+        .filter(|f| matches!(f, Frame::Result(r) if r.cache_hit))
+        .count();
+    let first_burst_hit_rate = first_burst_hits as f64 / first_burst_jobs as f64;
+    assert_eq!(
+        first_burst_hits, first_burst_jobs,
+        "every first-burst job after a warm restart must be a cache hit"
+    );
+    println!(
+        "wire restart: first burst {first_burst_hits}/{first_burst_jobs} cache hits \
+         (rate {first_burst_hit_rate:.4})"
+    );
+    let _ = std::fs::remove_file(&snap_path);
+    let _ = std::fs::remove_file(&wire_snap);
+
     let json = format!(
         "{{\n  \"soak\": {{\n    \"jobs\": {total_jobs},\n    \"sizes\": [32, 48, 64],\n    \
          \"trajectories\": {},\n    \"cache_capacity\": 8,\n    \"hits\": {hits},\n    \
@@ -473,7 +596,17 @@ fn main() {
          \"cancel_overhead\": {{\n    \"n\": {ck_n},\n    \"m\": {},\n    \
          \"bare_median_seconds\": {:.6e},\n    \"scoped_median_seconds\": {:.6e},\n    \
          \"scoped_over_bare\": {scoped_over_bare:.4},\n    \
-         \"gate_scoped_over_bare_max\": 1.05\n  }}\n}}\n",
+         \"gate_scoped_over_bare_max\": 1.05\n  }},\n  \
+         \"restart\": {{\n    \"snapshot_entries\": {snapshot_entries},\n    \
+         \"restored\": {restored},\n    \"restore_skipped\": {restore_skipped},\n    \
+         \"cold_median_seconds\": {:.6e},\n    \
+         \"warm_restart_median_seconds\": {:.6e},\n    \
+         \"warm_over_cold\": {restart_over_cold:.4},\n    \
+         \"gate_warm_over_cold_max\": 0.75,\n    \
+         \"first_burst_jobs\": {first_burst_jobs},\n    \
+         \"first_burst_hits\": {first_burst_hits},\n    \
+         \"first_burst_hit_rate\": {first_burst_hit_rate:.4},\n    \
+         \"gate_first_burst_hit_rate_min\": 1.0\n  }}\n}}\n",
         pool.len(),
         mid.cache.hits,
         mid.cache.misses,
@@ -487,6 +620,8 @@ fn main() {
         ck.coords.len(),
         bare.median,
         scoped.median,
+        cold.median,
+        restart_warm.median,
     );
     let path = "BENCH_serve_soak.json";
     match std::fs::write(path, json) {

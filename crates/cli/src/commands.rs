@@ -63,12 +63,22 @@ COMMANDS:
                   bound are refused with a retry-after hint)
                   --watchdog-multiple 8 (cancel jobs stuck past this
                   multiple of their budget)
+                  --snapshot <path> (durable plan-cache snapshot: loaded
+                  on start for a warm restart, written on graceful
+                  drain; a corrupt file degrades to a cold start)
+                  --snapshot-every-secs 0 (0 = only on drain; >0 also
+                  rewrites the snapshot periodically in the background)
+                  SIGTERM drains gracefully in --socket mode: finish
+                  queued jobs, snapshot, exit 0
     request     Client mode: submit synthetic radial jobs to a daemon
                   --socket /tmp/jigsaw.sock --n 64 --spokes <auto>
                   --count 1 [--high] [--budget-ms 0] [--tag 1]
                   --retries 0 --backoff-ms 50 (resubmit shed jobs with
                   exponential backoff, honoring the daemon's hint)
+                  --timeout-ms 120000 (per-reply receive deadline)
                   [--ping] [--shutdown] (probe / stop the daemon instead)
+                  [--drain] (graceful stop: the daemon finishes queued
+                  jobs, snapshots its plan cache, and exits 0)
                   [--stats [--format table|json|prom]] (scrape the live
                   introspection snapshot instead of submitting)
     top         Poll a daemon's stats on an interval and render a
@@ -570,8 +580,32 @@ pub fn profile(o: &Options) -> CmdResult {
     emit_telemetry(o)
 }
 
+/// SIGTERM latch for graceful drain: the handler only stores into this
+/// flag (async-signal-safe by construction — no locks, no allocation);
+/// the daemon's accept loop polls it between connections.
+static DRAIN_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    DRAIN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Route SIGTERM to [`on_sigterm`] so `kill <pid>` drains the daemon
+/// (finish queued jobs, snapshot, exit 0) instead of killing it.
+fn install_sigterm_drain() {
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: libc `signal` with a handler that only writes an
+    // AtomicBool; both the call and the handler are async-signal-safe.
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
 /// `jigsaw serve` — the long-lived plan-cached reconstruction daemon.
 pub fn serve(o: &Options) -> CmdResult {
+    let snapshot = o.string("snapshot", "");
     let opts = ServeOptions {
         cache_capacity: o.usize("cache-capacity", 8)?,
         executors: o.usize("jobs", 2)?,
@@ -579,6 +613,9 @@ pub fn serve(o: &Options) -> CmdResult {
         max_queue_depth: o.usize("max-queue-depth", 1024)?,
         max_queued_bytes: o.usize("max-queued-bytes", 1 << 30)?,
         watchdog_multiple: o.usize("watchdog-multiple", 8)? as u32,
+        snapshot_path: (!snapshot.is_empty()).then(|| std::path::PathBuf::from(&snapshot)),
+        snapshot_every_secs: o.usize("snapshot-every-secs", 0)? as u64,
+        drain_signal: Some(&DRAIN_REQUESTED),
     };
     if o.switch("stdio") {
         // stdout carries response frames in this mode; diagnostics go
@@ -595,6 +632,7 @@ pub fn serve(o: &Options) -> CmdResult {
                 "serve needs --socket <path> or --stdio".into(),
             ));
         }
+        install_sigterm_drain();
         eprintln!(
             "jigsaw serve: listening on {sock}, {} executors, plan cache {} entries",
             opts.executors, opts.cache_capacity
@@ -628,10 +666,16 @@ pub fn request(o: &Options) -> CmdResult {
     if sock.is_empty() {
         return Err(CliError::Config("request needs --socket <path>".into()));
     }
+    let timeout_ms = o.usize("timeout-ms", 120_000)?;
+    if timeout_ms == 0 {
+        return Err(CliError::Config(
+            "--timeout-ms must be positive (a zero receive deadline would hang forever)".into(),
+        ));
+    }
     let mut client = ServeClient::connect(std::path::Path::new(&sock))
         .map_err(|e| CliError::Data(format!("connecting to {sock}: {e}")))?;
     client
-        .set_read_timeout(std::time::Duration::from_secs(120))
+        .set_read_timeout(std::time::Duration::from_millis(timeout_ms as u64))
         .map_err(|e| CliError::Data(format!("configuring socket: {e}")))?;
     if o.switch("ping") {
         client.ping().map_err(protocol_to_cli)?;
@@ -641,6 +685,11 @@ pub fn request(o: &Options) -> CmdResult {
     if o.switch("shutdown") {
         client.shutdown().map_err(protocol_to_cli)?;
         println!("daemon acknowledged shutdown");
+        return Ok(());
+    }
+    if o.switch("drain") {
+        client.drain().map_err(protocol_to_cli)?;
+        println!("daemon acknowledged drain");
         return Ok(());
     }
     if o.switch("stats") {

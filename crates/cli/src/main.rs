@@ -7,8 +7,10 @@
 //! jigsaw simulate3d --grid 32 --samples 20000 [--sorted]
 //! jigsaw gridbench --n 256 --m 100000
 //! jigsaw serve     --socket /tmp/jigsaw.sock [--cache-capacity 8] [--jobs 2]
-//! jigsaw request   --socket /tmp/jigsaw.sock --n 64 [--count 8] [--high]
+//!                  [--snapshot /var/lib/jigsaw/cache.snap] [--snapshot-every-secs 30]
+//! jigsaw request   --socket /tmp/jigsaw.sock --n 64 [--count 8] [--high] [--timeout-ms 120000]
 //! jigsaw request   --socket /tmp/jigsaw.sock --stats [--format table|json|prom]
+//! jigsaw request   --socket /tmp/jigsaw.sock --drain
 //! jigsaw top       --socket /tmp/jigsaw.sock [--interval-ms 1000] [--iterations 0]
 //! jigsaw profile   --n 256 --coils 8 --trace-out out/trace.json [--metrics]
 //! jigsaw info

@@ -23,6 +23,14 @@ struct DaemonGuard {
 
 impl DaemonGuard {
     fn spawn(name: &str, extra_env: &[(&str, &str)]) -> Self {
+        Self::spawn_with_args(name, &[], extra_env)
+    }
+
+    fn spawn_with_args(
+        name: &str,
+        extra_args: &[&std::ffi::OsStr],
+        extra_env: &[(&str, &str)],
+    ) -> Self {
         let socket = std::env::temp_dir().join(format!(
             "jigsaw-serve-test-{name}-{}.sock",
             std::process::id()
@@ -31,6 +39,7 @@ impl DaemonGuard {
         let mut cmd = Command::new(env!("CARGO_BIN_EXE_jigsaw"));
         cmd.args(["serve", "--socket"])
             .arg(&socket)
+            .args(extra_args)
             .env_remove("JIGSAW_FAULTS")
             .stdout(Stdio::null())
             .stderr(Stdio::piped());
@@ -300,6 +309,177 @@ fn concurrent_clients_each_get_their_own_tagged_results() {
     let mut client = daemon.connect();
     client.shutdown().expect("shutdown ack");
     assert_eq!(daemon.wait(), Some(0));
+}
+
+#[test]
+fn drain_then_restart_serves_first_request_from_warm_cache() {
+    use jigsaw_core::serve::ShedReason;
+    let snap = std::env::temp_dir().join(format!(
+        "jigsaw-serve-test-restart-{}.snap",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&snap);
+    let args: &[&std::ffi::OsStr] = &["--snapshot".as_ref(), snap.as_os_str()];
+
+    // Lifetime 1: warm the plan cache, then drain under load — a
+    // pipelined burst with the Drain frame in the middle, so the
+    // daemon must answer every accepted job exactly once, refuse the
+    // late submit with Overloaded{draining}, snapshot, and exit 0.
+    let daemon = DaemonGuard::spawn_with_args("restart-a", args, &[]);
+    let mut client = daemon.connect();
+    for tag in 1..=2u64 {
+        client.submit(&radial_request(tag, 24)).expect("submit");
+    }
+    client.send(&Frame::Drain).expect("drain");
+    client.submit(&radial_request(9, 24)).expect("late submit");
+    let mut results = Vec::new();
+    let mut acked = false;
+    let mut late_shed = None;
+    for _ in 0..4 {
+        match client.recv().expect("drain-session reply") {
+            Frame::Pong => acked = true,
+            Frame::Result(r) => results.push(r.tag),
+            Frame::Overloaded(o) => late_shed = Some(o),
+            other => panic!("unexpected frame during drain: {other:?}"),
+        }
+    }
+    assert!(acked, "drain must be acked with Pong");
+    results.sort_unstable();
+    assert_eq!(results, vec![1, 2], "every accepted job exactly one reply");
+    let shed = late_shed.expect("late submit must be refused");
+    assert_eq!(shed.tag, 9);
+    assert_eq!(shed.reason, ShedReason::Draining);
+    assert_eq!(daemon.wait(), Some(0), "graceful drain must exit 0");
+    assert!(snap.exists(), "drain must persist the snapshot");
+
+    // Lifetime 2: a fresh daemon process restores the snapshot; the
+    // very first identical request over the real wire is a cache hit.
+    let daemon = DaemonGuard::spawn_with_args("restart-b", args, &[]);
+    let mut client = daemon.connect();
+    match client
+        .roundtrip(&radial_request(10, 24))
+        .expect("roundtrip")
+    {
+        Frame::Result(res) => {
+            assert_eq!(res.tag, 10);
+            assert!(
+                res.cache_hit,
+                "first post-restart request must hit the restored cache"
+            );
+        }
+        other => panic!("expected result frame, got {other:?}"),
+    }
+    client.drain().expect("drain ack");
+    assert_eq!(daemon.wait(), Some(0));
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn sigterm_drains_gracefully_and_snapshots() {
+    let snap = std::env::temp_dir().join(format!(
+        "jigsaw-serve-test-sigterm-{}.snap",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&snap);
+    let args: &[&std::ffi::OsStr] = &["--snapshot".as_ref(), snap.as_os_str()];
+    let daemon = DaemonGuard::spawn_with_args("sigterm", args, &[]);
+    let mut client = daemon.connect();
+    match client
+        .roundtrip(&radial_request(41, 16))
+        .expect("roundtrip")
+    {
+        Frame::Result(res) => assert_eq!(res.tag, 41),
+        other => panic!("expected result frame, got {other:?}"),
+    }
+    // `kill <pid>`: supervised rotation, not data loss — the daemon
+    // must drain, snapshot its warm cache, and exit 0.
+    let status = Command::new("kill")
+        .arg(daemon.child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    assert_eq!(daemon.wait(), Some(0), "SIGTERM must exit 0, not crash");
+    assert!(snap.exists(), "SIGTERM drain must persist the snapshot");
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn corrupted_snapshot_degrades_to_cold_start_and_clean_exit() {
+    let snap = std::env::temp_dir().join(format!(
+        "jigsaw-serve-test-corrupt-{}.snap",
+        std::process::id()
+    ));
+    std::fs::write(&snap, b"JGSPtorn-mid-write-garbage-bytes").expect("plant corrupt snapshot");
+    let args: &[&std::ffi::OsStr] = &["--snapshot".as_ref(), snap.as_os_str()];
+    let daemon = DaemonGuard::spawn_with_args("corrupt-snap", args, &[]);
+    let mut client = daemon.connect();
+    match client
+        .roundtrip(&radial_request(21, 16))
+        .expect("roundtrip")
+    {
+        Frame::Result(res) => {
+            assert_eq!(res.tag, 21);
+            assert!(!res.cache_hit, "corrupt snapshot must mean a cold start");
+        }
+        other => panic!("expected result frame, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown ack");
+    assert_eq!(
+        daemon.wait(),
+        Some(0),
+        "a corrupt snapshot must never wedge or crash the daemon"
+    );
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn request_timeout_flag_bounds_a_stalled_daemon() {
+    // A fake daemon that accepts and then never replies: the client's
+    // --timeout-ms receive deadline must turn the stall into a prompt
+    // error instead of hanging the request forever.
+    let socket = std::env::temp_dir().join(format!(
+        "jigsaw-serve-test-stall-{}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&socket);
+    let listener = std::os::unix::net::UnixListener::bind(&socket).expect("bind stall socket");
+    let stall = std::thread::spawn(move || {
+        // Hold the connection open, read and discard, never write.
+        if let Ok((mut conn, _)) = listener.accept() {
+            let mut sink = [0u8; 4096];
+            while let Ok(n) = conn.read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+    });
+    let t0 = Instant::now();
+    let out = Command::new(env!("CARGO_BIN_EXE_jigsaw"))
+        .args(["request", "--socket"])
+        .arg(&socket)
+        .args(["--timeout-ms", "300", "--ping"])
+        .output()
+        .expect("run jigsaw request");
+    assert!(
+        !out.status.success(),
+        "a stalled daemon must be an error, got {out:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "--timeout-ms must bound the stall, took {:?}",
+        t0.elapsed()
+    );
+    // A zero deadline is a configuration error (exit 2), not a hang.
+    let out = Command::new(env!("CARGO_BIN_EXE_jigsaw"))
+        .args(["request", "--socket"])
+        .arg(&socket)
+        .args(["--timeout-ms", "0", "--ping"])
+        .output()
+        .expect("run jigsaw request");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    drop(stall); // detached on purpose: the listener thread exits when the socket closes
+    let _ = std::fs::remove_file(&socket);
 }
 
 #[test]

@@ -74,6 +74,14 @@ pub const SERVE_SHED: &str = "serve.shed";
 /// (`serve.watchdog.panics`) and the thread keeps ticking.
 pub const SERVE_WATCHDOG: &str = "serve.watchdog";
 
+/// At the entry of every plan-cache snapshot load
+/// ([`crate::serve::cache::PlanCache::load_snapshot`]), before the
+/// snapshot file is touched. The daemon runs the load under
+/// `catch_unwind`: a fire degrades the warm start to a cold one
+/// (counted `serve.snapshot.load_failures`, stderr-logged); the daemon
+/// still comes up and serves.
+pub const SERVE_SNAPSHOT: &str = "serve.snapshot";
+
 /// At the top of every conjugate-gradient iteration
 /// ([`crate::recon::cg_solve`] / [`crate::sense::cg_sense`]). This site
 /// does not panic: it poisons the iteration's residual with a NaN,
@@ -94,6 +102,7 @@ pub const SITES: &[&str] = &[
     SERVE_JOB,
     SERVE_CACHE,
     SERVE_SHED,
+    SERVE_SNAPSHOT,
     SERVE_WATCHDOG,
 ];
 

@@ -32,6 +32,7 @@ use crate::config::NufftConfig;
 use crate::gridding::Gridder;
 use crate::kernel::KernelKind;
 use crate::nufft::{NufftPlan, PlannedTrajectory};
+use crate::serve::snapshot;
 use crate::toeplitz::ToeplitzOperator;
 use crate::Result;
 use jigsaw_telemetry as telemetry;
@@ -163,14 +164,29 @@ pub fn toeplitz_key(cfg: &NufftConfig, coords: &[[f64; 2]], weights: &[f64]) -> 
 
 /// A cached plan: the `NufftPlan` (LUT, apodization, FFT setup) plus the
 /// planned per-sample window decomposition for one trajectory.
+///
+/// Each entry also retains its **rebuild inputs** — the configuration
+/// it was requested under plus the original coordinates and weights —
+/// so [`PlanCache::save_snapshot`] can persist the cache across process
+/// lifetimes (see [`crate::serve::snapshot`]). The inputs are shared
+/// `Arc` slices: one extra allocation per entry, no per-job copies.
 pub struct CachedPlan {
     /// The key this entry was stored under.
     pub key: PlanKey,
+    /// The configuration the entry was *requested* under (base `N` for
+    /// Toeplitz kernel entries, even though [`Self::plan`] is the `2N`
+    /// plan).
+    pub cfg: NufftConfig,
     /// The NuFFT plan (f64, 2-D at serving v1). For Toeplitz kernel
     /// entries this is the shared `2N` plan the kernel was built on.
     pub plan: NufftPlan<f64, 2>,
     /// The precomputed window decomposition.
     pub traj: PlannedTrajectory<2>,
+    /// Original trajectory coordinates (snapshot rebuild input).
+    pub coords: Arc<[[f64; 2]]>,
+    /// Density weights (empty for plan entries; snapshot rebuild
+    /// input for Toeplitz kernel entries).
+    pub weights: Arc<[f64]>,
     /// The built Toeplitz normal-operator kernel, for entries created by
     /// [`PlanCache::get_or_build_toeplitz`]; `None` for plain plans.
     pub toeplitz: Option<Arc<ToeplitzOperator<2>>>,
@@ -353,8 +369,11 @@ impl PlanCache {
         let traj = plan.plan_trajectory(coords)?;
         let entry = Arc::new(CachedPlan {
             key,
+            cfg: cfg.clone(),
             plan,
             traj,
+            coords: coords.into(),
+            weights: Arc::from([] as [f64; 0]),
             toeplitz: None,
         });
         Ok((self.insert(entry), false))
@@ -378,6 +397,14 @@ impl PlanCache {
         weights: &[f64],
         gridder: &dyn Gridder<f64, 2>,
     ) -> Result<(Arc<ToeplitzOperator<2>>, bool)> {
+        // Validate weights before touching the cache at all: a doomed
+        // request must not leave even the (weight-independent) base
+        // plan behind as a side effect.
+        if let Some(i) = weights.iter().position(|w| !w.is_finite()) {
+            return Err(crate::Error::Data(format!(
+                "non-finite density weight at index {i}"
+            )));
+        }
         let key = toeplitz_key(cfg, coords, weights);
         if let Some(hit) = self.lookup(&key) {
             if let Some(op) = &hit.toeplitz {
@@ -396,8 +423,11 @@ impl PlanCache {
         )?);
         let entry = Arc::new(CachedPlan {
             key,
+            cfg: cfg.clone(),
             plan: base.plan.clone(),
             traj: base.traj.clone(),
+            coords: Arc::clone(&base.coords),
+            weights: weights.into(),
             toeplitz: Some(Arc::clone(&op)),
         });
         let canonical = self.insert(entry);
@@ -405,6 +435,107 @@ impl PlanCache {
         // canonical entry's kernel is the one every caller shares.
         let op = canonical.toeplitz.clone().unwrap_or(op);
         Ok((op, false))
+    }
+
+    /// Persist every resident entry's rebuild inputs to `path`
+    /// atomically (temp file + rename; see
+    /// [`snapshot::write_atomic`]). Entries are written
+    /// least-recently-used **first** so [`Self::load_snapshot`]'s
+    /// sequential replay reproduces the exact LRU order. Returns the
+    /// number of entries written and counts `serve.snapshot.saves`.
+    ///
+    /// The entry list is cloned out under the lock (cheap: `Arc`
+    /// bumps); encoding and file I/O run outside it, so a slow disk
+    /// never blocks executors.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let resident: Vec<Arc<CachedPlan>> = {
+            let entries = self.lock();
+            // Rear = LRU; write that first.
+            entries.iter().rev().cloned().collect()
+        };
+        let snap: Vec<snapshot::SnapshotEntry> = resident
+            .iter()
+            .map(|e| snapshot::SnapshotEntry {
+                kind: if e.toeplitz.is_some() {
+                    snapshot::ENTRY_TOEPLITZ
+                } else {
+                    snapshot::ENTRY_PLAN
+                },
+                cfg: e.cfg.clone(),
+                coords: Arc::clone(&e.coords),
+                weights: Arc::clone(&e.weights),
+            })
+            .collect();
+        let bytes = snapshot::encode_snapshot(&snap);
+        snapshot::write_atomic(path, &bytes)?;
+        telemetry::record_counter("serve.snapshot.saves", 1);
+        Ok(snap.len())
+    }
+
+    /// Rebuild cache entries from a snapshot file, in LRU order.
+    /// Returns `(loaded, skipped)`, mirrored into the
+    /// `serve.snapshot.loaded` / `serve.snapshot.skipped` counters.
+    ///
+    /// Failure policy (the restart path must never be worse than a cold
+    /// start):
+    ///
+    /// * missing file → `Ok((0, 0))` — a first boot, not an error;
+    /// * unreadable file, garbage/short header, or unsupported version
+    ///   → `Err` — the caller logs it and serves cold;
+    /// * per-entry damage (checksum, framing, implausible fields) or a
+    ///   rebuild failure/panic → that entry is skipped, the rest load.
+    ///
+    /// The `serve.snapshot` fault site fires at entry, before the file
+    /// is touched, so chaos runs can pin the degraded-start path.
+    pub fn load_snapshot(
+        &self,
+        path: &std::path::Path,
+        gridder: &dyn Gridder<f64, 2>,
+    ) -> Result<(u64, u64)> {
+        faultpoint!(crate::fault::SERVE_SNAPSHOT);
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0)),
+            Err(e) => {
+                return Err(crate::Error::Data(format!(
+                    "cannot read snapshot {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let outcome = snapshot::decode_snapshot(&bytes)?;
+        let mut loaded = 0u64;
+        let mut skipped = outcome.skipped;
+        if !outcome.file_checksum_ok {
+            eprintln!(
+                "jigsaw serve: snapshot {} file checksum mismatch; \
+                 salvaging entries that verify individually",
+                path.display()
+            );
+        }
+        for entry in &outcome.entries {
+            // Each rebuild replays the normal build path (validation
+            // included) under panic containment: one poisoned entry
+            // must not take down the warm start.
+            let rebuilt =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match entry.kind {
+                    snapshot::ENTRY_TOEPLITZ => self
+                        .get_or_build_toeplitz(&entry.cfg, &entry.coords, &entry.weights, gridder)
+                        .map(|_| ()),
+                    _ => self.get_or_build(&entry.cfg, &entry.coords).map(|_| ()),
+                }));
+            match rebuilt {
+                Ok(Ok(())) => loaded += 1,
+                _ => skipped += 1,
+            }
+        }
+        if loaded > 0 {
+            telemetry::record_counter("serve.snapshot.loaded", loaded);
+        }
+        if skipped > 0 {
+            telemetry::record_counter("serve.snapshot.skipped", skipped);
+        }
+        Ok((loaded, skipped))
     }
 }
 
@@ -501,8 +632,11 @@ mod tests {
             let traj = plan.plan_trajectory(&t).unwrap();
             Arc::new(CachedPlan {
                 key: key.clone(),
+                cfg: c.clone(),
                 plan,
                 traj,
+                coords: t.as_slice().into(),
+                weights: Arc::from([] as [f64; 0]),
                 toeplitz: None,
             })
         };

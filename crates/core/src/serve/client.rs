@@ -191,6 +191,20 @@ impl<S: Read + Write> ServeClient<S> {
             ))),
         }
     }
+
+    /// Ask the daemon to drain *gracefully* — finish accepted jobs,
+    /// refuse new ones with `Overloaded{draining}`, snapshot its plan
+    /// cache, exit 0 — and wait for the `Pong` ack. The connection
+    /// stays usable for reading replies to already-submitted jobs.
+    pub fn drain(&mut self) -> Result<(), ProtocolError> {
+        self.send(&Frame::Drain)?;
+        match self.recv()? {
+            Frame::Pong => Ok(()),
+            other => Err(ProtocolError::Malformed(format!(
+                "expected drain ack, got {other:?}"
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]

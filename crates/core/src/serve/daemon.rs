@@ -26,7 +26,7 @@
 //! Shed counts land in `serve.shed.{depth,bytes,expired}` and the
 //! flight recorder (`job_shed`, `watchdog_fired`).
 //!
-//! ## Shutdown
+//! ## Shutdown and drain
 //!
 //! A `Shutdown` frame is acknowledged with `Pong`, then the queue is
 //! *closed*: no new jobs are admitted (late submitters get a
@@ -35,6 +35,26 @@
 //! client disconnect (EOF) closes only that connection — except in
 //! stdio mode, where stdin EOF is the only possible "client gone"
 //! signal and triggers the same clean drain.
+//!
+//! A `Drain` frame (kind 10) is the *graceful* variant: also
+//! acknowledged with `Pong` and also closing the queue, but late
+//! submitters get a structured `Overloaded` frame with
+//! [`ShedReason::Draining`] (a retryable condition — the daemon is
+//! being rotated, not broken), and once the queue empties the plan
+//! cache is snapshotted to [`ServeOptions::snapshot_path`] so the
+//! restarted daemon starts warm. On the Unix-socket transport, SIGTERM
+//! initiates the same drain — `kill <pid>` of a supervised daemon is a
+//! graceful rotation, not data loss.
+//!
+//! ## Durable lifecycle
+//!
+//! With [`ServeOptions::snapshot_path`] set, startup loads the snapshot
+//! (entries that fail checksum/version/shape validation are skipped and
+//! counted; a torn or garbage file degrades to a cold start with a
+//! stderr diagnostic — never a crash), a background thread re-snapshots
+//! every [`ServeOptions::snapshot_every_secs`] (panic-contained like
+//! the watchdog), and a graceful drain snapshots once the queue is
+//! empty. See [`crate::serve::snapshot`] for the format.
 
 use super::engine::ServeEngine;
 use super::protocol::{
@@ -87,6 +107,22 @@ pub struct ServeOptions {
     /// running after `watchdog_multiple ×` its budget (unlimited jobs
     /// are never watchdog-cancelled).
     pub watchdog_multiple: u32,
+    /// Plan-cache snapshot file (`--snapshot`). `None` disables the
+    /// durable lifecycle entirely. When set: loaded at startup
+    /// (degrading to a cold start on any damage), rewritten every
+    /// [`Self::snapshot_every_secs`], and rewritten on graceful drain.
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Background snapshot period in seconds (`--snapshot-every-secs`);
+    /// 0 disables periodic snapshotting (drain-time snapshots still
+    /// happen). Ignored without [`Self::snapshot_path`].
+    pub snapshot_every_secs: u64,
+    /// External drain trigger for [`serve_unix`]: when the flag flips
+    /// to `true`, the accept loop initiates a graceful drain exactly as
+    /// if a `Drain` frame had arrived. The CLI points this at a static
+    /// latched by its SIGTERM handler (`kill <pid>` of a supervised
+    /// daemon is a graceful rotation, not data loss); the core crate
+    /// itself is `forbid(unsafe_code)` and installs no handlers.
+    pub drain_signal: Option<&'static AtomicBool>,
 }
 
 impl Default for ServeOptions {
@@ -98,6 +134,9 @@ impl Default for ServeOptions {
             max_queue_depth: 1024,
             max_queued_bytes: 1 << 30,
             watchdog_multiple: 8,
+            snapshot_path: None,
+            snapshot_every_secs: 0,
+            drain_signal: None,
         }
     }
 }
@@ -298,27 +337,39 @@ struct Daemon {
     engine: ServeEngine,
     queue: JobQueue,
     stop: AtomicBool,
+    /// Set by a `Drain` frame (or SIGTERM on the Unix transport):
+    /// refusals while the queue is closed become structured
+    /// `Overloaded{draining}` frames instead of shutdown errors, and
+    /// the exit path snapshots the plan cache.
+    draining: AtomicBool,
     default_budget_ms: u64,
     next_request_id: AtomicU64,
     max_queue_depth: usize,
     max_queued_bytes: usize,
     watchdog_multiple: u32,
     executors: usize,
+    snapshot_path: Option<std::path::PathBuf>,
     inflight: Mutex<HashMap<u64, InFlight>>,
 }
 
 impl Daemon {
     fn new(opts: &ServeOptions) -> Arc<Self> {
+        let engine = ServeEngine::new(opts.cache_capacity);
+        if let Some(path) = &opts.snapshot_path {
+            load_snapshot_contained(&engine, path);
+        }
         Arc::new(Self {
-            engine: ServeEngine::new(opts.cache_capacity),
+            engine,
             queue: JobQueue::new(),
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             default_budget_ms: opts.default_budget_ms,
             next_request_id: AtomicU64::new(1),
             max_queue_depth: opts.max_queue_depth,
             max_queued_bytes: opts.max_queued_bytes,
             watchdog_multiple: opts.watchdog_multiple,
             executors: opts.executors.max(1),
+            snapshot_path: opts.snapshot_path.clone(),
             inflight: Mutex::new(HashMap::new()),
         })
     }
@@ -356,16 +407,26 @@ impl Daemon {
                     &detail,
                 );
             }
-            Err((job, Refusal::Closed)) => send(
-                &job.reply,
-                &Frame::Error(ErrorFrame {
-                    tag,
-                    category: ErrorCategory::Protocol,
-                    message: "daemon is shutting down".into(),
-                }),
-                request_id,
-                tag,
-            ),
+            Err((job, Refusal::Closed)) => {
+                if self.draining.load(Ordering::SeqCst) {
+                    // A draining daemon is being rotated, not broken:
+                    // the refusal is a structured, retryable overload
+                    // frame so well-behaved clients back off and hit
+                    // the restarted (warm) daemon.
+                    self.shed(job, ShedReason::Draining);
+                } else {
+                    send(
+                        &job.reply,
+                        &Frame::Error(ErrorFrame {
+                            tag,
+                            category: ErrorCategory::Protocol,
+                            message: "daemon is shutting down".into(),
+                        }),
+                        request_id,
+                        tag,
+                    );
+                }
+            }
             Err((job, Refusal::Depth)) => self.shed(job, ShedReason::QueueDepth),
             Err((job, Refusal::Bytes)) => self.shed(job, ShedReason::QueueBytes),
         }
@@ -443,6 +504,95 @@ impl Daemon {
     fn initiate_shutdown(&self) {
         self.queue.close();
         self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful drain: like [`Self::initiate_shutdown`], but flagged so
+    /// late submits get `Overloaded{draining}` and the exit path writes
+    /// a plan-cache snapshot once executors finish the queue.
+    fn initiate_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Write the plan-cache snapshot if a path is configured. Panic-
+    /// contained and failure-counted: a full disk or a poisoned entry
+    /// must never take down the daemon (periodic thread) or turn a
+    /// graceful drain into a crash.
+    fn write_snapshot(&self, why: &str) {
+        let Some(path) = &self.snapshot_path else {
+            return;
+        };
+        match catch_unwind(AssertUnwindSafe(|| self.engine.cache().save_snapshot(path))) {
+            Ok(Ok(entries)) => {
+                // Periodic saves are silent (they would spam stderr at
+                // the snapshot cadence); the one-shot drain save is the
+                // operator-visible handoff, so it logs.
+                if why == "drain" {
+                    eprintln!(
+                        "jigsaw serve: snapshot (drain): {entries} entr{} -> {}",
+                        if entries == 1 { "y" } else { "ies" },
+                        path.display()
+                    );
+                }
+            }
+            Ok(Err(e)) => {
+                telemetry::record_counter("serve.snapshot.save_failures", 1);
+                eprintln!(
+                    "jigsaw serve: snapshot save ({why}) to {} failed: {e}",
+                    path.display()
+                );
+            }
+            Err(_) => {
+                telemetry::record_counter("serve.snapshot.panics", 1);
+                eprintln!("jigsaw serve: snapshot save ({why}) panicked (contained)");
+            }
+        }
+    }
+
+    /// Exit-path hook shared by every transport: after executors have
+    /// drained the queue, a *graceful* drain persists the warm cache.
+    fn snapshot_on_drain(&self) {
+        if self.draining.load(Ordering::SeqCst) {
+            self.write_snapshot("drain");
+        }
+    }
+}
+
+/// Load a snapshot into a fresh engine's plan cache, containing every
+/// failure mode: a missing file is a silent first boot, anything else
+/// wrong degrades to a cold start with a stderr diagnostic and
+/// `serve.snapshot.load_failures` / `serve.snapshot.panics`
+/// accounting. The warm path logs its `loaded/skipped` split.
+fn load_snapshot_contained(engine: &ServeEngine, path: &Path) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        engine
+            .cache()
+            .load_snapshot(path, &crate::gridding::SerialGridder)
+    }));
+    match outcome {
+        Ok(Ok((0, 0))) => {}
+        Ok(Ok((loaded, skipped))) => {
+            eprintln!(
+                "jigsaw serve: snapshot {}: loaded {loaded} plan(s), skipped {skipped}",
+                path.display()
+            );
+        }
+        Ok(Err(e)) => {
+            telemetry::record_counter("serve.snapshot.load_failures", 1);
+            eprintln!(
+                "jigsaw serve: snapshot {} unusable ({e}); starting cold",
+                path.display()
+            );
+        }
+        Err(_) => {
+            telemetry::record_counter("serve.snapshot.load_failures", 1);
+            telemetry::record_counter("serve.snapshot.panics", 1);
+            eprintln!(
+                "jigsaw serve: snapshot load from {} panicked (contained); starting cold",
+                path.display()
+            );
+        }
     }
 }
 
@@ -559,6 +709,34 @@ fn spawn_watchdog(d: &Arc<Daemon>) -> std::thread::JoinHandle<()> {
         .unwrap_or_else(|e| panic!("spawning watchdog: {e}"))
 }
 
+/// Spawn the periodic background snapshotter when both a snapshot path
+/// and a nonzero period are configured. The thread sleeps in watchdog-
+/// sized ticks so shutdown is never delayed by a long period, and each
+/// save is panic-contained inside [`Daemon::write_snapshot`] — a failed
+/// or panicking save is counted and the thread keeps its cadence.
+fn spawn_snapshotter(d: &Arc<Daemon>, opts: &ServeOptions) -> Option<std::thread::JoinHandle<()>> {
+    if d.snapshot_path.is_none() || opts.snapshot_every_secs == 0 {
+        return None;
+    }
+    let period = Duration::from_secs(opts.snapshot_every_secs);
+    let d = Arc::clone(d);
+    Some(
+        std::thread::Builder::new()
+            .name("jigsaw-serve-snapshot".into())
+            .spawn(move || {
+                let mut last = Instant::now();
+                while !d.stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(WATCHDOG_TICK_MS));
+                    if last.elapsed() >= period {
+                        d.write_snapshot("periodic");
+                        last = Instant::now();
+                    }
+                }
+            })
+            .unwrap_or_else(|e| panic!("spawning snapshotter: {e}")),
+    )
+}
+
 /// Drive one client connection: parse frames off `reader`, answering on
 /// `reply`. Returns when the client disconnects, sends garbage, or
 /// requests shutdown. `shutdown_on_eof` makes a clean EOF initiate
@@ -591,6 +769,14 @@ fn handle_connection<R: Read>(d: &Daemon, mut reader: R, reply: Reply, shutdown_
                 send(&reply, &Frame::Pong, 0, 0);
                 d.initiate_shutdown();
                 return;
+            }
+            Ok(Frame::Drain) => {
+                // Ack, stop admitting, but keep *reading*: a client
+                // that pipelines submits behind its Drain gets a
+                // deterministic Overloaded{draining} refusal for each,
+                // not a raced shutdown error or a dead socket.
+                send(&reply, &Frame::Pong, 0, 0);
+                d.initiate_drain();
             }
             Ok(other) => {
                 // Result/Error/Pong/Overloaded are daemon→client frames
@@ -652,6 +838,7 @@ fn frame_name(f: &Frame) -> &'static str {
         Frame::StatsRequest => "stats_request",
         Frame::StatsReply(_) => "stats_reply",
         Frame::Overloaded(_) => "overloaded",
+        Frame::Drain => "drain",
     }
 }
 
@@ -667,7 +854,9 @@ fn spawn_executors(d: &Arc<Daemon>, n: usize) -> Vec<std::thread::JoinHandle<()>
         .collect()
 }
 
-/// Serve on a Unix socket at `path` until a client sends `Shutdown`.
+/// Serve on a Unix socket at `path` until a client sends `Shutdown` or
+/// `Drain`, or [`ServeOptions::drain_signal`] flips (the CLI latches
+/// SIGTERM into it, so `kill <pid>` drains gracefully).
 /// A stale socket file at `path` is replaced.
 pub fn serve_unix(path: &Path, opts: &ServeOptions) -> Result<()> {
     let _ = std::fs::remove_file(path);
@@ -679,8 +868,16 @@ pub fn serve_unix(path: &Path, opts: &ServeOptions) -> Result<()> {
     let d = Daemon::new(opts);
     let executors = spawn_executors(&d, opts.executors);
     let watchdog = spawn_watchdog(&d);
+    let snapshotter = spawn_snapshotter(&d, opts);
 
     while !d.stop.load(Ordering::SeqCst) {
+        if let Some(flag) = opts.drain_signal {
+            if flag.swap(false, Ordering::SeqCst) {
+                eprintln!("jigsaw serve: drain signal received; draining");
+                d.initiate_drain();
+                break;
+            }
+        }
         match listener.accept() {
             Ok((stream, _addr)) => {
                 let reader = match stream.try_clone() {
@@ -705,16 +902,24 @@ pub fn serve_unix(path: &Path, opts: &ServeOptions) -> Result<()> {
                     let _ = h.join();
                 }
                 let _ = watchdog.join();
+                if let Some(h) = snapshotter {
+                    let _ = h.join();
+                }
                 let _ = std::fs::remove_file(path);
                 return Err(Error::Data(format!("accept failed: {e}")));
             }
         }
     }
-    // Shutdown requested: executors drain the queue, then exit.
+    // Shutdown or drain requested: executors drain the queue, then
+    // exit; a graceful drain snapshots the (final) warm cache.
     for h in executors {
         let _ = h.join();
     }
     let _ = watchdog.join();
+    if let Some(h) = snapshotter {
+        let _ = h.join();
+    }
+    d.snapshot_on_drain();
     let _ = std::fs::remove_file(path);
     Ok(())
 }
@@ -726,6 +931,7 @@ pub fn serve_stdio(opts: &ServeOptions) -> Result<()> {
     let d = Daemon::new(opts);
     let executors = spawn_executors(&d, opts.executors);
     let watchdog = spawn_watchdog(&d);
+    let snapshotter = spawn_snapshotter(&d, opts);
     let reply: Reply = Arc::new(Mutex::new(Box::new(std::io::stdout())));
     handle_connection(&d, std::io::stdin(), reply, true);
     d.initiate_shutdown();
@@ -733,6 +939,10 @@ pub fn serve_stdio(opts: &ServeOptions) -> Result<()> {
         let _ = h.join();
     }
     let _ = watchdog.join();
+    if let Some(h) = snapshotter {
+        let _ = h.join();
+    }
+    d.snapshot_on_drain();
     Ok(())
 }
 
@@ -747,6 +957,7 @@ pub fn serve_stream<R: Read, W: Write + Send + 'static>(
     let d = Daemon::new(opts);
     let executors = spawn_executors(&d, opts.executors);
     let watchdog = spawn_watchdog(&d);
+    let snapshotter = spawn_snapshotter(&d, opts);
     let reply: Reply = Arc::new(Mutex::new(Box::new(writer)));
     handle_connection(&d, reader, reply, true);
     d.initiate_shutdown();
@@ -754,6 +965,10 @@ pub fn serve_stream<R: Read, W: Write + Send + 'static>(
         let _ = h.join();
     }
     let _ = watchdog.join();
+    if let Some(h) = snapshotter {
+        let _ = h.join();
+    }
+    d.snapshot_on_drain();
     Ok(())
 }
 
@@ -1204,6 +1419,186 @@ mod tests {
                     && e.request_id == DAEMON_ID_BIT | 77),
             "reply_dropped event missing from flight tail"
         );
+    }
+
+    #[test]
+    fn drain_finishes_accepted_jobs_and_sheds_late_submits() {
+        // Deterministic ordering: submits 1 and 2 are admitted before
+        // the reader thread processes Drain (same thread, in order);
+        // the late submit hits the closed queue and must get a
+        // structured Overloaded{draining} refusal, not a shutdown
+        // error. EOF then ends the session; executors drain jobs 1+2.
+        let replies = run_session(
+            &[
+                Frame::Submit(request(1, Priority::Normal)),
+                Frame::Submit(request(2, Priority::High)),
+                Frame::Drain,
+                Frame::Submit(request(9, Priority::Normal)),
+            ],
+            &ServeOptions {
+                executors: 1,
+                ..Default::default()
+            },
+        );
+        assert!(replies.contains(&Frame::Pong), "drain must be acked");
+        let mut result_tags: Vec<u64> = replies
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Result(r) => Some(r.tag),
+                _ => None,
+            })
+            .collect();
+        result_tags.sort_unstable();
+        assert_eq!(
+            result_tags,
+            vec![1, 2],
+            "every accepted job gets exactly one result: {replies:?}"
+        );
+        let shed: Vec<&OverloadFrame> = replies
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Overloaded(o) => Some(o),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shed.len(), 1, "{replies:?}");
+        assert_eq!(shed[0].tag, 9);
+        assert_eq!(shed[0].reason, ShedReason::Draining);
+    }
+
+    #[test]
+    fn hard_shutdown_still_gets_protocol_error_not_overloaded() {
+        // The Drain/Shutdown distinction must be observable: late
+        // submits after a hard Shutdown keep the legacy shutdown error
+        // (but handle_connection returns on Shutdown, so exercise the
+        // admit path directly).
+        let d = Daemon::new(&ServeOptions::default());
+        d.initiate_shutdown();
+        let out = empty_buf();
+        d.admit(queued(5, Priority::Normal, RunBudget::unlimited(), &out));
+        let bytes = out.0.lock().unwrap().clone();
+        match read_frame(&mut std::io::Cursor::new(bytes)).expect("reply") {
+            Frame::Error(e) => {
+                assert_eq!(e.tag, 5);
+                assert_eq!(e.category, ErrorCategory::Protocol);
+            }
+            other => panic!("expected shutdown error frame, got {other:?}"),
+        }
+    }
+
+    fn temp_snapshot(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("jigsaw-daemon-{name}-{}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn drain_snapshots_and_restart_is_warm() {
+        let path = temp_snapshot("warm-restart");
+        let _ = std::fs::remove_file(&path);
+        let opts = ServeOptions {
+            executors: 1,
+            snapshot_path: Some(path.clone()),
+            ..Default::default()
+        };
+        // First lifetime: warm the cache, drain.
+        let replies = run_session(
+            &[Frame::Submit(request(1, Priority::Normal)), Frame::Drain],
+            &opts,
+        );
+        assert!(replies.iter().any(|f| matches!(
+            f,
+            Frame::Result(JobResult {
+                tag: 1,
+                cache_hit: false,
+                ..
+            })
+        )));
+        assert!(path.exists(), "drain must write the snapshot");
+        // Second lifetime: same trajectory must be a plan-cache hit on
+        // the very first request.
+        let replies = run_session(
+            &[Frame::Submit(request(2, Priority::Normal)), Frame::Shutdown],
+            &opts,
+        );
+        let hit = replies
+            .iter()
+            .find_map(|f| match f {
+                Frame::Result(r) if r.tag == 2 => Some(r.cache_hit),
+                _ => None,
+            })
+            .expect("post-restart job must produce a result");
+        assert!(
+            hit,
+            "first identical post-restart request must hit the cache"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hard_shutdown_does_not_snapshot() {
+        let path = temp_snapshot("no-snap-on-shutdown");
+        let _ = std::fs::remove_file(&path);
+        let opts = ServeOptions {
+            snapshot_path: Some(path.clone()),
+            ..Default::default()
+        };
+        run_session(
+            &[Frame::Submit(request(1, Priority::Normal)), Frame::Shutdown],
+            &opts,
+        );
+        assert!(
+            !path.exists(),
+            "hard shutdown is the no-snapshot path (only drain persists)"
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_cold_start() {
+        let path = temp_snapshot("corrupt");
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        let opts = ServeOptions {
+            snapshot_path: Some(path.clone()),
+            ..Default::default()
+        };
+        // The daemon must come up and serve — cold.
+        let replies = run_session(
+            &[Frame::Submit(request(3, Priority::Normal)), Frame::Shutdown],
+            &opts,
+        );
+        assert!(
+            replies.iter().any(|f| matches!(
+                f,
+                Frame::Result(JobResult {
+                    tag: 3,
+                    cache_hit: false,
+                    ..
+                })
+            )),
+            "{replies:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_save_failure_is_contained_and_counted() {
+        telemetry::set_enabled(true);
+        let counter_value = || {
+            telemetry::global()
+                .snapshot()
+                .counters
+                .iter()
+                .find(|(n, _)| n == "serve.snapshot.save_failures")
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let before = counter_value();
+        // A directory as the snapshot target: the rename must fail.
+        let opts = ServeOptions {
+            snapshot_path: Some(std::env::temp_dir()),
+            ..Default::default()
+        };
+        let d = Daemon::new(&opts);
+        d.write_snapshot("test");
+        assert_eq!(counter_value(), before + 1);
     }
 
     #[test]

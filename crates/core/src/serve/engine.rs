@@ -245,6 +245,17 @@ impl ServeEngine {
                 req.values.len()
             )));
         }
+        // Non-finite sample values are rejected here, symmetric with
+        // the coordinate check inside planning: a NaN that reached the
+        // gridder would silently poison the whole image — and, now that
+        // cache entries can be *persisted*, could outlive the process.
+        if let Some(i) = req
+            .values
+            .iter()
+            .position(|v| !v.re.is_finite() || !v.im.is_finite())
+        {
+            return Err(Error::Data(format!("non-finite sample value at index {i}")));
+        }
         let cfg = NufftConfig::with_n(req.n as usize);
         let (cached, cache_hit) = self.cache.get_or_build(&cfg, &req.coords)?;
         if budget.exhausted() {

@@ -21,6 +21,10 @@
 //!   executor threads ([`daemon::serve_unix`] / [`daemon::serve_stdio`]).
 //! * [`client`] — a blocking [`client::ServeClient`] for CLI client
 //!   mode and the black-box tests.
+//! * [`snapshot`] — the versioned, checksummed on-disk snapshot format
+//!   that carries the plan cache across process lifetimes (see
+//!   [`cache::PlanCache::save_snapshot`] /
+//!   [`cache::PlanCache::load_snapshot`]).
 //!
 //! Serving v1 fixes the numeric type to `f64` and the dimensionality to
 //! 2-D (the paper's primary configuration); the frame grammar reserves
@@ -28,11 +32,13 @@
 //!
 //! Telemetry: `serve.cache.{hit,miss,evict}` counters,
 //! `serve.queue_depth` / `serve.queued_bytes` gauges, `serve.jobs` /
-//! `serve.job_errors` / `serve.shed.{depth,bytes,expired}` /
-//! `serve.replies_dropped` / `serve.watchdog.{cancels,panics}`
+//! `serve.job_errors` / `serve.shed.{depth,bytes,expired,draining}` /
+//! `serve.replies_dropped` / `serve.watchdog.{cancels,panics}` /
+//! `serve.snapshot.{loaded,skipped,saves,save_failures,load_failures,panics}`
 //! counters, and `serve.job_latency_ns` / `serve.queue_wait_ns`
 //! histograms. Fault sites: [`crate::fault::SERVE_JOB`],
-//! [`crate::fault::SERVE_CACHE`], [`crate::fault::SERVE_SHED`], and
+//! [`crate::fault::SERVE_CACHE`], [`crate::fault::SERVE_SHED`],
+//! [`crate::fault::SERVE_SNAPSHOT`], and
 //! [`crate::fault::SERVE_WATCHDOG`].
 //!
 //! Overload resilience: admission is bounded
@@ -41,6 +47,15 @@
 //! hint, expired jobs are swept before planning, and a watchdog thread
 //! cancels blown or stuck budgets so the gridding/FFT hot loops bail at
 //! their next cooperative checkpoint (see [`crate::budget`]).
+//!
+//! Durable lifecycle: [`ServeOptions::snapshot_path`] enables
+//! load-on-start (a corrupt or stale snapshot degrades to a cold start,
+//! never a crash), periodic background snapshotting, and
+//! snapshot-on-drain. The `Drain` frame (kind 10) — surfaced as
+//! `jigsaw request --drain` and as SIGTERM on the Unix-socket server —
+//! stops admission (late submits get `Overloaded{reason=draining}`),
+//! finishes queued jobs, snapshots, and exits 0; the existing
+//! `Shutdown` (kind 6) remains the hard stop.
 //!
 //! Live introspection: [`stats`] defines the versioned
 //! [`stats::StatsSnapshot`] answered over the wire by the
@@ -55,6 +70,7 @@ pub mod client;
 pub mod daemon;
 pub mod engine;
 pub mod protocol;
+pub mod snapshot;
 pub mod stats;
 
 pub use cache::{
@@ -66,5 +82,9 @@ pub use engine::ServeEngine;
 pub use protocol::{
     ErrorCategory, ErrorFrame, Frame, JobRequest, JobResult, OverloadFrame, Priority,
     ProtocolError, ShedReason,
+};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, write_atomic, DecodeOutcome, SnapshotEntry, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
 };
 pub use stats::{CacheStats, StatsSnapshot, WindowStats, WorkerStats, STATS_VERSION};

@@ -22,6 +22,7 @@
 //! | 7    | `StatsRequest` | (empty)                                      |
 //! | 8    | `StatsReply`   | versioned [`StatsSnapshot`] (layout below)   |
 //! | 9    | `Overloaded`   | tag u64 · reason u8 · 0 u8 · retry_after_ms u32 · msg_len u32 · msg UTF-8 |
+//! | 10   | `Drain`    | (empty)                                          |
 //!
 //! The `StatsReply` payload (strings are `u32` length + UTF-8 bytes;
 //! histograms are `count u64 · sum u64 · nb u32 · nb×(lo u64 · hi u64 ·
@@ -209,6 +210,10 @@ pub enum ShedReason {
     /// The job's deadline had already expired before an executor could
     /// start it (swept from the queue or refused at `pop`).
     DeadlineExpired,
+    /// The daemon is draining (graceful shutdown in progress): already
+    /// accepted jobs still finish, new submits are refused. Retry
+    /// against the restarted daemon.
+    Draining,
 }
 
 impl ShedReason {
@@ -218,6 +223,7 @@ impl ShedReason {
             ShedReason::QueueDepth => 1,
             ShedReason::QueueBytes => 2,
             ShedReason::DeadlineExpired => 3,
+            ShedReason::Draining => 4,
         }
     }
 
@@ -227,6 +233,7 @@ impl ShedReason {
             1 => Some(ShedReason::QueueDepth),
             2 => Some(ShedReason::QueueBytes),
             3 => Some(ShedReason::DeadlineExpired),
+            4 => Some(ShedReason::Draining),
             _ => None,
         }
     }
@@ -237,6 +244,7 @@ impl ShedReason {
             ShedReason::QueueDepth => "depth",
             ShedReason::QueueBytes => "bytes",
             ShedReason::DeadlineExpired => "expired",
+            ShedReason::Draining => "draining",
         }
     }
 }
@@ -293,6 +301,12 @@ pub enum Frame {
     StatsReply(Box<StatsSnapshot>),
     /// Daemon → client: job refused under load; retry after the hint.
     Overloaded(OverloadFrame),
+    /// Client → daemon: graceful drain. Acknowledged with [`Frame::Pong`];
+    /// the daemon stops admitting (late submits get
+    /// [`Frame::Overloaded`] with [`ShedReason::Draining`]), finishes
+    /// every already-accepted job, snapshots its plan cache when
+    /// configured, and exits 0. Distinct from the hard [`Frame::Shutdown`].
+    Drain,
 }
 
 impl Frame {
@@ -307,6 +321,7 @@ impl Frame {
             Frame::StatsRequest => 7,
             Frame::StatsReply(_) => 8,
             Frame::Overloaded(_) => 9,
+            Frame::Drain => 10,
         }
     }
 }
@@ -465,7 +480,7 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             push_u32(&mut payload, o.message.len() as u32);
             payload.extend_from_slice(o.message.as_bytes());
         }
-        Frame::Ping | Frame::Pong | Frame::Shutdown | Frame::StatsRequest => {}
+        Frame::Ping | Frame::Pong | Frame::Shutdown | Frame::StatsRequest | Frame::Drain => {}
     }
     let mut out = Vec::with_capacity(10 + payload.len());
     out.extend_from_slice(&MAGIC);
@@ -798,13 +813,14 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
                 message,
             }))
         }
-        4..=7 => {
+        4..=7 | 10 => {
             c.finish()?;
             Ok(match kind {
                 4 => Frame::Ping,
                 5 => Frame::Pong,
                 6 => Frame::Shutdown,
-                _ => Frame::StatsRequest,
+                7 => Frame::StatsRequest,
+                _ => Frame::Drain,
             })
         }
         8 => {
@@ -852,7 +868,13 @@ mod tests {
 
     #[test]
     fn empty_frames_round_trip() {
-        for f in [Frame::Ping, Frame::Pong, Frame::Shutdown] {
+        for f in [
+            Frame::Ping,
+            Frame::Pong,
+            Frame::Shutdown,
+            Frame::StatsRequest,
+            Frame::Drain,
+        ] {
             assert_eq!(round_trip(&f), f);
         }
     }
@@ -910,6 +932,7 @@ mod tests {
             ShedReason::QueueDepth,
             ShedReason::QueueBytes,
             ShedReason::DeadlineExpired,
+            ShedReason::Draining,
         ] {
             for retry_after_ms in [0u32, 1, 25, 100, 29_999, u32::MAX] {
                 let f = Frame::Overloaded(OverloadFrame {
@@ -1138,12 +1161,13 @@ mod tests {
             ShedReason::QueueDepth,
             ShedReason::QueueBytes,
             ShedReason::DeadlineExpired,
+            ShedReason::Draining,
         ] {
             assert_eq!(ShedReason::from_u8(r.as_u8()), Some(r));
             assert!(!r.label().is_empty());
         }
         assert_eq!(ShedReason::from_u8(0), None);
-        assert_eq!(ShedReason::from_u8(4), None);
+        assert_eq!(ShedReason::from_u8(5), None);
         assert_eq!(Priority::from_u8(0), Some(Priority::Normal));
         assert_eq!(Priority::from_u8(1), Some(Priority::High));
         assert_eq!(Priority::from_u8(2), None);

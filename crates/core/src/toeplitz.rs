@@ -115,6 +115,16 @@ impl<const D: usize> ToeplitzOperator<D> {
                 coords.len()
             )));
         }
+        // A non-finite density weight would propagate through the PSF
+        // into every entry of the embedded kernel spectrum — and the
+        // kernel is cacheable (and now snapshot-persistable), so the
+        // poison would outlive this call. Reject at the door, like
+        // planning rejects non-finite coordinates.
+        if let Some(i) = weights.iter().position(|w| !w.is_finite()) {
+            return Err(Error::Data(format!(
+                "non-finite density weight at index {i}"
+            )));
+        }
         let n = cfg.n;
         let _span = telemetry::span!("toeplitz.build", {
             n: n,
@@ -574,8 +584,11 @@ mod tests {
         let n = 8;
         let coords = traj::random_nd::<2>(40, 37);
         let cfg = NufftConfig::with_n(n);
-        // NaN density weights poison the PSF.
-        let weights = vec![f64::NAN; coords.len()];
+        // Finite but overflowing density weights poison the PSF: each
+        // weight passes the at-the-door finiteness check, yet their
+        // gridded sum overflows to infinity — only the post-build PSF
+        // check can catch it.
+        let weights = vec![f64::MAX; coords.len()];
         crate::engine::set_serial_fallback(true);
         let degraded =
             ToeplitzOperator::<2>::build_degradable(&cfg, &coords, &weights, &SerialGridder, None)
@@ -586,9 +599,20 @@ mod tests {
             ToeplitzOperator::<2>::build_degradable(&cfg, &coords, &weights, &SerialGridder, None);
         assert!(matches!(strict, Err(Error::Execution(_))));
         crate::engine::set_serial_fallback(true);
-        // Validation errors are never degraded.
+        // Validation errors are never degraded: a mismatched weight
+        // count and outright non-finite weights are both refused as
+        // `Data` even under the permissive policy.
         let bad =
             ToeplitzOperator::<2>::build_degradable(&cfg, &coords, &[1.0; 3], &SerialGridder, None);
         assert!(matches!(bad, Err(Error::Data(_))));
+        let nan_weights = vec![f64::NAN; coords.len()];
+        let nan = ToeplitzOperator::<2>::build_degradable(
+            &cfg,
+            &coords,
+            &nan_weights,
+            &SerialGridder,
+            None,
+        );
+        assert!(matches!(nan, Err(Error::Data(_))));
     }
 }

@@ -686,6 +686,89 @@ fn serve_watchdog_panic_is_counted_and_daemon_keeps_serving() {
     );
 }
 
+/// Containment for snapshot restore (`serve.snapshot`): a panic
+/// injected at the start of the plan-cache load degrades the daemon to
+/// a cold start — it still boots, serves (cache miss), and exits
+/// cleanly; the failure is counted in `serve.snapshot.panics`.
+#[test]
+fn serve_snapshot_fault_degrades_to_cold_start() {
+    use jigsaw::core::serve::protocol::{encode, read_frame};
+    use jigsaw::core::serve::{serve_stream, Frame, JobRequest, Priority, ServeOptions};
+
+    let _lock = test_guard();
+    let _policy = PolicyGuard;
+    telemetry::set_enabled(true);
+    let coords = jigsaw::core::traj::radial_2d(4, 16, true);
+    let values: Vec<C64> = vec![C64::new(1.0, 0.0); coords.len()];
+    let req = JobRequest {
+        tag: 11,
+        priority: Priority::Normal,
+        n: 8,
+        budget_ms: 0,
+        coords,
+        values,
+    };
+
+    // A perfectly valid snapshot on disk: the injected panic, not file
+    // damage, is what must be contained.
+    let path =
+        std::env::temp_dir().join(format!("jigsaw-chaos-snapshot-{}.snap", std::process::id()));
+    std::fs::write(&path, jigsaw::core::serve::encode_snapshot(&[])).unwrap();
+    let panics_before = telemetry::global()
+        .snapshot()
+        .counter("serve.snapshot.panics")
+        .unwrap_or(0);
+    arm(FaultPlan::once_at(fault::SERVE_SNAPSHOT));
+    let mut input = Vec::new();
+    input.extend_from_slice(&encode(&Frame::Submit(req)));
+    input.extend_from_slice(&encode(&Frame::Shutdown));
+    let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    serve_stream(
+        std::io::Cursor::new(input),
+        SharedOut(std::sync::Arc::clone(&out)),
+        &ServeOptions {
+            executors: 1,
+            snapshot_path: Some(path.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("daemon must boot cold and exit cleanly despite the load panic");
+    assert_eq!(fires(), 1, "serve.snapshot must actually fire");
+    disarm();
+
+    let panics_after = telemetry::global()
+        .snapshot()
+        .counter("serve.snapshot.panics")
+        .unwrap_or(0);
+    assert!(
+        panics_after > panics_before,
+        "serve.snapshot.panics must increment ({panics_before} → {panics_after})"
+    );
+    let bytes = out.lock().unwrap().clone();
+    let mut r = std::io::Cursor::new(bytes);
+    let mut replies = Vec::new();
+    while let Ok(f) = read_frame(&mut r) {
+        replies.push(f);
+    }
+    assert!(
+        replies
+            .iter()
+            .any(|f| matches!(f, Frame::Result(res) if res.tag == 11 && !res.cache_hit)),
+        "cold-started daemon must still serve the job: {replies:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Every registered site is covered by a test above; this meta-check
 /// fails when a new fault point is added without chaos coverage.
 #[test]
@@ -700,6 +783,7 @@ fn every_registered_site_is_covered() {
         fault::SERVE_JOB,
         fault::SERVE_CACHE,
         fault::SERVE_SHED,
+        fault::SERVE_SNAPSHOT,
         fault::SERVE_WATCHDOG,
     ];
     for site in fault::SITES {

@@ -14,11 +14,23 @@
 //!    different contents never alias to the same cache entry
 //!    (regression: the key hashes full trajectory contents, not just
 //!    sample count and config).
+//! 5. **Snapshot round-trip** — encode → decode of the durable
+//!    plan-cache snapshot is lossless to the bit, under randomized
+//!    entry sets; a cache persisted and restored through a real file
+//!    serves the same request as a hit with bitwise-identical output.
+//! 6. **Snapshot damage** — randomized truncation and bit flips never
+//!    panic the loader; every declared entry is either restored or
+//!    counted skipped, and version damage degrades to an error (cold
+//!    start), never a crash.
+//! 7. **Input hygiene** — non-finite k-space sample values and density
+//!    weights are rejected with a data error before they can reach a
+//!    plan or a persisted snapshot.
 
 use jigsaw::core::budget::RunBudget;
 use jigsaw::core::gridding::SerialGridder;
 use jigsaw::core::serve::{
-    plan_key, trajectory_hash, JobRequest, PlanCache, Priority, ServeEngine,
+    decode_snapshot, encode_snapshot, plan_key, snapshot, trajectory_hash, JobRequest, PlanCache,
+    Priority, ServeEngine, SnapshotEntry,
 };
 use jigsaw::core::{NufftConfig, NufftPlan};
 use jigsaw::num::C64;
@@ -252,6 +264,213 @@ fn same_shape_different_content_trajectories_never_alias() {
         bits_eq(&original.image, &cold_reference(N, &coords, &values)),
         "original result must match its own cold run"
     );
+}
+
+/// A randomized snapshot-entry set: plan entries with assorted shapes,
+/// plus an occasional Toeplitz entry carrying density weights.
+fn random_entries(rng: &mut Rng) -> Vec<SnapshotEntry> {
+    let count = rng.usize_range(1, 5);
+    (0..count)
+        .map(|_| {
+            let n = *rng.choose(&[8usize, 16, 24]);
+            let m = rng.usize_range(4, 40);
+            let coords = problem(n, m, rng.u64()).0;
+            let toeplitz = rng.usize_range(0, 3) == 0;
+            let weights: Vec<f64> = if toeplitz {
+                (0..m).map(|_| rng.f64_range(0.1, 2.0)).collect()
+            } else {
+                Vec::new()
+            };
+            SnapshotEntry {
+                kind: if toeplitz {
+                    snapshot::ENTRY_TOEPLITZ
+                } else {
+                    snapshot::ENTRY_PLAN
+                },
+                cfg: NufftConfig::with_n(n),
+                coords: coords.into(),
+                weights: weights.into(),
+            }
+        })
+        .collect()
+}
+
+/// Property 5a: encode → decode is bitwise lossless for arbitrary
+/// well-formed entry sets — every field of every entry survives, in
+/// order, with the file checksum intact.
+#[test]
+fn snapshot_round_trip_is_bitwise_lossless() {
+    cases!(16, |rng| {
+        let entries = random_entries(rng);
+        let bytes = encode_snapshot(&entries);
+        let out = decode_snapshot(&bytes).expect("well-formed snapshot must decode");
+        assert_eq!(out.skipped, 0);
+        assert!(out.file_checksum_ok);
+        assert_eq!(out.entries, entries, "round trip must be bitwise");
+    });
+}
+
+/// Property 5b: persist → restore through a real file, end to end. The
+/// restored cache must serve the original request as a *hit* whose
+/// image is bitwise identical to the pre-restart (and cold) output.
+#[test]
+fn restored_cache_serves_bitwise_identical_hits() {
+    const N: usize = 16;
+    let (coords, values) = problem(N, 70, 555);
+    let req = request(1, N, &coords, &values);
+    let path = std::env::temp_dir().join(format!(
+        "jigsaw-serve-cache-restore-{}.snap",
+        std::process::id()
+    ));
+
+    let engine = ServeEngine::new(4);
+    let before = engine.execute(&req, &RunBudget::unlimited()).unwrap();
+    assert!(!before.cache_hit);
+    let saved = engine.cache().save_snapshot(&path).unwrap();
+    assert_eq!(saved, 1);
+
+    let restarted = ServeEngine::new(4);
+    let (loaded, skipped) = restarted
+        .cache()
+        .load_snapshot(&path, &SerialGridder)
+        .unwrap();
+    assert_eq!((loaded, skipped), (1, 0));
+    let after = restarted.execute(&req, &RunBudget::unlimited()).unwrap();
+    assert!(after.cache_hit, "restored plan must serve as a cache hit");
+    assert!(
+        bits_eq(&before.image, &after.image),
+        "post-restore output must be bitwise identical"
+    );
+    assert!(
+        bits_eq(&after.image, &cold_reference(N, &coords, &values)),
+        "post-restore output must match the cold serial reference"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Property 6a: truncating a snapshot at any byte never panics the
+/// decoder, and the accounting never loses an entry — everything
+/// declared is either restored intact or counted skipped.
+#[test]
+fn truncated_snapshots_never_panic_and_account_for_every_entry() {
+    cases!(8, |rng| {
+        let entries = random_entries(rng);
+        let bytes = encode_snapshot(&entries);
+        let cut = rng.usize_range(0, bytes.len());
+        match decode_snapshot(&bytes[..cut]) {
+            Err(_) => {} // header damage: cold start
+            Ok(out) => {
+                assert_eq!(
+                    out.entries.len() as u64 + out.skipped,
+                    entries.len() as u64,
+                    "cut at {cut}: every declared entry restored or skipped"
+                );
+                for e in &out.entries {
+                    assert!(entries.contains(e), "salvaged entries must be genuine");
+                }
+            }
+        }
+    });
+}
+
+/// Property 6b: flipping any single bit never panics the decoder and
+/// never *invents* entries — survivors are bitwise-genuine, casualties
+/// are counted, and header/version damage degrades to an error.
+#[test]
+fn bit_flips_never_panic_and_survivors_are_genuine() {
+    cases!(8, |rng| {
+        let entries = random_entries(rng);
+        let mut bytes = encode_snapshot(&entries);
+        let pos = rng.usize_range(0, bytes.len());
+        bytes[pos] ^= 1 << rng.usize_range(0, 8);
+        match decode_snapshot(&bytes) {
+            Err(_) => {} // magic/version damage: cold start
+            Ok(out) => {
+                assert!(out.entries.len() <= entries.len());
+                for e in &out.entries {
+                    assert!(
+                        entries.contains(e),
+                        "bit flip at byte {pos} produced a forged entry"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Property 6c: a future format version is refused outright (`Err`, so
+/// the daemon cold-starts) — stale readers must never guess at a layout
+/// they do not understand.
+#[test]
+fn future_snapshot_version_is_refused() {
+    let entries = random_entries(&mut Rng::new(42));
+    let mut bytes = encode_snapshot(&entries);
+    bytes[4..8].copy_from_slice(&(jigsaw::core::serve::SNAPSHOT_VERSION + 1).to_le_bytes());
+    let err = decode_snapshot(&bytes).expect_err("future version must be an error");
+    assert!(
+        err.to_string().contains("unsupported snapshot version"),
+        "{err}"
+    );
+}
+
+/// Property 7: non-finite sample values are rejected with a tagged data
+/// error at submit time — under every priority and for any poisoned
+/// index — and never touch the plan cache.
+#[test]
+fn non_finite_sample_values_are_rejected_as_data_errors() {
+    use jigsaw::core::serve::ErrorCategory;
+    const N: usize = 8;
+    cases!(8, |rng| {
+        let m = rng.usize_range(4, 30);
+        let (coords, mut values) = problem(N, m, rng.u64());
+        let poison = *rng.choose(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        let i = rng.usize_range(0, m);
+        if rng.usize_range(0, 2) == 0 {
+            values[i] = C64::new(poison, values[i].im);
+        } else {
+            values[i] = C64::new(values[i].re, poison);
+        }
+        let engine = ServeEngine::new(2);
+        let err = engine
+            .execute(&request(3, N, &coords, &values), &RunBudget::unlimited())
+            .expect_err("poisoned values must be refused");
+        assert_eq!(err.category, ErrorCategory::Data, "{}", err.message);
+        assert!(
+            err.message.contains("non-finite sample value"),
+            "{}",
+            err.message
+        );
+        assert_eq!(
+            engine.cache().len(),
+            0,
+            "rejected jobs must not populate the cache"
+        );
+    });
+}
+
+/// Property 7b: non-finite density weights are rejected by the Toeplitz
+/// kernel build before the weight can poison a PSF (which a snapshot
+/// would otherwise happily persist and replay).
+#[test]
+fn non_finite_density_weights_are_rejected() {
+    const N: usize = 8;
+    let cache = PlanCache::new(4);
+    let cfg = NufftConfig::with_n(N);
+    let (coords, _) = problem(N, 20, 77);
+    for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut weights = vec![1.0; coords.len()];
+        weights[7] = poison;
+        let err = match cache.get_or_build_toeplitz(&cfg, &coords, &weights, &SerialGridder) {
+            Err(e) => e,
+            Ok(_) => panic!("poisoned weights must be refused"),
+        };
+        assert!(
+            err.to_string()
+                .contains("non-finite density weight at index 7"),
+            "{err}"
+        );
+    }
+    assert_eq!(cache.len(), 0);
 }
 
 /// `cases!` property: any two trajectories drawn with different
